@@ -1,0 +1,155 @@
+//! Criterion benchmarks of the individual substrates: functional
+//! emulation rate, cache lookups, branch prediction, wrong-path
+//! reconstruction and recovery. These bound the simulator's throughput
+//! budget component by component.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ffsim_core::{reconstruct, recover_addresses, CodeCache, ConvergenceConfig, ConvergenceStats};
+use ffsim_emu::{Emulator, FollowComputed, InstrQueue, NoFrontendWrongPath};
+use ffsim_isa::{Asm, BranchCond, Instr, Reg};
+use ffsim_uarch::{BranchPredictor, Cache, CoreConfig, PathKind, Tlb};
+
+fn loop_program(n: i64) -> ffsim_isa::Program {
+    let (x, y, base) = (Reg::new(1), Reg::new(2), Reg::new(5));
+    let mut a = Asm::new();
+    a.li(base, 0x1000_0000);
+    a.li(x, n);
+    a.label("loop");
+    a.andi(y, x, 63);
+    a.slli(y, y, 3);
+    a.add(y, y, base);
+    a.ld(y, 0, y);
+    a.addi(x, x, -1);
+    a.bnez(x, "loop");
+    a.halt();
+    a.assemble().unwrap()
+}
+
+fn emulator_step_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emulator");
+    let program = loop_program(10_000);
+    group.throughput(Throughput::Elements(60_000));
+    group.bench_function("step_60k_instructions", |b| {
+        b.iter(|| {
+            let mut emu = Emulator::new(program.clone());
+            emu.run_to_halt(100_000).unwrap()
+        });
+    });
+    group.throughput(Throughput::Elements(572));
+    group.bench_function("wrong_path_emulation_572", |b| {
+        let mut emu = Emulator::new(program.clone());
+        emu.step().unwrap();
+        emu.step().unwrap();
+        let loop_head = emu.state().pc;
+        b.iter(|| {
+            emu.emulate_wrong_path(loop_head, 572, &mut FollowComputed)
+                .insts
+                .len()
+        });
+    });
+    group.throughput(Throughput::Elements(60_000));
+    group.bench_function("queue_pop_60k", |b| {
+        b.iter(|| {
+            let mut q =
+                InstrQueue::new(Emulator::new(program.clone()), NoFrontendWrongPath, 2048);
+            let mut count = 0u64;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        });
+    });
+    group.finish();
+}
+
+fn cache_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uarch");
+    let cfg = CoreConfig::golden_cove_like();
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("l1d_lookup_10k", |b| {
+        let mut cache = Cache::new("bench", cfg.l1d);
+        let mut addr = 0u64;
+        b.iter(|| {
+            let mut hits = 0;
+            for _ in 0..10_000 {
+                addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1) % (1 << 22);
+                if cache.lookup(addr, false, PathKind::Correct) == ffsim_uarch::Lookup::Hit {
+                    hits += 1;
+                } else {
+                    cache.fill(addr, false);
+                }
+            }
+            hits
+        });
+    });
+    group.bench_function("dtlb_access_10k", |b| {
+        let mut tlb = Tlb::new(cfg.dtlb);
+        let mut addr = 0u64;
+        b.iter(|| {
+            let mut walks = 0u64;
+            for _ in 0..10_000 {
+                addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1) % (1 << 26);
+                walks += tlb.access(addr, PathKind::Correct);
+            }
+            walks
+        });
+    });
+    group.bench_function("branch_observe_10k", |b| {
+        let mut bp = BranchPredictor::new(cfg.branch);
+        let branch = Instr::Branch {
+            cond: BranchCond::Ne,
+            rs1: Reg::new(1),
+            rs2: Reg::new(2),
+            target: 0x4000,
+        };
+        let mut x = 1u64;
+        b.iter(|| {
+            let mut miss = 0u64;
+            for i in 0..10_000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let taken = x & 8 != 0;
+                let pc = 0x1000 + (i % 37) * 4;
+                let next = if taken { 0x4000 } else { pc + 4 };
+                if bp.observe(pc, &branch, taken, next).mispredicted {
+                    miss += 1;
+                }
+            }
+            miss
+        });
+    });
+    group.finish();
+}
+
+fn wrongpath_rate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wrongpath");
+    let cfg = CoreConfig::golden_cove_like();
+    let program = loop_program(1000);
+    // Pre-populate the code cache and collect a future window.
+    let mut code_cache = CodeCache::unbounded();
+    let mut future = Vec::new();
+    let mut emu = Emulator::new(program.clone());
+    while let Ok(inst) = emu.step() {
+        code_cache.insert(inst.pc, inst.instr);
+        if future.len() < 512 {
+            future.push(inst);
+        }
+    }
+    let predictor = BranchPredictor::new(cfg.branch);
+    let start = program.base() + 8;
+    group.throughput(Throughput::Elements(572));
+    group.bench_function("reconstruct_572", |b| {
+        b.iter(|| reconstruct(&mut code_cache, &predictor, start, 572).len());
+    });
+    group.bench_function("reconstruct_plus_recover", |b| {
+        b.iter(|| {
+            let mut wp = reconstruct(&mut code_cache, &predictor, start, 572);
+            let mut stats = ConvergenceStats::default();
+            recover_addresses(&mut wp, &future, &ConvergenceConfig::default(), &mut stats);
+            stats.converged
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, emulator_step_rate, cache_rate, wrongpath_rate);
+criterion_main!(benches);

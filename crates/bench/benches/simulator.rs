@@ -1,0 +1,53 @@
+//! Criterion benchmarks: end-to-end simulation throughput per wrong-path
+//! technique. This is the §V-B speed comparison in benchmark form — the
+//! relative cost of the techniques (nowp < instrec ≤ conv < wpemul) is
+//! the paper's speed result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ffsim_core::{SimConfig, Simulator, WrongPathMode};
+use ffsim_uarch::CoreConfig;
+use ffsim_workloads::{gap, speclike, Graph, Workload};
+
+const INSTRUCTIONS: u64 = 50_000;
+
+fn bench_workload(c: &mut Criterion, group_name: &str, workload: &Workload) {
+    let mut group = c.benchmark_group(group_name);
+    group.throughput(Throughput::Elements(INSTRUCTIONS));
+    group.sample_size(10);
+    for mode in WrongPathMode::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.label()),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    let mut cfg = SimConfig::with_core(CoreConfig::golden_cove_like(), mode);
+                    cfg.max_instructions = Some(INSTRUCTIONS);
+                    let result = Simulator::new(
+                        workload.program().clone(),
+                        workload.memory().clone(),
+                        cfg,
+                    )
+                    .run();
+                    assert!(result.cycles > 0);
+                    result.cycles
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn simulation_throughput(c: &mut Criterion) {
+    // Branch-miss-heavy graph kernel: the paper's worst case for
+    // wrong-path modeling overhead.
+    let g = Graph::rmat(1 << 11, 12, 42);
+    let bfs = gap::bfs(&g, g.max_degree_vertex());
+    bench_workload(c, "simulate_gap_bfs", &bfs);
+
+    // Regular FP kernel: wrong-path modeling is nearly free.
+    let triad = speclike::stream_triad(1 << 13, 100);
+    bench_workload(c, "simulate_fp_triad", &triad);
+}
+
+criterion_group!(benches, simulation_throughput);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Calibration probe: SPEC-like suite across the four modes.
+use ffsim_core::run_all_modes;
+use ffsim_uarch::CoreConfig;
+use ffsim_workloads::speclike::{all_speclike, SpecCategory};
+
+fn main() {
+    let core = CoreConfig::golden_cove_like();
+    for k in all_speclike(1, 2026) {
+        let w = &k.workload;
+        let results = run_all_modes(w.program(), w.memory(), &core, Some(1_500_000));
+        let wpemul = results[3].clone();
+        println!(
+            "{:4} {:16} nowp {:+6.2}% instrec {:+6.2}% conv {:+6.2}% | bmpki {:5.2} l2mpki {:5.2} l1i-mpki {:5.2} | n={}k",
+            if k.category == SpecCategory::Int { "INT" } else { "FP" },
+            w.name(),
+            results[0].error_vs(&wpemul),
+            results[1].error_vs(&wpemul),
+            results[2].error_vs(&wpemul),
+            results[3].branch_mpki(),
+            results[3].l2_mpki(),
+            results[3].l1i.misses.get(ffsim_uarch::PathKind::Correct) as f64 * 1000.0 / results[3].instructions as f64,
+            results[3].instructions / 1000,
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! **Reproduction scorecard** — runs a reduced version of every
+//! experiment and checks each of the paper's qualitative claims
+//! automatically. The fast way to see whether a change to the simulator
+//! still reproduces the paper.
+//!
+//! Scales are reduced relative to the per-figure binaries (scale-12
+//! graphs, 1M instructions), so the whole scorecard runs in about a
+//! minute.
+
+use ffsim_bench::{mean, mean_abs, run_modes};
+use ffsim_core::SimResult;
+use ffsim_uarch::{CoreConfig, PathKind};
+use ffsim_workloads::speclike::{all_speclike, SpecCategory};
+use ffsim_workloads::{gap, Workload};
+
+struct Scorecard {
+    passed: u32,
+    failed: u32,
+}
+
+impl Scorecard {
+    fn check(&mut self, claim: &str, ok: bool, detail: String) {
+        let mark = if ok { "PASS" } else { "FAIL" };
+        if ok {
+            self.passed += 1;
+        } else {
+            self.failed += 1;
+        }
+        println!("[{mark}] {claim}\n       {detail}");
+    }
+}
+
+fn main() {
+    let core = CoreConfig::golden_cove_like();
+    let max = 1_000_000;
+    let mut card = Scorecard {
+        passed: 0,
+        failed: 0,
+    };
+
+    println!("running GAP suite (scale 12)...");
+    let gap_suite: Vec<Workload> = gap::all_gap(12, 16, 42);
+    let gap_results: Vec<[SimResult; 4]> = gap_suite
+        .iter()
+        .map(|w| run_modes(w, &core, max))
+        .collect();
+
+    // Claim 1 (Fig. 1): all GAP nowp errors <= 0.
+    let nowp_errs: Vec<f64> = gap_results
+        .iter()
+        .map(|r| r[0].error_vs(&r[3]))
+        .collect();
+    card.check(
+        "Fig. 1: no-wrong-path modeling underestimates GAP performance everywhere",
+        nowp_errs.iter().all(|&e| e <= 0.5),
+        format!("errors: {:?}", nowp_errs.iter().map(|e| format!("{e:+.1}%")).collect::<Vec<_>>()),
+    );
+
+    // Claim 2 (Fig. 1): pr and tc are the least sensitive kernels.
+    let by_name: Vec<(&str, f64)> = gap_suite
+        .iter()
+        .map(Workload::name)
+        .zip(nowp_errs.iter().map(|e| e.abs()))
+        .collect();
+    let max_insensitive = by_name
+        .iter()
+        .filter(|(n, _)| matches!(*n, "pr" | "tc"))
+        .map(|(_, e)| *e)
+        .fold(0.0f64, f64::max);
+    let min_sensitive = by_name
+        .iter()
+        .filter(|(n, _)| matches!(*n, "bc" | "sssp"))
+        .map(|(_, e)| *e)
+        .fold(f64::INFINITY, f64::min);
+    card.check(
+        "Fig. 1: pr/tc least affected, bc/sssp most affected",
+        max_insensitive < min_sensitive,
+        format!("max(pr,tc) {max_insensitive:.1}% < min(bc,sssp) {min_sensitive:.1}%"),
+    );
+
+    // Claim 3 (Fig. 4 left): instrec ~ nowp on GAP; conv cuts the average.
+    let instrec_avg = mean_abs(
+        &gap_results
+            .iter()
+            .map(|r| r[1].error_vs(&r[3]))
+            .collect::<Vec<_>>(),
+    );
+    let conv_avg = mean_abs(
+        &gap_results
+            .iter()
+            .map(|r| r[2].error_vs(&r[3]))
+            .collect::<Vec<_>>(),
+    );
+    let nowp_avg = mean_abs(&nowp_errs);
+    card.check(
+        "Fig. 4: instrec does not help GAP; conv cuts the average error >=1.5x",
+        (instrec_avg - nowp_avg).abs() < 1.5 && conv_avg < nowp_avg / 1.5,
+        format!("avg |error| nowp {nowp_avg:.1}% -> instrec {instrec_avg:.1}% -> conv {conv_avg:.1}%"),
+    );
+
+    // Claim 4 (Table II): wrong-path instruction count ordering.
+    let ordering_holds = gap_results
+        .iter()
+        .filter(|r| {
+            r[1].wrong_path_fraction() >= r[2].wrong_path_fraction() * 0.98
+                && r[2].wrong_path_fraction() >= r[3].wrong_path_fraction() * 0.98
+        })
+        .count();
+    card.check(
+        "Table II: instrec >= conv >= wpemul wrong-path instruction counts",
+        ordering_holds >= 5,
+        format!("ordering holds on {ordering_holds}/6 kernels"),
+    );
+
+    // Claim 5 (Table III): graph code converges quickly.
+    let conv_fracs: Vec<f64> = gap_results
+        .iter()
+        .map(|r| r[2].convergence.conv_frac())
+        .collect();
+    let dists: Vec<f64> = gap_results
+        .iter()
+        .map(|r| r[2].convergence.avg_distance())
+        .collect();
+    card.check(
+        "Table III: convergence found for most misses, within tens of instructions",
+        conv_fracs.iter().all(|&f| f > 0.6) && dists.iter().all(|&d| d < 40.0),
+        format!("conv frac {:.0}-{:.0}%, dist {:.1}-{:.1}",
+            conv_fracs.iter().fold(f64::INFINITY, |a, &b| a.min(b)) * 100.0,
+            conv_fracs.iter().fold(0.0f64, |a, &b| a.max(b)) * 100.0,
+            dists.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
+            dists.iter().fold(0.0f64, |a, &b| a.max(b))),
+    );
+
+    // Claim 6: the prefetch mechanism — wpemul lowers correct-path L2
+    // misses vs nowp on converging kernels.
+    let prefetch_wins = gap_results
+        .iter()
+        .filter(|r| {
+            r[3].l2.misses.get(PathKind::Correct) < r[0].l2.misses.get(PathKind::Correct)
+        })
+        .count();
+    card.check(
+        "mechanism: wrong-path execution prefetches for the correct path",
+        prefetch_wins >= 4,
+        format!("correct-path L2 misses drop on {prefetch_wins}/6 kernels"),
+    );
+
+    println!("\nrunning SPEC-like suite (reduced)...");
+    let spec = all_speclike(1, 2026);
+    let mut fp_errs = Vec::new();
+    let mut int_nowp = Vec::new();
+    let mut int_conv = Vec::new();
+    for k in &spec {
+        let r = run_modes(&k.workload, &core, 600_000);
+        match k.category {
+            SpecCategory::Fp => fp_errs.push(r[0].error_vs(&r[3])),
+            SpecCategory::Int => {
+                int_nowp.push(r[0].error_vs(&r[3]));
+                int_conv.push(r[2].error_vs(&r[3]));
+            }
+        }
+    }
+
+    // Claim 7 (Fig. 4 right): FP insensitive.
+    card.check(
+        "Fig. 4: FP kernels are insensitive to wrong-path modeling",
+        fp_errs.iter().all(|e| e.abs() < 1.0),
+        format!("max FP |error| {:.2}%", fp_errs.iter().fold(0.0f64, |a, &b| a.max(b.abs()))),
+    );
+
+    // Claim 8 (Fig. 4 right): INT negatively skewed; conv narrows it.
+    card.check(
+        "Fig. 4: INT errors negatively skewed; conv reduces the average",
+        mean(&int_nowp) < -1.0 && mean_abs(&int_conv) < mean_abs(&int_nowp),
+        format!(
+            "INT mean {:.1}% (|avg| {:.1}%) -> conv |avg| {:.1}%",
+            mean(&int_nowp),
+            mean_abs(&int_nowp),
+            mean_abs(&int_conv)
+        ),
+    );
+
+    println!("\nscorecard: {} passed, {} failed", card.passed, card.failed);
+    if card.failed > 0 {
+        std::process::exit(1);
+    }
+}

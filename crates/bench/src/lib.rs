@@ -1,0 +1,185 @@
+//! # ffsim-bench — experiment harness
+//!
+//! Regenerates every table and figure of *“Simulating Wrong-Path
+//! Instructions in Decoupled Functional-First Simulation”* (Eyerman et
+//! al., ISPASS 2023) on this repository's from-scratch simulator stack.
+//! One binary per experiment:
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `table1_config` | Table I — simulated core configuration |
+//! | `fig1_nowp_error` | Fig. 1 — error of no-wrong-path modeling, GAP |
+//! | `fig4_gap_techniques` | Fig. 4 (left) — error per technique, GAP |
+//! | `fig4_spec_distribution` | Fig. 4 (right) — error distribution, SPEC-like |
+//! | `table2_wp_fraction` | Table II — wrong-path instructions executed |
+//! | `table3_convergence` | Table III — convergence-technique metrics |
+//! | `speed_comparison` | §V-B — simulation-speed slowdowns |
+//! | `ablations` | design-choice studies (not in the paper) |
+//!
+//! The library half holds the shared experiment setup: canonical workload
+//! scales, per-mode runners, and plain-text table/histogram formatting.
+
+#![warn(missing_docs)]
+
+use ffsim_core::{SimConfig, SimResult, Simulator, WrongPathMode};
+use ffsim_uarch::CoreConfig;
+use ffsim_workloads::speclike::{all_speclike, SpecKernel};
+use ffsim_workloads::{gap, Workload};
+
+/// log2 of the GAP graph vertex count used by the experiments.
+pub const GAP_SCALE: u32 = 14;
+/// Average degree of the GAP graphs.
+pub const GAP_DEGREE: usize = 16;
+/// RNG seed for graph generation (all experiments are deterministic).
+pub const GAP_SEED: u64 = 42;
+/// Correct-path instruction budget per GAP simulation.
+pub const GAP_MAX_INSTRUCTIONS: u64 = 3_000_000;
+/// Correct-path instruction budget per SPEC-like simulation.
+pub const SPEC_MAX_INSTRUCTIONS: u64 = 1_500_000;
+/// Seed for the SPEC-like suite.
+pub const SPEC_SEED: u64 = 2026;
+
+/// The GAP suite at experiment scale (bc, bfs, cc, pr, sssp, tc).
+#[must_use]
+pub fn gap_suite() -> Vec<Workload> {
+    gap::all_gap(GAP_SCALE, GAP_DEGREE, GAP_SEED)
+}
+
+/// The SPEC-like suite at experiment scale.
+#[must_use]
+pub fn spec_suite() -> Vec<SpecKernel> {
+    all_speclike(1, SPEC_SEED)
+}
+
+/// Runs one workload under a specific mode.
+#[must_use]
+pub fn run_mode(
+    workload: &Workload,
+    core: &CoreConfig,
+    mode: WrongPathMode,
+    max_instructions: u64,
+) -> SimResult {
+    let mut cfg = SimConfig::with_core(core.clone(), mode);
+    cfg.max_instructions = Some(max_instructions);
+    Simulator::new(workload.program().clone(), workload.memory().clone(), cfg).run()
+}
+
+/// Runs one workload under all four modes (paper order).
+#[must_use]
+pub fn run_modes(
+    workload: &Workload,
+    core: &CoreConfig,
+    max_instructions: u64,
+) -> [SimResult; 4] {
+    WrongPathMode::ALL.map(|mode| run_mode(workload, core, mode, max_instructions))
+}
+
+/// Renders a plain-text table with aligned columns.
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (c, cell) in cells.iter().enumerate() {
+            if c > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:>w$}", w = widths[c]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a text histogram (one row per bucket) for error distributions,
+/// in the spirit of the paper's Fig. 4 (right).
+#[must_use]
+pub fn render_histogram(values: &[(String, f64)], bucket_edges: &[f64]) -> String {
+    let mut out = String::new();
+    for window in bucket_edges.windows(2) {
+        let (lo, hi) = (window[0], window[1]);
+        let members: Vec<&str> = values
+            .iter()
+            .filter(|(_, v)| *v >= lo && *v < hi)
+            .map(|(n, _)| n.as_str())
+            .collect();
+        out.push_str(&format!(
+            "[{lo:+6.1}%, {hi:+6.1}%) {:3} {} {}\n",
+            members.len(),
+            "#".repeat(members.len()),
+            members.join(" ")
+        ));
+    }
+    out
+}
+
+/// Arithmetic mean (0 for an empty slice).
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Mean of absolute values (the paper reports average |error|).
+#[must_use]
+pub fn mean_abs(values: &[f64]) -> f64 {
+    mean(&values.iter().map(|v| v.abs()).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2.5".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].ends_with("2.5"));
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = render_histogram(
+            &[("a".into(), -5.0), ("b".into(), 0.1), ("c".into(), 0.2)],
+            &[-10.0, -1.0, 1.0, 10.0],
+        );
+        assert!(h.contains("a"));
+        let lines: Vec<&str> = h.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("##"));
+    }
+
+    #[test]
+    fn means() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(mean_abs(&[-1.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! The code cache between the functional and performance simulators.
+//!
+//! The functional simulator only ever delivers *correct-path* instructions.
+//! But a static branch executed several times has, at some point, had both
+//! of its successor paths delivered. The code cache (paper §III-A)
+//! remembers the decode information of every instruction the performance
+//! simulator has consumed — "instruction address, instruction type, input
+//! and output registers" — so that on a misprediction the wrong path can
+//! be *reconstructed* by walking remembered instructions from the wrong
+//! target. A lookup miss stops reconstruction and falls back to halting
+//! fetch.
+
+use ffsim_isa::{Addr, Instr};
+use std::collections::HashMap;
+
+/// Lookup/insert statistics of the code cache.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct CodeCacheStats {
+    /// Successful wrong-path lookups.
+    pub hits: u64,
+    /// Lookups that found no remembered instruction (reconstruction stop).
+    pub misses: u64,
+    /// Entries evicted due to the capacity bound.
+    pub evictions: u64,
+}
+
+/// Decode-information cache indexed by instruction address.
+///
+/// By default the cache is unbounded — program text is finite, which
+/// mirrors the paper's implementation. A capacity bound (with
+/// pseudo-random replacement) is available for the code-cache-size
+/// ablation study.
+///
+/// # Examples
+///
+/// ```
+/// use ffsim_core::CodeCache;
+/// use ffsim_isa::Instr;
+/// let mut cc = CodeCache::unbounded();
+/// cc.insert(0x1000, Instr::Nop);
+/// assert_eq!(cc.lookup(0x1000), Some(Instr::Nop));
+/// assert_eq!(cc.lookup(0x2000), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CodeCache {
+    entries: HashMap<Addr, Instr>,
+    capacity: Option<usize>,
+    stats: CodeCacheStats,
+}
+
+impl CodeCache {
+    /// Creates an unbounded code cache (the paper's configuration).
+    #[must_use]
+    pub fn unbounded() -> CodeCache {
+        CodeCache {
+            entries: HashMap::new(),
+            capacity: None,
+            stats: CodeCacheStats::default(),
+        }
+    }
+
+    /// Creates a capacity-bounded code cache with pseudo-random
+    /// replacement (for ablation studies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> CodeCache {
+        assert!(capacity > 0, "code cache capacity must be positive");
+        CodeCache {
+            entries: HashMap::with_capacity(capacity),
+            capacity: Some(capacity),
+            stats: CodeCacheStats::default(),
+        }
+    }
+
+    /// Number of remembered instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> CodeCacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (entries are kept — use after warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = CodeCacheStats::default();
+    }
+
+    /// Remembers the decode information of a consumed correct-path
+    /// instruction.
+    pub fn insert(&mut self, pc: Addr, instr: Instr) {
+        if let Some(cap) = self.capacity {
+            if self.entries.len() >= cap && !self.entries.contains_key(&pc) {
+                // Pseudo-random replacement: HashMap iteration order is
+                // effectively arbitrary; evict whatever comes first.
+                if let Some(&victim) = self.entries.keys().next() {
+                    self.entries.remove(&victim);
+                    self.stats.evictions += 1;
+                }
+            }
+        }
+        self.entries.insert(pc, instr);
+    }
+
+    /// Looks up the remembered instruction at `pc`, counting hit/miss.
+    pub fn lookup(&mut self, pc: Addr) -> Option<Instr> {
+        match self.entries.get(&pc) {
+            Some(&i) => {
+                self.stats.hits += 1;
+                Some(i)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks presence without touching statistics.
+    #[must_use]
+    pub fn contains(&self, pc: Addr) -> bool {
+        self.entries.contains_key(&pc)
+    }
+}
+
+impl Default for CodeCache {
+    fn default() -> CodeCache {
+        CodeCache::unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsim_isa::{AluOp, Reg};
+
+    fn alu(n: u8) -> Instr {
+        Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::new(n),
+            rs1: Reg::new(1),
+            rs2: Reg::new(2),
+        }
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut cc = CodeCache::unbounded();
+        cc.insert(0x1000, alu(3));
+        cc.insert(0x1004, alu(4));
+        assert_eq!(cc.lookup(0x1000), Some(alu(3)));
+        assert_eq!(cc.lookup(0x1004), Some(alu(4)));
+        assert_eq!(cc.lookup(0x1008), None);
+        assert_eq!(cc.stats().hits, 2);
+        assert_eq!(cc.stats().misses, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut cc = CodeCache::unbounded();
+        cc.insert(0x1000, alu(3));
+        cc.insert(0x1000, alu(5));
+        assert_eq!(cc.len(), 1);
+        assert_eq!(cc.lookup(0x1000), Some(alu(5)));
+    }
+
+    #[test]
+    fn capacity_bound_evicts() {
+        let mut cc = CodeCache::with_capacity(4);
+        for i in 0..10u64 {
+            cc.insert(0x1000 + i * 4, alu((i % 30) as u8));
+        }
+        assert_eq!(cc.len(), 4);
+        assert_eq!(cc.stats().evictions, 6);
+    }
+
+    #[test]
+    fn reinsert_does_not_evict_when_at_capacity() {
+        let mut cc = CodeCache::with_capacity(2);
+        cc.insert(0x1000, alu(3));
+        cc.insert(0x1004, alu(4));
+        cc.insert(0x1000, alu(5));
+        assert_eq!(cc.len(), 2);
+        assert_eq!(cc.stats().evictions, 0);
+        assert!(cc.contains(0x1004));
+    }
+
+    #[test]
+    fn contains_is_stats_free() {
+        let mut cc = CodeCache::unbounded();
+        cc.insert(0x1000, alu(3));
+        assert!(cc.contains(0x1000));
+        assert!(!cc.contains(0x2000));
+        assert_eq!(cc.stats().hits + cc.stats().misses, 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Simulation results and the paper's error metric.
+
+use crate::code_cache::CodeCacheStats;
+use crate::mode::WrongPathMode;
+use crate::wrongpath::ConvergenceStats;
+use ffsim_emu::Fault;
+use ffsim_uarch::{BranchStats, CacheStats, DramStats, TlbStats};
+use std::time::Duration;
+
+/// The complete result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// The wrong-path modeling technique used.
+    pub mode: WrongPathMode,
+    /// Correct-path instructions simulated (retired).
+    pub instructions: u64,
+    /// Simulated core cycles.
+    pub cycles: u64,
+    /// Wrong-path instructions injected into the pipeline.
+    pub wrong_path_instructions: u64,
+    /// Branch prediction statistics (timing-model predictor).
+    pub branch: BranchStats,
+    /// Convergence-exploitation statistics (non-zero only in that mode).
+    pub convergence: ConvergenceStats,
+    /// Code-cache statistics (non-zero only in reconstruction modes).
+    pub code_cache: CodeCacheStats,
+    /// L1 instruction cache statistics.
+    pub l1i: CacheStats,
+    /// L1 data cache statistics.
+    pub l1d: CacheStats,
+    /// Unified L2 statistics.
+    pub l2: CacheStats,
+    /// Last-level cache statistics.
+    pub llc: CacheStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// Instruction TLB statistics.
+    pub itlb: TlbStats,
+    /// Data TLB statistics.
+    pub dtlb: TlbStats,
+    /// Host wall-clock time of the run (simulation speed comparisons).
+    pub wall_time: Duration,
+    /// A correct-path fault that terminated the stream early, if any.
+    pub fault: Option<Fault>,
+}
+
+impl SimResult {
+    /// Projected performance: retired instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Wrong-path instructions relative to correct-path instructions, in
+    /// percent — the paper's Table II metric (100% means as many
+    /// wrong-path as correct-path instructions).
+    #[must_use]
+    pub fn wrong_path_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.wrong_path_instructions as f64 * 100.0 / self.instructions as f64
+        }
+    }
+
+    /// The paper's performance estimation error against a reference run
+    /// (normally [`WrongPathMode::WrongPathEmulation`]), in percent.
+    /// Negative means this technique *underestimates* performance, the
+    /// signature of unmodeled wrong-path prefetching (Fig. 1).
+    #[must_use]
+    pub fn error_vs(&self, reference: &SimResult) -> f64 {
+        let ref_ipc = reference.ipc();
+        if ref_ipc == 0.0 {
+            0.0
+        } else {
+            (self.ipc() - ref_ipc) / ref_ipc * 100.0
+        }
+    }
+
+    /// Host-side simulation slowdown relative to a reference run
+    /// (normally [`WrongPathMode::NoWrongPath`], the fastest technique).
+    #[must_use]
+    pub fn slowdown_vs(&self, reference: &SimResult) -> f64 {
+        let ref_secs = reference.wall_time.as_secs_f64();
+        if ref_secs == 0.0 {
+            1.0
+        } else {
+            self.wall_time.as_secs_f64() / ref_secs
+        }
+    }
+
+    /// Branch mispredictions per kilo-instruction.
+    #[must_use]
+    pub fn branch_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.branch.mispredicts() as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// L2 misses per kilo-instruction (correct path only).
+    #[must_use]
+    pub fn l2_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l2.misses.get(ffsim_uarch::PathKind::Correct) as f64 * 1000.0
+                / self.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(mode: WrongPathMode, instructions: u64, cycles: u64) -> SimResult {
+        SimResult {
+            mode,
+            instructions,
+            cycles,
+            wrong_path_instructions: 0,
+            branch: BranchStats::default(),
+            convergence: ConvergenceStats::default(),
+            code_cache: CodeCacheStats::default(),
+            l1i: CacheStats::default(),
+            l1d: CacheStats::default(),
+            l2: CacheStats::default(),
+            llc: CacheStats::default(),
+            dram: DramStats::default(),
+            itlb: TlbStats::default(),
+            dtlb: TlbStats::default(),
+            wall_time: Duration::from_millis(100),
+            fault: None,
+        }
+    }
+
+    #[test]
+    fn ipc_and_error() {
+        let slow = result(WrongPathMode::NoWrongPath, 1000, 2000); // ipc 0.5
+        let fast = result(WrongPathMode::WrongPathEmulation, 1000, 1000); // ipc 1.0
+        assert!((slow.ipc() - 0.5).abs() < 1e-12);
+        assert!((slow.error_vs(&fast) + 50.0).abs() < 1e-9, "-50% error");
+        assert!((fast.error_vs(&fast)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_path_fraction_percent() {
+        let mut r = result(WrongPathMode::WrongPathEmulation, 1000, 1000);
+        r.wrong_path_instructions = 2400;
+        assert!((r.wrong_path_fraction() - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let r = result(WrongPathMode::NoWrongPath, 0, 0);
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.wrong_path_fraction(), 0.0);
+        assert_eq!(r.branch_mpki(), 0.0);
+        assert_eq!(r.error_vs(&r), 0.0);
+    }
+
+    #[test]
+    fn slowdown() {
+        let mut a = result(WrongPathMode::NoWrongPath, 1, 1);
+        let mut b = result(WrongPathMode::WrongPathEmulation, 1, 1);
+        a.wall_time = Duration::from_millis(100);
+        b.wall_time = Duration::from_millis(1300);
+        assert!((b.slowdown_vs(&a) - 13.0).abs() < 1e-9);
+    }
+}

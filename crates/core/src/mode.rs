@@ -1,0 +1,96 @@
+//! The four wrong-path modeling configurations evaluated by the paper.
+
+use std::fmt;
+
+/// How the simulator models instructions past a mispredicted branch.
+///
+/// These are exactly the four simulator versions of the paper's §IV:
+///
+/// 1. no wrong-path modeling (the functional-first default),
+/// 2. instruction reconstruction from the code cache (§III-A),
+/// 3. instruction reconstruction plus memory-address reconstruction by
+///    exploiting wrong/correct-path convergence (§III-C) — the paper's
+///    novel technique,
+/// 4. full functional wrong-path emulation (§III-B) — the accuracy
+///    reference.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WrongPathMode {
+    /// Halt fetch on a misprediction until the branch resolves.
+    NoWrongPath,
+    /// Reconstruct wrong-path instructions from the code cache; memory
+    /// addresses are unknown, so wrong-path memory operations are modeled
+    /// as data-cache hits and never touch cache state.
+    InstructionReconstruction,
+    /// Instruction reconstruction, plus recovery of wrong-path memory
+    /// addresses from the future correct path where the two paths
+    /// converge and the operations are register-dependence-free.
+    ConvergenceExploitation,
+    /// Full functional emulation of the wrong path in the frontend
+    /// (checkpoint, redirect, suppressed stores) — slowest, most accurate.
+    WrongPathEmulation,
+}
+
+impl WrongPathMode {
+    /// All four modes in the paper's order.
+    pub const ALL: [WrongPathMode; 4] = [
+        WrongPathMode::NoWrongPath,
+        WrongPathMode::InstructionReconstruction,
+        WrongPathMode::ConvergenceExploitation,
+        WrongPathMode::WrongPathEmulation,
+    ];
+
+    /// The short label used in the paper's figures (`nowp`, `instrec`,
+    /// `conv`, `wpemul`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WrongPathMode::NoWrongPath => "nowp",
+            WrongPathMode::InstructionReconstruction => "instrec",
+            WrongPathMode::ConvergenceExploitation => "conv",
+            WrongPathMode::WrongPathEmulation => "wpemul",
+        }
+    }
+
+    /// Whether this mode injects wrong-path instructions into the pipeline.
+    #[must_use]
+    pub fn models_wrong_path(self) -> bool {
+        self != WrongPathMode::NoWrongPath
+    }
+
+    /// Whether this mode reconstructs from the code cache (as opposed to
+    /// emulating in the functional frontend).
+    #[must_use]
+    pub fn uses_code_cache(self) -> bool {
+        matches!(
+            self,
+            WrongPathMode::InstructionReconstruction | WrongPathMode::ConvergenceExploitation
+        )
+    }
+}
+
+impl fmt::Display for WrongPathMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        let labels: Vec<&str> = WrongPathMode::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels, vec!["nowp", "instrec", "conv", "wpemul"]);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(!WrongPathMode::NoWrongPath.models_wrong_path());
+        assert!(WrongPathMode::WrongPathEmulation.models_wrong_path());
+        assert!(WrongPathMode::InstructionReconstruction.uses_code_cache());
+        assert!(WrongPathMode::ConvergenceExploitation.uses_code_cache());
+        assert!(!WrongPathMode::WrongPathEmulation.uses_code_cache());
+        assert!(!WrongPathMode::NoWrongPath.uses_code_cache());
+    }
+}

@@ -1,0 +1,610 @@
+//! The decoupled functional-first simulator: functional frontend, timing
+//! backend, and the four wrong-path modeling techniques.
+
+use crate::code_cache::CodeCache;
+use crate::metrics::SimResult;
+use crate::mode::WrongPathMode;
+use crate::pipeline::{LoadTiming, Pipeline};
+use crate::replica::ReplicaPolicy;
+use crate::wrongpath::{
+    reconstruct, recover_addresses, ConvergenceConfig, ConvergenceStats, WpInst,
+};
+use ffsim_emu::{
+    DynInst, Emulator, Fault, InstrQueue, Memory, NoFrontendWrongPath, StreamEntry,
+};
+use ffsim_isa::{Program, INSTR_BYTES};
+use ffsim_uarch::{BranchPredictor, CoreConfig};
+use std::time::Instant;
+
+/// Configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The simulated core (Table I parameters).
+    pub core: CoreConfig,
+    /// The wrong-path modeling technique.
+    pub mode: WrongPathMode,
+    /// Stop after this many *measured* correct-path instructions
+    /// (`None` = run to `halt`).
+    pub max_instructions: Option<u64>,
+    /// Simulate this many instructions before measurement starts: caches,
+    /// TLBs and predictors stay warm, but every statistic (including
+    /// cycles and IPC) is reset at the boundary. This mirrors the paper's
+    /// SimPoint-sample methodology of measuring a representative window.
+    pub warmup_instructions: u64,
+    /// Bound the code cache (`None` = unbounded, the paper's setup).
+    pub code_cache_capacity: Option<usize>,
+    /// Convergence-technique tunables (used in
+    /// [`WrongPathMode::ConvergenceExploitation`] only).
+    pub convergence: ConvergenceConfig,
+}
+
+impl SimConfig {
+    /// A run of `mode` on the default Golden Cove–like core.
+    #[must_use]
+    pub fn new(mode: WrongPathMode) -> SimConfig {
+        SimConfig::with_core(CoreConfig::golden_cove_like(), mode)
+    }
+
+    /// A run of `mode` on a specific core configuration.
+    #[must_use]
+    pub fn with_core(core: CoreConfig, mode: WrongPathMode) -> SimConfig {
+        SimConfig {
+            core,
+            mode,
+            max_instructions: None,
+            warmup_instructions: 0,
+            code_cache_capacity: None,
+            convergence: ConvergenceConfig::default(),
+        }
+    }
+}
+
+/// The functional frontend: a plain runahead queue, or one carrying the
+/// branch-predictor replica that emulates wrong paths (§III-B).
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)] // exactly one Frontend exists per Simulator
+enum Frontend {
+    Passive(InstrQueue<NoFrontendWrongPath>),
+    Replica(InstrQueue<ReplicaPolicy>),
+}
+
+impl Frontend {
+    fn pop(&mut self) -> Option<StreamEntry> {
+        match self {
+            Frontend::Passive(q) => q.pop(),
+            Frontend::Replica(q) => q.pop(),
+        }
+    }
+
+    fn peek(&mut self, i: usize) -> Option<&StreamEntry> {
+        match self {
+            Frontend::Passive(q) => q.peek(i),
+            Frontend::Replica(q) => q.peek(i),
+        }
+    }
+
+    fn fault(&self) -> Option<Fault> {
+        match self {
+            Frontend::Passive(q) => q.fault(),
+            Frontend::Replica(q) => q.fault(),
+        }
+    }
+}
+
+/// Observes simulation events as they happen — per-retired-instruction
+/// timings, mispredictions, and wrong-path injections. Implement this to
+/// build custom analyses (per-region IPC, pipeline traces, event dumps)
+/// without touching the simulator.
+///
+/// All methods have empty default bodies; override what you need.
+pub trait SimObserver {
+    /// A correct-path instruction retired with the given timestamps.
+    fn on_instruction(&mut self, inst: &DynInst, times: crate::pipeline::InstrTimes) {
+        let _ = (inst, times);
+    }
+
+    /// A branch mispredicted; it will resolve at `resolve_cycle`.
+    fn on_mispredict(&mut self, pc: ffsim_isa::Addr, resolve_cycle: u64) {
+        let _ = (pc, resolve_cycle);
+    }
+}
+
+/// The do-nothing observer used by [`Simulator::run`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NullObserver;
+
+impl SimObserver for NullObserver {}
+
+/// A complete decoupled functional-first simulation.
+///
+/// # Examples
+///
+/// ```
+/// use ffsim_core::{SimConfig, Simulator, WrongPathMode};
+/// use ffsim_emu::Memory;
+/// use ffsim_isa::{Asm, Reg};
+///
+/// let mut a = Asm::new();
+/// a.li(Reg::new(1), 100);
+/// a.label("loop");
+/// a.addi(Reg::new(1), Reg::new(1), -1);
+/// a.bnez(Reg::new(1), "loop");
+/// a.halt();
+///
+/// let cfg = SimConfig::new(WrongPathMode::ConvergenceExploitation);
+/// let result = Simulator::new(a.assemble()?, Memory::new(), cfg).run();
+/// assert_eq!(result.instructions, 202);
+/// assert!(result.ipc() > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: SimConfig,
+    frontend: Frontend,
+    predictor: BranchPredictor,
+    pipeline: Pipeline,
+    code_cache: CodeCache,
+    conv_stats: ConvergenceStats,
+    /// Reusable buffer for peeked future correct-path instructions.
+    future_buf: Vec<DynInst>,
+    /// Reusable buffer for the reconstructed wrong path.
+    wp_buf: Vec<WpInst>,
+}
+
+impl Simulator {
+    /// Builds a simulator for `program` with an initial `memory` image.
+    #[must_use]
+    pub fn new(program: Program, memory: Memory, cfg: SimConfig) -> Simulator {
+        let emu = Emulator::with_memory(program, memory);
+        let frontend = match cfg.mode {
+            WrongPathMode::WrongPathEmulation => Frontend::Replica(InstrQueue::new(
+                emu,
+                ReplicaPolicy::new(cfg.core.branch, cfg.core.wrong_path_budget()),
+                cfg.core.queue_depth,
+            )),
+            _ => Frontend::Passive(InstrQueue::new(
+                emu,
+                NoFrontendWrongPath,
+                cfg.core.queue_depth,
+            )),
+        };
+        let predictor = BranchPredictor::new(cfg.core.branch);
+        let pipeline = Pipeline::new(cfg.core.clone());
+        let code_cache = match cfg.code_cache_capacity {
+            Some(cap) => CodeCache::with_capacity(cap),
+            None => CodeCache::unbounded(),
+        };
+        Simulator {
+            cfg,
+            frontend,
+            predictor,
+            pipeline,
+            code_cache,
+            conv_stats: ConvergenceStats::default(),
+            future_buf: Vec::new(),
+            wp_buf: Vec::new(),
+        }
+    }
+
+    /// Injects a wrong-path instruction sequence into the pipeline.
+    ///
+    /// Fetch of wrong-path instructions continues until the mispredicted
+    /// branch resolves (`resolve`), the sequence ends, or the budget runs
+    /// out; the register scoreboard is snapshotted and restored around the
+    /// injection (the squash). Loads with known addresses access the real
+    /// hierarchy; the rest are modeled as L1 hits (§III-A, §V-C).
+    fn inject_wrong_path(
+        pipeline: &mut Pipeline,
+        wp: &[WpInst],
+        resolve: u64,
+        budget: usize,
+        mut conv_stats: Option<&mut ConvergenceStats>,
+    ) {
+        let snapshot = pipeline.snapshot_regs();
+        let mut window = pipeline.begin_wrong_path();
+        for w in wp.iter().take(budget) {
+            if pipeline.next_fetch_cycle() >= resolve {
+                break;
+            }
+            let timing = if w.instr.is_load() && w.mem.is_some() {
+                LoadTiming::Real
+            } else {
+                LoadTiming::AssumeL1Hit
+            };
+            let _ = pipeline.feed_wrong(&mut window, w.pc, &w.instr, w.mem, timing, resolve);
+            // Table III accounting: only wrong-path memory operations that
+            // actually enter the pipeline count.
+            if let Some(stats) = conv_stats.as_deref_mut() {
+                if w.instr.is_mem() {
+                    stats.wp_mem_ops += 1;
+                    if w.mem.is_some() {
+                        stats.wp_mem_recovered += 1;
+                    }
+                }
+            }
+            if w.instr.is_branch() && w.next_pc != w.pc + INSTR_BYTES {
+                pipeline.break_fetch_group();
+            }
+        }
+        pipeline.restore_regs(snapshot);
+    }
+
+    /// Runs the simulation to completion (program `halt`, stream fault, or
+    /// the configured instruction limit) and returns the result.
+    #[must_use]
+    pub fn run(self) -> SimResult {
+        self.run_observed(&mut NullObserver)
+    }
+
+    /// Runs the simulation, reporting events to `observer`.
+    #[must_use]
+    pub fn run_observed(mut self, observer: &mut dyn SimObserver) -> SimResult {
+        let started = Instant::now();
+        let budget = self.cfg.core.wrong_path_budget();
+        let rob = self.cfg.core.rob_size;
+        let warmup = self.cfg.warmup_instructions;
+        let mut instructions: u64 = 0;
+        // Measurement baselines, captured at the warmup boundary.
+        let mut cycles_base: u64 = 0;
+        let mut wp_base: u64 = 0;
+        let mut warmed = warmup == 0;
+
+        while self
+            .cfg
+            .max_instructions
+            .is_none_or(|max| instructions < warmup + max)
+        {
+            if !warmed && instructions >= warmup {
+                warmed = true;
+                cycles_base = self.pipeline.cycles();
+                wp_base = self.pipeline.wrong_path_injected();
+                self.pipeline.reset_hierarchy_stats();
+                self.predictor.reset_stats();
+                self.code_cache.reset_stats();
+                self.conv_stats = ConvergenceStats::default();
+            }
+            let Some(entry) = self.frontend.pop() else {
+                break;
+            };
+            let inst = entry.inst;
+            if self.cfg.mode.uses_code_cache() {
+                self.code_cache.insert(inst.pc, inst.instr);
+            }
+            let times = self.pipeline.feed_correct(inst.pc, &inst.instr, inst.mem);
+            instructions += 1;
+            observer.on_instruction(&inst, times);
+
+            let Some(outcome) = inst.branch else {
+                continue;
+            };
+            let res = self
+                .predictor
+                .observe(inst.pc, &inst.instr, outcome.taken, outcome.next_pc);
+            if !res.mispredicted {
+                if outcome.taken {
+                    self.pipeline.break_fetch_group();
+                }
+                continue;
+            }
+
+            // Misprediction: the branch resolves when it executes.
+            let resolve = times.complete;
+            observer.on_mispredict(inst.pc, resolve);
+            if res.prediction.taken {
+                // Fetch had redirected to the (wrongly) predicted target.
+                self.pipeline.break_fetch_group();
+            }
+
+            match self.cfg.mode {
+                WrongPathMode::NoWrongPath => {}
+                WrongPathMode::InstructionReconstruction => {
+                    if let Some(start) = res.wrong_path_start {
+                        let wp =
+                            reconstruct(&mut self.code_cache, &self.predictor, start, budget);
+                        Self::inject_wrong_path(&mut self.pipeline, &wp, resolve, budget, None);
+                    }
+                }
+                WrongPathMode::ConvergenceExploitation => {
+                    if let Some(start) = res.wrong_path_start {
+                        self.wp_buf =
+                            reconstruct(&mut self.code_cache, &self.predictor, start, budget);
+                        // Peek the future correct path out of the runahead
+                        // queue (§III-C: "take a peek in the future
+                        // correct-path instructions").
+                        self.future_buf.clear();
+                        for i in 0..rob {
+                            match self.frontend.peek(i) {
+                                Some(e) => self.future_buf.push(e.inst),
+                                None => break,
+                            }
+                        }
+                        let _ = recover_addresses(
+                            &mut self.wp_buf,
+                            &self.future_buf,
+                            &self.cfg.convergence,
+                            &mut self.conv_stats,
+                        );
+                        Self::inject_wrong_path(
+                            &mut self.pipeline,
+                            &self.wp_buf,
+                            resolve,
+                            budget,
+                            Some(&mut self.conv_stats),
+                        );
+                    }
+                }
+                WrongPathMode::WrongPathEmulation => {
+                    // The frontend replica predicted this misprediction and
+                    // emulated the wrong path; both predictors are
+                    // deterministic on the program-order stream, so the
+                    // bundle is present exactly when we mispredict.
+                    debug_assert_eq!(
+                        entry.wrong_path.is_some(),
+                        res.wrong_path_start.is_some(),
+                        "frontend replica desynchronized at pc {:#x}",
+                        inst.pc
+                    );
+                    if let Some(bundle) = &entry.wrong_path {
+                        self.wp_buf.clear();
+                        self.wp_buf
+                            .extend(bundle.insts.iter().map(WpInst::from_dyn));
+                        Self::inject_wrong_path(&mut self.pipeline, &self.wp_buf, resolve, budget, None);
+                    }
+                }
+            }
+
+            self.pipeline
+                .redirect(resolve + self.cfg.core.redirect_penalty);
+        }
+
+        let h = self.pipeline.hierarchy();
+        SimResult {
+            mode: self.cfg.mode,
+            instructions: instructions.saturating_sub(warmup.min(instructions)),
+            cycles: self.pipeline.cycles().saturating_sub(cycles_base),
+            wrong_path_instructions: self
+                .pipeline
+                .wrong_path_injected()
+                .saturating_sub(wp_base),
+            branch: self.predictor.stats(),
+            convergence: self.conv_stats,
+            code_cache: self.code_cache.stats(),
+            l1i: h.l1i().stats(),
+            l1d: h.l1d().stats(),
+            l2: h.l2().stats(),
+            llc: h.llc().stats(),
+            dram: h.dram().stats(),
+            itlb: h.itlb().stats(),
+            dtlb: h.dtlb().stats(),
+            wall_time: started.elapsed(),
+            fault: self.frontend.fault(),
+        }
+    }
+}
+
+/// Convenience: run one program under all four wrong-path modes with the
+/// same core configuration, returning results in [`WrongPathMode::ALL`]
+/// order. The program and memory image are reused via cloning, so all
+/// four runs see identical workloads.
+#[must_use]
+pub fn run_all_modes(
+    program: &Program,
+    memory: &Memory,
+    core: &CoreConfig,
+    max_instructions: Option<u64>,
+) -> [SimResult; 4] {
+    WrongPathMode::ALL.map(|mode| {
+        let mut cfg = SimConfig::with_core(core.clone(), mode);
+        cfg.max_instructions = max_instructions;
+        Simulator::new(program.clone(), memory.clone(), cfg).run()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsim_isa::{Asm, Reg};
+
+    fn tiny(mode: WrongPathMode) -> SimConfig {
+        SimConfig::with_core(CoreConfig::tiny_for_tests(), mode)
+    }
+
+    /// A loop with a data-dependent branch over zero-initialized memory:
+    /// never taken, so after warmup the only mispredictions are cold ones.
+    fn simple_loop(n: i64) -> Program {
+        let (i, limit) = (Reg::new(1), Reg::new(2));
+        let mut a = Asm::new();
+        a.li(i, n);
+        a.li(limit, 0);
+        a.label("loop");
+        a.addi(i, i, -1);
+        a.bnez(i, "loop");
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn all_modes_agree_on_instruction_count() {
+        let p = simple_loop(200);
+        let results = run_all_modes(&p, &Memory::new(), &CoreConfig::tiny_for_tests(), None);
+        let counts: Vec<u64> = results.iter().map(|r| r.instructions).collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "functional behaviour must be identical across modes: {counts:?}"
+        );
+        assert_eq!(counts[0], 1 + 1 + 400 + 1);
+        for r in &results {
+            assert!(r.fault.is_none());
+            assert!(r.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn nowp_never_injects_wrong_path() {
+        let p = simple_loop(100);
+        let r = Simulator::new(p, Memory::new(), tiny(WrongPathMode::NoWrongPath)).run();
+        assert_eq!(r.wrong_path_instructions, 0);
+        assert_eq!(r.l1d.misses.get(ffsim_uarch::PathKind::Wrong), 0);
+        assert_eq!(r.l1i.misses.get(ffsim_uarch::PathKind::Wrong), 0);
+    }
+
+    #[test]
+    fn wrong_path_modes_inject_on_loop_exit() {
+        let p = simple_loop(100);
+        for mode in [
+            WrongPathMode::InstructionReconstruction,
+            WrongPathMode::ConvergenceExploitation,
+            WrongPathMode::WrongPathEmulation,
+        ] {
+            let r = Simulator::new(p.clone(), Memory::new(), tiny(mode)).run();
+            assert!(
+                r.wrong_path_instructions > 0,
+                "{mode}: loop-exit misprediction must inject wrong path"
+            );
+        }
+    }
+
+    #[test]
+    fn instrec_never_touches_data_cache_on_wrong_path() {
+        let p = simple_loop(100);
+        let r = Simulator::new(
+            p,
+            Memory::new(),
+            tiny(WrongPathMode::InstructionReconstruction),
+        )
+        .run();
+        assert_eq!(r.l1d.misses.get(ffsim_uarch::PathKind::Wrong), 0);
+        assert_eq!(r.l1d.hits.get(ffsim_uarch::PathKind::Wrong), 0);
+    }
+
+    #[test]
+    fn max_instructions_truncates() {
+        let p = simple_loop(1000);
+        let mut cfg = tiny(WrongPathMode::NoWrongPath);
+        cfg.max_instructions = Some(50);
+        let r = Simulator::new(p, Memory::new(), cfg).run();
+        assert_eq!(r.instructions, 50);
+    }
+
+    #[test]
+    fn branch_stats_track_the_loop() {
+        let p = simple_loop(100);
+        let r = Simulator::new(p, Memory::new(), tiny(WrongPathMode::NoWrongPath)).run();
+        assert_eq!(r.branch.cond_branches, 100);
+        // The back edge trains quickly; the loop exit mispredicts.
+        assert!(r.branch.cond_mispredicts >= 1);
+        assert!(r.branch.cond_mispredicts <= 5);
+    }
+
+    /// A loop streaming over an array larger than the tiny L1D: cold runs
+    /// pay compulsory misses, warmed-up samples mostly hit.
+    fn streaming_loop(elems: i64) -> Program {
+        let (i, n, base, v) = (Reg::new(1), Reg::new(2), Reg::new(5), Reg::new(6));
+        let mut a = Asm::new();
+        a.li(base, 0x1000_0000);
+        a.li(i, 0);
+        a.li(n, elems);
+        a.label("outer");
+        a.slli(v, i, 3);
+        a.add(v, v, base);
+        a.ld(v, 0, v);
+        a.addi(i, i, 1);
+        a.blt(i, n, "outer");
+        // Second pass over the same data.
+        a.li(i, 0);
+        a.label("second");
+        a.slli(v, i, 3);
+        a.add(v, v, base);
+        a.ld(v, 0, v);
+        a.addi(i, i, 1);
+        a.blt(i, n, "second");
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn warmup_excludes_cold_start_from_measurement() {
+        // 100 elements x 8 B = 800 B fits the tiny 1 KiB L1D.
+        let p = streaming_loop(100);
+        // Cold: measure everything.
+        let cold = Simulator::new(p.clone(), Memory::new(), {
+            let mut c = tiny(WrongPathMode::NoWrongPath);
+            c.max_instructions = Some(500);
+            c
+        })
+        .run();
+        // Warm: skip the first pass (5 instrs/elem + 3 setup), measure after.
+        let warm = Simulator::new(p, Memory::new(), {
+            let mut c = tiny(WrongPathMode::NoWrongPath);
+            c.warmup_instructions = 503;
+            c.max_instructions = Some(500);
+            c
+        })
+        .run();
+        assert_eq!(cold.instructions, 500);
+        assert_eq!(warm.instructions, 500);
+        assert!(
+            warm.cycles < cold.cycles,
+            "warmed sample ({}) must be faster than cold ({})",
+            warm.cycles,
+            cold.cycles
+        );
+        let miss = |r: &SimResult| r.l1d.misses.get(ffsim_uarch::PathKind::Correct);
+        assert!(miss(&warm) < miss(&cold) / 2, "warm caches barely miss");
+        assert!(warm.ipc() > cold.ipc());
+    }
+
+    #[test]
+    fn warmup_longer_than_program_yields_empty_sample() {
+        let p = simple_loop(10);
+        let mut cfg = tiny(WrongPathMode::NoWrongPath);
+        cfg.warmup_instructions = 1_000_000;
+        let r = Simulator::new(p, Memory::new(), cfg).run();
+        assert_eq!(r.instructions, 0, "no measured instructions");
+    }
+
+    #[test]
+    fn observer_sees_every_retired_instruction_and_mispredict() {
+        struct Counter {
+            instructions: u64,
+            mispredicts: u64,
+            last_complete: u64,
+            ordered: bool,
+        }
+        impl SimObserver for Counter {
+            fn on_instruction(&mut self, _inst: &ffsim_emu::DynInst, t: crate::pipeline::InstrTimes) {
+                self.instructions += 1;
+                self.ordered &= t.fetch <= t.dispatch && t.dispatch <= t.issue;
+                self.last_complete = self.last_complete.max(t.complete);
+            }
+            fn on_mispredict(&mut self, _pc: ffsim_isa::Addr, resolve: u64) {
+                self.mispredicts += 1;
+                assert!(resolve > 0);
+            }
+        }
+        let p = simple_loop(50);
+        let mut obs = Counter {
+            instructions: 0,
+            mispredicts: 0,
+            last_complete: 0,
+            ordered: true,
+        };
+        let r = Simulator::new(p, Memory::new(), tiny(WrongPathMode::ConvergenceExploitation))
+            .run_observed(&mut obs);
+        assert_eq!(obs.instructions, r.instructions);
+        assert_eq!(obs.mispredicts, r.branch.mispredicts());
+        assert!(obs.ordered, "stage timestamps must be ordered");
+        assert!(obs.last_complete <= r.cycles);
+    }
+
+    #[test]
+    fn ipc_is_plausible() {
+        let p = simple_loop(500);
+        let r = Simulator::new(p, Memory::new(), tiny(WrongPathMode::NoWrongPath)).run();
+        // The loop body is a 1-cycle dependence chain (addi) plus a branch:
+        // IPC must be positive and below the 6-wide frontend bound.
+        let ipc = r.ipc();
+        assert!(ipc > 0.1, "ipc {ipc}");
+        assert!(ipc <= 6.0, "ipc {ipc}");
+    }
+}

@@ -1,0 +1,261 @@
+//! Property-based tests for the timing model and the wrong-path
+//! techniques: timestamp ordering, window invariants, reconstruction
+//! chain integrity, recovery soundness, and simulator determinism.
+
+use ffsim_core::{
+    reconstruct, recover_addresses, CodeCache, ConvergenceConfig, ConvergenceStats, Pipeline,
+    SimConfig, Simulator, WpInst, WrongPathMode,
+};
+use ffsim_emu::{DynInst, MemAccess, Memory};
+use ffsim_isa::{AluOp, Instr, MemWidth, Program, Reg, INSTR_BYTES};
+use ffsim_uarch::{BranchPredictor, CoreConfig};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (1u8..30).prop_map(Reg::new)
+}
+
+/// Straight-line instructions with occasional aligned loads off a fixed
+/// base register (x30, set up by the test driver).
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs1)| Instr::Alu {
+            op: AluOp::Mul,
+            rd,
+            rs1,
+            rs2: Reg::new(9)
+        }),
+        (arb_reg(), 0i64..128).prop_map(|(rd, w)| Instr::Load {
+            rd,
+            base: Reg::new(30),
+            offset: w * 8,
+            width: MemWidth::D,
+            signed: false,
+        }),
+        (arb_reg(), 0i64..128).prop_map(|(src, w)| Instr::Store {
+            src,
+            base: Reg::new(30),
+            offset: w * 8,
+            width: MemWidth::D,
+        }),
+        Just(Instr::Nop),
+    ]
+}
+
+fn mem_of(instr: &Instr) -> Option<MemAccess> {
+    match instr {
+        Instr::Load { offset, .. } => Some(MemAccess {
+            addr: 0x10_0000u64 + *offset as u64,
+            size: 8,
+            is_store: false,
+        }),
+        Instr::Store { offset, .. } => Some(MemAccess {
+            addr: 0x10_0000u64 + *offset as u64,
+            size: 8,
+            is_store: true,
+        }),
+        _ => None,
+    }
+}
+
+proptest! {
+    /// Pipeline stages are causally ordered for every instruction, and
+    /// global cycle count never decreases.
+    #[test]
+    fn pipeline_timestamps_are_ordered(instrs in proptest::collection::vec(arb_instr(), 1..300)) {
+        let mut p = Pipeline::new(CoreConfig::tiny_for_tests());
+        let cfg = CoreConfig::tiny_for_tests();
+        let mut pc = 0x1000u64;
+        let mut last_cycles = 0;
+        for instr in &instrs {
+            let t = p.feed_correct(pc, instr, mem_of(instr));
+            prop_assert!(t.fetch <= t.dispatch);
+            prop_assert!(t.dispatch >= t.fetch + cfg.frontend_depth);
+            prop_assert!(t.dispatch <= t.issue);
+            prop_assert!(t.issue < t.complete);
+            prop_assert!(p.cycles() > t.complete - 1, "retire at or after completion");
+            prop_assert!(p.cycles() >= last_cycles);
+            last_cycles = p.cycles();
+            pc += INSTR_BYTES;
+        }
+        prop_assert_eq!(p.retired(), instrs.len() as u64);
+        prop_assert_eq!(p.wrong_path_injected(), 0);
+    }
+
+    /// Wrong-path injection with register snapshot/restore never slows the
+    /// *dataflow* of subsequent correct-path instructions: a consumer of a
+    /// register written only by squashed instructions is not delayed by
+    /// them.
+    #[test]
+    fn wrong_path_register_writes_never_leak(
+        wp_instrs in proptest::collection::vec(arb_instr(), 1..64),
+        resolve in 1u64..5000,
+    ) {
+        let mut p = Pipeline::new(CoreConfig::tiny_for_tests());
+        let snap = p.snapshot_regs();
+        let mut window = p.begin_wrong_path();
+        let mut pc = 0x2000u64;
+        for instr in &wp_instrs {
+            let _ = p.feed_wrong(&mut window, pc, instr, mem_of(instr),
+                                 ffsim_core::LoadTiming::AssumeL1Hit, resolve);
+            pc += INSTR_BYTES;
+        }
+        p.restore_regs(snap);
+        prop_assert_eq!(p.snapshot_regs(), snap);
+        prop_assert_eq!(p.retired(), 0);
+        prop_assert_eq!(p.wrong_path_injected(), wp_instrs.len() as u64);
+    }
+
+    /// Reconstruction produces a well-chained sequence: every pc is in the
+    /// code cache, non-branch successors are sequential, and length never
+    /// exceeds the budget.
+    #[test]
+    fn reconstruction_chains_are_well_formed(
+        instrs in proptest::collection::vec(arb_instr(), 1..100),
+        budget in 0usize..128,
+        start_idx in 0usize..100,
+    ) {
+        let base = 0x4000u64;
+        let mut cc = CodeCache::unbounded();
+        for (i, instr) in instrs.iter().enumerate() {
+            cc.insert(base + i as u64 * INSTR_BYTES, *instr);
+        }
+        let predictor = BranchPredictor::new(CoreConfig::tiny_for_tests().branch);
+        let start = base + (start_idx % instrs.len()) as u64 * INSTR_BYTES;
+        let wp = reconstruct(&mut cc, &predictor, start, budget);
+        prop_assert!(wp.len() <= budget);
+        for (i, w) in wp.iter().enumerate() {
+            prop_assert!(cc.contains(w.pc), "reconstructed pc must come from the cache");
+            prop_assert!(w.mem.is_none(), "reconstruction cannot know addresses");
+            if !w.instr.is_branch() {
+                prop_assert_eq!(w.next_pc, w.pc + INSTR_BYTES);
+            }
+            if i + 1 < wp.len() {
+                prop_assert_eq!(wp[i + 1].pc, w.next_pc, "chain must follow next_pc");
+            }
+        }
+    }
+
+    /// Recovery soundness: every recovered address comes from a future
+    /// instruction at the same pc, and non-memory instructions are never
+    /// given addresses.
+    #[test]
+    fn recovery_is_sound(
+        instrs in proptest::collection::vec(arb_instr(), 1..80),
+        skip in 0usize..8,
+    ) {
+        // Future = the instruction sequence with real addresses; wrong
+        // path = the same sequence offset by `skip` (converging suffix).
+        let base = 0x4000u64;
+        let future: Vec<DynInst> = instrs
+            .iter()
+            .enumerate()
+            .map(|(i, instr)| DynInst {
+                seq: i as u64,
+                pc: base + i as u64 * INSTR_BYTES,
+                instr: *instr,
+                mem: mem_of(instr),
+                branch: None,
+                next_pc: base + (i as u64 + 1) * INSTR_BYTES,
+            })
+            .collect();
+        let mut wp: Vec<WpInst> = future
+            .iter()
+            .skip(skip.min(instrs.len().saturating_sub(1)))
+            .map(|d| WpInst {
+                pc: d.pc,
+                instr: d.instr,
+                mem: None,
+                next_pc: d.next_pc,
+            })
+            .collect();
+        let mut stats = ConvergenceStats::default();
+        let result = recover_addresses(&mut wp, &future, &ConvergenceConfig::default(), &mut stats);
+        if !wp.is_empty() {
+            prop_assert!(result.is_some(), "identical suffix must converge");
+        }
+        for w in &wp {
+            if let Some(m) = w.mem {
+                let f = future.iter().find(|f| f.pc == w.pc).expect("pc exists");
+                prop_assert_eq!(Some(m), f.mem, "recovered address must match future");
+                prop_assert!(w.instr.is_mem());
+            }
+        }
+        prop_assert!(stats.converged <= stats.branch_misses_checked);
+    }
+
+    /// Bounded code caches never exceed their capacity.
+    #[test]
+    fn code_cache_capacity_is_respected(
+        cap in 1usize..64,
+        pcs in proptest::collection::vec(0u64..4096, 1..300),
+    ) {
+        let mut cc = CodeCache::with_capacity(cap);
+        for pc in pcs {
+            cc.insert(pc * 4, Instr::Nop);
+            prop_assert!(cc.len() <= cap);
+        }
+    }
+
+    /// Full-simulator determinism over random straight-line programs with
+    /// a loop wrapper, across all four modes.
+    #[test]
+    fn simulator_is_deterministic_across_modes(
+        body in proptest::collection::vec(arb_instr(), 1..40),
+        trip in 1i64..40,
+    ) {
+        // do { body } while (--x1): exercises branch prediction and, on
+        // the final iteration, a wrong path.
+        let base = 0x1000u64;
+        let mut instrs = vec![
+            Instr::LoadImm { rd: Reg::new(31), imm: trip },
+            Instr::LoadImm { rd: Reg::new(30), imm: 0x10_0000 },
+        ];
+        let loop_start = base + instrs.len() as u64 * INSTR_BYTES;
+        instrs.extend(body.iter().copied());
+        instrs.push(Instr::AluImm { op: AluOp::Add, rd: Reg::new(31), rs1: Reg::new(31), imm: -1 });
+        instrs.push(Instr::Branch {
+            cond: ffsim_isa::BranchCond::Ne,
+            rs1: Reg::new(31),
+            rs2: Reg::ZERO,
+            target: loop_start,
+        });
+        instrs.push(Instr::Halt);
+        let program = Program::new(base, instrs);
+
+        for mode in WrongPathMode::ALL {
+            let cfg = SimConfig::with_core(CoreConfig::tiny_for_tests(), mode);
+            let r1 = Simulator::new(program.clone(), Memory::new(), cfg.clone()).run();
+            let r2 = Simulator::new(program.clone(), Memory::new(), cfg).run();
+            prop_assert_eq!(r1.cycles, r2.cycles, "{} must be deterministic", mode);
+            prop_assert_eq!(r1.instructions, r2.instructions);
+            prop_assert_eq!(r1.wrong_path_instructions, r2.wrong_path_instructions);
+            prop_assert!(r1.fault.is_none());
+        }
+    }
+
+    /// Monotone workload growth: more loop iterations never reduce cycles.
+    #[test]
+    fn cycles_grow_with_work(extra in 1i64..200) {
+        let make = |trips: i64| {
+            let mut a = ffsim_isa::Asm::new();
+            a.li(Reg::new(1), trips);
+            a.label("l");
+            a.addi(Reg::new(1), Reg::new(1), -1);
+            a.bnez(Reg::new(1), "l");
+            a.halt();
+            a.assemble().unwrap()
+        };
+        let cfg = SimConfig::with_core(CoreConfig::tiny_for_tests(), WrongPathMode::NoWrongPath);
+        let small = Simulator::new(make(10), Memory::new(), cfg.clone()).run();
+        let large = Simulator::new(make(10 + extra), Memory::new(), cfg).run();
+        prop_assert!(large.cycles > small.cycles);
+        prop_assert!(large.instructions > small.instructions);
+    }
+}

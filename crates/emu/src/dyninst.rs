@@ -1,0 +1,178 @@
+//! Dynamic instruction records — the payload flowing from the functional
+//! simulator to the performance simulator.
+//!
+//! A [`DynInst`] carries everything the timing model needs about one
+//! executed instruction: its address and decoded form, the data memory
+//! access it performed (if any), and the actual control-flow outcome for
+//! branches. This is the functional-first contract described in §II of the
+//! paper: "instruction address, disassembled instruction, memory addresses".
+
+use ffsim_isa::{Addr, BranchKind, ExecClass, Instr, Operands};
+
+/// A data-memory access performed by an instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemAccess {
+    /// Byte address of the access.
+    pub addr: Addr,
+    /// Access size in bytes.
+    pub size: u8,
+    /// Whether the access is a store.
+    pub is_store: bool,
+}
+
+/// The resolved outcome of a control-flow instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BranchOutcome {
+    /// Whether the branch was taken (always true for jumps).
+    pub taken: bool,
+    /// The instruction's actual successor pc (target if taken, fall-through
+    /// otherwise).
+    pub next_pc: Addr,
+}
+
+/// One dynamically-executed instruction.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DynInst {
+    /// Program-order sequence number assigned by the functional simulator.
+    /// Wrong-path instructions number their bundle locally from zero.
+    pub seq: u64,
+    /// Address of the instruction.
+    pub pc: Addr,
+    /// The decoded instruction.
+    pub instr: Instr,
+    /// The data memory access, if the instruction is a load or store.
+    ///
+    /// Wrong-path instructions produced by *instruction reconstruction*
+    /// carry `None` here even for loads/stores — the reconstruction cannot
+    /// recover addresses (§III-A); the convergence technique fills some of
+    /// them back in.
+    pub mem: Option<MemAccess>,
+    /// The control-flow outcome, if the instruction is a branch/jump.
+    pub branch: Option<BranchOutcome>,
+    /// The pc of the next instruction in the executed path.
+    pub next_pc: Addr,
+}
+
+impl DynInst {
+    /// The µop execution class (delegates to the decoded instruction).
+    #[must_use]
+    pub fn exec_class(&self) -> ExecClass {
+        self.instr.exec_class()
+    }
+
+    /// The branch kind, if this is a control-flow instruction.
+    #[must_use]
+    pub fn branch_kind(&self) -> Option<BranchKind> {
+        self.instr.branch_kind()
+    }
+
+    /// The static register operands.
+    #[must_use]
+    pub fn operands(&self) -> Operands {
+        self.instr.operands()
+    }
+
+    /// Whether this is a load with a known address.
+    #[must_use]
+    pub fn is_load_with_addr(&self) -> bool {
+        self.mem.is_some_and(|m| !m.is_store)
+    }
+
+    /// The fall-through pc (`pc + 4`).
+    #[must_use]
+    pub fn fallthrough(&self) -> Addr {
+        self.pc + ffsim_isa::INSTR_BYTES
+    }
+}
+
+/// Why wrong-path generation stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WrongPathStop {
+    /// The per-misprediction instruction budget (ROB size plus frontend
+    /// buffers, per the paper) was exhausted.
+    BudgetExhausted,
+    /// Execution left the program text (wild indirect target, fall-through
+    /// off the image) — the analogue of Pin hitting kernel code or an
+    /// unmapped region.
+    IllegalPc(Addr),
+    /// A fault occurred on the wrong path (e.g. misaligned access); faults
+    /// must be suppressed, so generation stops.
+    Fault,
+    /// The wrong path reached a `halt` (the syscall analogue — emulation
+    /// cannot continue past it).
+    Halt,
+    /// The branch-direction oracle declined to predict (e.g. indirect
+    /// branch without a target in the predictor).
+    OracleStop,
+}
+
+/// A fully-emulated wrong path for one mispredicted branch, produced by
+/// [`crate::Emulator::emulate_wrong_path`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct WrongPathBundle {
+    /// The wrong-path instructions in fetch order, with functionally
+    /// emulated memory addresses (stores suppressed).
+    pub insts: Vec<DynInst>,
+    /// Why generation stopped.
+    pub stop: WrongPathStop,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsim_isa::{AluOp, Instr, Reg};
+
+    fn mk(instr: Instr) -> DynInst {
+        DynInst {
+            seq: 0,
+            pc: 0x1000,
+            instr,
+            mem: None,
+            branch: None,
+            next_pc: 0x1004,
+        }
+    }
+
+    #[test]
+    fn fallthrough_is_pc_plus_4() {
+        let d = mk(Instr::Nop);
+        assert_eq!(d.fallthrough(), 0x1004);
+    }
+
+    #[test]
+    fn load_with_addr_detection() {
+        let mut d = mk(Instr::Load {
+            rd: Reg::new(1),
+            base: Reg::new(2),
+            offset: 0,
+            width: ffsim_isa::MemWidth::D,
+            signed: true,
+        });
+        assert!(!d.is_load_with_addr());
+        d.mem = Some(MemAccess {
+            addr: 0x80,
+            size: 8,
+            is_store: false,
+        });
+        assert!(d.is_load_with_addr());
+        d.mem = Some(MemAccess {
+            addr: 0x80,
+            size: 8,
+            is_store: true,
+        });
+        assert!(!d.is_load_with_addr());
+    }
+
+    #[test]
+    fn delegation_to_instr() {
+        let d = mk(Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::new(1),
+            rs1: Reg::new(2),
+            rs2: Reg::new(3),
+        });
+        assert_eq!(d.exec_class(), ffsim_isa::ExecClass::IntAlu);
+        assert_eq!(d.branch_kind(), None);
+        assert_eq!(d.operands().src_iter().count(), 2);
+    }
+}

@@ -1,0 +1,503 @@
+//! The functional emulator — this repository's substitute for Intel Pin.
+//!
+//! [`Emulator`] executes a [`Program`] instruction by instruction, emitting
+//! one [`DynInst`] record per executed instruction. It provides exactly the
+//! "advanced features" the paper's wrong-path emulation technique needs
+//! from the functional simulator (§III-B):
+//!
+//! * **checkpointing** of architectural state ([`Emulator::checkpoint`] /
+//!   [`Emulator::restore`], Pin's `PIN_SaveContext`),
+//! * **execution redirection** ([`Emulator::execute_at`], Pin's
+//!   `PIN_ExecuteAt`), and
+//! * **wrong-path emulation** ([`Emulator::emulate_wrong_path`]) with
+//!   suppressed stores and suppressed faults.
+
+use crate::dyninst::{BranchOutcome, DynInst, WrongPathBundle, WrongPathStop};
+use crate::exec::{execute, Fault, RegWrite};
+use crate::mem::Memory;
+use crate::state::ArchState;
+use ffsim_isa::{Addr, Instr, Program};
+use std::error::Error;
+use std::fmt;
+
+/// Why [`Emulator::step`] could not produce an instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StepError {
+    /// The program has executed its `halt` instruction.
+    Halted,
+    /// A fault occurred on the correct path (workload bug).
+    Fault(Fault),
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::Halted => write!(f, "program has halted"),
+            StepError::Fault(fault) => write!(f, "correct-path fault: {fault}"),
+        }
+    }
+}
+
+impl Error for StepError {}
+
+/// Decides the fetch direction of branches *on the wrong path*.
+///
+/// On real hardware the wrong path is steered by the branch predictor, not
+/// by computed outcomes (the paper: "When a wrong-path branch is fetched,
+/// it is also predicted, and the predicted target is used to continue the
+/// wrong path", §III-A). The timing layer implements this trait with its
+/// predictor; [`FollowComputed`] is a trivial oracle for tests.
+pub trait BranchOracle {
+    /// Returns the next fetch pc after the wrong-path branch at `pc`, or
+    /// `None` to stop wrong-path generation (e.g. unpredictable indirect).
+    ///
+    /// `computed` is the functionally-computed outcome of the branch with
+    /// wrong-path register values, which an oracle may use or ignore.
+    fn next_fetch_pc(&mut self, pc: Addr, instr: &Instr, computed: BranchOutcome) -> Option<Addr>;
+}
+
+/// Oracle that steers wrong-path branches by their functionally-computed
+/// outcome — i.e. a perfect within-wrong-path predictor. Useful in tests
+/// and as an upper bound in ablations.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FollowComputed;
+
+impl BranchOracle for FollowComputed {
+    fn next_fetch_pc(&mut self, _pc: Addr, _instr: &Instr, computed: BranchOutcome) -> Option<Addr> {
+        Some(computed.next_pc)
+    }
+}
+
+/// The functional emulator.
+///
+/// # Examples
+///
+/// ```
+/// use ffsim_emu::Emulator;
+/// use ffsim_isa::{Asm, Reg};
+///
+/// let mut a = Asm::new();
+/// a.li(Reg::new(1), 2);
+/// a.li(Reg::new(2), 3);
+/// a.add(Reg::new(3), Reg::new(1), Reg::new(2));
+/// a.halt();
+/// let mut emu = Emulator::new(a.assemble()?);
+/// let executed = emu.run_to_halt(100)?;
+/// assert_eq!(executed, 4);
+/// assert_eq!(emu.state().reg(Reg::new(3)), 5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Emulator {
+    program: Program,
+    mem: Memory,
+    state: ArchState,
+    seq: u64,
+    halted: bool,
+}
+
+impl Emulator {
+    /// Creates an emulator for `program` with zeroed memory, entering at the
+    /// program's entry point.
+    #[must_use]
+    pub fn new(program: Program) -> Emulator {
+        Emulator::with_memory(program, Memory::new())
+    }
+
+    /// Creates an emulator with a pre-initialized memory image (workloads
+    /// lay out their data segments before starting execution).
+    #[must_use]
+    pub fn with_memory(program: Program, mem: Memory) -> Emulator {
+        let state = ArchState::new(program.entry());
+        Emulator {
+            program,
+            mem,
+            state,
+            seq: 0,
+            halted: false,
+        }
+    }
+
+    /// The program being executed.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The architectural register state.
+    #[must_use]
+    pub fn state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// Mutable architectural register state (for workload setup).
+    pub fn state_mut(&mut self) -> &mut ArchState {
+        &mut self.state
+    }
+
+    /// The data memory.
+    #[must_use]
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable data memory (for workload setup and validation).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Whether the program has halted.
+    #[must_use]
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of correct-path instructions executed so far.
+    #[must_use]
+    pub fn instructions_executed(&self) -> u64 {
+        self.seq
+    }
+
+    /// Takes a checkpoint of the architectural register state.
+    #[must_use]
+    pub fn checkpoint(&self) -> ArchState {
+        self.state.clone()
+    }
+
+    /// Restores a previously-taken checkpoint.
+    pub fn restore(&mut self, checkpoint: ArchState) {
+        self.state = checkpoint;
+    }
+
+    /// Redirects execution to `pc` (Pin's `PIN_ExecuteAt`).
+    pub fn execute_at(&mut self, pc: Addr) {
+        self.state.pc = pc;
+    }
+
+    /// Executes one correct-path instruction and returns its record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Halted`] once the program has executed `halt`
+    /// (the `halt` itself is returned as a normal instruction), and
+    /// [`StepError::Fault`] on correct-path faults.
+    pub fn step(&mut self) -> Result<DynInst, StepError> {
+        if self.halted {
+            return Err(StepError::Halted);
+        }
+        let pc = self.state.pc;
+        let instr = *self
+            .program
+            .instr_at(pc)
+            .ok_or(StepError::Fault(Fault::IllegalPc { pc }))?;
+        let out = execute(&self.state, &self.mem, pc, &instr).map_err(StepError::Fault)?;
+        match out.reg_write {
+            Some(RegWrite::Int(r, v)) => self.state.set_reg(r, v),
+            Some(RegWrite::Fp(f, v)) => self.state.set_freg(f, v),
+            None => {}
+        }
+        if let Some(st) = out.store {
+            self.mem.write_uint(st.addr, st.width, st.bits);
+        }
+        self.state.pc = out.next_pc;
+        if matches!(instr, Instr::Halt) {
+            self.halted = true;
+        }
+        let inst = DynInst {
+            seq: self.seq,
+            pc,
+            instr,
+            mem: out.mem,
+            branch: out.branch,
+            next_pc: out.next_pc,
+        };
+        self.seq += 1;
+        Ok(inst)
+    }
+
+    /// Runs until `halt` or until `max_steps` instructions have executed.
+    ///
+    /// Returns the number of instructions executed by this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StepError::Fault`] on a correct-path fault.
+    pub fn run_to_halt(&mut self, max_steps: u64) -> Result<u64, StepError> {
+        let start = self.seq;
+        while !self.halted && self.seq - start < max_steps {
+            self.step()?;
+        }
+        Ok(self.seq - start)
+    }
+
+    /// Emulates the wrong path starting at `start`, for at most `max_insts`
+    /// instructions, steering wrong-path branches through `oracle`.
+    ///
+    /// The paper's technique (§III-B): take a register checkpoint, redirect
+    /// execution to the wrong-path target, execute with **stores and
+    /// exceptions suppressed**, then restore the checkpoint and continue on
+    /// the correct path. Memory is never modified; register effects happen
+    /// on a scratch copy that is thrown away. Store addresses are still
+    /// recorded in the emitted [`DynInst`]s so the timing model can play
+    /// them against the data cache. There is no store-to-load forwarding
+    /// along the wrong path — wrong-path loads read the architectural
+    /// memory at the branch, as in the paper.
+    #[must_use]
+    pub fn emulate_wrong_path(
+        &mut self,
+        start: Addr,
+        max_insts: usize,
+        oracle: &mut dyn BranchOracle,
+    ) -> WrongPathBundle {
+        let checkpoint = self.checkpoint();
+        self.state.pc = start;
+        let mut insts = Vec::new();
+        let stop = loop {
+            if insts.len() >= max_insts {
+                break WrongPathStop::BudgetExhausted;
+            }
+            let pc = self.state.pc;
+            let Some(&instr) = self.program.instr_at(pc) else {
+                break WrongPathStop::IllegalPc(pc);
+            };
+            if matches!(instr, Instr::Halt) {
+                break WrongPathStop::Halt;
+            }
+            let Ok(out) = execute(&self.state, &self.mem, pc, &instr) else {
+                break WrongPathStop::Fault;
+            };
+            // Register writes go to the scratch state (restored below);
+            // stores are suppressed entirely.
+            match out.reg_write {
+                Some(RegWrite::Int(r, v)) => self.state.set_reg(r, v),
+                Some(RegWrite::Fp(f, v)) => self.state.set_freg(f, v),
+                None => {}
+            }
+            let mut next_pc = out.next_pc;
+            let mut branch = out.branch;
+            if let Some(computed) = out.branch {
+                match oracle.next_fetch_pc(pc, &instr, computed) {
+                    Some(predicted) => {
+                        next_pc = predicted;
+                        branch = Some(BranchOutcome {
+                            taken: predicted != pc + ffsim_isa::INSTR_BYTES,
+                            next_pc: predicted,
+                        });
+                    }
+                    None => {
+                        insts.push(DynInst {
+                            seq: insts.len() as u64,
+                            pc,
+                            instr,
+                            mem: out.mem,
+                            branch,
+                            next_pc,
+                        });
+                        break WrongPathStop::OracleStop;
+                    }
+                }
+            }
+            insts.push(DynInst {
+                seq: insts.len() as u64,
+                pc,
+                instr,
+                mem: out.mem,
+                branch,
+                next_pc,
+            });
+            self.state.pc = next_pc;
+        };
+        self.restore(checkpoint);
+        WrongPathBundle { insts, stop }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsim_isa::{Asm, Reg};
+
+    fn loop_program() -> Program {
+        // x1 = 10; do { x2 += x1; x1 -= 1 } while x1 != 0; halt
+        let (x1, x2) = (Reg::new(1), Reg::new(2));
+        let mut a = Asm::new();
+        a.li(x1, 10);
+        a.label("loop");
+        a.add(x2, x2, x1);
+        a.addi(x1, x1, -1);
+        a.bnez(x1, "loop");
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn runs_loop_to_completion() {
+        let mut emu = Emulator::new(loop_program());
+        let n = emu.run_to_halt(1000).unwrap();
+        assert_eq!(emu.state().reg(Reg::new(2)), 55);
+        // 1 li + 10 * 3 loop body + halt
+        assert_eq!(n, 1 + 30 + 1);
+        assert!(emu.is_halted());
+        assert_eq!(emu.step(), Err(StepError::Halted));
+    }
+
+    #[test]
+    fn step_emits_branch_outcomes() {
+        let mut emu = Emulator::new(loop_program());
+        let mut taken = 0;
+        let mut not_taken = 0;
+        while let Ok(inst) = emu.step() {
+            if let Some(b) = inst.branch {
+                if b.taken {
+                    taken += 1;
+                } else {
+                    not_taken += 1;
+                }
+            }
+        }
+        assert_eq!(taken, 9, "nine back-edges taken");
+        assert_eq!(not_taken, 1, "final iteration falls through");
+    }
+
+    #[test]
+    fn seq_numbers_are_dense() {
+        let mut emu = Emulator::new(loop_program());
+        let mut expect = 0;
+        while let Ok(inst) = emu.step() {
+            assert_eq!(inst.seq, expect);
+            expect += 1;
+        }
+        assert_eq!(emu.instructions_executed(), expect);
+    }
+
+    #[test]
+    fn stores_commit_on_correct_path() {
+        let mut a = Asm::new();
+        let (x1, x2) = (Reg::new(1), Reg::new(2));
+        a.li(x1, 0x100);
+        a.li(x2, 42);
+        a.sd(x2, 0, x1);
+        a.halt();
+        let mut emu = Emulator::new(a.assemble().unwrap());
+        emu.run_to_halt(10).unwrap();
+        assert_eq!(emu.mem().read_u64(0x100), 42);
+    }
+
+    #[test]
+    fn illegal_pc_is_a_fault() {
+        let mut a = Asm::new();
+        a.li(Reg::new(1), 0x9999_0000);
+        a.jr(Reg::new(1));
+        a.halt();
+        let mut emu = Emulator::new(a.assemble().unwrap());
+        emu.step().unwrap();
+        emu.step().unwrap(); // the jump itself executes fine
+        match emu.step() {
+            Err(StepError::Fault(Fault::IllegalPc { pc })) => assert_eq!(pc, 0x9999_0000),
+            other => panic!("expected illegal pc fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_path_emulation_preserves_all_state() {
+        // Correct path falls through a branch; wrong path (taken side)
+        // would overwrite x3 and store to memory.
+        let (x1, x3, x4) = (Reg::new(1), Reg::new(3), Reg::new(4));
+        let mut a = Asm::new();
+        a.li(x1, 0); // branch condition: not taken
+        a.li(x4, 0x200);
+        a.bnez(x1, "wrong"); // never taken on correct path
+        a.li(x3, 1); // correct path
+        a.halt();
+        a.label("wrong");
+        a.li(x3, 99);
+        a.sd(x3, 0, x4);
+        a.li(x3, 100);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let wrong_target = p.base() + 5 * 4; // label "wrong"
+
+        let mut emu = Emulator::new(p);
+        emu.step().unwrap();
+        emu.step().unwrap();
+        let before = emu.checkpoint();
+        let bundle = emu.emulate_wrong_path(wrong_target, 64, &mut FollowComputed);
+        // State fully restored.
+        assert_eq!(emu.state(), &before);
+        // Memory untouched despite the wrong-path store.
+        assert_eq!(emu.mem().read_u64(0x200), 0);
+        // Wrong path executed li, sd, li then stopped at halt.
+        assert_eq!(bundle.insts.len(), 3);
+        assert_eq!(bundle.stop, WrongPathStop::Halt);
+        // The suppressed store still reports its address.
+        let store = &bundle.insts[1];
+        let mem = store.mem.unwrap();
+        assert!(mem.is_store);
+        assert_eq!(mem.addr, 0x200);
+        // Correct path continues unaffected.
+        emu.run_to_halt(10).unwrap();
+        assert_eq!(emu.state().reg(x3), 1);
+    }
+
+    #[test]
+    fn wrong_path_budget_exhaustion() {
+        let mut emu = Emulator::new(loop_program());
+        emu.step().unwrap(); // li
+        let loop_head = emu.state().pc;
+        let bundle = emu.emulate_wrong_path(loop_head, 7, &mut FollowComputed);
+        assert_eq!(bundle.insts.len(), 7);
+        assert_eq!(bundle.stop, WrongPathStop::BudgetExhausted);
+    }
+
+    #[test]
+    fn wrong_path_illegal_start() {
+        let mut emu = Emulator::new(loop_program());
+        let bundle = emu.emulate_wrong_path(0xdead_0000, 64, &mut FollowComputed);
+        assert!(bundle.insts.is_empty());
+        assert_eq!(bundle.stop, WrongPathStop::IllegalPc(0xdead_0000));
+    }
+
+    #[test]
+    fn wrong_path_oracle_stop() {
+        struct StopAtBranch;
+        impl BranchOracle for StopAtBranch {
+            fn next_fetch_pc(
+                &mut self,
+                _pc: Addr,
+                _instr: &Instr,
+                _computed: BranchOutcome,
+            ) -> Option<Addr> {
+                None
+            }
+        }
+        let p = loop_program();
+        let loop_head = p.base() + 4;
+        let mut emu = Emulator::new(p);
+        emu.step().unwrap();
+        let bundle = emu.emulate_wrong_path(loop_head, 64, &mut StopAtBranch);
+        // add, addi, bnez → oracle stops at the branch (branch included).
+        assert_eq!(bundle.insts.len(), 3);
+        assert_eq!(bundle.stop, WrongPathStop::OracleStop);
+    }
+
+    #[test]
+    fn wrong_path_loads_read_architectural_memory() {
+        let (x1, x2) = (Reg::new(1), Reg::new(2));
+        let mut a = Asm::new();
+        a.li(x1, 0x300);
+        a.label("wp");
+        a.ld(x2, 0, x1);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let wp = p.base() + 4;
+        let mut emu = Emulator::new(p);
+        emu.mem_mut().write_u64(0x300, 1234);
+        emu.step().unwrap();
+        let bundle = emu.emulate_wrong_path(wp, 8, &mut FollowComputed);
+        assert_eq!(bundle.insts[0].mem.unwrap().addr, 0x300);
+        // And the register scratch value was really loaded (observable via
+        // a dependent wrong-path store address in richer programs); here we
+        // just confirm state was restored.
+        assert_eq!(emu.state().reg(x2), 0);
+    }
+}

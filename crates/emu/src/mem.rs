@@ -1,0 +1,245 @@
+//! Sparse, paged data memory for the functional emulator.
+//!
+//! Memory is a flat 64-bit byte-addressed space backed by 4 KiB pages that
+//! are allocated on first write. Reads of never-written locations return
+//! zero, like anonymous mmap'd memory; this keeps workload setup simple and
+//! means wrong-path loads from wild addresses are always well-defined (they
+//! read zeros) instead of faulting — matching the paper's requirement that
+//! wrong-path emulation never perturbs functional state.
+
+use ffsim_isa::Addr;
+use std::collections::HashMap;
+
+/// Bytes per backing page.
+pub const PAGE_BYTES: usize = 4096;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_MASK: u64 = PAGE_BYTES as u64 - 1;
+
+/// Sparse paged byte-addressable memory.
+///
+/// # Examples
+///
+/// ```
+/// use ffsim_emu::Memory;
+/// let mut m = Memory::new();
+/// m.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(m.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(m.read_u64(0x9_0000), 0, "untouched memory reads as zero");
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory (all zeros).
+    #[must_use]
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of pages that have been materialized by writes.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads a single byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: Addr) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes a single byte, materializing the page if needed.
+    pub fn write_u8(&mut self, addr: Addr, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads `N` little-endian bytes starting at `addr`.
+    ///
+    /// Accesses may straddle page boundaries.
+    #[must_use]
+    pub fn read_bytes<const N: usize>(&self, addr: Addr) -> [u8; N] {
+        let mut out = [0u8; N];
+        // Fast path: fully inside one page.
+        let off = (addr & PAGE_MASK) as usize;
+        if off + N <= PAGE_BYTES {
+            if let Some(p) = self.pages.get(&(addr >> PAGE_SHIFT)) {
+                out.copy_from_slice(&p[off..off + N]);
+            }
+            return out;
+        }
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u64));
+        }
+        out
+    }
+
+    /// Writes `N` little-endian bytes starting at `addr`.
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        let off = (addr & PAGE_MASK) as usize;
+        if off + bytes.len() <= PAGE_BYTES {
+            let page = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+            page[off..off + bytes.len()].copy_from_slice(bytes);
+            return;
+        }
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    #[must_use]
+    pub fn read_u16(&self, addr: Addr) -> u16 {
+        u16::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Reads a little-endian `u32`.
+    #[must_use]
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        u32::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Reads a little-endian `u64`.
+    #[must_use]
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        u64::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Reads an `f64` (IEEE-754 bits, little-endian).
+    #[must_use]
+    pub fn read_f64(&self, addr: Addr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: Addr, value: u16) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: Addr, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: Addr, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Writes an `f64` (IEEE-754 bits, little-endian).
+    pub fn write_f64(&mut self, addr: Addr, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Reads `width` bytes as a zero-extended `u64` (width ∈ {1,2,4,8}).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    #[must_use]
+    pub fn read_uint(&self, addr: Addr, width: u64) -> u64 {
+        match width {
+            1 => u64::from(self.read_u8(addr)),
+            2 => u64::from(self.read_u16(addr)),
+            4 => u64::from(self.read_u32(addr)),
+            8 => self.read_u64(addr),
+            w => panic!("unsupported access width {w}"),
+        }
+    }
+
+    /// Writes the low `width` bytes of `value` (width ∈ {1,2,4,8}).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8.
+    pub fn write_uint(&mut self, addr: Addr, width: u64, value: u64) {
+        match width {
+            1 => self.write_u8(addr, value as u8),
+            2 => self.write_u16(addr, value as u16),
+            4 => self.write_u32(addr, value as u32),
+            8 => self.write_u64(addr, value),
+            w => panic!("unsupported access width {w}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let m = Memory::new();
+        assert_eq!(m.read_u64(0), 0);
+        assert_eq!(m.read_u8(u64::MAX), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut m = Memory::new();
+        m.write_u8(0x10, 0xab);
+        m.write_u16(0x20, 0xbeef);
+        m.write_u32(0x30, 0xdead_beef);
+        m.write_u64(0x40, 0x0123_4567_89ab_cdef);
+        m.write_f64(0x50, -2.5);
+        assert_eq!(m.read_u8(0x10), 0xab);
+        assert_eq!(m.read_u16(0x20), 0xbeef);
+        assert_eq!(m.read_u32(0x30), 0xdead_beef);
+        assert_eq!(m.read_u64(0x40), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_f64(0x50), -2.5);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new();
+        m.write_u32(0x100, 0x0403_0201);
+        assert_eq!(m.read_u8(0x100), 1);
+        assert_eq!(m.read_u8(0x103), 4);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = PAGE_BYTES as u64 - 4; // straddles first/second page
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn read_uint_widths() {
+        let mut m = Memory::new();
+        m.write_u64(0x200, 0xffff_ffff_ffff_ffff);
+        assert_eq!(m.read_uint(0x200, 1), 0xff);
+        assert_eq!(m.read_uint(0x200, 2), 0xffff);
+        assert_eq!(m.read_uint(0x200, 4), 0xffff_ffff);
+        assert_eq!(m.read_uint(0x200, 8), u64::MAX);
+    }
+
+    #[test]
+    fn write_uint_partial() {
+        let mut m = Memory::new();
+        m.write_u64(0x300, u64::MAX);
+        m.write_uint(0x300, 2, 0);
+        assert_eq!(m.read_u64(0x300), 0xffff_ffff_ffff_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported access width")]
+    fn bad_width_panics() {
+        let _ = Memory::new().read_uint(0, 3);
+    }
+}

@@ -1,0 +1,348 @@
+//! The decoupled instruction queue between the functional and performance
+//! simulators.
+//!
+//! In functional-first simulation the functional simulator *runs ahead*,
+//! pushing instruction records into a queue the performance simulator
+//! consumes (paper §II). [`InstrQueue`] implements that queue with two
+//! extra capabilities the wrong-path techniques rely on:
+//!
+//! * **lookahead peeking** ([`InstrQueue::peek`]) into the future correct
+//!   path — the convergence-exploitation technique scans upcoming
+//!   correct-path instructions for a convergence point and their memory
+//!   addresses (§III-C);
+//! * **wrong-path bundles**: a [`FrontendPolicy`] observes every
+//!   correct-path instruction in program order (mirroring the paper's
+//!   "copy of the branch predictor model" inside the functional simulator)
+//!   and can request full wrong-path emulation at a branch it predicts
+//!   mispredicted (§III-B). The resulting [`WrongPathBundle`] travels with
+//!   the branch's queue entry.
+
+use crate::dyninst::{DynInst, WrongPathBundle};
+use crate::emulator::{BranchOracle, Emulator, StepError};
+use crate::exec::Fault;
+use ffsim_isa::Addr;
+use std::collections::VecDeque;
+
+/// A request to emulate the wrong path of a (predicted-mispredicted)
+/// branch, produced by a [`FrontendPolicy`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WrongPathRequest {
+    /// First wrong-path pc (the mispredicted direction's target).
+    pub start: Addr,
+    /// Maximum wrong-path instructions to emulate — the paper uses one
+    /// reorder-buffer's worth plus frontend buffers.
+    pub max_insts: usize,
+}
+
+/// Frontend-side policy observing the correct-path stream.
+///
+/// Implementations typically hold a replica of the timing model's branch
+/// predictor: they predict every branch *before* updating with its actual
+/// outcome, and return a [`WrongPathRequest`] when the prediction differs.
+/// The policy also serves as the [`BranchOracle`] steering wrong-path
+/// branch directions during emulation.
+pub trait FrontendPolicy: BranchOracle {
+    /// Observes one correct-path instruction in program order, returning a
+    /// wrong-path emulation request if this branch is predicted wrongly.
+    fn on_instruction(&mut self, inst: &DynInst) -> Option<WrongPathRequest>;
+}
+
+/// Policy for simulators that do not generate wrong paths in the functional
+/// frontend (the default, instruction-reconstruction and convergence
+/// configurations — those reconstruct in the *performance* simulator).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NoFrontendWrongPath;
+
+impl BranchOracle for NoFrontendWrongPath {
+    fn next_fetch_pc(
+        &mut self,
+        _pc: Addr,
+        _instr: &ffsim_isa::Instr,
+        _computed: crate::dyninst::BranchOutcome,
+    ) -> Option<Addr> {
+        None
+    }
+}
+
+impl FrontendPolicy for NoFrontendWrongPath {
+    fn on_instruction(&mut self, _inst: &DynInst) -> Option<WrongPathRequest> {
+        None
+    }
+}
+
+/// One queue slot: a correct-path instruction, plus the emulated wrong
+/// path hanging off it when the frontend policy predicted a misprediction.
+#[derive(Clone, PartialEq, Debug)]
+pub struct StreamEntry {
+    /// The correct-path instruction.
+    pub inst: DynInst,
+    /// The emulated wrong path, in `WrongPathEmulation` configurations.
+    pub wrong_path: Option<WrongPathBundle>,
+}
+
+/// The functional→performance instruction queue.
+///
+/// # Examples
+///
+/// ```
+/// use ffsim_emu::{Emulator, InstrQueue, NoFrontendWrongPath};
+/// use ffsim_isa::{Asm, Reg};
+///
+/// let mut a = Asm::new();
+/// a.li(Reg::new(1), 7);
+/// a.addi(Reg::new(1), Reg::new(1), 1);
+/// a.halt();
+/// let mut q = InstrQueue::new(Emulator::new(a.assemble()?), NoFrontendWrongPath, 128);
+/// assert_eq!(q.peek(2).unwrap().inst.instr.to_string(), "halt");
+/// let first = q.pop().unwrap();
+/// assert_eq!(first.inst.pc, 0x1_0000);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct InstrQueue<P> {
+    emu: Emulator,
+    policy: P,
+    buf: VecDeque<StreamEntry>,
+    depth: usize,
+    ended: bool,
+    fault: Option<Fault>,
+}
+
+impl<P: FrontendPolicy> InstrQueue<P> {
+    /// Creates a queue that keeps up to `depth` instructions of runahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    #[must_use]
+    pub fn new(emu: Emulator, policy: P, depth: usize) -> InstrQueue<P> {
+        assert!(depth > 0, "queue depth must be positive");
+        InstrQueue {
+            emu,
+            policy,
+            buf: VecDeque::with_capacity(depth),
+            depth,
+            ended: false,
+            fault: None,
+        }
+    }
+
+    fn refill_to(&mut self, want: usize) {
+        while self.buf.len() < want && !self.ended {
+            match self.emu.step() {
+                Ok(inst) => {
+                    let wrong_path = self
+                        .policy
+                        .on_instruction(&inst)
+                        .map(|req| {
+                            self.emu
+                                .emulate_wrong_path(req.start, req.max_insts, &mut self.policy)
+                        });
+                    self.buf.push_back(StreamEntry { inst, wrong_path });
+                }
+                Err(StepError::Halted) => self.ended = true,
+                Err(StepError::Fault(f)) => {
+                    self.fault = Some(f);
+                    self.ended = true;
+                }
+            }
+        }
+    }
+
+    /// Pops the next correct-path entry, or `None` at end of stream.
+    pub fn pop(&mut self) -> Option<StreamEntry> {
+        self.refill_to(1);
+        let entry = self.buf.pop_front();
+        // Keep the runahead window full so peeks after pops see far ahead.
+        self.refill_to(self.depth);
+        entry
+    }
+
+    /// Peeks `index` entries ahead (0 = next to pop), extending the
+    /// functional runahead on demand up to the queue depth.
+    ///
+    /// Returns `None` past the end of the program or beyond the depth.
+    pub fn peek(&mut self, index: usize) -> Option<&StreamEntry> {
+        if index >= self.depth {
+            return None;
+        }
+        self.refill_to(index + 1);
+        self.buf.get(index)
+    }
+
+    /// Number of entries currently buffered.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the stream has ended and the buffer is drained.
+    #[must_use]
+    pub fn is_exhausted(&mut self) -> bool {
+        self.refill_to(1);
+        self.buf.is_empty()
+    }
+
+    /// The correct-path fault that ended the stream, if any.
+    #[must_use]
+    pub fn fault(&self) -> Option<Fault> {
+        self.fault
+    }
+
+    /// The frontend policy.
+    #[must_use]
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Mutable access to the frontend policy (e.g. to read replica stats).
+    pub fn policy_mut(&mut self) -> &mut P {
+        &mut self.policy
+    }
+
+    /// The underlying emulator (e.g. for memory validation after a run).
+    #[must_use]
+    pub fn emulator(&self) -> &Emulator {
+        &self.emu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dyninst::BranchOutcome;
+    use ffsim_isa::{Asm, Instr, Program, Reg};
+
+    fn counted_program(n: i64) -> Program {
+        let x = Reg::new(1);
+        let mut a = Asm::new();
+        a.li(x, n);
+        a.label("loop");
+        a.addi(x, x, -1);
+        a.bnez(x, "loop");
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn pop_yields_program_order() {
+        let mut q = InstrQueue::new(
+            Emulator::new(counted_program(3)),
+            NoFrontendWrongPath,
+            16,
+        );
+        let mut seqs = Vec::new();
+        while let Some(e) = q.pop() {
+            seqs.push(e.inst.seq);
+        }
+        assert_eq!(seqs, (0..8).collect::<Vec<u64>>());
+        assert!(q.is_exhausted());
+        assert!(q.fault().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = InstrQueue::new(
+            Emulator::new(counted_program(3)),
+            NoFrontendWrongPath,
+            16,
+        );
+        let p0 = q.peek(0).unwrap().inst;
+        let p3 = q.peek(3).unwrap().inst;
+        assert_eq!(p0.seq, 0);
+        assert_eq!(p3.seq, 3);
+        assert_eq!(q.pop().unwrap().inst, p0);
+        assert_eq!(q.peek(2).unwrap().inst, p3);
+    }
+
+    #[test]
+    fn peek_beyond_depth_is_none() {
+        let mut q = InstrQueue::new(
+            Emulator::new(counted_program(100)),
+            NoFrontendWrongPath,
+            8,
+        );
+        assert!(q.peek(8).is_none());
+        assert!(q.peek(7).is_some());
+    }
+
+    #[test]
+    fn peek_past_end_is_none() {
+        let mut q = InstrQueue::new(
+            Emulator::new(counted_program(1)),
+            NoFrontendWrongPath,
+            64,
+        );
+        // Program is li, addi, bnez (not taken), halt = 4 instructions.
+        assert!(q.peek(3).is_some());
+        assert!(q.peek(4).is_none());
+    }
+
+    /// Policy that requests wrong-path emulation at every not-taken
+    /// conditional branch (pretending it predicted taken).
+    struct AlwaysWrong;
+    impl BranchOracle for AlwaysWrong {
+        fn next_fetch_pc(
+            &mut self,
+            _pc: ffsim_isa::Addr,
+            _instr: &Instr,
+            computed: BranchOutcome,
+        ) -> Option<ffsim_isa::Addr> {
+            Some(computed.next_pc)
+        }
+    }
+    impl FrontendPolicy for AlwaysWrong {
+        fn on_instruction(&mut self, inst: &DynInst) -> Option<WrongPathRequest> {
+            let b = inst.branch?;
+            if matches!(inst.instr, Instr::Branch { .. }) && !b.taken {
+                // Predicted taken, was not taken → wrong path is the target.
+                let target = inst.instr.direct_target().unwrap();
+                Some(WrongPathRequest {
+                    start: target,
+                    max_insts: 16,
+                })
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_path_bundles_attach_to_branches() {
+        let mut q = InstrQueue::new(Emulator::new(counted_program(3)), AlwaysWrong, 16);
+        let mut bundles = 0;
+        let mut bundle_len = 0;
+        while let Some(e) = q.pop() {
+            if let Some(wp) = e.wrong_path {
+                bundles += 1;
+                bundle_len = wp.insts.len();
+                assert!(e.inst.instr.is_branch());
+            }
+        }
+        // Only the final (not-taken) bnez gets a bundle.
+        assert_eq!(bundles, 1);
+        // Wrong path re-enters the loop: addi, bnez, addi, bnez, ... with
+        // x1 = 0 decremented to negative values, bnez stays taken until the
+        // 16-instruction budget runs out.
+        assert_eq!(bundle_len, 16);
+    }
+
+    #[test]
+    fn fault_terminates_stream_and_is_reported() {
+        let mut a = Asm::new();
+        a.li(Reg::new(1), 0x33); // misaligned for an 8-byte load
+        a.ld(Reg::new(2), 0, Reg::new(1));
+        a.halt();
+        let mut q = InstrQueue::new(
+            Emulator::new(a.assemble().unwrap()),
+            NoFrontendWrongPath,
+            4,
+        );
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 1, "only the li executes");
+        assert!(q.fault().is_some());
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests for the functional emulator: memory model
+//! equivalence, execution determinism, wrong-path state isolation, and
+//! queue/emulator stream coherence.
+
+use ffsim_emu::{
+    Emulator, FollowComputed, InstrQueue, Memory, NoFrontendWrongPath, StepError,
+};
+use ffsim_isa::{Addr, AluOp, Instr, MemWidth, Program, Reg, INSTR_BYTES};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    // x30 is reserved as the data base pointer in generated programs and
+    // must never be clobbered, or loads/stores would fault on wild
+    // addresses; x31 is left free for the same reason.
+    (0u8..30).prop_map(Reg::new)
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+    ]
+}
+
+/// A random program: ALU soup over a small aligned data region, with
+/// aligned loads/stores and a final halt. Always fault-free.
+fn arb_program() -> impl Strategy<Value = Program> {
+    let instr = prop_oneof![
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+        (arb_reg(), -1000i64..1000).prop_map(|(rd, imm)| Instr::LoadImm { rd, imm }),
+        // Loads/stores against a fixed aligned base materialized in x30.
+        (arb_reg(), 0i64..64).prop_map(|(rd, word)| Instr::Load {
+            rd,
+            base: Reg::new(30),
+            offset: word * 8,
+            width: MemWidth::D,
+            signed: false,
+        }),
+        (arb_reg(), 0i64..64).prop_map(|(src, word)| Instr::Store {
+            src,
+            base: Reg::new(30),
+            offset: word * 8,
+            width: MemWidth::D,
+        }),
+        Just(Instr::Nop),
+    ];
+    proptest::collection::vec(instr, 1..60).prop_map(|body| {
+        let mut instrs = vec![Instr::LoadImm {
+            rd: Reg::new(30),
+            imm: 0x10_0000,
+        }];
+        instrs.extend(body);
+        instrs.push(Instr::Halt);
+        Program::new(0x1000, instrs)
+    })
+}
+
+proptest! {
+    /// Memory behaves exactly like a sparse byte map.
+    #[test]
+    fn memory_matches_reference(
+        script in proptest::collection::vec(
+            (0u64..0x4_0000u64, prop_oneof![Just(1u64), Just(2), Just(4), Just(8)], any::<u64>(), any::<bool>()),
+            0..200,
+        )
+    ) {
+        let mut mem = Memory::new();
+        let mut reference: HashMap<u64, u8> = HashMap::new();
+        for (addr, width, value, is_write) in script {
+            if is_write {
+                mem.write_uint(addr, width, value);
+                for i in 0..width {
+                    reference.insert(addr + i, (value >> (8 * i)) as u8);
+                }
+            } else {
+                let got = mem.read_uint(addr, width);
+                let mut expect = 0u64;
+                for i in 0..width {
+                    expect |= u64::from(*reference.get(&(addr + i)).unwrap_or(&0)) << (8 * i);
+                }
+                prop_assert_eq!(got, expect);
+            }
+        }
+    }
+
+    /// Two emulators on the same program produce byte-identical streams.
+    #[test]
+    fn execution_is_deterministic(p in arb_program()) {
+        let mut a = Emulator::new(p.clone());
+        let mut b = Emulator::new(p);
+        loop {
+            match (a.step(), b.step()) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                (Err(x), Err(y)) => { prop_assert_eq!(x, y); break; }
+                (x, y) => prop_assert!(false, "divergence: {x:?} vs {y:?}"),
+            }
+        }
+        prop_assert_eq!(a.mem().read_u64(0x10_0000), b.mem().read_u64(0x10_0000));
+    }
+
+    /// Sequence numbers are dense and next_pc links chain correctly for
+    /// straight-line programs.
+    #[test]
+    fn stream_is_well_linked(p in arb_program()) {
+        let mut emu = Emulator::new(p);
+        let mut prev: Option<(u64, Addr)> = None;
+        while let Ok(inst) = emu.step() {
+            if let Some((seq, next_pc)) = prev {
+                prop_assert_eq!(inst.seq, seq + 1);
+                prop_assert_eq!(inst.pc, next_pc);
+            }
+            if !matches!(inst.instr, Instr::Halt) {
+                prop_assert_eq!(inst.next_pc, inst.pc + INSTR_BYTES);
+            }
+            prev = Some((inst.seq, inst.next_pc));
+        }
+    }
+
+    /// Wrong-path emulation at an arbitrary point with an arbitrary start
+    /// never perturbs registers, pc, or memory.
+    #[test]
+    fn wrong_path_is_hermetic(
+        p in arb_program(),
+        warmup in 0u64..32,
+        start_word in 0u64..128,
+        budget in 1usize..64,
+    ) {
+        let mut emu = Emulator::new(p.clone());
+        let _ = emu.run_to_halt(warmup);
+        let state_before = emu.checkpoint();
+        let mem_words: Vec<u64> = (0..64).map(|i| emu.mem().read_u64(0x10_0000 + i * 8)).collect();
+        // Start anywhere, including outside the text image.
+        let start = 0x1000 + start_word * INSTR_BYTES;
+        let _ = emu.emulate_wrong_path(start, budget, &mut FollowComputed);
+        prop_assert_eq!(emu.checkpoint(), state_before);
+        for (i, w) in mem_words.iter().enumerate() {
+            prop_assert_eq!(emu.mem().read_u64(0x10_0000 + i as u64 * 8), *w);
+        }
+        // And the correct path still completes identically to a fresh run.
+        let mut fresh = Emulator::new(p);
+        let _ = fresh.run_to_halt(warmup);
+        loop {
+            match (emu.step(), fresh.step()) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                (Err(StepError::Halted), Err(StepError::Halted)) => break,
+                (x, y) => prop_assert!(false, "divergence after wp: {x:?} vs {y:?}"),
+            }
+        }
+    }
+
+    /// The queue yields exactly the emulator's stream, regardless of an
+    /// interleaved pattern of peeks and pops.
+    #[test]
+    fn queue_matches_direct_stream(
+        p in arb_program(),
+        peeks in proptest::collection::vec(0usize..16, 0..64),
+        depth in 1usize..64,
+    ) {
+        let mut direct = Emulator::new(p.clone());
+        let mut q = InstrQueue::new(Emulator::new(p), NoFrontendWrongPath, depth);
+        let mut peek_iter = peeks.into_iter().cycle();
+        loop {
+            // Random peeking must not disturb the stream.
+            if let Some(k) = peek_iter.next() {
+                let _ = q.peek(k % depth);
+            }
+            match (q.pop(), direct.step()) {
+                (Some(entry), Ok(inst)) => {
+                    prop_assert_eq!(entry.inst, inst);
+                    prop_assert!(entry.wrong_path.is_none());
+                }
+                (None, Err(StepError::Halted)) => break,
+                (a, b) => prop_assert!(false, "queue/direct divergence: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    /// Wrong-path budget is respected exactly: never more instructions than
+    /// requested.
+    #[test]
+    fn wrong_path_budget_respected(p in arb_program(), budget in 0usize..32) {
+        let mut emu = Emulator::new(p.clone());
+        let bundle = emu.emulate_wrong_path(p.entry(), budget, &mut FollowComputed);
+        prop_assert!(bundle.insts.len() <= budget);
+    }
+}

@@ -1,0 +1,647 @@
+//! A label-based assembler / program builder.
+//!
+//! All workloads in this repository (GAP graph kernels, SPEC-like synthetic
+//! kernels) are written against this builder. It provides one method per
+//! mnemonic plus the usual pseudo-instructions, with string labels for
+//! control-flow targets; [`Asm::assemble`] lays out the instructions from a
+//! base address and patches every label reference.
+//!
+//! # Examples
+//!
+//! A count-down loop:
+//!
+//! ```
+//! use ffsim_isa::{Asm, Reg};
+//! let n = Reg::new(10);
+//! let mut a = Asm::new();
+//! a.li(n, 100);
+//! a.label("loop");
+//! a.addi(n, n, -1);
+//! a.bnez(n, "loop");
+//! a.halt();
+//! let prog = a.assemble()?;
+//! assert_eq!(prog.len(), 4);
+//! # Ok::<(), ffsim_isa::AsmError>(())
+//! ```
+
+use crate::instr::{Addr, AluOp, BranchCond, FpCmpOp, FpOp, Instr, MemWidth, INSTR_BYTES};
+use crate::program::{Program, DEFAULT_TEXT_BASE};
+use crate::reg::{FReg, Reg};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`Asm::assemble`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// A branch or jump referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The program contains no instructions.
+    EmptyProgram,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::DuplicateLabel(l) => write!(f, "label `{l}` defined more than once"),
+            AsmError::UndefinedLabel(l) => write!(f, "label `{l}` is referenced but never defined"),
+            AsmError::EmptyProgram => write!(f, "program contains no instructions"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+/// Incremental program builder with label resolution.
+///
+/// See the crate-level documentation for an example. Every emit method
+/// returns `&mut Self` so short sequences can be chained, while loops and
+/// conditionals in generator code can use statement form.
+#[derive(Clone, Default, Debug)]
+pub struct Asm {
+    base: Addr,
+    instrs: Vec<Instr>,
+    labels: HashMap<String, usize>,
+    /// (instruction index, label) pairs whose target needs patching.
+    fixups: Vec<(usize, String)>,
+    entry_label: Option<String>,
+}
+
+impl Asm {
+    /// Creates an empty builder with the default text base address.
+    #[must_use]
+    pub fn new() -> Asm {
+        Asm::with_base(DEFAULT_TEXT_BASE)
+    }
+
+    /// Creates an empty builder with an explicit text base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned.
+    #[must_use]
+    pub fn with_base(base: Addr) -> Asm {
+        assert_eq!(base % INSTR_BYTES, 0, "text base must be 4-byte aligned");
+        Asm {
+            base,
+            ..Asm::default()
+        }
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The address the next emitted instruction will occupy.
+    #[must_use]
+    pub fn here(&self) -> Addr {
+        self.base + self.instrs.len() as Addr * INSTR_BYTES
+    }
+
+    /// Defines a label at the current position. Labels may be defined before
+    /// or after the branches that reference them.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        // Duplicates are reported at assemble() time so the builder API
+        // stays infallible; remember the first definition and mark the
+        // conflict with a sentinel re-insert.
+        if self.labels.insert(name.clone(), self.instrs.len()).is_some() {
+            self.fixups.push((usize::MAX, name));
+        }
+        self
+    }
+
+    /// Marks the entry point at a label (defaults to the first instruction).
+    pub fn entry(&mut self, name: impl Into<String>) -> &mut Self {
+        self.entry_label = Some(name.into());
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn raw(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    fn emit_with_fixup(&mut self, i: Instr, label: impl Into<String>) -> &mut Self {
+        self.fixups.push((self.instrs.len(), label.into()));
+        self.instrs.push(i);
+        self
+    }
+
+    /// Resolves all labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] if the program is empty, a label is duplicated,
+    /// or a referenced label is undefined.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        if self.instrs.is_empty() {
+            return Err(AsmError::EmptyProgram);
+        }
+        let mut instrs = self.instrs.clone();
+        for (idx, label) in &self.fixups {
+            if *idx == usize::MAX {
+                return Err(AsmError::DuplicateLabel(label.clone()));
+            }
+            let target_idx = *self
+                .labels
+                .get(label)
+                .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+            let target = self.base + target_idx as Addr * INSTR_BYTES;
+            match &mut instrs[*idx] {
+                Instr::Branch { target: t, .. } | Instr::Jal { target: t, .. } => *t = target,
+                Instr::LoadImm { imm, .. } => *imm = target as i64,
+                other => unreachable!("fixup on non-branch instruction {other}"),
+            }
+        }
+        let entry = match &self.entry_label {
+            Some(l) => {
+                let idx = *self
+                    .labels
+                    .get(l)
+                    .ok_or_else(|| AsmError::UndefinedLabel(l.clone()))?;
+                self.base + idx as Addr * INSTR_BYTES
+            }
+            None => self.base,
+        };
+        Ok(Program::with_entry(self.base, entry, instrs))
+    }
+}
+
+macro_rules! alu_rr {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),* $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+                    self.raw(Instr::Alu { op: AluOp::$op, rd, rs1, rs2 })
+                }
+            )*
+        }
+    };
+}
+
+alu_rr! {
+    /// `rd = rs1 + rs2`
+    add => Add,
+    /// `rd = rs1 - rs2`
+    sub => Sub,
+    /// `rd = rs1 & rs2`
+    and_ => And,
+    /// `rd = rs1 | rs2`
+    or_ => Or,
+    /// `rd = rs1 ^ rs2`
+    xor => Xor,
+    /// `rd = rs1 << rs2`
+    sll => Sll,
+    /// `rd = rs1 >> rs2` (logical)
+    srl => Srl,
+    /// `rd = rs1 >> rs2` (arithmetic)
+    sra => Sra,
+    /// `rd = (rs1 <s rs2) as u64`
+    slt => Slt,
+    /// `rd = (rs1 <u rs2) as u64`
+    sltu => Sltu,
+    /// `rd = rs1 * rs2`
+    mul => Mul,
+    /// `rd = rs1 / rs2` (signed)
+    div => Div,
+    /// `rd = rs1 % rs2` (signed)
+    rem => Rem,
+}
+
+macro_rules! alu_ri {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),* $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+                    self.raw(Instr::AluImm { op: AluOp::$op, rd, rs1, imm })
+                }
+            )*
+        }
+    };
+}
+
+alu_ri! {
+    /// `rd = rs1 + imm`
+    addi => Add,
+    /// `rd = rs1 & imm`
+    andi => And,
+    /// `rd = rs1 | imm`
+    ori => Or,
+    /// `rd = rs1 ^ imm`
+    xori => Xor,
+    /// `rd = rs1 << imm`
+    slli => Sll,
+    /// `rd = rs1 >> imm` (logical)
+    srli => Srl,
+    /// `rd = rs1 >> imm` (arithmetic)
+    srai => Sra,
+    /// `rd = (rs1 <s imm) as u64`
+    slti => Slt,
+    /// `rd = rs1 * imm`
+    muli => Mul,
+    /// `rd = rs1 / imm` (signed)
+    divi => Div,
+    /// `rd = rs1 % imm` (signed)
+    remi => Rem,
+}
+
+macro_rules! loads {
+    ($($(#[$doc:meta])* $name:ident => ($w:ident, $s:expr)),* $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rd: Reg, offset: i64, base: Reg) -> &mut Self {
+                    self.raw(Instr::Load { rd, base, offset, width: MemWidth::$w, signed: $s })
+                }
+            )*
+        }
+    };
+}
+
+loads! {
+    /// Load signed byte.
+    lb => (B, true),
+    /// Load unsigned byte.
+    lbu => (B, false),
+    /// Load signed half-word.
+    lh => (H, true),
+    /// Load unsigned half-word.
+    lhu => (H, false),
+    /// Load signed word.
+    lw => (W, true),
+    /// Load unsigned word.
+    lwu => (W, false),
+    /// Load double-word.
+    ld => (D, true),
+}
+
+macro_rules! stores {
+    ($($(#[$doc:meta])* $name:ident => $w:ident),* $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, src: Reg, offset: i64, base: Reg) -> &mut Self {
+                    self.raw(Instr::Store { src, base, offset, width: MemWidth::$w })
+                }
+            )*
+        }
+    };
+}
+
+stores! {
+    /// Store byte.
+    sb => B,
+    /// Store half-word.
+    sh => H,
+    /// Store word.
+    sw => W,
+    /// Store double-word.
+    sd => D,
+}
+
+macro_rules! fp_ops {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),* $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
+                    self.raw(Instr::FpAlu { op: FpOp::$op, fd, fs1, fs2 })
+                }
+            )*
+        }
+    };
+}
+
+fp_ops! {
+    /// `fd = fs1 + fs2`
+    fadd => Add,
+    /// `fd = fs1 - fs2`
+    fsub => Sub,
+    /// `fd = fs1 * fs2`
+    fmul => Mul,
+    /// `fd = fs1 / fs2`
+    fdiv => Div,
+    /// `fd = min(fs1, fs2)`
+    fmin => Min,
+    /// `fd = max(fs1, fs2)`
+    fmax => Max,
+}
+
+macro_rules! branches {
+    ($($(#[$doc:meta])* $name:ident => $c:ident),* $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+                    self.emit_with_fixup(
+                        Instr::Branch { cond: BranchCond::$c, rs1, rs2, target: 0 },
+                        label,
+                    )
+                }
+            )*
+        }
+    };
+}
+
+branches! {
+    /// Branch if equal.
+    beq => Eq,
+    /// Branch if not equal.
+    bne => Ne,
+    /// Branch if signed less-than.
+    blt => Lt,
+    /// Branch if signed greater-or-equal.
+    bge => Ge,
+    /// Branch if unsigned less-than.
+    bltu => Ltu,
+    /// Branch if unsigned greater-or-equal.
+    bgeu => Geu,
+}
+
+impl Asm {
+    /// Load a 64-bit immediate.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.raw(Instr::LoadImm { rd, imm })
+    }
+
+    /// Load the *address* of a label (materialized once assembled).
+    pub fn la(&mut self, rd: Reg, label: impl Into<String>) -> &mut Self {
+        self.emit_with_fixup(Instr::LoadImm { rd, imm: 0 }, label)
+    }
+
+    /// Register move (`addi rd, rs, 0`).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.addi(rd, rs, 0)
+    }
+
+    /// FP load (double).
+    pub fn fld(&mut self, fd: FReg, offset: i64, base: Reg) -> &mut Self {
+        self.raw(Instr::FpLoad { fd, base, offset })
+    }
+
+    /// FP store (double).
+    pub fn fsd(&mut self, fs: FReg, offset: i64, base: Reg) -> &mut Self {
+        self.raw(Instr::FpStore { fs, base, offset })
+    }
+
+    /// FP compare equal into integer register.
+    pub fn feq(&mut self, rd: Reg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.raw(Instr::FpCmp {
+            op: FpCmpOp::Eq,
+            rd,
+            fs1,
+            fs2,
+        })
+    }
+
+    /// FP compare less-than into integer register.
+    pub fn flt(&mut self, rd: Reg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.raw(Instr::FpCmp {
+            op: FpCmpOp::Lt,
+            rd,
+            fs1,
+            fs2,
+        })
+    }
+
+    /// FP compare less-or-equal into integer register.
+    pub fn fle(&mut self, rd: Reg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.raw(Instr::FpCmp {
+            op: FpCmpOp::Le,
+            rd,
+            fs1,
+            fs2,
+        })
+    }
+
+    /// Convert signed integer to double.
+    pub fn fcvt_d_l(&mut self, fd: FReg, rs: Reg) -> &mut Self {
+        self.raw(Instr::IntToFp { fd, rs })
+    }
+
+    /// Convert double to signed integer (truncating).
+    pub fn fcvt_l_d(&mut self, rd: Reg, fs: FReg) -> &mut Self {
+        self.raw(Instr::FpToInt { rd, fs })
+    }
+
+    /// Branch if `rs` is zero.
+    pub fn beqz(&mut self, rs: Reg, label: impl Into<String>) -> &mut Self {
+        self.beq(rs, Reg::ZERO, label)
+    }
+
+    /// Branch if `rs` is non-zero.
+    pub fn bnez(&mut self, rs: Reg, label: impl Into<String>) -> &mut Self {
+        self.bne(rs, Reg::ZERO, label)
+    }
+
+    /// Branch if `rs1 <= rs2` (signed); encoded as `bge rs2, rs1`.
+    pub fn ble(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.bge(rs2, rs1, label)
+    }
+
+    /// Branch if `rs1 > rs2` (signed); encoded as `blt rs2, rs1`.
+    pub fn bgt(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.blt(rs2, rs1, label)
+    }
+
+    /// Unconditional direct jump.
+    pub fn j(&mut self, label: impl Into<String>) -> &mut Self {
+        self.emit_with_fixup(
+            Instr::Jal {
+                rd: Reg::ZERO,
+                target: 0,
+            },
+            label,
+        )
+    }
+
+    /// Direct jump-and-link with an explicit link register.
+    pub fn jal(&mut self, rd: Reg, label: impl Into<String>) -> &mut Self {
+        self.emit_with_fixup(Instr::Jal { rd, target: 0 }, label)
+    }
+
+    /// Call a label, linking in `x1`.
+    pub fn call(&mut self, label: impl Into<String>) -> &mut Self {
+        self.jal(Reg::RA, label)
+    }
+
+    /// Return through `x1`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.raw(Instr::Jalr {
+            rd: Reg::ZERO,
+            base: Reg::RA,
+            offset: 0,
+        })
+    }
+
+    /// Indirect jump through a register.
+    pub fn jr(&mut self, base: Reg) -> &mut Self {
+        self.raw(Instr::Jalr {
+            rd: Reg::ZERO,
+            base,
+            offset: 0,
+        })
+    }
+
+    /// Indirect jump-and-link.
+    pub fn jalr(&mut self, rd: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.raw(Instr::Jalr { rd, base, offset })
+    }
+
+    /// No operation.
+    pub fn nop(&mut self) -> &mut Self {
+        self.raw(Instr::Nop)
+    }
+
+    /// Halt the program.
+    pub fn halt(&mut self) -> &mut Self {
+        self.raw(Instr::Halt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let r = Reg::new(5);
+        let mut a = Asm::new();
+        a.li(r, 3);
+        a.label("top");
+        a.addi(r, r, -1);
+        a.bnez(r, "top");
+        a.j("done");
+        a.nop();
+        a.label("done");
+        a.halt();
+        let p = a.assemble().unwrap();
+        // bnez at index 2 targets index 1.
+        let b = p.instr_at(p.base() + 8).unwrap();
+        assert_eq!(b.direct_target(), Some(p.base() + 4));
+        // j at index 3 targets index 5.
+        let j = p.instr_at(p.base() + 12).unwrap();
+        assert_eq!(j.direct_target(), Some(p.base() + 20));
+    }
+
+    #[test]
+    fn la_materializes_label_address() {
+        let mut a = Asm::new();
+        a.la(Reg::new(1), "data");
+        a.halt();
+        a.label("data");
+        a.nop();
+        let p = a.assemble().unwrap();
+        match p.instr_at(p.base()).unwrap() {
+            Instr::LoadImm { imm, .. } => assert_eq!(*imm, (p.base() + 8) as i64),
+            other => panic!("expected li, got {other}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_reported() {
+        let mut a = Asm::new();
+        a.j("nowhere");
+        assert_eq!(
+            a.assemble(),
+            Err(AsmError::UndefinedLabel("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_reported() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+        a.halt();
+        assert_eq!(a.assemble(), Err(AsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn empty_program_is_reported() {
+        assert_eq!(Asm::new().assemble(), Err(AsmError::EmptyProgram));
+    }
+
+    #[test]
+    fn entry_label() {
+        let mut a = Asm::new();
+        a.nop();
+        a.label("start");
+        a.halt();
+        a.entry("start");
+        let p = a.assemble().unwrap();
+        assert_eq!(p.entry(), p.base() + 4);
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut a = Asm::with_base(0x2000);
+        assert_eq!(a.here(), 0x2000);
+        a.nop().nop();
+        assert_eq!(a.here(), 0x2008);
+    }
+
+    #[test]
+    fn call_and_ret_shapes() {
+        let mut a = Asm::new();
+        a.call("f");
+        a.halt();
+        a.label("f");
+        a.ret();
+        let p = a.assemble().unwrap();
+        assert_eq!(
+            p.instr_at(p.base()).unwrap().branch_kind(),
+            Some(crate::instr::BranchKind::DirectCall)
+        );
+        assert_eq!(
+            p.instr_at(p.base() + 8).unwrap().branch_kind(),
+            Some(crate::instr::BranchKind::Return)
+        );
+    }
+
+    #[test]
+    fn pseudo_branch_operand_swap() {
+        let mut a = Asm::new();
+        a.label("t");
+        a.ble(Reg::new(1), Reg::new(2), "t");
+        a.bgt(Reg::new(1), Reg::new(2), "t");
+        let p = a.assemble().unwrap();
+        match p.instr_at(p.base()).unwrap() {
+            Instr::Branch {
+                cond: BranchCond::Ge,
+                rs1,
+                rs2,
+                ..
+            } => {
+                assert_eq!((rs1.index(), rs2.index()), (2, 1));
+            }
+            other => panic!("unexpected {other}"),
+        }
+        match p.instr_at(p.base() + 4).unwrap() {
+            Instr::Branch {
+                cond: BranchCond::Lt,
+                rs1,
+                rs2,
+                ..
+            } => {
+                assert_eq!((rs1.index(), rs2.index()), (2, 1));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

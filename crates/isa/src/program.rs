@@ -1,0 +1,189 @@
+//! Assembled programs: a contiguous code image plus entry point.
+
+use crate::instr::{Addr, Instr, INSTR_BYTES};
+use std::fmt;
+
+/// Default base address for program text.
+pub const DEFAULT_TEXT_BASE: Addr = 0x1_0000;
+
+/// An assembled program: instructions laid out contiguously from a base
+/// address, executed starting at [`Program::entry`].
+///
+/// The program counter is a byte address; instruction `i` lives at
+/// `base + 4 * i`. Addresses outside the text image decode as invalid,
+/// which a wrong-path fetch treats as a reconstruction/emulation stop.
+///
+/// # Examples
+///
+/// ```
+/// use ffsim_isa::{Asm, Reg};
+/// let mut asm = Asm::new();
+/// asm.li(Reg::new(1), 42);
+/// asm.halt();
+/// let prog = asm.assemble()?;
+/// assert_eq!(prog.len(), 2);
+/// assert!(prog.instr_at(prog.entry()).is_some());
+/// # Ok::<(), ffsim_isa::AsmError>(())
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct Program {
+    base: Addr,
+    entry: Addr,
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Creates a program from raw instructions at a base address, entering
+    /// at the first instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not 4-byte aligned or `instrs` is empty.
+    #[must_use]
+    pub fn new(base: Addr, instrs: Vec<Instr>) -> Program {
+        assert_eq!(base % INSTR_BYTES, 0, "text base must be 4-byte aligned");
+        assert!(!instrs.is_empty(), "program must contain instructions");
+        Program {
+            base,
+            entry: base,
+            instrs,
+        }
+    }
+
+    /// Creates a program with an explicit entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Program::new`], or if `entry`
+    /// does not address an instruction in the image.
+    #[must_use]
+    pub fn with_entry(base: Addr, entry: Addr, instrs: Vec<Instr>) -> Program {
+        let mut p = Program::new(base, instrs);
+        assert!(
+            p.instr_at(entry).is_some(),
+            "entry point {entry:#x} outside program text"
+        );
+        p.entry = entry;
+        p
+    }
+
+    /// The address of the first instruction.
+    #[must_use]
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// The entry-point address.
+    #[must_use]
+    pub fn entry(&self) -> Addr {
+        self.entry
+    }
+
+    /// Number of instructions in the image.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program is empty (never true for a constructed program).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// One-past-the-end address of the text image.
+    #[must_use]
+    pub fn end(&self) -> Addr {
+        self.base + self.instrs.len() as Addr * INSTR_BYTES
+    }
+
+    /// The instruction at byte address `pc`, or `None` if `pc` is unaligned
+    /// or outside the image.
+    #[must_use]
+    pub fn instr_at(&self, pc: Addr) -> Option<&Instr> {
+        if pc < self.base || !pc.is_multiple_of(INSTR_BYTES) {
+            return None;
+        }
+        self.instrs.get(((pc - self.base) / INSTR_BYTES) as usize)
+    }
+
+    /// Whether `pc` addresses an instruction in the image.
+    #[must_use]
+    pub fn contains(&self, pc: Addr) -> bool {
+        self.instr_at(pc).is_some()
+    }
+
+    /// Iterates over `(address, instruction)` pairs in layout order.
+    pub fn iter(&self) -> impl Iterator<Item = (Addr, &Instr)> {
+        self.instrs
+            .iter()
+            .enumerate()
+            .map(move |(i, ins)| (self.base + i as Addr * INSTR_BYTES, ins))
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (addr, ins) in self.iter() {
+            let marker = if addr == self.entry { ">" } else { " " };
+            writeln!(f, "{marker}{addr:#8x}: {ins}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::Instr;
+
+    fn sample() -> Program {
+        Program::new(0x1000, vec![Instr::Nop, Instr::Nop, Instr::Halt])
+    }
+
+    #[test]
+    fn addressing_roundtrip() {
+        let p = sample();
+        assert_eq!(p.base(), 0x1000);
+        assert_eq!(p.entry(), 0x1000);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.end(), 0x100c);
+        assert_eq!(p.instr_at(0x1008), Some(&Instr::Halt));
+        assert!(p.instr_at(0x100c).is_none());
+        assert!(p.instr_at(0xffc).is_none());
+        assert!(p.instr_at(0x1002).is_none(), "unaligned pc must not decode");
+    }
+
+    #[test]
+    fn iter_yields_addresses_in_order() {
+        let p = sample();
+        let addrs: Vec<_> = p.iter().map(|(a, _)| a).collect();
+        assert_eq!(addrs, vec![0x1000, 0x1004, 0x1008]);
+    }
+
+    #[test]
+    fn explicit_entry() {
+        let p = Program::with_entry(0x1000, 0x1004, vec![Instr::Nop, Instr::Halt]);
+        assert_eq!(p.entry(), 0x1004);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside program text")]
+    fn bad_entry_panics() {
+        let _ = Program::with_entry(0x1000, 0x2000, vec![Instr::Nop]);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn unaligned_base_panics() {
+        let _ = Program::new(0x1001, vec![Instr::Nop]);
+    }
+
+    #[test]
+    fn display_marks_entry() {
+        let p = sample();
+        let text = p.to_string();
+        assert!(text.contains("halt"));
+        assert!(text.lines().next().unwrap().starts_with('>'));
+    }
+}

@@ -1,0 +1,231 @@
+//! Property-based tests for the ISA crate: instruction invariants, register
+//! set semantics, and assembler label resolution.
+
+use ffsim_isa::{
+    Addr, AluOp, ArchReg, Asm, BranchCond, ExecClass, FReg, FpOp, Instr, MemWidth, Program, Reg,
+    RegSet, INSTR_BYTES, NUM_ARCH_REGS,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn arb_freg() -> impl Strategy<Value = FReg> {
+    (0u8..16).prop_map(FReg::new)
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+    ]
+}
+
+fn arb_width() -> impl Strategy<Value = MemWidth> {
+    prop_oneof![
+        Just(MemWidth::B),
+        Just(MemWidth::H),
+        Just(MemWidth::W),
+        Just(MemWidth::D)
+    ]
+}
+
+/// Any instruction except control flow (branch targets need label context).
+fn arb_straightline_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+        (arb_alu_op(), arb_reg(), arb_reg(), any::<i32>()).prop_map(|(op, rd, rs1, imm)| {
+            Instr::AluImm {
+                op,
+                rd,
+                rs1,
+                imm: imm as i64,
+            }
+        }),
+        (arb_reg(), any::<i64>()).prop_map(|(rd, imm)| Instr::LoadImm { rd, imm }),
+        (arb_reg(), arb_reg(), any::<i16>(), arb_width(), any::<bool>()).prop_map(
+            |(rd, base, offset, width, signed)| Instr::Load {
+                rd,
+                base,
+                offset: offset as i64,
+                width,
+                signed,
+            }
+        ),
+        (arb_reg(), arb_reg(), any::<i16>(), arb_width()).prop_map(|(src, base, offset, width)| {
+            Instr::Store {
+                src,
+                base,
+                offset: offset as i64,
+                width,
+            }
+        }),
+        (arb_freg(), arb_freg(), arb_freg()).prop_map(|(fd, fs1, fs2)| Instr::FpAlu {
+            op: FpOp::Add,
+            fd,
+            fs1,
+            fs2,
+        }),
+        (arb_freg(), arb_reg(), any::<i16>()).prop_map(|(fd, base, offset)| Instr::FpLoad {
+            fd,
+            base,
+            offset: offset as i64,
+        }),
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+    ]
+}
+
+proptest! {
+    /// The zero register never appears as a source or destination operand.
+    #[test]
+    fn operands_never_contain_x0(i in arb_straightline_instr()) {
+        let zero = ArchReg::from(Reg::ZERO);
+        let ops = i.operands();
+        prop_assert!(ops.src_iter().all(|r| r != zero));
+        prop_assert!(ops.dst != Some(zero));
+    }
+
+    /// Every instruction has at most 2 sources and 1 destination, and all
+    /// operand flat indices are in range.
+    #[test]
+    fn operand_arity_and_range(i in arb_straightline_instr()) {
+        let ops = i.operands();
+        prop_assert!(ops.src_iter().count() <= 2);
+        for r in ops.src_iter().chain(ops.dst) {
+            prop_assert!(r.flat_index() < NUM_ARCH_REGS);
+        }
+    }
+
+    /// Disassembly is never empty and is stable (same instruction, same text).
+    #[test]
+    fn disassembly_nonempty_and_deterministic(i in arb_straightline_instr()) {
+        let a = i.to_string();
+        let b = i.to_string();
+        prop_assert!(!a.is_empty());
+        prop_assert_eq!(a, b);
+    }
+
+    /// Memory instructions are exactly the ones reporting `is_mem`, and
+    /// loads/stores partition them.
+    #[test]
+    fn mem_classification_consistent(i in arb_straightline_instr()) {
+        prop_assert_eq!(i.is_mem(), i.is_load() || i.is_store());
+        prop_assert!(!(i.is_load() && i.is_store()));
+        if i.is_load() {
+            prop_assert_eq!(i.exec_class(), ExecClass::Load);
+        }
+        if i.is_store() {
+            prop_assert_eq!(i.exec_class(), ExecClass::Store);
+        }
+    }
+
+    /// `RegSet` behaves like a reference `HashSet` under a random
+    /// insert/remove script.
+    #[test]
+    fn regset_matches_hashset(script in proptest::collection::vec((0u8..48, any::<bool>()), 0..64)) {
+        let mut set = RegSet::new();
+        let mut reference: HashSet<u8> = HashSet::new();
+        for (idx, insert) in script {
+            let r = ArchReg::from_flat(idx);
+            if insert {
+                set.insert(r);
+                reference.insert(idx);
+            } else {
+                set.remove(r);
+                reference.remove(&idx);
+            }
+        }
+        prop_assert_eq!(set.len(), reference.len());
+        for idx in 0..48u8 {
+            prop_assert_eq!(set.contains(ArchReg::from_flat(idx)), reference.contains(&idx));
+        }
+        let iterated: Vec<u8> = set.iter().map(|r| r.flat_index() as u8).collect();
+        let mut sorted_ref: Vec<u8> = reference.into_iter().collect();
+        sorted_ref.sort_unstable();
+        prop_assert_eq!(iterated, sorted_ref);
+    }
+
+    /// `intersects` agrees with a reference intersection check.
+    #[test]
+    fn regset_intersects_reference(
+        a in proptest::collection::hash_set(0u8..48, 0..16),
+        b in proptest::collection::hash_set(0u8..48, 0..16),
+    ) {
+        let sa: RegSet = a.iter().map(|&i| ArchReg::from_flat(i)).collect();
+        let sb: RegSet = b.iter().map(|&i| ArchReg::from_flat(i)).collect();
+        prop_assert_eq!(sa.intersects(sb), !a.is_disjoint(&b));
+        prop_assert_eq!(sa.union(sb).len(), a.union(&b).count());
+    }
+
+    /// A program built from N straight-line instructions plus a random set of
+    /// labeled backward/forward jumps assembles, and every jump target lands
+    /// on a valid instruction boundary inside the image.
+    #[test]
+    fn assembler_resolves_all_targets(
+        body in proptest::collection::vec(arb_straightline_instr(), 1..40),
+        jump_points in proptest::collection::vec((0usize..40, 0usize..40), 0..8),
+    ) {
+        let mut a = Asm::new();
+        // Define a label before every body instruction.
+        for (idx, ins) in body.iter().enumerate() {
+            a.label(format!("L{idx}"));
+            a.raw(*ins);
+        }
+        a.label(format!("L{}", body.len()));
+        for (from, to) in &jump_points {
+            let _ = from; // position does not matter; jumps appended at end
+            a.j(format!("L{}", to % (body.len() + 1)));
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        for (_, ins) in p.iter() {
+            if let Some(t) = ins.direct_target() {
+                prop_assert!(p.contains(t), "target {t:#x} escapes image");
+                prop_assert_eq!(t % INSTR_BYTES, 0);
+            }
+        }
+    }
+
+    /// `instr_at` is the inverse of layout order for arbitrary bases.
+    #[test]
+    fn program_addressing_inverse(
+        base_words in 1u64..1_000_000,
+        body in proptest::collection::vec(arb_straightline_instr(), 1..64),
+    ) {
+        let base: Addr = base_words * INSTR_BYTES;
+        let p = Program::new(base, body.clone());
+        for (i, ins) in body.iter().enumerate() {
+            prop_assert_eq!(p.instr_at(base + i as Addr * INSTR_BYTES), Some(ins));
+        }
+        prop_assert!(p.instr_at(p.end()).is_none());
+    }
+
+    /// Branch conditions on identical operands: Eq always taken, Ne never.
+    #[test]
+    fn branch_cond_smoke(r in arb_reg()) {
+        // This is an ISA-level structural test: conditions are distinct.
+        let conds = [BranchCond::Eq, BranchCond::Ne, BranchCond::Lt,
+                     BranchCond::Ge, BranchCond::Ltu, BranchCond::Geu];
+        let instrs: Vec<Instr> = conds
+            .iter()
+            .map(|&cond| Instr::Branch { cond, rs1: r, rs2: r, target: 0x1000 })
+            .collect();
+        let unique: HashSet<String> = instrs.iter().map(|i| i.to_string()).collect();
+        prop_assert_eq!(unique.len(), conds.len());
+    }
+}

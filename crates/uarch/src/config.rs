@@ -1,0 +1,382 @@
+//! Simulated core configuration — the reproduction of the paper's Table I.
+//!
+//! The paper configures its simulator "similar to a P-core of an Intel
+//! Alder Lake system (also known as Golden Cove microarchitecture)", with
+//! the LLC and memory bandwidth downscaled to per-core shares.
+//! [`CoreConfig::golden_cove_like`] encodes that configuration; every
+//! structure is independently adjustable for sensitivity studies.
+
+use ffsim_isa::ExecClass;
+
+/// Geometry and latency of one cache level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Access latency in cycles, charged on a hit at this level.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two sets,
+    /// capacity not divisible by `assoc * line_bytes`).
+    #[must_use]
+    pub fn num_sets(&self) -> u64 {
+        let way_bytes = self.assoc * self.line_bytes;
+        assert!(
+            way_bytes > 0 && self.size_bytes.is_multiple_of(way_bytes),
+            "cache size must be a multiple of assoc*line"
+        );
+        let sets = self.size_bytes / way_bytes;
+        assert!(sets.is_power_of_two(), "cache sets must be a power of two");
+        sets
+    }
+}
+
+/// TLB geometry and page-walk cost.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TlbConfig {
+    /// Number of entries (fully associative).
+    pub entries: usize,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Extra latency charged on a TLB miss (page walk).
+    pub walk_latency: u64,
+}
+
+/// DRAM latency and bandwidth.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DramConfig {
+    /// Fixed access latency in cycles (row access + controller).
+    pub latency: u64,
+    /// Minimum cycles between consecutive line transfers (line size /
+    /// per-core bandwidth) — models the downscaled per-core share the
+    /// paper uses.
+    pub cycles_per_line: u64,
+}
+
+/// Branch-prediction structure sizes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BranchConfig {
+    /// Global-history bits of the gshare direction predictor.
+    pub gshare_history_bits: u32,
+    /// log2 of the gshare pattern-history table entries.
+    pub gshare_table_bits: u32,
+    /// log2 of the bimodal table entries (hybrid chooser fallback).
+    pub bimodal_table_bits: u32,
+    /// Entries in the (tagged, direct-mapped) indirect target predictor.
+    pub indirect_entries: usize,
+    /// Return-address-stack depth.
+    pub ras_entries: usize,
+}
+
+/// Per-class functional-unit pools.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FuPool {
+    /// Number of units of this class.
+    pub count: usize,
+    /// Result latency in cycles.
+    pub latency: u64,
+    /// Whether the unit is pipelined (accepts one op per cycle) or blocks
+    /// for the full latency (divides).
+    pub pipelined: bool,
+}
+
+/// Complete single-core configuration.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CoreConfig {
+    /// Instructions fetched/decoded per cycle.
+    pub fetch_width: usize,
+    /// Instructions retired per cycle.
+    pub retire_width: usize,
+    /// Reorder-buffer entries.
+    pub rob_size: usize,
+    /// Issue-queue (scheduler) entries.
+    pub iq_size: usize,
+    /// Load-queue entries.
+    pub load_queue: usize,
+    /// Store-queue entries.
+    pub store_queue: usize,
+    /// Fetch-to-dispatch pipeline depth in cycles.
+    pub frontend_depth: u64,
+    /// Extra cycles to squash and restore rename state after a mispredict
+    /// resolves (added on top of `frontend_depth` for the refill).
+    pub redirect_penalty: u64,
+    /// Functional units for integer ALU ops.
+    pub int_alu: FuPool,
+    /// Functional units for integer multiplies.
+    pub int_mul: FuPool,
+    /// Functional units for integer divides.
+    pub int_div: FuPool,
+    /// Functional units for FP add/cmp/convert.
+    pub fp_add: FuPool,
+    /// Functional units for FP multiplies.
+    pub fp_mul: FuPool,
+    /// Functional units for FP divides.
+    pub fp_div: FuPool,
+    /// Load ports (address generation + access).
+    pub load_ports: FuPool,
+    /// Store ports.
+    pub store_ports: FuPool,
+    /// Branch execution units.
+    pub branch_units: FuPool,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Last-level cache (per-core share).
+    pub llc: CacheConfig,
+    /// Instruction TLB.
+    pub itlb: TlbConfig,
+    /// Data TLB.
+    pub dtlb: TlbConfig,
+    /// Main memory.
+    pub dram: DramConfig,
+    /// Branch predictor sizing.
+    pub branch: BranchConfig,
+    /// Enable the L2 next-line prefetcher (off by default; ablations only).
+    pub l2_next_line_prefetcher: bool,
+    /// Runahead depth of the functional→performance instruction queue.
+    pub queue_depth: usize,
+}
+
+impl CoreConfig {
+    /// A Golden Cove–like P-core, following the paper's experimental setup
+    /// (§IV): large OoO window (512-entry ROB — Table III notes "the
+    /// remaining instructions in the ROB (up to 512)"), 6-wide frontend,
+    /// and LLC capacity plus memory bandwidth downscaled to a single
+    /// core's share of a typical SKU.
+    #[must_use]
+    pub fn golden_cove_like() -> CoreConfig {
+        CoreConfig {
+            fetch_width: 6,
+            retire_width: 8,
+            rob_size: 512,
+            iq_size: 200,
+            load_queue: 192,
+            store_queue: 114,
+            frontend_depth: 10,
+            redirect_penalty: 7,
+            int_alu: FuPool {
+                count: 5,
+                latency: 1,
+                pipelined: true,
+            },
+            int_mul: FuPool {
+                count: 2,
+                latency: 3,
+                pipelined: true,
+            },
+            int_div: FuPool {
+                count: 1,
+                latency: 18,
+                pipelined: false,
+            },
+            fp_add: FuPool {
+                count: 3,
+                latency: 3,
+                pipelined: true,
+            },
+            fp_mul: FuPool {
+                count: 2,
+                latency: 4,
+                pipelined: true,
+            },
+            fp_div: FuPool {
+                count: 1,
+                latency: 14,
+                pipelined: false,
+            },
+            load_ports: FuPool {
+                count: 3,
+                latency: 1,
+                pipelined: true,
+            },
+            store_ports: FuPool {
+                count: 2,
+                latency: 1,
+                pipelined: true,
+            },
+            branch_units: FuPool {
+                count: 2,
+                latency: 1,
+                pipelined: true,
+            },
+            l1i: CacheConfig {
+                size_bytes: 32 * 1024,
+                assoc: 8,
+                line_bytes: 64,
+                latency: 1,
+            },
+            l1d: CacheConfig {
+                size_bytes: 48 * 1024,
+                assoc: 12,
+                line_bytes: 64,
+                latency: 5,
+            },
+            l2: CacheConfig {
+                size_bytes: 1280 * 1024,
+                assoc: 10,
+                line_bytes: 64,
+                latency: 15,
+            },
+            llc: CacheConfig {
+                // 3 MB per-core share (downscaled, as in the paper).
+                size_bytes: 3 * 1024 * 1024,
+                assoc: 12,
+                line_bytes: 64,
+                latency: 45,
+            },
+            itlb: TlbConfig {
+                entries: 128,
+                page_bytes: 4096,
+                walk_latency: 20,
+            },
+            dtlb: TlbConfig {
+                entries: 96,
+                page_bytes: 4096,
+                walk_latency: 20,
+            },
+            dram: DramConfig {
+                latency: 260,
+                // ~64B line over a ~5.3 B/cycle per-core share.
+                cycles_per_line: 12,
+            },
+            branch: BranchConfig {
+                gshare_history_bits: 14,
+                gshare_table_bits: 14,
+                bimodal_table_bits: 13,
+                indirect_entries: 512,
+                ras_entries: 32,
+            },
+            l2_next_line_prefetcher: false,
+            queue_depth: 2048,
+        }
+    }
+
+    /// A small core for fast unit tests: tiny caches and window so that
+    /// capacity effects show up with short programs.
+    #[must_use]
+    pub fn tiny_for_tests() -> CoreConfig {
+        let mut c = CoreConfig::golden_cove_like();
+        c.rob_size = 32;
+        c.iq_size = 16;
+        c.load_queue = 16;
+        c.store_queue = 16;
+        c.l1i = CacheConfig {
+            size_bytes: 1024,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 1,
+        };
+        c.l1d = CacheConfig {
+            size_bytes: 1024,
+            assoc: 2,
+            line_bytes: 64,
+            latency: 3,
+        };
+        c.l2 = CacheConfig {
+            size_bytes: 4096,
+            assoc: 4,
+            line_bytes: 64,
+            latency: 10,
+        };
+        c.llc = CacheConfig {
+            size_bytes: 16 * 1024,
+            assoc: 4,
+            line_bytes: 64,
+            latency: 30,
+        };
+        c.dram = DramConfig {
+            latency: 200,
+            cycles_per_line: 12,
+        };
+        c.queue_depth = 256;
+        c
+    }
+
+    /// The functional-unit pool serving an execution class.
+    #[must_use]
+    pub fn fu_pool(&self, class: ExecClass) -> FuPool {
+        match class {
+            ExecClass::IntAlu => self.int_alu,
+            ExecClass::IntMul => self.int_mul,
+            ExecClass::IntDiv => self.int_div,
+            ExecClass::FpAdd => self.fp_add,
+            ExecClass::FpMul => self.fp_mul,
+            ExecClass::FpDiv => self.fp_div,
+            ExecClass::Load => self.load_ports,
+            ExecClass::Store => self.store_ports,
+            ExecClass::Branch => self.branch_units,
+        }
+    }
+
+    /// The wrong-path instruction budget per misprediction: one ROB's
+    /// worth plus the frontend pipeline buffers (paper §III-B: "The wrong
+    /// path is always followed for one reorder buffer (ROB) size worth of
+    /// instructions (plus the frontend pipeline buffers)").
+    #[must_use]
+    pub fn wrong_path_budget(&self) -> usize {
+        self.rob_size + self.frontend_depth as usize * self.fetch_width
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> CoreConfig {
+        CoreConfig::golden_cove_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_cove_geometry_is_consistent() {
+        let c = CoreConfig::golden_cove_like();
+        assert_eq!(c.l1i.num_sets(), 64);
+        assert_eq!(c.l1d.num_sets(), 64);
+        assert_eq!(c.l2.num_sets(), 2048);
+        assert_eq!(c.llc.num_sets(), 4096);
+        assert_eq!(c.rob_size, 512);
+    }
+
+    #[test]
+    fn wrong_path_budget_covers_rob_plus_frontend() {
+        let c = CoreConfig::golden_cove_like();
+        assert_eq!(
+            c.wrong_path_budget(),
+            512 + (c.frontend_depth as usize) * c.fetch_width
+        );
+    }
+
+    #[test]
+    fn fu_pool_lookup() {
+        let c = CoreConfig::golden_cove_like();
+        assert!(!c.fu_pool(ExecClass::IntDiv).pipelined);
+        assert!(c.fu_pool(ExecClass::IntAlu).pipelined);
+        assert_eq!(c.fu_pool(ExecClass::Load).count, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let bad = CacheConfig {
+            size_bytes: 3 * 64 * 5,
+            assoc: 5,
+            line_bytes: 64,
+            latency: 1,
+        };
+        let _ = bad.num_sets();
+    }
+}

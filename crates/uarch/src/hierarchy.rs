@@ -1,0 +1,365 @@
+//! The memory hierarchy: L1I/L1D → unified L2 → LLC → DRAM, with TLBs.
+//!
+//! The hierarchy tracks line presence and recency only; data contents live
+//! in the functional simulator. Every access is attributed to a
+//! [`PathKind`], which is what makes wrong-path cache pollution and
+//! prefetching — the paper's central effect — observable: wrong-path
+//! fills warm (or pollute) the same line state later correct-path accesses
+//! hit.
+
+use crate::cache::{Cache, Lookup};
+use crate::config::CoreConfig;
+use crate::dram::Dram;
+use crate::path::PathKind;
+use crate::tlb::Tlb;
+use ffsim_isa::Addr;
+
+/// Which level served an access.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Level {
+    /// Served by the first-level cache.
+    L1,
+    /// Served by the unified L2.
+    L2,
+    /// Served by the last-level cache.
+    Llc,
+    /// Served by main memory.
+    Memory,
+}
+
+/// Latency and serving level of one access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccessResult {
+    /// Total latency in cycles (TLB walk + cache levels + DRAM queueing).
+    pub latency: u64,
+    /// The level that had the line.
+    pub served_by: Level,
+}
+
+/// A single-core cache/TLB/DRAM hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use ffsim_uarch::{MemoryHierarchy, CoreConfig, PathKind, Level};
+/// let cfg = CoreConfig::golden_cove_like();
+/// let mut mh = MemoryHierarchy::new(&cfg);
+/// let cold = mh.data_access(0x10_0000, false, 0, PathKind::Correct);
+/// assert_eq!(cold.served_by, Level::Memory);
+/// let warm = mh.data_access(0x10_0000, false, 100, PathKind::Correct);
+/// assert_eq!(warm.served_by, Level::L1);
+/// assert!(warm.latency < cold.latency);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    llc: Cache,
+    itlb: Tlb,
+    dtlb: Tlb,
+    dram: Dram,
+    line_bytes: u64,
+    next_line_prefetch: bool,
+    prefetch_issued: u64,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy described by `cfg`.
+    #[must_use]
+    pub fn new(cfg: &CoreConfig) -> MemoryHierarchy {
+        MemoryHierarchy {
+            l1i: Cache::new("L1I", cfg.l1i),
+            l1d: Cache::new("L1D", cfg.l1d),
+            l2: Cache::new("L2", cfg.l2),
+            llc: Cache::new("LLC", cfg.llc),
+            itlb: Tlb::new(cfg.itlb),
+            dtlb: Tlb::new(cfg.dtlb),
+            dram: Dram::new(cfg.dram),
+            line_bytes: cfg.l1d.line_bytes,
+            next_line_prefetch: cfg.l2_next_line_prefetcher,
+            prefetch_issued: 0,
+        }
+    }
+
+    /// The instruction cache (stats inspection).
+    #[must_use]
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// The data cache (stats inspection).
+    #[must_use]
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// The unified L2 (stats inspection).
+    #[must_use]
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// The last-level cache (stats inspection).
+    #[must_use]
+    pub fn llc(&self) -> &Cache {
+        &self.llc
+    }
+
+    /// The instruction TLB (stats inspection).
+    #[must_use]
+    pub fn itlb(&self) -> &Tlb {
+        &self.itlb
+    }
+
+    /// The data TLB (stats inspection).
+    #[must_use]
+    pub fn dtlb(&self) -> &Tlb {
+        &self.dtlb
+    }
+
+    /// Main memory (stats inspection).
+    #[must_use]
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// Number of prefetch fills issued by the optional L2 next-line
+    /// prefetcher.
+    #[must_use]
+    pub fn prefetches_issued(&self) -> u64 {
+        self.prefetch_issued
+    }
+
+    /// Resets all statistics (cache/TLB contents and the DRAM bandwidth
+    /// timeline are kept — use after warmup).
+    pub fn reset_stats(&mut self) {
+        self.l1i.reset_stats();
+        self.l1d.reset_stats();
+        self.l2.reset_stats();
+        self.llc.reset_stats();
+        self.itlb.reset_stats();
+        self.dtlb.reset_stats();
+        self.dram.reset_stats();
+    }
+
+    /// Handles a dirty line evicted from L2 by pushing it to the LLC,
+    /// chaining to DRAM bandwidth if the LLC evicts dirty in turn.
+    fn writeback_from_l2(&mut self, victim: Addr, now: u64, path: PathKind) {
+        if let Some(llc_victim) = self.llc.fill(victim, true) {
+            let _ = llc_victim;
+            // Dirty LLC eviction: consumes DRAM bandwidth off the critical
+            // path; the latency result is intentionally dropped.
+            let _ = self.dram.access(now, path);
+        }
+    }
+
+    /// Fetches a line into L2 (and below) without charging latency — the
+    /// optional next-line prefetcher.
+    fn prefetch_into_l2(&mut self, addr: Addr, now: u64, path: PathKind) {
+        if self.l2.probe(addr) {
+            return;
+        }
+        self.prefetch_issued += 1;
+        if !self.llc.probe(addr) {
+            let _ = self.dram.access(now, path);
+            if let Some(v) = self.llc.fill(addr, false) {
+                let _ = v;
+                let _ = self.dram.access(now, path);
+            }
+        }
+        if let Some(victim) = self.l2.fill(addr, false) {
+            self.writeback_from_l2(victim, now, path);
+        }
+    }
+
+    /// Common L2→LLC→DRAM walk; returns (additional latency, level).
+    fn access_below_l1(&mut self, addr: Addr, now: u64, path: PathKind) -> (u64, Level) {
+        let mut latency = self.l2.config().latency;
+        if self.l2.lookup(addr, false, path) == Lookup::Hit {
+            return (latency, Level::L2);
+        }
+        if self.next_line_prefetch {
+            self.prefetch_into_l2(addr + self.line_bytes, now, path);
+        }
+        latency += self.llc.config().latency;
+        let level = if self.llc.lookup(addr, false, path) == Lookup::Hit {
+            Level::Llc
+        } else {
+            latency += self.dram.access(now + latency, path);
+            if let Some(v) = self.llc.fill(addr, false) {
+                let _ = v;
+                let _ = self.dram.access(now + latency, path);
+            }
+            Level::Memory
+        };
+        if let Some(victim) = self.l2.fill(addr, false) {
+            self.writeback_from_l2(victim, now + latency, path);
+        }
+        (latency, level)
+    }
+
+    /// An instruction fetch of the line containing `pc` at cycle `now`.
+    pub fn fetch(&mut self, pc: Addr, now: u64, path: PathKind) -> AccessResult {
+        let mut latency = self.itlb.access(pc, path);
+        latency += self.l1i.config().latency;
+        if self.l1i.lookup(pc, false, path) == Lookup::Hit {
+            return AccessResult {
+                latency,
+                served_by: Level::L1,
+            };
+        }
+        let (below, level) = self.access_below_l1(pc, now + latency, path);
+        latency += below;
+        if let Some(victim) = self.l1i.fill(pc, false) {
+            // Instruction lines are never dirty; defensive writeback anyway.
+            self.writeback_from_l2(victim, now + latency, path);
+        }
+        AccessResult {
+            latency,
+            served_by: level,
+        }
+    }
+
+    /// A data access (load or store) at cycle `now`.
+    ///
+    /// Stores are modeled write-allocate/write-back: a store miss fetches
+    /// the line like a load and marks it dirty in L1D.
+    pub fn data_access(
+        &mut self,
+        addr: Addr,
+        is_write: bool,
+        now: u64,
+        path: PathKind,
+    ) -> AccessResult {
+        let mut latency = self.dtlb.access(addr, path);
+        latency += self.l1d.config().latency;
+        if self.l1d.lookup(addr, is_write, path) == Lookup::Hit {
+            return AccessResult {
+                latency,
+                served_by: Level::L1,
+            };
+        }
+        let (below, level) = self.access_below_l1(addr, now + latency, path);
+        latency += below;
+        if let Some(victim) = self.l1d.fill(addr, is_write) {
+            // Dirty L1D victim: write back into L2.
+            if let Some(l2_victim) = self.l2.fill(victim, true) {
+                self.writeback_from_l2(l2_victim, now + latency, path);
+            }
+        }
+        AccessResult {
+            latency,
+            served_by: level,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> MemoryHierarchy {
+        MemoryHierarchy::new(&CoreConfig::tiny_for_tests())
+    }
+
+    #[test]
+    fn levels_fill_on_the_way_up() {
+        let mut mh = hierarchy();
+        let r = mh.data_access(0x8000, false, 0, PathKind::Correct);
+        assert_eq!(r.served_by, Level::Memory);
+        assert!(mh.l1d().probe(0x8000));
+        assert!(mh.l2().probe(0x8000));
+        assert!(mh.llc().probe(0x8000));
+        let r = mh.data_access(0x8000, false, 10, PathKind::Correct);
+        assert_eq!(r.served_by, Level::L1);
+    }
+
+    #[test]
+    fn latency_ordering_l1_l2_llc_mem() {
+        let mut mh = hierarchy();
+        let mem = mh.data_access(0x8000, false, 0, PathKind::Correct).latency;
+        let l1 = mh.data_access(0x8000, false, 0, PathKind::Correct).latency;
+        // Evict from tiny L1D but not from L2 by touching conflicting sets.
+        // Tiny L1D: 1 KiB, 2-way, 64B lines → 8 sets; lines 0x8000 + 8*64*k
+        // conflict. Three fills evict the first.
+        let _ = mh.data_access(0x8000 + 0x200, false, 0, PathKind::Correct);
+        let _ = mh.data_access(0x8000 + 0x400, false, 0, PathKind::Correct);
+        let l2 = mh.data_access(0x8000, false, 0, PathKind::Correct);
+        assert_eq!(l2.served_by, Level::L2);
+        assert!(l1 < l2.latency && l2.latency < mem);
+    }
+
+    #[test]
+    fn wrong_path_fill_serves_correct_path_hit() {
+        // The paper's key positive-interference effect: a wrong-path access
+        // prefetches the line for the correct path.
+        let mut mh = hierarchy();
+        let r = mh.data_access(0x9000, false, 0, PathKind::Wrong);
+        assert_eq!(r.served_by, Level::Memory);
+        let r = mh.data_access(0x9000, false, 10, PathKind::Correct);
+        assert_eq!(r.served_by, Level::L1);
+        assert_eq!(mh.l1d().stats().misses.get(PathKind::Wrong), 1);
+        assert_eq!(mh.l1d().stats().hits.get(PathKind::Correct), 1);
+    }
+
+    #[test]
+    fn wrong_path_can_evict_correct_path_lines() {
+        // And the negative-interference effect: wrong-path fills evict.
+        let mut mh = hierarchy();
+        let _ = mh.data_access(0xa000, false, 0, PathKind::Correct);
+        // Two conflicting wrong-path lines evict 0xa000 from 2-way L1D.
+        let _ = mh.data_access(0xa200, false, 0, PathKind::Wrong);
+        let _ = mh.data_access(0xa400, false, 0, PathKind::Wrong);
+        assert!(!mh.l1d().probe(0xa000));
+        // Still in L2 though — tiny L2 is 4 KiB / 4-way.
+        assert!(mh.l2().probe(0xa000));
+    }
+
+    #[test]
+    fn stores_dirty_then_write_back() {
+        let mut mh = hierarchy();
+        let _ = mh.data_access(0xb000, true, 0, PathKind::Correct);
+        // Evict the dirty line from L1D.
+        let _ = mh.data_access(0xb200, false, 0, PathKind::Correct);
+        let _ = mh.data_access(0xb400, false, 0, PathKind::Correct);
+        assert!(!mh.l1d().probe(0xb000));
+        assert_eq!(mh.l1d().stats().writebacks, 1);
+    }
+
+    #[test]
+    fn instruction_and_data_paths_are_separate() {
+        let mut mh = hierarchy();
+        let _ = mh.fetch(0xc000, 0, PathKind::Correct);
+        assert!(mh.l1i().probe(0xc000));
+        assert!(!mh.l1d().probe(0xc000));
+        // Both share L2.
+        assert!(mh.l2().probe(0xc000));
+        let r = mh.data_access(0xc000, false, 10, PathKind::Correct);
+        assert_eq!(r.served_by, Level::L2);
+    }
+
+    #[test]
+    fn tlb_miss_adds_walk_latency() {
+        let mut mh = hierarchy();
+        let cold = mh.data_access(0xd000, false, 0, PathKind::Correct).latency;
+        // Same page, different line: TLB hit, otherwise same path depth.
+        // Use a far-future cycle so DRAM bandwidth queueing cannot differ.
+        let warm_tlb = mh
+            .data_access(0xd040, false, 1_000_000, PathKind::Correct)
+            .latency;
+        assert!(cold > warm_tlb);
+    }
+
+    #[test]
+    fn next_line_prefetcher_warms_l2() {
+        let mut cfg = CoreConfig::tiny_for_tests();
+        cfg.l2_next_line_prefetcher = true;
+        let mut mh = MemoryHierarchy::new(&cfg);
+        let _ = mh.data_access(0xe000, false, 0, PathKind::Correct);
+        assert!(mh.l2().probe(0xe040), "next line prefetched into L2");
+        assert!(mh.prefetches_issued() >= 1);
+        let r = mh.data_access(0xe040, false, 10, PathKind::Correct);
+        assert_eq!(r.served_by, Level::L2);
+    }
+}

@@ -1,0 +1,154 @@
+//! Breadth-first search (GAP `bfs`): queue-based top-down traversal.
+//!
+//! The inner loop's `if dist[v] == 0` visited check is a data-dependent
+//! branch over a sparsely-accessed array — the canonical wrong-path
+//! stressor. `dist` holds `level + 1` so that zero means "unvisited" in
+//! zero-initialized memory.
+
+use super::load_graph;
+use crate::graph::Graph;
+use crate::layout::DataLayout;
+use crate::workload::Workload;
+use ffsim_emu::Memory;
+use ffsim_isa::{Asm, Reg};
+
+/// Reference BFS: `dist[v] = level + 1`, 0 if unreachable.
+fn reference_dist(g: &Graph, source: usize) -> Vec<u64> {
+    let mut dist = vec![0u64; g.num_vertices()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source] = 1;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v as usize] == 0 {
+                dist[v as usize] = dist[u] + 1;
+                queue.push_back(v as usize);
+            }
+        }
+    }
+    dist
+}
+
+/// Builds the BFS workload from `source`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+#[must_use]
+pub fn bfs(g: &Graph, source: usize) -> Workload {
+    assert!(source < g.num_vertices(), "source out of range");
+    let n = g.num_vertices() as u64;
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let img = load_graph(g, &mut mem, &mut layout);
+    let dist = layout.alloc_u64_zeroed(n);
+    let queue = layout.alloc_u64_zeroed(n);
+
+    let offs = Reg::new(5);
+    let nbr = Reg::new(6);
+    let dist_r = Reg::new(7);
+    let queue_r = Reg::new(8);
+    let head = Reg::new(10);
+    let tail = Reg::new(11);
+    let u = Reg::new(12);
+    let du = Reg::new(13);
+    let i = Reg::new(14);
+    let end = Reg::new(15);
+    let v = Reg::new(16);
+    let t1 = Reg::new(17);
+    let t2 = Reg::new(18);
+
+    let mut a = Asm::new();
+    a.li(offs, img.offs as i64);
+    a.li(nbr, img.nbr as i64);
+    a.li(dist_r, dist as i64);
+    a.li(queue_r, queue as i64);
+    // dist[source] = 1; queue[0] = source; head = 0; tail = 1.
+    a.li(u, source as i64);
+    a.li(head, 0);
+    a.li(tail, 1);
+    a.slli(t1, u, 3);
+    a.add(t1, t1, dist_r);
+    a.li(t2, 1);
+    a.sd(t2, 0, t1);
+    a.sd(u, 0, queue_r);
+
+    a.label("outer");
+    a.bge(head, tail, "done");
+    // u = queue[head++]
+    a.slli(t1, head, 3);
+    a.add(t1, t1, queue_r);
+    a.ld(u, 0, t1);
+    a.addi(head, head, 1);
+    // du = dist[u]
+    a.slli(t1, u, 3);
+    a.add(t1, t1, dist_r);
+    a.ld(du, 0, t1);
+    // i = offs[u]; end = offs[u+1]
+    a.slli(t1, u, 3);
+    a.add(t1, t1, offs);
+    a.ld(i, 0, t1);
+    a.ld(end, 8, t1);
+    a.label("inner");
+    a.bge(i, end, "outer");
+    // v = nbr[i++]
+    a.slli(t1, i, 2);
+    a.add(t1, t1, nbr);
+    a.lwu(v, 0, t1);
+    a.addi(i, i, 1);
+    // visited check: the data-dependent branch
+    a.slli(t1, v, 3);
+    a.add(t1, t1, dist_r);
+    a.ld(t2, 0, t1);
+    a.bnez(t2, "inner");
+    // dist[v] = du + 1
+    a.addi(t2, du, 1);
+    a.sd(t2, 0, t1);
+    // queue[tail++] = v
+    a.slli(t1, tail, 3);
+    a.add(t1, t1, queue_r);
+    a.sd(v, 0, t1);
+    a.addi(tail, tail, 1);
+    a.j("inner");
+    a.label("done");
+    a.halt();
+
+    let expected = reference_dist(g, source);
+    Workload::new("bfs", a.assemble().expect("bfs assembles"), mem).with_validator(Box::new(
+        move |final_mem| {
+            for (vtx, &want) in expected.iter().enumerate() {
+                let got = final_mem.read_u64(dist + vtx as u64 * 8);
+                if got != want {
+                    return Err(format!("dist[{vtx}] = {got}, expected {want}"));
+                }
+            }
+            Ok(())
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_on_path_graph() {
+        // 0-1-2-3: distances 1,2,3,4.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let w = bfs(&g, 0);
+        w.run_and_validate(10_000).unwrap();
+    }
+
+    #[test]
+    fn bfs_with_unreachable_vertices() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        let w = bfs(&g, 0);
+        w.run_and_validate(10_000).unwrap();
+    }
+
+    #[test]
+    fn reference_matches_hand_computation() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (2, 3)]);
+        assert_eq!(reference_dist(&g, 0), vec![1, 2, 2, 3]);
+    }
+}

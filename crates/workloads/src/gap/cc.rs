@@ -1,0 +1,144 @@
+//! Connected components (GAP `cc`): label propagation to the minimum
+//! vertex id, iterated to a fixed point.
+//!
+//! The inner-loop `if comp[v] < comp[u]` comparison is a data-dependent
+//! branch over sparsely accessed labels.
+
+use super::load_graph;
+use crate::graph::Graph;
+use crate::layout::DataLayout;
+use crate::workload::Workload;
+use ffsim_emu::Memory;
+use ffsim_isa::{Asm, Reg};
+
+/// Reference: minimum vertex id per connected component.
+fn reference_components(g: &Graph) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut comp: Vec<u64> = (0..n as u64).collect();
+    // Simple BFS per component from ascending ids.
+    let mut visited = vec![false; n];
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let label = comp[start].min(start as u64);
+        let mut stack = vec![start];
+        visited[start] = true;
+        while let Some(u) = stack.pop() {
+            comp[u] = label;
+            for &v in g.neighbors(u) {
+                if !visited[v as usize] {
+                    visited[v as usize] = true;
+                    stack.push(v as usize);
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// Builds the connected-components workload.
+#[must_use]
+pub fn cc(g: &Graph) -> Workload {
+    let n = g.num_vertices() as u64;
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let img = load_graph(g, &mut mem, &mut layout);
+    let comp_host: Vec<u64> = (0..n).collect();
+    let comp = layout.alloc_u64_array(&mut mem, &comp_host);
+
+    let offs = Reg::new(5);
+    let nbr = Reg::new(6);
+    let comp_r = Reg::new(7);
+    let changed = Reg::new(10);
+    let u = Reg::new(11);
+    let n_r = Reg::new(12);
+    let i = Reg::new(13);
+    let end = Reg::new(14);
+    let v = Reg::new(15);
+    let cu = Reg::new(16);
+    let t1 = Reg::new(17);
+    let cv = Reg::new(18);
+
+    let mut a = Asm::new();
+    a.li(offs, img.offs as i64);
+    a.li(nbr, img.nbr as i64);
+    a.li(comp_r, comp as i64);
+    a.li(n_r, n as i64);
+
+    a.label("sweep");
+    a.li(changed, 0);
+    a.li(u, 0);
+    a.label("vertex");
+    a.bge(u, n_r, "sweep_done");
+    // cu = comp[u]
+    a.slli(t1, u, 3);
+    a.add(t1, t1, comp_r);
+    a.ld(cu, 0, t1);
+    // i = offs[u]; end = offs[u+1]
+    a.slli(t1, u, 3);
+    a.add(t1, t1, offs);
+    a.ld(i, 0, t1);
+    a.ld(end, 8, t1);
+    a.label("inner");
+    a.bge(i, end, "flush");
+    a.slli(t1, i, 2);
+    a.add(t1, t1, nbr);
+    a.lwu(v, 0, t1);
+    a.addi(i, i, 1);
+    // cv = comp[v]; the data-dependent branch
+    a.slli(t1, v, 3);
+    a.add(t1, t1, comp_r);
+    a.ld(cv, 0, t1);
+    a.bge(cv, cu, "inner");
+    a.mv(cu, cv);
+    a.li(changed, 1);
+    a.j("inner");
+    a.label("flush");
+    a.slli(t1, u, 3);
+    a.add(t1, t1, comp_r);
+    a.sd(cu, 0, t1);
+    a.addi(u, u, 1);
+    a.j("vertex");
+    a.label("sweep_done");
+    a.bnez(changed, "sweep");
+    a.halt();
+
+    let expected = reference_components(g);
+    Workload::new("cc", a.assemble().expect("cc assembles"), mem).with_validator(Box::new(
+        move |final_mem| {
+            for (vtx, &want) in expected.iter().enumerate() {
+                let got = final_mem.read_u64(comp + vtx as u64 * 8);
+                if got != want {
+                    return Err(format!("comp[{vtx}] = {got}, expected {want}"));
+                }
+            }
+            Ok(())
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cc_two_components() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        cc(&g).run_and_validate(1_000_000).unwrap();
+    }
+
+    #[test]
+    fn cc_single_chain_needs_propagation() {
+        // A long chain forces several label-propagation sweeps.
+        let edges: Vec<(u32, u32)> = (0..19).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(20, &edges);
+        cc(&g).run_and_validate(1_000_000).unwrap();
+    }
+
+    #[test]
+    fn reference_labels_min_id() {
+        let g = Graph::from_edges(5, &[(3, 4), (1, 2)]);
+        assert_eq!(reference_components(&g), vec![0, 1, 1, 3, 3]);
+    }
+}

@@ -1,0 +1,202 @@
+//! PageRank (GAP `pr`): pull-style power iteration.
+//!
+//! The paper singles out `pr` as the GAP kernel that is *insensitive* to
+//! wrong-path modeling "because it has no conditional branches in its
+//! inner loop" — the gather loop below branches only on the well-predicted
+//! loop counter.
+
+use super::load_graph;
+use crate::graph::Graph;
+use crate::layout::DataLayout;
+use crate::workload::Workload;
+use ffsim_emu::Memory;
+use ffsim_isa::{Asm, FReg, Reg};
+
+const ALPHA: f64 = 0.85;
+
+/// Reference PageRank, iterating in exactly the same order as the kernel
+/// so results match bit-for-bit.
+fn reference_scores(g: &Graph, iterations: usize) -> Vec<f64> {
+    let n = g.num_vertices();
+    let base = (1.0 - ALPHA) / n as f64;
+    let inv_deg: Vec<f64> = (0..n)
+        .map(|u| {
+            let d = g.degree(u);
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / d as f64
+            }
+        })
+        .collect();
+    let mut score = vec![1.0 / n as f64; n];
+    let mut contrib = vec![0.0f64; n];
+    for _ in 0..iterations {
+        for ((c, &s), &inv) in contrib.iter_mut().zip(&score).zip(&inv_deg) {
+            *c = s * inv;
+        }
+        for (u, s) in score.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for &v in g.neighbors(u) {
+                sum += contrib[v as usize];
+            }
+            *s = base + ALPHA * sum;
+        }
+    }
+    score
+}
+
+/// Builds the PageRank workload with the given number of power
+/// iterations.
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+#[must_use]
+pub fn pr(g: &Graph, iterations: usize) -> Workload {
+    assert!(iterations > 0, "need at least one iteration");
+    let n = g.num_vertices() as u64;
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let img = load_graph(g, &mut mem, &mut layout);
+
+    let inv_deg_host: Vec<f64> = (0..g.num_vertices())
+        .map(|u| {
+            let d = g.degree(u);
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / d as f64
+            }
+        })
+        .collect();
+    let score_host = vec![1.0 / n as f64; n as usize];
+    let base_val = (1.0 - ALPHA) / n as f64;
+
+    let score = layout.alloc_f64_array(&mut mem, &score_host);
+    let inv_deg = layout.alloc_f64_array(&mut mem, &inv_deg_host);
+    let contrib = layout.alloc_f64_zeroed(n);
+    let consts = layout.alloc_f64_array(&mut mem, &[ALPHA, base_val, 0.0]);
+
+    let offs = Reg::new(5);
+    let nbr = Reg::new(6);
+    let score_r = Reg::new(7);
+    let invdeg_r = Reg::new(8);
+    let contrib_r = Reg::new(9);
+    let iter = Reg::new(10);
+    let u = Reg::new(11);
+    let n_r = Reg::new(12);
+    let i = Reg::new(13);
+    let end = Reg::new(14);
+    let v = Reg::new(15);
+    let t1 = Reg::new(16);
+    let t2 = Reg::new(17);
+
+    let sum = FReg::new(1);
+    let tmp = FReg::new(2);
+    let alpha = FReg::new(10);
+    let base = FReg::new(11);
+    let zero = FReg::new(0);
+
+    let mut a = Asm::new();
+    a.li(offs, img.offs as i64);
+    a.li(nbr, img.nbr as i64);
+    a.li(score_r, score as i64);
+    a.li(invdeg_r, inv_deg as i64);
+    a.li(contrib_r, contrib as i64);
+    a.li(t1, consts as i64);
+    a.fld(alpha, 0, t1);
+    a.fld(base, 8, t1);
+    a.fld(zero, 16, t1);
+    a.li(iter, iterations as i64);
+    a.li(n_r, n as i64);
+
+    a.label("iteration");
+    // contrib[u] = score[u] * inv_deg[u]
+    a.li(u, 0);
+    a.label("contrib_loop");
+    a.bge(u, n_r, "contrib_done");
+    a.slli(t1, u, 3);
+    a.add(t2, t1, score_r);
+    a.fld(sum, 0, t2);
+    a.add(t2, t1, invdeg_r);
+    a.fld(tmp, 0, t2);
+    a.fmul(sum, sum, tmp);
+    a.add(t2, t1, contrib_r);
+    a.fsd(sum, 0, t2);
+    a.addi(u, u, 1);
+    a.j("contrib_loop");
+    a.label("contrib_done");
+
+    // score[u] = base + alpha * Σ contrib[v]
+    a.li(u, 0);
+    a.label("score_loop");
+    a.bge(u, n_r, "score_done");
+    a.fadd(sum, zero, zero);
+    a.slli(t1, u, 3);
+    a.add(t2, t1, offs);
+    a.ld(i, 0, t2);
+    a.ld(end, 8, t2);
+    // The branch-free (loop-counter-only) gather loop.
+    a.label("gather");
+    a.bge(i, end, "gather_done");
+    a.slli(t2, i, 2);
+    a.add(t2, t2, nbr);
+    a.lwu(v, 0, t2);
+    a.slli(t2, v, 3);
+    a.add(t2, t2, contrib_r);
+    a.fld(tmp, 0, t2);
+    a.fadd(sum, sum, tmp);
+    a.addi(i, i, 1);
+    a.j("gather");
+    a.label("gather_done");
+    a.fmul(sum, sum, alpha);
+    a.fadd(sum, sum, base);
+    a.add(t2, t1, score_r);
+    a.fsd(sum, 0, t2);
+    a.addi(u, u, 1);
+    a.j("score_loop");
+    a.label("score_done");
+
+    a.addi(iter, iter, -1);
+    a.bnez(iter, "iteration");
+    a.halt();
+
+    let expected = reference_scores(g, iterations);
+    Workload::new("pr", a.assemble().expect("pr assembles"), mem).with_validator(Box::new(
+        move |final_mem| {
+            for (vtx, &want) in expected.iter().enumerate() {
+                let got = final_mem.read_f64(score + vtx as u64 * 8);
+                if (got - want).abs() > 1e-12 {
+                    return Err(format!("score[{vtx}] = {got}, expected {want}"));
+                }
+            }
+            Ok(())
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pr_on_triangle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        pr(&g, 4).run_and_validate(100_000).unwrap();
+    }
+
+    #[test]
+    fn pr_with_dangling_vertex() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        pr(&g, 3).run_and_validate(100_000).unwrap();
+    }
+
+    #[test]
+    fn reference_scores_sum_stays_bounded() {
+        let g = Graph::uniform(64, 4, 11);
+        let s = reference_scores(&g, 5);
+        let total: f64 = s.iter().sum();
+        assert!(total > 0.0 && total <= 1.01);
+    }
+}

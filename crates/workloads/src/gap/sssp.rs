@@ -1,0 +1,173 @@
+//! Single-source shortest paths (GAP `sssp`): Bellman-Ford relaxation to
+//! a fixed point over integer edge weights.
+//!
+//! Two data-dependent branches per relaxation (`dist[u] == INF` skip and
+//! the `nd < dist[v]` improvement test) plus sparse `dist` accesses.
+
+use super::load_graph;
+use crate::graph::Graph;
+use crate::layout::DataLayout;
+use crate::workload::Workload;
+use ffsim_emu::Memory;
+use ffsim_isa::{Asm, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// "Infinite" distance marker (fits comfortably in 63 bits even after
+/// adding a weight).
+const INF: u64 = 1 << 40;
+
+/// Per-directed-edge-slot weights, deterministic in `seed`.
+fn edge_weights(g: &Graph, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..g.num_edges()).map(|_| rng.gen_range(1..16)).collect()
+}
+
+/// Reference shortest distances (Dijkstra over the directed CSR slots).
+fn reference_dist(g: &Graph, source: usize, weights: &[u32]) -> Vec<u64> {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    dist[source] = 0;
+    let mut heap = BinaryHeap::new();
+    heap.push(Reverse((0u64, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u] {
+            continue;
+        }
+        let lo = g.offsets()[u] as usize;
+        for (slot, &v) in g.neighbors(u).iter().enumerate() {
+            let nd = d + u64::from(weights[lo + slot]);
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v as usize)));
+            }
+        }
+    }
+    dist
+}
+
+/// Builds the SSSP workload from `source` with weights seeded by `seed`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+#[must_use]
+pub fn sssp(g: &Graph, source: usize, seed: u64) -> Workload {
+    assert!(source < g.num_vertices(), "source out of range");
+    let n = g.num_vertices() as u64;
+    let weights = edge_weights(g, seed);
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let img = load_graph(g, &mut mem, &mut layout);
+    let wgt = layout.alloc_u32_array(&mut mem, &weights);
+    let dist_host: Vec<u64> = (0..n as usize)
+        .map(|v| if v == source { 0 } else { INF })
+        .collect();
+    let dist = layout.alloc_u64_array(&mut mem, &dist_host);
+
+    let offs = Reg::new(5);
+    let nbr = Reg::new(6);
+    let wgt_r = Reg::new(7);
+    let dist_r = Reg::new(8);
+    let inf = Reg::new(9);
+    let changed = Reg::new(10);
+    let u = Reg::new(11);
+    let n_r = Reg::new(12);
+    let i = Reg::new(13);
+    let end = Reg::new(14);
+    let v = Reg::new(15);
+    let du = Reg::new(16);
+    let t1 = Reg::new(17);
+    let w = Reg::new(18);
+    let nd = Reg::new(19);
+    let dv = Reg::new(20);
+
+    let mut a = Asm::new();
+    a.li(offs, img.offs as i64);
+    a.li(nbr, img.nbr as i64);
+    a.li(wgt_r, wgt as i64);
+    a.li(dist_r, dist as i64);
+    a.li(inf, INF as i64);
+    a.li(n_r, n as i64);
+
+    a.label("sweep");
+    a.li(changed, 0);
+    a.li(u, 0);
+    a.label("vertex");
+    a.bge(u, n_r, "sweep_done");
+    // du = dist[u]; skip unreached vertices.
+    a.slli(t1, u, 3);
+    a.add(t1, t1, dist_r);
+    a.ld(du, 0, t1);
+    a.bge(du, inf, "next_vertex");
+    // i = offs[u]; end = offs[u+1]
+    a.slli(t1, u, 3);
+    a.add(t1, t1, offs);
+    a.ld(i, 0, t1);
+    a.ld(end, 8, t1);
+    a.label("inner");
+    a.bge(i, end, "next_vertex");
+    // v = nbr[i]; w = wgt[i]
+    a.slli(t1, i, 2);
+    a.add(t1, t1, nbr);
+    a.lwu(v, 0, t1);
+    a.slli(t1, i, 2);
+    a.add(t1, t1, wgt_r);
+    a.lwu(w, 0, t1);
+    a.addi(i, i, 1);
+    // nd = du + w; relax if better.
+    a.add(nd, du, w);
+    a.slli(t1, v, 3);
+    a.add(t1, t1, dist_r);
+    a.ld(dv, 0, t1);
+    a.bge(nd, dv, "inner");
+    a.sd(nd, 0, t1);
+    a.li(changed, 1);
+    a.j("inner");
+    a.label("next_vertex");
+    a.addi(u, u, 1);
+    a.j("vertex");
+    a.label("sweep_done");
+    a.bnez(changed, "sweep");
+    a.halt();
+
+    let expected = reference_dist(g, source, &weights);
+    Workload::new("sssp", a.assemble().expect("sssp assembles"), mem).with_validator(Box::new(
+        move |final_mem| {
+            for (vtx, &want) in expected.iter().enumerate() {
+                let got = final_mem.read_u64(dist + vtx as u64 * 8);
+                if got != want {
+                    return Err(format!("dist[{vtx}] = {got}, expected {want}"));
+                }
+            }
+            Ok(())
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sssp_on_small_graph() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 3), (3, 2), (2, 4)]);
+        sssp(&g, 0, 7).run_and_validate(1_000_000).unwrap();
+    }
+
+    #[test]
+    fn sssp_unreachable_stays_inf() {
+        let g = Graph::from_edges(4, &[(0, 1)]);
+        let w = sssp(&g, 0, 3);
+        w.run_and_validate(100_000).unwrap();
+    }
+
+    #[test]
+    fn weights_are_deterministic() {
+        let g = Graph::uniform(32, 4, 1);
+        assert_eq!(edge_weights(&g, 5), edge_weights(&g, 5));
+        assert_ne!(edge_weights(&g, 5), edge_weights(&g, 6));
+    }
+}

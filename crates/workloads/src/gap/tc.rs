@@ -1,0 +1,169 @@
+//! Triangle counting (GAP `tc`): sorted-adjacency two-pointer
+//! intersection.
+//!
+//! The paper notes `tc` is "mainly compute bound": its comparisons are
+//! branchy but its accesses sweep sorted adjacency lists sequentially, so
+//! the data cache behaves well and branch resolution is fast — wrong paths
+//! are short.
+
+use super::load_graph;
+use crate::graph::Graph;
+use crate::layout::DataLayout;
+use crate::workload::Workload;
+use ffsim_emu::Memory;
+use ffsim_isa::{Asm, Reg};
+
+/// Reference triangle count (each triangle counted once).
+fn reference_count(g: &Graph) -> u64 {
+    let mut count = 0u64;
+    for u in 0..g.num_vertices() {
+        for &v in g.neighbors(u) {
+            let v = v as usize;
+            if v >= u {
+                break;
+            }
+            // Count common neighbors w < v of u and v.
+            let (mut p, mut q) = (0, 0);
+            let (nu, nv) = (g.neighbors(u), g.neighbors(v));
+            while p < nu.len() && q < nv.len() {
+                let (a, b) = (nu[p], nv[q]);
+                if a >= v as u32 || b >= v as u32 {
+                    break;
+                }
+                match a.cmp(&b) {
+                    std::cmp::Ordering::Less => p += 1,
+                    std::cmp::Ordering::Greater => q += 1,
+                    std::cmp::Ordering::Equal => {
+                        count += 1;
+                        p += 1;
+                        q += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Builds the triangle-counting workload; the count is stored to a result
+/// word checked by the validator.
+#[must_use]
+pub fn tc(g: &Graph) -> Workload {
+    let n = g.num_vertices() as u64;
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let img = load_graph(g, &mut mem, &mut layout);
+    let result = layout.alloc_u64_zeroed(1);
+
+    let offs = Reg::new(5);
+    let nbr = Reg::new(6);
+    let count = Reg::new(10);
+    let u = Reg::new(11);
+    let n_r = Reg::new(12);
+    let i = Reg::new(13);
+    let end = Reg::new(14);
+    let v = Reg::new(15);
+    let p = Reg::new(16);
+    let q = Reg::new(17);
+    let t1 = Reg::new(18);
+    let av = Reg::new(19);
+    let bv = Reg::new(20);
+
+    let mut a = Asm::new();
+    a.li(offs, img.offs as i64);
+    a.li(nbr, img.nbr as i64);
+    a.li(count, 0);
+    a.li(n_r, n as i64);
+    a.li(u, 0);
+
+    a.label("vertex");
+    a.bge(u, n_r, "done");
+    a.slli(t1, u, 3);
+    a.add(t1, t1, offs);
+    a.ld(i, 0, t1);
+    a.ld(end, 8, t1);
+    a.label("edge");
+    a.bge(i, end, "next_vertex");
+    a.slli(t1, i, 2);
+    a.add(t1, t1, nbr);
+    a.lwu(v, 0, t1);
+    a.addi(i, i, 1);
+    // Sorted adjacency: once v >= u, no more lower neighbors.
+    a.bge(v, u, "next_vertex");
+    // Two-pointer intersection of adj(u) and adj(v), elements < v.
+    a.slli(t1, u, 3);
+    a.add(t1, t1, offs);
+    a.ld(p, 0, t1);
+    a.slli(t1, v, 3);
+    a.add(t1, t1, offs);
+    a.ld(q, 0, t1);
+    a.label("intersect");
+    // a = nbr[p]; stop when a >= v (v itself is in adj(u): terminator).
+    a.slli(t1, p, 2);
+    a.add(t1, t1, nbr);
+    a.lwu(av, 0, t1);
+    a.bge(av, v, "edge");
+    // b = nbr[q]; stop when b >= v (u > v is in adj(v): terminator).
+    a.slli(t1, q, 2);
+    a.add(t1, t1, nbr);
+    a.lwu(bv, 0, t1);
+    a.bge(bv, v, "edge");
+    a.blt(av, bv, "adv_p");
+    a.blt(bv, av, "adv_q");
+    a.addi(count, count, 1);
+    a.addi(p, p, 1);
+    a.addi(q, q, 1);
+    a.j("intersect");
+    a.label("adv_p");
+    a.addi(p, p, 1);
+    a.j("intersect");
+    a.label("adv_q");
+    a.addi(q, q, 1);
+    a.j("intersect");
+    a.label("next_vertex");
+    a.addi(u, u, 1);
+    a.j("vertex");
+    a.label("done");
+    a.li(t1, result as i64);
+    a.sd(count, 0, t1);
+    a.halt();
+
+    let expected = reference_count(g);
+    Workload::new("tc", a.assemble().expect("tc assembles"), mem).with_validator(Box::new(
+        move |final_mem| {
+            let got = final_mem.read_u64(result);
+            if got != expected {
+                return Err(format!("triangle count = {got}, expected {expected}"));
+            }
+            Ok(())
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tc_counts_one_triangle() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(reference_count(&g), 1);
+        tc(&g).run_and_validate(100_000).unwrap();
+    }
+
+    #[test]
+    fn tc_counts_k4() {
+        // K4 has 4 triangles.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(reference_count(&g), 4);
+        tc(&g).run_and_validate(100_000).unwrap();
+    }
+
+    #[test]
+    fn tc_triangle_free() {
+        // A star has no triangles.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(reference_count(&g), 0);
+        tc(&g).run_and_validate(100_000).unwrap();
+    }
+}

@@ -1,0 +1,225 @@
+//! Synthetic graph generation (uniform and RMAT/Kronecker) with CSR
+//! representation — the input substrate for the GAP benchmark kernels.
+//!
+//! The paper evaluates on the GAP benchmark suite over large real-world
+//! and synthetic graphs; this module generates the synthetic equivalent:
+//! RMAT (Kronecker) graphs with the skewed degree distributions that give
+//! graph analytics its data-dependent branches and sparse irregular
+//! accesses, plus uniform random graphs as a contrast.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An undirected graph in CSR (compressed sparse row) form with sorted
+/// adjacency lists.
+///
+/// # Examples
+///
+/// ```
+/// use ffsim_workloads::Graph;
+/// let g = Graph::uniform(128, 4, 42);
+/// assert_eq!(g.num_vertices(), 128);
+/// assert!(g.num_edges() > 0);
+/// for v in g.neighbors(0) { assert!((*v as usize) < 128); }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Graph {
+    offsets: Vec<u64>,
+    neighbors: Vec<u32>,
+}
+
+impl Graph {
+    /// Builds a graph from an edge list, symmetrizing, deduplicating and
+    /// sorting adjacency lists.
+    #[must_use]
+    pub fn from_edges(num_vertices: usize, edges: &[(u32, u32)]) -> Graph {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); num_vertices];
+        for &(u, v) in edges {
+            let (u, v) = (u as usize, v as usize);
+            if u == v || u >= num_vertices || v >= num_vertices {
+                continue;
+            }
+            adj[u].push(v as u32);
+            adj[v].push(u as u32);
+        }
+        let mut offsets = Vec::with_capacity(num_vertices + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len() as u64);
+        }
+        Graph { offsets, neighbors }
+    }
+
+    /// A uniform (Erdős–Rényi-style) random graph with `num_vertices`
+    /// vertices and about `avg_degree * num_vertices / 2` undirected
+    /// edges, deterministic in `seed`.
+    #[must_use]
+    pub fn uniform(num_vertices: usize, avg_degree: usize, seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = num_vertices * avg_degree / 2;
+        let edges: Vec<(u32, u32)> = (0..target)
+            .map(|_| {
+                (
+                    rng.gen_range(0..num_vertices as u32),
+                    rng.gen_range(0..num_vertices as u32),
+                )
+            })
+            .collect();
+        Graph::from_edges(num_vertices, &edges)
+    }
+
+    /// An RMAT (Kronecker) graph with the GAP-standard parameters
+    /// (a, b, c) = (0.57, 0.19, 0.19): skewed degrees, community
+    /// structure, the canonical graph-analytics stressor. `num_vertices`
+    /// is rounded up to a power of two.
+    #[must_use]
+    pub fn rmat(num_vertices: usize, avg_degree: usize, seed: u64) -> Graph {
+        let n = num_vertices.next_power_of_two();
+        let scale = n.trailing_zeros();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = n * avg_degree / 2;
+        let (a, b, c) = (0.57, 0.19, 0.19);
+        let edges: Vec<(u32, u32)> = (0..target)
+            .map(|_| {
+                let (mut u, mut v) = (0u32, 0u32);
+                for _ in 0..scale {
+                    u <<= 1;
+                    v <<= 1;
+                    let r: f64 = rng.gen();
+                    if r < a {
+                        // top-left quadrant: no bits set
+                    } else if r < a + b {
+                        v |= 1;
+                    } else if r < a + b + c {
+                        u |= 1;
+                    } else {
+                        u |= 1;
+                        v |= 1;
+                    }
+                }
+                (u, v)
+            })
+            .collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edge slots (2× undirected edges).
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The CSR offsets array (`num_vertices + 1` entries).
+    #[must_use]
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The CSR neighbors array.
+    #[must_use]
+    pub fn neighbor_array(&self) -> &[u32] {
+        &self.neighbors
+    }
+
+    /// The sorted neighbor list of vertex `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        let lo = self.offsets[u] as usize;
+        let hi = self.offsets[u + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// The degree of vertex `u`.
+    #[must_use]
+    pub fn degree(&self, u: usize) -> usize {
+        self.neighbors(u).len()
+    }
+
+    /// The vertex with the highest degree (a good BFS/SSSP/BC source on
+    /// skewed graphs — mirrors GAP's choice of high-degree sources).
+    #[must_use]
+    pub fn max_degree_vertex(&self) -> usize {
+        (0..self.num_vertices())
+            .max_by_key(|&u| self.degree(u))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_is_consistent() {
+        let g = Graph::uniform(100, 8, 1);
+        assert_eq!(g.offsets().len(), 101);
+        assert_eq!(*g.offsets().last().unwrap() as usize, g.num_edges());
+        let total: usize = (0..100).map(|u| g.degree(u)).sum();
+        assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn symmetric_and_loop_free() {
+        let g = Graph::uniform(64, 6, 7);
+        for u in 0..64 {
+            for &v in g.neighbors(u) {
+                assert_ne!(v as usize, u, "no self loops");
+                assert!(
+                    g.neighbors(v as usize).contains(&(u as u32)),
+                    "edge ({u},{v}) missing its reverse"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_sorted_and_deduped() {
+        let g = Graph::rmat(256, 8, 3);
+        for u in 0..g.num_vertices() {
+            let n = g.neighbors(u);
+            assert!(n.windows(2).all(|w| w[0] < w[1]), "vertex {u} not sorted");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Graph::rmat(512, 8, 99);
+        let b = Graph::rmat(512, 8, 99);
+        assert_eq!(a.offsets(), b.offsets());
+        assert_eq!(a.neighbor_array(), b.neighbor_array());
+        let c = Graph::rmat(512, 8, 100);
+        assert_ne!(a.neighbor_array(), c.neighbor_array());
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = Graph::rmat(1024, 16, 5);
+        let max_deg = (0..g.num_vertices()).map(|u| g.degree(u)).max().unwrap();
+        let avg = g.num_edges() / g.num_vertices();
+        assert!(
+            max_deg > 4 * avg,
+            "RMAT should have heavy-tail degrees: max {max_deg}, avg {avg}"
+        );
+        assert_eq!(g.max_degree_vertex(), g.max_degree_vertex());
+    }
+
+    #[test]
+    fn from_edges_ignores_invalid() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 1), (2, 9), (1, 0)]);
+        assert_eq!(g.num_edges(), 2); // only 0–1, symmetrized, deduped
+    }
+}

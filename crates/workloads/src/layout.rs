@@ -1,0 +1,149 @@
+//! Simulated-memory data layout: a bump allocator plus typed array
+//! writers, used by every workload to place its data segments before
+//! execution starts.
+
+use ffsim_emu::Memory;
+use ffsim_isa::Addr;
+
+/// Default base of the data segment (program text lives at 0x1_0000).
+pub const DATA_BASE: Addr = 0x1000_0000;
+
+/// A bump allocator over the simulated address space, with helpers to
+/// materialize typed arrays in a [`Memory`] image.
+///
+/// # Examples
+///
+/// ```
+/// use ffsim_workloads::DataLayout;
+/// use ffsim_emu::Memory;
+/// let mut mem = Memory::new();
+/// let mut layout = DataLayout::new();
+/// let a = layout.alloc_u64_array(&mut mem, &[1, 2, 3]);
+/// assert_eq!(mem.read_u64(a + 8), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DataLayout {
+    cursor: Addr,
+}
+
+impl DataLayout {
+    /// Starts allocating at [`DATA_BASE`].
+    #[must_use]
+    pub fn new() -> DataLayout {
+        DataLayout { cursor: DATA_BASE }
+    }
+
+    /// Starts allocating at a custom base address.
+    #[must_use]
+    pub fn with_base(base: Addr) -> DataLayout {
+        DataLayout { cursor: base }
+    }
+
+    /// Reserves `bytes` bytes aligned to `align` and returns the base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let base = (self.cursor + align - 1) & !(align - 1);
+        self.cursor = base + bytes;
+        base
+    }
+
+    /// Reserves a zeroed `u64` array of `len` elements.
+    pub fn alloc_u64_zeroed(&mut self, len: u64) -> Addr {
+        self.alloc(len * 8, 8)
+    }
+
+    /// Reserves a zeroed `u32` array of `len` elements.
+    pub fn alloc_u32_zeroed(&mut self, len: u64) -> Addr {
+        self.alloc(len * 4, 8)
+    }
+
+    /// Reserves a zeroed `f64` array of `len` elements.
+    pub fn alloc_f64_zeroed(&mut self, len: u64) -> Addr {
+        self.alloc(len * 8, 8)
+    }
+
+    /// Writes a `u64` array into memory and returns its base.
+    pub fn alloc_u64_array(&mut self, mem: &mut Memory, values: &[u64]) -> Addr {
+        let base = self.alloc(values.len() as u64 * 8, 8);
+        for (i, &v) in values.iter().enumerate() {
+            mem.write_u64(base + i as u64 * 8, v);
+        }
+        base
+    }
+
+    /// Writes a `u32` array into memory and returns its base.
+    pub fn alloc_u32_array(&mut self, mem: &mut Memory, values: &[u32]) -> Addr {
+        let base = self.alloc(values.len() as u64 * 4, 8);
+        for (i, &v) in values.iter().enumerate() {
+            mem.write_u32(base + i as u64 * 4, v);
+        }
+        base
+    }
+
+    /// Writes an `f64` array into memory and returns its base.
+    pub fn alloc_f64_array(&mut self, mem: &mut Memory, values: &[f64]) -> Addr {
+        let base = self.alloc(values.len() as u64 * 8, 8);
+        for (i, &v) in values.iter().enumerate() {
+            mem.write_f64(base + i as u64 * 8, v);
+        }
+        base
+    }
+
+    /// Writes a byte array into memory and returns its base.
+    pub fn alloc_bytes(&mut self, mem: &mut Memory, values: &[u8]) -> Addr {
+        let base = self.alloc(values.len() as u64, 8);
+        mem.write_bytes(base, values);
+        base
+    }
+
+    /// Total bytes allocated so far (footprint estimate).
+    #[must_use]
+    pub fn allocated(&self) -> u64 {
+        self.cursor - DATA_BASE
+    }
+}
+
+impl Default for DataLayout {
+    fn default() -> DataLayout {
+        DataLayout::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocation_is_aligned_and_disjoint() {
+        let mut l = DataLayout::new();
+        let a = l.alloc(10, 8);
+        let b = l.alloc(1, 64);
+        let c = l.alloc(8, 8);
+        assert_eq!(a % 8, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 10);
+        assert!(c > b);
+    }
+
+    #[test]
+    fn arrays_roundtrip() {
+        let mut mem = Memory::new();
+        let mut l = DataLayout::new();
+        let u = l.alloc_u32_array(&mut mem, &[7, 8, 9]);
+        let f = l.alloc_f64_array(&mut mem, &[1.5, -2.5]);
+        let b = l.alloc_bytes(&mut mem, b"hello");
+        assert_eq!(mem.read_u32(u + 4), 8);
+        assert_eq!(mem.read_f64(f + 8), -2.5);
+        assert_eq!(mem.read_u8(b + 4), b'o');
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        DataLayout::new().alloc(8, 3);
+    }
+}

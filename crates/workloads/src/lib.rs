@@ -1,0 +1,37 @@
+//! # ffsim-workloads — benchmark programs for the wrong-path simulator
+//!
+//! The workloads evaluated by *“Simulating Wrong-Path Instructions in
+//! Decoupled Functional-First Simulation”* (Eyerman et al., ISPASS 2023),
+//! rebuilt as synthetic equivalents for this repository's custom ISA:
+//!
+//! * [`gap`] — the six GAP benchmark kernels (bc, bfs, cc, pr, sssp, tc)
+//!   hand-written in assembly over synthetic RMAT/uniform graphs
+//!   ([`Graph`]), the paper's branch-miss-heavy, converging workloads;
+//! * [`speclike`] — a SPEC-CPU-2017-like suite of INT and FP kernels
+//!   reproducing the error *distribution* of the paper's Fig. 4;
+//! * [`Workload`] — program + memory image + result validator; every
+//!   bundled kernel checks its output against a Rust reference.
+//!
+//! # Examples
+//!
+//! ```
+//! use ffsim_workloads::{gap, Graph};
+//! let g = Graph::rmat(256, 8, 42);
+//! let w = gap::bfs(&g, g.max_degree_vertex());
+//! let instructions = w.run_and_validate(10_000_000)?;
+//! assert!(instructions > 1_000);
+//! # Ok::<(), String>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod gap;
+mod graph;
+mod layout;
+pub mod speclike;
+mod workload;
+
+pub use graph::Graph;
+pub use layout::{DataLayout, DATA_BASE};
+pub use workload::{Validator, Workload};

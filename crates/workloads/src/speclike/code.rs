@@ -1,0 +1,315 @@
+//! Code-footprint-oriented SPEC-like kernels.
+//!
+//! * [`big_code`] plays the role the paper attributes to `gcc`: thousands
+//!   of distinct basic blocks visited in pseudo-random order, so the
+//!   instruction footprint far exceeds the L1I. This is the kernel where
+//!   plain *instruction reconstruction* already pays off — wrong-path
+//!   fetch prefetches instruction lines for the correct path (§V-A:
+//!   "benchmarks, such as gcc, shift from negative towards 0% error").
+//! * [`interp_dispatch`] is a bytecode-interpreter loop with an indirect
+//!   dispatch jump per operation — the indirect-predictor stressor.
+
+use crate::layout::DataLayout;
+use crate::workload::Workload;
+use ffsim_emu::Memory;
+use ffsim_isa::{Asm, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn reg(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// One generated basic block's effect on the accumulator.
+#[derive(Clone, Copy, Debug)]
+enum BlockOp {
+    Xor(i64),
+    Add(i64),
+    Shl(i64),
+    Shr(i64),
+}
+
+impl BlockOp {
+    fn apply(self, acc: u64) -> u64 {
+        match self {
+            BlockOp::Xor(k) => acc ^ k as u64,
+            BlockOp::Add(k) => acc.wrapping_add(k as u64),
+            BlockOp::Shl(k) => acc.rotate_left(k as u32), // emitted as shl+shr+or
+            BlockOp::Shr(k) => acc.rotate_right(k as u32),
+        }
+    }
+}
+
+/// `gcc`-like: `num_blocks` distinct padded code blocks called through a
+/// stub table in pseudo-random order, `visits` calls total. The code
+/// footprint is ~64 bytes per block, far exceeding the L1I at bench
+/// scale.
+#[must_use]
+pub fn big_code(num_blocks: usize, visits: usize, seed: u64) -> Workload {
+    assert!(num_blocks >= 2, "need at least two blocks");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Each block applies 4 random ops to the accumulator.
+    let blocks: Vec<[BlockOp; 4]> = (0..num_blocks)
+        .map(|_| {
+            [(); 4].map(|()| match rng.gen_range(0..4) {
+                0 => BlockOp::Xor(rng.gen_range(1..1 << 30)),
+                1 => BlockOp::Add(rng.gen_range(1..1 << 30)),
+                2 => BlockOp::Shl(rng.gen_range(1..31)),
+                _ => BlockOp::Shr(rng.gen_range(1..31)),
+            })
+        })
+        .collect();
+    // The visit sequence (u32 block ids) lives in data memory.
+    let seq: Vec<u32> = (0..visits)
+        .map(|_| rng.gen_range(0..num_blocks as u32))
+        .collect();
+    let mut expect = 0x1234_5678_9abc_def0u64;
+    for &id in &seq {
+        for op in blocks[id as usize] {
+            expect = op.apply(expect);
+        }
+    }
+
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let seq_a = layout.alloc_u32_array(&mut mem, &seq);
+    let result = layout.alloc_u64_zeroed(1);
+
+    let seq_r = reg(5);
+    let stub_r = reg(6);
+    let acc = reg(28);
+    let tmp = reg(29);
+    let si = reg(10);
+    let nvisit = reg(11);
+    let t1 = reg(12);
+    let target = reg(13);
+
+    let mut a = Asm::new();
+    // Driver.
+    a.li(seq_r, seq_a as i64);
+    a.la(stub_r, "stubs");
+    a.li(acc, 0x1234_5678_9abc_def0u64 as i64);
+    a.li(si, 0);
+    a.li(nvisit, visits as i64);
+    a.label("drive");
+    a.bge(si, nvisit, "finish");
+    a.slli(t1, si, 2);
+    a.add(t1, t1, seq_r);
+    a.lwu(target, 0, t1);
+    a.addi(si, si, 1);
+    a.slli(target, target, 2); // one stub instruction per block
+    a.add(target, target, stub_r);
+    a.jalr(Reg::RA, target, 0); // indirect call into the stub table
+    a.j("drive");
+    a.label("finish");
+    a.li(t1, result as i64);
+    a.sd(acc, 0, t1);
+    a.halt();
+
+    // Stub table: one direct jump per block at stride 4 bytes.
+    a.label("stubs");
+    for id in 0..num_blocks {
+        a.j(format!("block{id}"));
+    }
+    // Blocks: 4 ops (rotates take 3 instructions) + ret, padded to a
+    // uniform 16-instruction (64-byte) footprint.
+    const BLOCK_INSTRS: usize = 16;
+    for (id, ops) in blocks.iter().enumerate() {
+        let start = a.len();
+        a.label(format!("block{id}"));
+        for op in ops {
+            match *op {
+                BlockOp::Xor(k) => {
+                    a.xori(acc, acc, k);
+                }
+                BlockOp::Add(k) => {
+                    a.addi(acc, acc, k);
+                }
+                BlockOp::Shl(k) => {
+                    a.slli(tmp, acc, k);
+                    a.srli(acc, acc, 64 - k);
+                    a.or_(acc, acc, tmp);
+                }
+                BlockOp::Shr(k) => {
+                    a.srli(tmp, acc, k);
+                    a.slli(acc, acc, 64 - k);
+                    a.or_(acc, acc, tmp);
+                }
+            }
+        }
+        a.ret();
+        while a.len() - start < BLOCK_INSTRS {
+            a.nop();
+        }
+    }
+
+    Workload::new("big_code", a.assemble().expect("assembles"), mem).with_validator(Box::new(
+        move |m| {
+            let got = m.read_u64(result);
+            (got == expect)
+                .then_some(())
+                .ok_or_else(|| format!("acc {got:#x}, expected {expect:#x}"))
+        },
+    ))
+}
+
+const INTERP_KEY: i64 = 0x9E37_79B9;
+
+fn interp_step(op: u8, acc: u64, t: u64) -> (u64, u64) {
+    match op {
+        0 => (acc.wrapping_add(1), t),
+        1 => (acc ^ t, t),
+        2 => (acc << 1, t),
+        3 => (acc >> 1, t),
+        4 => (acc, t.wrapping_add(acc)),
+        5 => (acc.wrapping_sub(t), t),
+        6 => (acc, t ^ INTERP_KEY as u64),
+        _ => (acc.wrapping_mul(5), t),
+    }
+}
+
+/// `perlbench`-like: a bytecode interpreter whose dispatch is an indirect
+/// jump through a handler table, one per executed operation.
+#[must_use]
+pub fn interp_dispatch(num_ops: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bytecode: Vec<u8> = (0..num_ops).map(|_| rng.gen_range(0..8)).collect();
+    let mut acc_e = 7u64;
+    let mut t_e = 3u64;
+    for &op in &bytecode {
+        let (a2, t2) = interp_step(op, acc_e, t_e);
+        acc_e = a2;
+        t_e = t2;
+    }
+
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let code_a = layout.alloc_bytes(&mut mem, &bytecode);
+    let result = layout.alloc_u64_zeroed(2);
+
+    let code_r = reg(5);
+    let handlers = reg(6);
+    let acc = reg(28);
+    let t = reg(27);
+    let vpc = reg(10);
+    let nops = reg(11);
+    let t1 = reg(12);
+    let op = reg(13);
+    let tmp = reg(14);
+
+    // Handlers are padded to a uniform stride so the dispatch can compute
+    // the target address arithmetically.
+    const HANDLER_INSTRS: usize = 8;
+
+    let mut a = Asm::new();
+    a.li(code_r, code_a as i64);
+    a.la(handlers, "handlers");
+    a.li(acc, 7);
+    a.li(t, 3);
+    a.li(vpc, 0);
+    a.li(nops, num_ops as i64);
+    a.label("dispatch");
+    a.bge(vpc, nops, "finish");
+    a.add(t1, vpc, code_r);
+    a.lbu(op, 0, t1);
+    a.addi(vpc, vpc, 1);
+    a.slli(op, op, 5); // HANDLER_INSTRS * 4 = 32 bytes
+    a.add(op, op, handlers);
+    a.jr(op); // indirect dispatch
+    a.label("finish");
+    a.li(t1, result as i64);
+    a.sd(acc, 0, t1);
+    a.sd(t, 8, t1);
+    a.halt();
+
+    a.label("handlers");
+    let pad_to = |a: &mut Asm, start: usize| {
+        while a.len() - start < HANDLER_INSTRS {
+            a.nop();
+        }
+    };
+    // op 0: acc += 1
+    let s = a.len();
+    a.addi(acc, acc, 1);
+    a.j("dispatch");
+    pad_to(&mut a, s);
+    // op 1: acc ^= t
+    let s = a.len();
+    a.xor(acc, acc, t);
+    a.j("dispatch");
+    pad_to(&mut a, s);
+    // op 2: acc <<= 1
+    let s = a.len();
+    a.slli(acc, acc, 1);
+    a.j("dispatch");
+    pad_to(&mut a, s);
+    // op 3: acc >>= 1
+    let s = a.len();
+    a.srli(acc, acc, 1);
+    a.j("dispatch");
+    pad_to(&mut a, s);
+    // op 4: t += acc
+    let s = a.len();
+    a.add(t, t, acc);
+    a.j("dispatch");
+    pad_to(&mut a, s);
+    // op 5: acc -= t
+    let s = a.len();
+    a.sub(acc, acc, t);
+    a.j("dispatch");
+    pad_to(&mut a, s);
+    // op 6: t ^= KEY
+    let s = a.len();
+    a.li(tmp, INTERP_KEY);
+    a.xor(t, t, tmp);
+    a.j("dispatch");
+    pad_to(&mut a, s);
+    // op 7: acc *= 5
+    let s = a.len();
+    a.muli(acc, acc, 5);
+    a.j("dispatch");
+    pad_to(&mut a, s);
+
+    Workload::new("interp_dispatch", a.assemble().expect("assembles"), mem).with_validator(
+        Box::new(move |m| {
+            let got_acc = m.read_u64(result);
+            let got_t = m.read_u64(result + 8);
+            if got_acc != acc_e {
+                return Err(format!("acc {got_acc:#x}, expected {acc_e:#x}"));
+            }
+            if got_t != t_e {
+                return Err(format!("t {got_t:#x}, expected {t_e:#x}"));
+            }
+            Ok(())
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_code_validates() {
+        big_code(50, 500, 1).run_and_validate(500_000).unwrap();
+    }
+
+    #[test]
+    fn big_code_footprint_scales_with_blocks() {
+        let small = big_code(10, 10, 2);
+        let large = big_code(200, 10, 2);
+        assert!(large.program().len() > small.program().len() + 190 * 16);
+    }
+
+    #[test]
+    fn interp_dispatch_validates() {
+        interp_dispatch(1000, 3).run_and_validate(500_000).unwrap();
+    }
+
+    #[test]
+    fn interp_step_semantics() {
+        assert_eq!(interp_step(0, 10, 0).0, 11);
+        assert_eq!(interp_step(7, 10, 0).0, 50);
+        assert_eq!(interp_step(5, 10, 4).0, 6);
+    }
+}

@@ -1,0 +1,616 @@
+//! Floating-point (regular) SPEC-like kernels: streaming, dense linear
+//! algebra, stencils, reductions, polynomial evaluation, sparse
+//! matrix-vector, and an n-body step.
+//!
+//! These play the role of SPEC FP in the paper's Fig. 4: regular
+//! number-crunching with well-predicted loop branches, where every
+//! wrong-path technique (including none at all) lands near 0% error.
+
+use crate::layout::DataLayout;
+use crate::workload::Workload;
+use ffsim_emu::Memory;
+use ffsim_isa::{Asm, FReg, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn reg(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+fn freg(i: u8) -> FReg {
+    FReg::new(i)
+}
+
+fn check_f64_array(
+    mem: &ffsim_emu::Memory,
+    base: u64,
+    expected: &[f64],
+    what: &str,
+) -> Result<(), String> {
+    for (i, &want) in expected.iter().enumerate() {
+        let got = mem.read_f64(base + i as u64 * 8);
+        let tol = 1e-9 * want.abs().max(1.0);
+        if (got - want).abs() > tol {
+            return Err(format!("{what}[{i}] = {got}, expected {want}"));
+        }
+    }
+    Ok(())
+}
+
+/// `lbm`-like: STREAM triad `a[i] = b[i] + s * c[i]`, repeated.
+#[must_use]
+pub fn stream_triad(n: usize, iters: usize) -> Workload {
+    let b_host: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+    let c_host: Vec<f64> = (0..n).map(|i| (n - i) as f64 * 0.25).collect();
+    let scalar = 3.0;
+    let mut expect = vec![0.0f64; n];
+    for _ in 0..iters {
+        for i in 0..n {
+            expect[i] = b_host[i] + scalar * c_host[i];
+        }
+    }
+
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let a_a = layout.alloc_f64_zeroed(n as u64);
+    let b_a = layout.alloc_f64_array(&mut mem, &b_host);
+    let c_a = layout.alloc_f64_array(&mut mem, &c_host);
+    let consts = layout.alloc_f64_array(&mut mem, &[scalar]);
+
+    let (ab, bb, cb) = (reg(5), reg(6), reg(7));
+    let (it, i, n_r, t1) = (reg(10), reg(11), reg(12), reg(13));
+    let (fb, fc, fs) = (freg(1), freg(2), freg(10));
+
+    let mut a = Asm::new();
+    a.li(ab, a_a as i64);
+    a.li(bb, b_a as i64);
+    a.li(cb, c_a as i64);
+    a.li(t1, consts as i64);
+    a.fld(fs, 0, t1);
+    a.li(n_r, n as i64);
+    a.li(it, iters as i64);
+    a.label("iter");
+    a.li(i, 0);
+    a.label("loop");
+    a.bge(i, n_r, "iter_done");
+    a.slli(t1, i, 3);
+    a.add(t1, t1, bb);
+    a.fld(fb, 0, t1);
+    a.slli(t1, i, 3);
+    a.add(t1, t1, cb);
+    a.fld(fc, 0, t1);
+    a.fmul(fc, fc, fs);
+    a.fadd(fb, fb, fc);
+    a.slli(t1, i, 3);
+    a.add(t1, t1, ab);
+    a.fsd(fb, 0, t1);
+    a.addi(i, i, 1);
+    a.j("loop");
+    a.label("iter_done");
+    a.addi(it, it, -1);
+    a.bnez(it, "iter");
+    a.halt();
+
+    Workload::new("stream_triad", a.assemble().expect("assembles"), mem).with_validator(
+        Box::new(move |m| check_f64_array(m, a_a, &expect, "a")),
+    )
+}
+
+/// `cactuBSSN`-like: dense matrix-vector product `y = A·x`, repeated with
+/// `x ← y` normalization-free chaining.
+#[must_use]
+pub fn dense_mv(n: usize, iters: usize) -> Workload {
+    let a_host: Vec<f64> = (0..n * n)
+        .map(|k| ((k % 17) as f64 - 8.0) / (n as f64 * 16.0))
+        .collect();
+    let mut x_host: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    let mut y_expect = vec![0.0f64; n];
+    for _ in 0..iters {
+        for i in 0..n {
+            let mut acc = 0.0;
+            for j in 0..n {
+                acc += a_host[i * n + j] * x_host[j];
+            }
+            y_expect[i] = acc;
+        }
+        std::mem::swap(&mut x_host, &mut y_expect);
+    }
+    std::mem::swap(&mut x_host, &mut y_expect); // y_expect holds last output
+
+    let x_init: Vec<f64> = (0..n).map(|i| 1.0 + (i % 5) as f64).collect();
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let mat = layout.alloc_f64_array(&mut mem, &a_host);
+    let x_a = layout.alloc_f64_array(&mut mem, &x_init);
+    let y_a = layout.alloc_f64_zeroed(n as u64);
+    let consts = layout.alloc_f64_array(&mut mem, &[0.0]);
+
+    let (mb, xb, yb) = (reg(5), reg(6), reg(7));
+    let (it, i, j, n_r, t1, row, xr, yr) = (
+        reg(10),
+        reg(11),
+        reg(12),
+        reg(13),
+        reg(14),
+        reg(15),
+        reg(16),
+        reg(17),
+    );
+    let (acc, fa, fx, zero) = (freg(1), freg(2), freg(3), freg(0));
+
+    let mut a = Asm::new();
+    a.li(mb, mat as i64);
+    a.li(xb, x_a as i64);
+    a.li(yb, y_a as i64);
+    a.li(t1, consts as i64);
+    a.fld(zero, 0, t1);
+    a.li(n_r, n as i64);
+    a.li(it, iters as i64);
+    // xr/yr swap between iterations.
+    a.mv(xr, xb);
+    a.mv(yr, yb);
+    a.label("iter");
+    a.li(i, 0);
+    a.mv(row, mb);
+    a.label("rows");
+    a.bge(i, n_r, "iter_done");
+    a.fadd(acc, zero, zero);
+    a.li(j, 0);
+    a.label("cols");
+    a.bge(j, n_r, "row_done");
+    a.slli(t1, j, 3);
+    a.add(t1, t1, row);
+    a.fld(fa, 0, t1);
+    a.slli(t1, j, 3);
+    a.add(t1, t1, xr);
+    a.fld(fx, 0, t1);
+    a.fmul(fa, fa, fx);
+    a.fadd(acc, acc, fa);
+    a.addi(j, j, 1);
+    a.j("cols");
+    a.label("row_done");
+    a.slli(t1, i, 3);
+    a.add(t1, t1, yr);
+    a.fsd(acc, 0, t1);
+    a.slli(t1, n_r, 3);
+    a.add(row, row, t1);
+    a.addi(i, i, 1);
+    a.j("rows");
+    a.label("iter_done");
+    // swap xr and yr
+    a.mv(t1, xr);
+    a.mv(xr, yr);
+    a.mv(yr, t1);
+    a.addi(it, it, -1);
+    a.bnez(it, "iter");
+    a.halt();
+
+    // Iteration 1 writes y_a, iteration 2 writes x_a, ...: the final
+    // output lives in y_a for odd iteration counts, x_a for even.
+    let out = if iters % 2 == 1 { y_a } else { x_a };
+    Workload::new("dense_mv", a.assemble().expect("assembles"), mem).with_validator(Box::new(
+        move |m| check_f64_array(m, out, &y_expect, "y"),
+    ))
+}
+
+/// 3-point stencil smoothing with buffer ping-pong.
+#[must_use]
+pub fn stencil3(n: usize, iters: usize) -> Workload {
+    assert!(n >= 3, "stencil needs at least 3 points");
+    let third = 1.0 / 3.0;
+    let mut cur: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64).collect();
+    let init = cur.clone();
+    let mut nxt = cur.clone();
+    for _ in 0..iters {
+        for i in 1..n - 1 {
+            nxt[i] = (cur[i - 1] + cur[i] + cur[i + 1]) * third;
+        }
+        nxt[0] = cur[0];
+        nxt[n - 1] = cur[n - 1];
+        std::mem::swap(&mut cur, &mut nxt);
+    }
+
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let buf_a = layout.alloc_f64_array(&mut mem, &init);
+    let buf_b = layout.alloc_f64_array(&mut mem, &init);
+    let consts = layout.alloc_f64_array(&mut mem, &[third]);
+
+    let (ab, bb) = (reg(5), reg(6));
+    let (it, i, limit, t1, src, dst) = (reg(10), reg(11), reg(12), reg(13), reg(14), reg(15));
+    let (f1, f2, fthird) = (freg(1), freg(2), freg(10));
+
+    let mut a = Asm::new();
+    a.li(ab, buf_a as i64);
+    a.li(bb, buf_b as i64);
+    a.li(t1, consts as i64);
+    a.fld(fthird, 0, t1);
+    a.li(limit, (n - 1) as i64);
+    a.li(it, iters as i64);
+    a.mv(src, ab);
+    a.mv(dst, bb);
+    a.label("iter");
+    a.li(i, 1);
+    a.label("loop");
+    a.bge(i, limit, "iter_done");
+    a.slli(t1, i, 3);
+    a.add(t1, t1, src);
+    a.fld(f1, -8, t1);
+    a.fld(f2, 0, t1);
+    a.fadd(f1, f1, f2);
+    a.fld(f2, 8, t1);
+    a.fadd(f1, f1, f2);
+    a.fmul(f1, f1, fthird);
+    a.slli(t1, i, 3);
+    a.add(t1, t1, dst);
+    a.fsd(f1, 0, t1);
+    a.addi(i, i, 1);
+    a.j("loop");
+    a.label("iter_done");
+    a.mv(t1, src);
+    a.mv(src, dst);
+    a.mv(dst, t1);
+    a.addi(it, it, -1);
+    a.bnez(it, "iter");
+    a.halt();
+
+    let out = if iters % 2 == 1 { buf_b } else { buf_a };
+    let expect = cur;
+    Workload::new("stencil3", a.assemble().expect("assembles"), mem).with_validator(Box::new(
+        move |m| check_f64_array(m, out, &expect, "grid"),
+    ))
+}
+
+/// `nab`-like reduction: repeated dot products.
+#[must_use]
+pub fn dot_product(n: usize, iters: usize) -> Workload {
+    let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
+    let mut dot = 0.0f64;
+    for i in 0..n {
+        dot += x[i] * y[i];
+    }
+    let expect = dot * iters as f64;
+
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let x_a = layout.alloc_f64_array(&mut mem, &x);
+    let y_a = layout.alloc_f64_array(&mut mem, &y);
+    let consts = layout.alloc_f64_array(&mut mem, &[0.0]);
+    let result = layout.alloc_f64_zeroed(1);
+
+    let (xb, yb) = (reg(5), reg(6));
+    let (it, i, n_r, t1) = (reg(10), reg(11), reg(12), reg(13));
+    let (total, acc, fx, fy, zero) = (freg(4), freg(1), freg(2), freg(3), freg(0));
+
+    let mut a = Asm::new();
+    a.li(xb, x_a as i64);
+    a.li(yb, y_a as i64);
+    a.li(t1, consts as i64);
+    a.fld(zero, 0, t1);
+    a.fadd(total, zero, zero);
+    a.li(n_r, n as i64);
+    a.li(it, iters as i64);
+    a.label("iter");
+    a.fadd(acc, zero, zero);
+    a.li(i, 0);
+    a.label("loop");
+    a.bge(i, n_r, "iter_done");
+    a.slli(t1, i, 3);
+    a.add(t1, t1, xb);
+    a.fld(fx, 0, t1);
+    a.slli(t1, i, 3);
+    a.add(t1, t1, yb);
+    a.fld(fy, 0, t1);
+    a.fmul(fx, fx, fy);
+    a.fadd(acc, acc, fx);
+    a.addi(i, i, 1);
+    a.j("loop");
+    a.label("iter_done");
+    a.fadd(total, total, acc);
+    a.addi(it, it, -1);
+    a.bnez(it, "iter");
+    a.li(t1, result as i64);
+    a.fsd(total, 0, t1);
+    a.halt();
+
+    Workload::new("dot_product", a.assemble().expect("assembles"), mem).with_validator(
+        Box::new(move |m| {
+            let got = m.read_f64(result);
+            let tol = 1e-9 * expect.abs().max(1.0);
+            ((got - expect).abs() <= tol)
+                .then_some(())
+                .ok_or_else(|| format!("dot = {got}, expected {expect}"))
+        }),
+    )
+}
+
+/// Horner polynomial evaluation over many points — long FP dependence
+/// chains, negligible memory traffic.
+#[must_use]
+pub fn poly_eval(points: usize, degree: usize) -> Workload {
+    let coeffs: Vec<f64> = (0..=degree).map(|k| 1.0 / (k + 1) as f64).collect();
+    let xs: Vec<f64> = (0..points).map(|i| (i % 200) as f64 / 100.0 - 1.0).collect();
+    let expect: Vec<f64> = xs
+        .iter()
+        .map(|&x| coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c))
+        .collect();
+
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let c_a = layout.alloc_f64_array(&mut mem, &coeffs);
+    let x_a = layout.alloc_f64_array(&mut mem, &xs);
+    let out_a = layout.alloc_f64_zeroed(points as u64);
+
+    let (cb, xb, ob) = (reg(5), reg(6), reg(7));
+    let (p, np, k, t1) = (reg(10), reg(11), reg(12), reg(13));
+    let (acc, fx, fc) = (freg(1), freg(2), freg(3));
+
+    let mut a = Asm::new();
+    a.li(cb, c_a as i64);
+    a.li(xb, x_a as i64);
+    a.li(ob, out_a as i64);
+    a.li(np, points as i64);
+    a.li(p, 0);
+    a.label("point");
+    a.bge(p, np, "done");
+    a.slli(t1, p, 3);
+    a.add(t1, t1, xb);
+    a.fld(fx, 0, t1);
+    // acc = c[degree]
+    a.li(k, degree as i64);
+    a.slli(t1, k, 3);
+    a.add(t1, t1, cb);
+    a.fld(acc, 0, t1);
+    a.label("horner");
+    a.beqz(k, "store");
+    a.addi(k, k, -1);
+    a.fmul(acc, acc, fx);
+    a.slli(t1, k, 3);
+    a.add(t1, t1, cb);
+    a.fld(fc, 0, t1);
+    a.fadd(acc, acc, fc);
+    a.j("horner");
+    a.label("store");
+    a.slli(t1, p, 3);
+    a.add(t1, t1, ob);
+    a.fsd(acc, 0, t1);
+    a.addi(p, p, 1);
+    a.j("point");
+    a.label("done");
+    a.halt();
+
+    Workload::new("poly_eval", a.assemble().expect("assembles"), mem).with_validator(Box::new(
+        move |m| check_f64_array(m, out_a, &expect, "poly"),
+    ))
+}
+
+/// `fotonik`-ish: sparse matrix-vector product in CSR — regular FP with a
+/// gathered inner loop (mildly irregular for an FP code).
+#[must_use]
+pub fn spmv(n: usize, nnz_per_row: usize, iters: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    offsets.push(0u64);
+    for _ in 0..n {
+        let mut row: Vec<u32> = (0..nnz_per_row)
+            .map(|_| rng.gen_range(0..n as u32))
+            .collect();
+        row.sort_unstable();
+        row.dedup();
+        for &c in &row {
+            cols.push(c);
+            vals.push(rng.gen_range(-1.0..1.0));
+        }
+        offsets.push(cols.len() as u64);
+    }
+    let x: Vec<f64> = (0..n).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect();
+    let mut y_expect = vec![0.0f64; n];
+    let mut x_cur = x.clone();
+    for _ in 0..iters {
+        for i in 0..n {
+            let mut acc = 0.0;
+            for k in offsets[i] as usize..offsets[i + 1] as usize {
+                acc += vals[k] * x_cur[cols[k] as usize];
+            }
+            y_expect[i] = acc;
+        }
+        std::mem::swap(&mut x_cur, &mut y_expect);
+    }
+    std::mem::swap(&mut x_cur, &mut y_expect);
+
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let offs_a = layout.alloc_u64_array(&mut mem, &offsets);
+    let cols_a = layout.alloc_u32_array(&mut mem, &cols);
+    let vals_a = layout.alloc_f64_array(&mut mem, &vals);
+    let x_a = layout.alloc_f64_array(&mut mem, &x);
+    let y_a = layout.alloc_f64_zeroed(n as u64);
+    let consts = layout.alloc_f64_array(&mut mem, &[0.0]);
+
+    let (offs, colb, valb, xr, yr) = (reg(5), reg(6), reg(7), reg(8), reg(9));
+    let (it, i, n_r, k, endk, t1, c) = (
+        reg(10),
+        reg(11),
+        reg(12),
+        reg(13),
+        reg(14),
+        reg(15),
+        reg(16),
+    );
+    let (acc, fv, fx, zero) = (freg(1), freg(2), freg(3), freg(0));
+
+    let mut a = Asm::new();
+    a.li(offs, offs_a as i64);
+    a.li(colb, cols_a as i64);
+    a.li(valb, vals_a as i64);
+    a.li(xr, x_a as i64);
+    a.li(yr, y_a as i64);
+    a.li(t1, consts as i64);
+    a.fld(zero, 0, t1);
+    a.li(n_r, n as i64);
+    a.li(it, iters as i64);
+    a.label("iter");
+    a.li(i, 0);
+    a.label("rows");
+    a.bge(i, n_r, "iter_done");
+    a.fadd(acc, zero, zero);
+    a.slli(t1, i, 3);
+    a.add(t1, t1, offs);
+    a.ld(k, 0, t1);
+    a.ld(endk, 8, t1);
+    a.label("nnz");
+    a.bge(k, endk, "row_done");
+    a.slli(t1, k, 2);
+    a.add(t1, t1, colb);
+    a.lwu(c, 0, t1);
+    a.slli(t1, k, 3);
+    a.add(t1, t1, valb);
+    a.fld(fv, 0, t1);
+    a.slli(t1, c, 3);
+    a.add(t1, t1, xr);
+    a.fld(fx, 0, t1);
+    a.fmul(fv, fv, fx);
+    a.fadd(acc, acc, fv);
+    a.addi(k, k, 1);
+    a.j("nnz");
+    a.label("row_done");
+    a.slli(t1, i, 3);
+    a.add(t1, t1, yr);
+    a.fsd(acc, 0, t1);
+    a.addi(i, i, 1);
+    a.j("rows");
+    a.label("iter_done");
+    a.mv(t1, xr);
+    a.mv(xr, yr);
+    a.mv(yr, t1);
+    a.addi(it, it, -1);
+    a.bnez(it, "iter");
+    a.halt();
+
+    // Same ping-pong parity as dense_mv: odd iteration counts end in y_a.
+    let out = if iters % 2 == 1 { y_a } else { x_a };
+    Workload::new("spmv", a.assemble().expect("assembles"), mem).with_validator(Box::new(
+        move |m| check_f64_array(m, out, &y_expect, "y"),
+    ))
+}
+
+/// A 1-D n-body force accumulation step — FP-divide heavy, O(n²) compute
+/// over a tiny working set.
+#[must_use]
+pub fn nbody_step(bodies: usize, iters: usize) -> Workload {
+    let pos: Vec<f64> = (0..bodies).map(|i| i as f64 * 1.5 + 0.25).collect();
+    let eps = 0.01;
+    let mut force_expect = vec![0.0f64; bodies];
+    for _ in 0..iters {
+        for i in 0..bodies {
+            let mut f = force_expect[i];
+            for j in 0..bodies {
+                let dx = pos[j] - pos[i];
+                let r2 = dx * dx + eps;
+                f += dx / r2;
+            }
+            force_expect[i] = f;
+        }
+    }
+
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let pos_a = layout.alloc_f64_array(&mut mem, &pos);
+    let force_a = layout.alloc_f64_zeroed(bodies as u64);
+    let consts = layout.alloc_f64_array(&mut mem, &[eps]);
+
+    let (pb, fb) = (reg(5), reg(6));
+    let (it, i, j, n_r, t1) = (reg(10), reg(11), reg(12), reg(13), reg(14));
+    let (facc, fxi, fxj, ftmp, feps) = (freg(1), freg(2), freg(3), freg(4), freg(10));
+
+    let mut a = Asm::new();
+    a.li(pb, pos_a as i64);
+    a.li(fb, force_a as i64);
+    a.li(t1, consts as i64);
+    a.fld(feps, 0, t1);
+    a.li(n_r, bodies as i64);
+    a.li(it, iters as i64);
+    a.label("iter");
+    a.li(i, 0);
+    a.label("outer");
+    a.bge(i, n_r, "iter_done");
+    a.slli(t1, i, 3);
+    a.add(t1, t1, pb);
+    a.fld(fxi, 0, t1);
+    a.slli(t1, i, 3);
+    a.add(t1, t1, fb);
+    a.fld(facc, 0, t1);
+    a.li(j, 0);
+    a.label("inner");
+    a.bge(j, n_r, "inner_done");
+    a.slli(t1, j, 3);
+    a.add(t1, t1, pb);
+    a.fld(fxj, 0, t1);
+    a.fsub(fxj, fxj, fxi); // dx
+    a.fmul(ftmp, fxj, fxj);
+    a.fadd(ftmp, ftmp, feps); // r2
+    a.fdiv(fxj, fxj, ftmp);
+    a.fadd(facc, facc, fxj);
+    a.addi(j, j, 1);
+    a.j("inner");
+    a.label("inner_done");
+    a.slli(t1, i, 3);
+    a.add(t1, t1, fb);
+    a.fsd(facc, 0, t1);
+    a.addi(i, i, 1);
+    a.j("outer");
+    a.label("iter_done");
+    a.addi(it, it, -1);
+    a.bnez(it, "iter");
+    a.halt();
+
+    Workload::new("nbody_step", a.assemble().expect("assembles"), mem).with_validator(Box::new(
+        move |m| check_f64_array(m, force_a, &force_expect, "force"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_triad_validates() {
+        stream_triad(200, 3).run_and_validate(100_000).unwrap();
+    }
+
+    #[test]
+    fn dense_mv_validates_odd_and_even_iters() {
+        dense_mv(12, 3).run_and_validate(100_000).unwrap();
+        dense_mv(12, 4).run_and_validate(100_000).unwrap();
+    }
+
+    #[test]
+    fn stencil3_validates_odd_and_even_iters() {
+        stencil3(64, 3).run_and_validate(100_000).unwrap();
+        stencil3(64, 4).run_and_validate(100_000).unwrap();
+    }
+
+    #[test]
+    fn dot_product_validates() {
+        dot_product(300, 2).run_and_validate(100_000).unwrap();
+    }
+
+    #[test]
+    fn poly_eval_validates() {
+        poly_eval(100, 8).run_and_validate(100_000).unwrap();
+    }
+
+    #[test]
+    fn spmv_validates() {
+        spmv(64, 6, 2, 3).run_and_validate(200_000).unwrap();
+        spmv(64, 6, 3, 3).run_and_validate(200_000).unwrap();
+    }
+
+    #[test]
+    fn nbody_validates() {
+        nbody_step(24, 2).run_and_validate(200_000).unwrap();
+    }
+}

@@ -1,0 +1,820 @@
+//! Integer (irregular) SPEC-like kernels: pointer chasing, hashing,
+//! searching, tree walking, string matching, and compression-style
+//! bit/byte manipulation.
+
+use crate::layout::DataLayout;
+use crate::workload::Workload;
+use ffsim_emu::Memory;
+use ffsim_isa::{Asm, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn reg(i: u8) -> Reg {
+    Reg::new(i)
+}
+
+/// `mcf`-like: serialized pointer chasing around a single random cycle —
+/// memory-latency-bound, almost no branch misses.
+#[must_use]
+pub fn pointer_chase(nodes: usize, steps: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Sattolo's algorithm: a single cycle visiting every node.
+    let mut next: Vec<u64> = (0..nodes as u64).collect();
+    for i in (1..nodes).rev() {
+        let j = rng.gen_range(0..i);
+        next.swap(i, j);
+    }
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let arr = layout.alloc_u64_array(&mut mem, &next);
+    let result = layout.alloc_u64_zeroed(1);
+
+    let base = reg(5);
+    let cur = reg(10);
+    let count = reg(11);
+    let t1 = reg(12);
+
+    let mut a = Asm::new();
+    a.li(base, arr as i64);
+    a.li(cur, 0);
+    a.li(count, steps as i64);
+    a.label("chase");
+    a.slli(t1, cur, 3);
+    a.add(t1, t1, base);
+    a.ld(cur, 0, t1);
+    a.addi(count, count, -1);
+    a.bnez(count, "chase");
+    a.li(t1, result as i64);
+    a.sd(cur, 0, t1);
+    a.halt();
+
+    let mut expect = 0u64;
+    for _ in 0..steps {
+        expect = next[expect as usize];
+    }
+    Workload::new("pointer_chase", a.assemble().expect("assembles"), mem).with_validator(
+        Box::new(move |m| {
+            let got = m.read_u64(result);
+            (got == expect)
+                .then_some(())
+                .ok_or_else(|| format!("final node {got}, expected {expect}"))
+        }),
+    )
+}
+
+const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// `xalancbmk`-like: open-addressing hash probes with data-dependent
+/// collision loops over a large table.
+#[must_use]
+pub fn hash_probe(table_size: usize, probes: usize, seed: u64) -> Workload {
+    assert!(table_size.is_power_of_two(), "table must be a power of two");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask = (table_size - 1) as u64;
+    // Fill ~60% of the table with non-zero keys via linear probing.
+    let mut table = vec![0u64; table_size];
+    let mut inserted = Vec::new();
+    while inserted.len() < table_size * 6 / 10 {
+        let key = rng.gen_range(1u64..u64::MAX);
+        let mut h = key.wrapping_mul(HASH_MULT) & mask;
+        loop {
+            if table[h as usize] == 0 {
+                table[h as usize] = key;
+                inserted.push(key);
+                break;
+            }
+            if table[h as usize] == key {
+                break;
+            }
+            h = (h + 1) & mask;
+        }
+    }
+    // Probe keys: half present, half absent.
+    let queries: Vec<u64> = (0..probes)
+        .map(|i| {
+            if i % 2 == 0 {
+                inserted[rng.gen_range(0..inserted.len())]
+            } else {
+                rng.gen_range(1u64..u64::MAX) | 1 << 63 // very likely absent
+            }
+        })
+        .collect();
+    let expect: u64 = queries
+        .iter()
+        .filter(|&&q| {
+            let mut h = q.wrapping_mul(HASH_MULT) & mask;
+            loop {
+                match table[h as usize] {
+                    0 => return false,
+                    t if t == q => return true,
+                    _ => h = (h + 1) & mask,
+                }
+            }
+        })
+        .count() as u64;
+
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let table_a = layout.alloc_u64_array(&mut mem, &table);
+    let queries_a = layout.alloc_u64_array(&mut mem, &queries);
+    let result = layout.alloc_u64_zeroed(1);
+
+    let tab = reg(5);
+    let qry = reg(6);
+    let mask_r = reg(7);
+    let mult = reg(8);
+    let found = reg(10);
+    let qi = reg(11);
+    let nq = reg(12);
+    let key = reg(13);
+    let h = reg(14);
+    let t1 = reg(15);
+    let slot = reg(16);
+
+    let mut a = Asm::new();
+    a.li(tab, table_a as i64);
+    a.li(qry, queries_a as i64);
+    a.li(mask_r, mask as i64);
+    a.li(mult, HASH_MULT as i64);
+    a.li(found, 0);
+    a.li(qi, 0);
+    a.li(nq, probes as i64);
+    a.label("query");
+    a.bge(qi, nq, "done");
+    a.slli(t1, qi, 3);
+    a.add(t1, t1, qry);
+    a.ld(key, 0, t1);
+    a.addi(qi, qi, 1);
+    a.mul(h, key, mult);
+    a.and_(h, h, mask_r);
+    a.label("probe");
+    a.slli(t1, h, 3);
+    a.add(t1, t1, tab);
+    a.ld(slot, 0, t1);
+    a.beqz(slot, "query"); // empty: absent
+    a.beq(slot, key, "hit");
+    a.addi(h, h, 1);
+    a.and_(h, h, mask_r);
+    a.j("probe");
+    a.label("hit");
+    a.addi(found, found, 1);
+    a.j("query");
+    a.label("done");
+    a.li(t1, result as i64);
+    a.sd(found, 0, t1);
+    a.halt();
+
+    Workload::new("hash_probe", a.assemble().expect("assembles"), mem).with_validator(Box::new(
+        move |m| {
+            let got = m.read_u64(result);
+            (got == expect)
+                .then_some(())
+                .ok_or_else(|| format!("found {got}, expected {expect}"))
+        },
+    ))
+}
+
+/// `gobmk`-ish: repeated binary searches — ~50% mispredicted comparisons,
+/// log-depth dependence chains.
+#[must_use]
+pub fn binary_search(len: usize, searches: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sorted: Vec<u64> = (0..len).map(|_| rng.gen_range(0..1 << 40)).collect();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let n = sorted.len();
+    let queries: Vec<u64> = (0..searches)
+        .map(|i| {
+            if i % 3 == 0 {
+                sorted[rng.gen_range(0..n)]
+            } else {
+                rng.gen_range(0..1 << 40)
+            }
+        })
+        .collect();
+    let expect: u64 = queries
+        .iter()
+        .filter(|q| sorted.binary_search(q).is_ok())
+        .count() as u64;
+
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let arr = layout.alloc_u64_array(&mut mem, &sorted);
+    let qarr = layout.alloc_u64_array(&mut mem, &queries);
+    let result = layout.alloc_u64_zeroed(1);
+
+    let base = reg(5);
+    let qry = reg(6);
+    let found = reg(10);
+    let qi = reg(11);
+    let nq = reg(12);
+    let key = reg(13);
+    let lo = reg(14);
+    let hi = reg(15);
+    let mid = reg(16);
+    let t1 = reg(17);
+    let v = reg(18);
+
+    let mut a = Asm::new();
+    a.li(base, arr as i64);
+    a.li(qry, qarr as i64);
+    a.li(found, 0);
+    a.li(qi, 0);
+    a.li(nq, searches as i64);
+    a.label("query");
+    a.bge(qi, nq, "done");
+    a.slli(t1, qi, 3);
+    a.add(t1, t1, qry);
+    a.ld(key, 0, t1);
+    a.addi(qi, qi, 1);
+    a.li(lo, 0);
+    a.li(hi, n as i64);
+    a.label("bisect");
+    a.bge(lo, hi, "query"); // empty range: absent
+    a.add(mid, lo, hi);
+    a.srli(mid, mid, 1);
+    a.slli(t1, mid, 3);
+    a.add(t1, t1, base);
+    a.ld(v, 0, t1);
+    a.beq(v, key, "hit");
+    a.bltu(v, key, "go_right");
+    a.mv(hi, mid);
+    a.j("bisect");
+    a.label("go_right");
+    a.addi(lo, mid, 1);
+    a.j("bisect");
+    a.label("hit");
+    a.addi(found, found, 1);
+    a.j("query");
+    a.label("done");
+    a.li(t1, result as i64);
+    a.sd(found, 0, t1);
+    a.halt();
+
+    Workload::new("binary_search", a.assemble().expect("assembles"), mem).with_validator(
+        Box::new(move |m| {
+            let got = m.read_u64(result);
+            (got == expect)
+                .then_some(())
+                .ok_or_else(|| format!("found {got}, expected {expect}"))
+        }),
+    )
+}
+
+/// `omnetpp`-ish: key-directed descents through an implicit binary tree —
+/// pointer-ish traversal with a data-dependent direction branch per level.
+#[must_use]
+pub fn tree_walk(nodes: usize, walks: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keys: Vec<u64> = (0..nodes).map(|_| rng.gen_range(0..1 << 32)).collect();
+    let queries: Vec<u64> = (0..walks).map(|_| rng.gen_range(0..1 << 32)).collect();
+    // Reference: descend from index 1, xor-accumulating visited keys.
+    let mut expect = 0u64;
+    for &q in &queries {
+        let mut idx = 1usize;
+        while idx < nodes {
+            let k = keys[idx];
+            expect ^= k;
+            idx = if q < k { 2 * idx } else { 2 * idx + 1 };
+        }
+    }
+
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let karr = layout.alloc_u64_array(&mut mem, &keys);
+    let qarr = layout.alloc_u64_array(&mut mem, &queries);
+    let result = layout.alloc_u64_zeroed(1);
+
+    let kbase = reg(5);
+    let qbase = reg(6);
+    let nn = reg(7);
+    let acc = reg(10);
+    let qi = reg(11);
+    let nq = reg(12);
+    let q = reg(13);
+    let idx = reg(14);
+    let t1 = reg(15);
+    let k = reg(16);
+
+    let mut a = Asm::new();
+    a.li(kbase, karr as i64);
+    a.li(qbase, qarr as i64);
+    a.li(nn, nodes as i64);
+    a.li(acc, 0);
+    a.li(qi, 0);
+    a.li(nq, walks as i64);
+    a.label("walk");
+    a.bge(qi, nq, "done");
+    a.slli(t1, qi, 3);
+    a.add(t1, t1, qbase);
+    a.ld(q, 0, t1);
+    a.addi(qi, qi, 1);
+    a.li(idx, 1);
+    a.label("descend");
+    a.bge(idx, nn, "walk");
+    a.slli(t1, idx, 3);
+    a.add(t1, t1, kbase);
+    a.ld(k, 0, t1);
+    a.xor(acc, acc, k);
+    a.slli(idx, idx, 1);
+    a.bgeu(q, k, "right");
+    a.j("descend");
+    a.label("right");
+    a.addi(idx, idx, 1);
+    a.j("descend");
+    a.label("done");
+    a.li(t1, result as i64);
+    a.sd(acc, 0, t1);
+    a.halt();
+
+    Workload::new("tree_walk", a.assemble().expect("assembles"), mem).with_validator(Box::new(
+        move |m| {
+            let got = m.read_u64(result);
+            (got == expect)
+                .then_some(())
+                .ok_or_else(|| format!("checksum {got:#x}, expected {expect:#x}"))
+        },
+    ))
+}
+
+/// `perlbench`-ish: naive substring search over a small-alphabet text —
+/// byte loads and an early-exit inner comparison loop.
+#[must_use]
+pub fn string_match(text_len: usize, pattern_len: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let alphabet = b"abcd";
+    let text: Vec<u8> = (0..text_len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect();
+    let pattern: Vec<u8> = (0..pattern_len)
+        .map(|_| alphabet[rng.gen_range(0..alphabet.len())])
+        .collect();
+    let expect = if text_len >= pattern_len {
+        text.windows(pattern_len)
+            .filter(|w| *w == pattern.as_slice())
+            .count() as u64
+    } else {
+        0
+    };
+
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let text_a = layout.alloc_bytes(&mut mem, &text);
+    let pat_a = layout.alloc_bytes(&mut mem, &pattern);
+    let result = layout.alloc_u64_zeroed(1);
+
+    let tbase = reg(5);
+    let pbase = reg(6);
+    let count = reg(10);
+    let i = reg(11);
+    let limit = reg(12);
+    let j = reg(13);
+    let plen = reg(14);
+    let t1 = reg(15);
+    let c1 = reg(16);
+    let c2 = reg(17);
+    let t2 = reg(18);
+
+    let mut a = Asm::new();
+    a.li(tbase, text_a as i64);
+    a.li(pbase, pat_a as i64);
+    a.li(count, 0);
+    a.li(i, 0);
+    a.li(limit, (text_len as i64 - pattern_len as i64 + 1).max(0));
+    a.li(plen, pattern_len as i64);
+    a.label("outer");
+    a.bge(i, limit, "done");
+    a.li(j, 0);
+    a.label("inner");
+    a.bge(j, plen, "matched");
+    a.add(t1, i, j);
+    a.add(t1, t1, tbase);
+    a.lbu(c1, 0, t1);
+    a.add(t2, j, pbase);
+    a.lbu(c2, 0, t2);
+    a.addi(j, j, 1);
+    a.beq(c1, c2, "inner");
+    a.addi(i, i, 1);
+    a.j("outer");
+    a.label("matched");
+    a.addi(count, count, 1);
+    a.addi(i, i, 1);
+    a.j("outer");
+    a.label("done");
+    a.li(t1, result as i64);
+    a.sd(count, 0, t1);
+    a.halt();
+
+    Workload::new("string_match", a.assemble().expect("assembles"), mem).with_validator(
+        Box::new(move |m| {
+            let got = m.read_u64(result);
+            (got == expect)
+                .then_some(())
+                .ok_or_else(|| format!("matches {got}, expected {expect}"))
+        }),
+    )
+}
+
+/// Run-length encoding over run-structured bytes — sequential access with
+/// data-dependent run-boundary branches.
+#[must_use]
+pub fn rle_encode(len: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut input = Vec::with_capacity(len);
+    while input.len() < len {
+        let b: u8 = rng.gen_range(0..16);
+        let run = rng.gen_range(1..20).min(len - input.len());
+        input.extend(std::iter::repeat_n(b, run));
+    }
+    // Reference encoding: (byte, run<=255) pairs.
+    let mut expect_out = Vec::new();
+    let mut i = 0;
+    while i < input.len() {
+        let b = input[i];
+        let mut run = 1usize;
+        while i + run < input.len() && input[i + run] == b && run < 255 {
+            run += 1;
+        }
+        expect_out.push(b);
+        expect_out.push(run as u8);
+        i += run;
+    }
+    let expect_pairs = (expect_out.len() / 2) as u64;
+
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let in_a = layout.alloc_bytes(&mut mem, &input);
+    let out_a = layout.alloc(2 * len as u64 + 16, 8);
+    let result = layout.alloc_u64_zeroed(1);
+
+    let ibase = reg(5);
+    let obase = reg(6);
+    let n = reg(7);
+    let pairs = reg(10);
+    let i_r = reg(11);
+    let b = reg(12);
+    let run = reg(13);
+    let t1 = reg(14);
+    let c = reg(15);
+    let pos = reg(16);
+    let cap = reg(17);
+
+    let mut a = Asm::new();
+    a.li(ibase, in_a as i64);
+    a.li(obase, out_a as i64);
+    a.li(n, len as i64);
+    a.li(pairs, 0);
+    a.li(i_r, 0);
+    a.li(cap, 255);
+    a.label("outer");
+    a.bge(i_r, n, "done");
+    a.add(t1, i_r, ibase);
+    a.lbu(b, 0, t1);
+    a.li(run, 1);
+    a.label("extend");
+    a.add(pos, i_r, run);
+    a.bge(pos, n, "emit");
+    a.bge(run, cap, "emit");
+    a.add(t1, pos, ibase);
+    a.lbu(c, 0, t1);
+    a.bne(c, b, "emit");
+    a.addi(run, run, 1);
+    a.j("extend");
+    a.label("emit");
+    a.slli(t1, pairs, 1);
+    a.add(t1, t1, obase);
+    a.sb(b, 0, t1);
+    a.sb(run, 1, t1);
+    a.addi(pairs, pairs, 1);
+    a.add(i_r, i_r, run);
+    a.j("outer");
+    a.label("done");
+    a.li(t1, result as i64);
+    a.sd(pairs, 0, t1);
+    a.halt();
+
+    Workload::new("rle_encode", a.assemble().expect("assembles"), mem).with_validator(Box::new(
+        move |m| {
+            let got = m.read_u64(result);
+            if got != expect_pairs {
+                return Err(format!("pairs {got}, expected {expect_pairs}"));
+            }
+            for (k, &want) in expect_out.iter().enumerate() {
+                let got = m.read_u8(out_a + k as u64);
+                if got != want {
+                    return Err(format!("out[{k}] = {got}, expected {want}"));
+                }
+            }
+            Ok(())
+        },
+    ))
+}
+
+/// Database-style filtered scan: `if a[i] > threshold { sum += a[i] }`
+/// over a large array — a hard-to-predict data-dependent branch whose
+/// wrong path *converges at the next element* with index-based (and thus
+/// recoverable) addresses. This is the SPEC-INT-style case the paper's
+/// convergence technique fixes.
+#[must_use]
+pub fn filter_scan(len: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data: Vec<u64> = (0..len).map(|_| rng.gen_range(0..1000)).collect();
+    let threshold = 500u64;
+    let expect: u64 = data
+        .iter()
+        .filter(|&&v| v > threshold)
+        .fold(0u64, |acc, &v| acc.wrapping_add(v));
+
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let data_a = layout.alloc_u64_array(&mut mem, &data);
+    let result = layout.alloc_u64_zeroed(1);
+
+    let base = reg(5);
+    let thr = reg(6);
+    let sum = reg(10);
+    let i = reg(11);
+    let n = reg(12);
+    let v = reg(13);
+    let t1 = reg(14);
+
+    let mut a = Asm::new();
+    a.li(base, data_a as i64);
+    a.li(thr, threshold as i64);
+    a.li(sum, 0);
+    a.li(i, 0);
+    a.li(n, len as i64);
+    a.label("scan");
+    a.bge(i, n, "done");
+    a.slli(t1, i, 3);
+    a.add(t1, t1, base);
+    a.ld(v, 0, t1);
+    a.addi(i, i, 1);
+    a.bgeu(thr, v, "scan"); // the ~50% data-dependent branch
+    a.add(sum, sum, v);
+    a.j("scan");
+    a.label("done");
+    a.li(t1, result as i64);
+    a.sd(sum, 0, t1);
+    a.halt();
+
+    Workload::new("filter_scan", a.assemble().expect("assembles"), mem).with_validator(Box::new(
+        move |m| {
+            let got = m.read_u64(result);
+            (got == expect)
+                .then_some(())
+                .ok_or_else(|| format!("sum {got}, expected {expect}"))
+        },
+    ))
+}
+
+/// Masked sparse gather: `if mask[i] { acc += data[idx[i]] }` — the
+/// branch is data-dependent, the gathered accesses miss the caches, and
+/// the wrong path converges at the next index with recoverable addresses
+/// (both `idx[i+1]` directly and `data[idx[i+1]]` through the recovered
+/// index load).
+#[must_use]
+pub fn masked_gather(n: usize, data_len: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mask: Vec<u64> = (0..n).map(|_| u64::from(rng.gen_bool(0.5))).collect();
+    let idx: Vec<u64> = (0..n).map(|_| rng.gen_range(0..data_len as u64)).collect();
+    let data: Vec<u64> = (0..data_len).map(|_| rng.gen_range(0..1 << 30)).collect();
+    let mut expect = 0u64;
+    for i in 0..n {
+        if mask[i] == 1 {
+            expect = expect.wrapping_add(data[idx[i] as usize]);
+        }
+    }
+
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let mask_a = layout.alloc_u64_array(&mut mem, &mask);
+    let idx_a = layout.alloc_u64_array(&mut mem, &idx);
+    let data_a = layout.alloc_u64_array(&mut mem, &data);
+    let result = layout.alloc_u64_zeroed(1);
+
+    let (mb, xb, db) = (reg(5), reg(6), reg(7));
+    let acc = reg(10);
+    let i = reg(11);
+    let n_r = reg(12);
+    let t1 = reg(13);
+    let m_v = reg(14);
+    let ix = reg(15);
+    let v = reg(16);
+
+    let mut a = Asm::new();
+    a.li(mb, mask_a as i64);
+    a.li(xb, idx_a as i64);
+    a.li(db, data_a as i64);
+    a.li(acc, 0);
+    a.li(i, 0);
+    a.li(n_r, n as i64);
+    a.label("scan");
+    a.bge(i, n_r, "done");
+    a.slli(t1, i, 3);
+    a.add(t1, t1, mb);
+    a.ld(m_v, 0, t1);
+    a.addi(i, i, 1);
+    a.beqz(m_v, "scan"); // ~50% data-dependent branch
+    a.slli(t1, i, 3);
+    a.add(t1, t1, xb);
+    a.ld(ix, -8, t1); // idx[i] (i already incremented)
+    a.slli(t1, ix, 3);
+    a.add(t1, t1, db);
+    a.ld(v, 0, t1); // data[idx[i]] — the cache-missing gather
+    a.add(acc, acc, v);
+    a.j("scan");
+    a.label("done");
+    a.li(t1, result as i64);
+    a.sd(acc, 0, t1);
+    a.halt();
+
+    Workload::new("masked_gather", a.assemble().expect("assembles"), mem).with_validator(
+        Box::new(move |m| {
+            let got = m.read_u64(result);
+            (got == expect)
+                .then_some(())
+                .ok_or_else(|| format!("acc {got}, expected {expect}"))
+        }),
+    )
+}
+
+/// `xz`-like: variable-length prefix-code decoding from a packed
+/// bitstream, with per-symbol data-dependent branches and histogram
+/// stores — the mixed positive/negative wrong-path interference case.
+#[must_use]
+pub fn bitstream_decode(num_symbols: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Prefix code: A=0, B=10, C=110, D=111 (skewed symbol frequencies).
+    let symbols: Vec<u8> = (0..num_symbols)
+        .map(|_| {
+            let r: f64 = rng.gen();
+            if r < 0.5 {
+                0
+            } else if r < 0.8 {
+                1
+            } else if r < 0.95 {
+                2
+            } else {
+                3
+            }
+        })
+        .collect();
+    let mut bits = Vec::new();
+    for &s in &symbols {
+        match s {
+            0 => bits.push(0u8),
+            1 => bits.extend([1, 0]),
+            2 => bits.extend([1, 1, 0]),
+            _ => bits.extend([1, 1, 1]),
+        }
+    }
+    let mut words = vec![0u64; bits.len() / 64 + 1];
+    for (i, &b) in bits.iter().enumerate() {
+        words[i / 64] |= u64::from(b) << (i % 64);
+    }
+    let mut expect_hist = [0u64; 4];
+    for &s in &symbols {
+        expect_hist[s as usize] += 1;
+    }
+
+    let mut mem = Memory::new();
+    let mut layout = DataLayout::new();
+    let bits_a = layout.alloc_u64_array(&mut mem, &words);
+    let out_a = layout.alloc(num_symbols as u64 + 8, 8);
+    let hist_a = layout.alloc_u64_zeroed(4);
+
+    let bbase = reg(5);
+    let obase = reg(6);
+    let hbase = reg(7);
+    let nsym = reg(8);
+    let pos = reg(10); // bit position
+    let si = reg(11); // symbols decoded
+    let t1 = reg(12);
+    let word = reg(13);
+    let bit = reg(14);
+    let sym = reg(15);
+    let t2 = reg(16);
+    let c63 = reg(17);
+
+    let mut a = Asm::new();
+    a.li(bbase, bits_a as i64);
+    a.li(obase, out_a as i64);
+    a.li(hbase, hist_a as i64);
+    a.li(nsym, num_symbols as i64);
+    a.li(pos, 0);
+    a.li(si, 0);
+    a.li(c63, 63);
+
+    // read_bit subroutine effect inlined three times via a macro-ish
+    // pattern: bit = (BITS[pos>>6] >> (pos&63)) & 1; pos += 1.
+    let read_bit = |a: &mut Asm| {
+        a.srli(t1, pos, 6);
+        a.slli(t1, t1, 3);
+        a.add(t1, t1, bbase);
+        a.ld(word, 0, t1);
+        a.and_(t2, pos, c63);
+        a.srl(word, word, t2);
+        a.andi(bit, word, 1);
+        a.addi(pos, pos, 1);
+    };
+
+    a.label("symbol");
+    a.bge(si, nsym, "done");
+    read_bit(&mut a);
+    a.li(sym, 0);
+    a.beqz(bit, "emit"); // 0 → A
+    read_bit(&mut a);
+    a.li(sym, 1);
+    a.beqz(bit, "emit"); // 10 → B
+    read_bit(&mut a);
+    a.li(sym, 2);
+    a.beqz(bit, "emit"); // 110 → C
+    a.li(sym, 3); // 111 → D
+    a.label("emit");
+    a.add(t1, si, obase);
+    a.sb(sym, 0, t1);
+    a.slli(t1, sym, 3);
+    a.add(t1, t1, hbase);
+    a.ld(t2, 0, t1);
+    a.addi(t2, t2, 1);
+    a.sd(t2, 0, t1);
+    a.addi(si, si, 1);
+    a.j("symbol");
+    a.label("done");
+    a.halt();
+
+    let expected_syms = symbols.clone();
+    Workload::new("bitstream_decode", a.assemble().expect("assembles"), mem).with_validator(
+        Box::new(move |m| {
+            for (k, &want) in expect_hist.iter().enumerate() {
+                let got = m.read_u64(hist_a + k as u64 * 8);
+                if got != want {
+                    return Err(format!("hist[{k}] = {got}, expected {want}"));
+                }
+            }
+            for (k, &want) in expected_syms.iter().enumerate() {
+                let got = m.read_u8(out_a + k as u64);
+                if got != want {
+                    return Err(format!("out[{k}] = {got}, expected {want}"));
+                }
+            }
+            Ok(())
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_chase_validates() {
+        pointer_chase(256, 1000, 1).run_and_validate(100_000).unwrap();
+    }
+
+    #[test]
+    fn hash_probe_validates() {
+        hash_probe(256, 300, 2).run_and_validate(200_000).unwrap();
+    }
+
+    #[test]
+    fn binary_search_validates() {
+        binary_search(500, 200, 3).run_and_validate(200_000).unwrap();
+    }
+
+    #[test]
+    fn tree_walk_validates() {
+        tree_walk(512, 300, 4).run_and_validate(200_000).unwrap();
+    }
+
+    #[test]
+    fn string_match_validates() {
+        string_match(2000, 4, 5).run_and_validate(500_000).unwrap();
+    }
+
+    #[test]
+    fn string_match_pattern_longer_than_text() {
+        string_match(3, 8, 6).run_and_validate(10_000).unwrap();
+    }
+
+    #[test]
+    fn rle_encode_validates() {
+        rle_encode(2000, 7).run_and_validate(500_000).unwrap();
+    }
+
+    #[test]
+    fn bitstream_decode_validates() {
+        bitstream_decode(1500, 8).run_and_validate(500_000).unwrap();
+    }
+
+    #[test]
+    fn filter_scan_validates() {
+        filter_scan(3000, 9).run_and_validate(100_000).unwrap();
+    }
+
+    #[test]
+    fn masked_gather_validates() {
+        masked_gather(2000, 512, 10).run_and_validate(100_000).unwrap();
+    }
+}

@@ -1,0 +1,162 @@
+//! The [`Workload`] type: a program plus its initial memory image and an
+//! optional result validator.
+
+use ffsim_emu::{Emulator, Memory, StepError};
+use ffsim_isa::Program;
+use std::fmt;
+
+/// A result validator: inspects the final memory image and reports what,
+/// if anything, is wrong.
+pub type Validator = Box<dyn Fn(&Memory) -> Result<(), String> + Send + Sync>;
+
+/// A runnable workload: an assembled program, its initial data segments,
+/// and (optionally) a checker for the computed results.
+///
+/// Validators make the hand-written assembly kernels trustworthy: every
+/// bundled workload can be executed functionally and its output compared
+/// against a Rust reference implementation.
+pub struct Workload {
+    name: String,
+    program: Program,
+    memory: Memory,
+    validator: Option<Validator>,
+}
+
+impl Workload {
+    /// Creates a workload without a validator.
+    #[must_use]
+    pub fn new(name: impl Into<String>, program: Program, memory: Memory) -> Workload {
+        Workload {
+            name: name.into(),
+            program,
+            memory,
+            validator: None,
+        }
+    }
+
+    /// Attaches a result validator.
+    #[must_use]
+    pub fn with_validator(mut self, v: Validator) -> Workload {
+        self.validator = Some(v);
+        self
+    }
+
+    /// The workload's name (used in experiment tables).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The assembled program.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The initial memory image.
+    #[must_use]
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Whether a validator is attached.
+    #[must_use]
+    pub fn has_validator(&self) -> bool {
+        self.validator.is_some()
+    }
+
+    /// Checks computed results in `final_memory` against the reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch. Workloads without a
+    /// validator always pass.
+    pub fn validate(&self, final_memory: &Memory) -> Result<(), String> {
+        match &self.validator {
+            Some(v) => v(final_memory),
+            None => Ok(()),
+        }
+    }
+
+    /// Runs the workload functionally (no timing) and validates the
+    /// results. Returns the number of instructions executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on a fault, on exceeding `max_steps` without
+    /// halting, or on validation failure.
+    pub fn run_and_validate(&self, max_steps: u64) -> Result<u64, String> {
+        let mut emu = Emulator::with_memory(self.program.clone(), self.memory.clone());
+        let n = emu.run_to_halt(max_steps).map_err(|e| match e {
+            StepError::Fault(f) => format!("{}: fault: {f}", self.name),
+            StepError::Halted => unreachable!("run_to_halt never returns Halted"),
+        })?;
+        if !emu.is_halted() {
+            return Err(format!(
+                "{}: did not halt within {max_steps} instructions",
+                self.name
+            ));
+        }
+        self.validate(emu.mem())
+            .map_err(|e| format!("{}: {e}", self.name))?;
+        Ok(n)
+    }
+}
+
+impl fmt::Debug for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Workload")
+            .field("name", &self.name)
+            .field("instructions", &self.program.len())
+            .field("has_validator", &self.validator.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsim_isa::{Asm, Reg};
+
+    fn store42() -> (Program, Memory) {
+        let mut a = Asm::new();
+        a.li(Reg::new(1), 0x1000_0000);
+        a.li(Reg::new(2), 42);
+        a.sd(Reg::new(2), 0, Reg::new(1));
+        a.halt();
+        (a.assemble().unwrap(), Memory::new())
+    }
+
+    #[test]
+    fn validator_passes_and_fails() {
+        let (p, m) = store42();
+        let good = Workload::new("good", p.clone(), m.clone()).with_validator(Box::new(|mem| {
+            (mem.read_u64(0x1000_0000) == 42)
+                .then_some(())
+                .ok_or_else(|| "expected 42".into())
+        }));
+        assert_eq!(good.run_and_validate(100), Ok(4));
+
+        let bad = Workload::new("bad", p, m).with_validator(Box::new(|mem| {
+            (mem.read_u64(0x1000_0000) == 43)
+                .then_some(())
+                .ok_or_else(|| "expected 43".into())
+        }));
+        assert!(bad.run_and_validate(100).is_err());
+    }
+
+    #[test]
+    fn step_budget_is_enforced() {
+        let (p, m) = store42();
+        let w = Workload::new("w", p, m);
+        assert!(w.run_and_validate(2).is_err());
+    }
+
+    #[test]
+    fn workload_without_validator_passes() {
+        let (p, m) = store42();
+        let w = Workload::new("w", p, m);
+        assert!(!w.has_validator());
+        assert!(w.run_and_validate(100).is_ok());
+    }
+}

@@ -1,0 +1,73 @@
+//! Accuracy-vs-speed frontier of the wrong-path techniques.
+//!
+//! Sweeps the SPEC-like kernels and reports, per technique, the average
+//! projection error against wrong-path emulation and the host-time
+//! slowdown against no-wrong-path modeling — the trade-off that is the
+//! paper's central conclusion (convergence exploitation as the balanced
+//! point).
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example technique_comparison
+//! ```
+
+use ffsim_core::{SimConfig, SimResult, Simulator, WrongPathMode};
+use ffsim_uarch::CoreConfig;
+use ffsim_workloads::speclike::{all_speclike, SpecCategory};
+
+fn main() {
+    let core = CoreConfig::golden_cove_like();
+    let suite = all_speclike(1, 7);
+    let max_instructions = 800_000;
+
+    let mut err_sum = [0.0f64; 3];
+    let mut slow_sum = [0.0f64; 3];
+    let mut rows = Vec::new();
+
+    for kernel in &suite {
+        let w = &kernel.workload;
+        let results: Vec<SimResult> = WrongPathMode::ALL
+            .iter()
+            .map(|&mode| {
+                let mut cfg = SimConfig::with_core(core.clone(), mode);
+                cfg.max_instructions = Some(max_instructions);
+                Simulator::new(w.program().clone(), w.memory().clone(), cfg).run()
+            })
+            .collect();
+        let (nowp, wpemul) = (&results[0], &results[3]);
+        let tag = match kernel.category {
+            SpecCategory::Int => "INT",
+            SpecCategory::Fp => "FP ",
+        };
+        let mut cells = format!("{tag} {:16}", w.name());
+        for m in 0..3 {
+            let err = results[m].error_vs(wpemul);
+            let slow = results[m].slowdown_vs(nowp);
+            err_sum[m] += err.abs();
+            slow_sum[m] += slow;
+            cells.push_str(&format!("  {err:+7.2}% ({slow:4.2}x)"));
+        }
+        rows.push(cells);
+    }
+
+    println!("error vs wpemul (slowdown vs nowp), per technique:\n");
+    println!(
+        "    {:16}  {:>16}  {:>16}  {:>16}",
+        "kernel", "nowp", "instrec", "conv"
+    );
+    for row in rows {
+        println!("{row}");
+    }
+    let n = suite.len() as f64;
+    println!("\naccuracy-speed frontier (average over the suite):");
+    for (m, label) in ["nowp", "instrec", "conv"].iter().enumerate() {
+        println!(
+            "  {label:8} avg |error| {:5.2}%   avg slowdown {:4.2}x",
+            err_sum[m] / n,
+            slow_sum[m] / n
+        );
+    }
+    println!("  wpemul   avg |error|  0.00%   (reference; slowest technique)");
+    println!("\nthe paper's conclusion: conv ~ instrec speed with a fraction of the");
+    println!("error -- the best accuracy/speed balance of the three.");
+}

@@ -1,0 +1,52 @@
+//! # wrong-path-sim
+//!
+//! A from-scratch Rust reproduction of *“Simulating Wrong-Path
+//! Instructions in Decoupled Functional-First Simulation”* (Eyerman, Van
+//! den Steen, Heirman, Hur — Intel; ISPASS 2023): a decoupled
+//! functional-first out-of-order processor simulator with four wrong-path
+//! modeling techniques, the workloads to exercise them, and the harness
+//! that regenerates every table and figure of the paper's evaluation.
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! * [`isa`] — instruction set, registers, programs, assembler,
+//! * [`emu`] — the functional emulator (Pin substitute) with
+//!   checkpointing and wrong-path emulation, plus the decoupled
+//!   instruction queue,
+//! * [`uarch`] — caches, TLBs, DRAM, branch predictors, core config,
+//! * [`core`] — the timing model and the wrong-path techniques
+//!   (the paper's contribution),
+//! * [`workloads`] — GAP graph kernels and the SPEC-like suite.
+//!
+//! # Examples
+//!
+//! ```
+//! use wrong_path_sim::core::{run_all_modes, WrongPathMode};
+//! use wrong_path_sim::emu::Memory;
+//! use wrong_path_sim::isa::{Asm, Reg};
+//! use wrong_path_sim::uarch::CoreConfig;
+//!
+//! let mut a = Asm::new();
+//! a.li(Reg::new(1), 1000);
+//! a.label("loop");
+//! a.addi(Reg::new(1), Reg::new(1), -1);
+//! a.bnez(Reg::new(1), "loop");
+//! a.halt();
+//!
+//! let results = run_all_modes(
+//!     &a.assemble()?,
+//!     &Memory::new(),
+//!     &CoreConfig::tiny_for_tests(),
+//!     None,
+//! );
+//! assert_eq!(results.len(), WrongPathMode::ALL.len());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ffsim_core as core;
+pub use ffsim_emu as emu;
+pub use ffsim_isa as isa;
+pub use ffsim_uarch as uarch;
+pub use ffsim_workloads as workloads;
