@@ -31,13 +31,13 @@ fn emulator_step_rate(c: &mut Criterion) {
     group.throughput(Throughput::Elements(60_000));
     group.bench_function("step_60k_instructions", |b| {
         b.iter(|| {
-            let mut emu = Emulator::new(program.clone());
+            let mut emu = Emulator::new(program.clone()).unwrap();
             emu.run_to_halt(100_000).unwrap()
         });
     });
     group.throughput(Throughput::Elements(572));
     group.bench_function("wrong_path_emulation_572", |b| {
-        let mut emu = Emulator::new(program.clone());
+        let mut emu = Emulator::new(program.clone()).unwrap();
         emu.step().unwrap();
         emu.step().unwrap();
         let loop_head = emu.state().pc;
@@ -50,8 +50,11 @@ fn emulator_step_rate(c: &mut Criterion) {
     group.throughput(Throughput::Elements(60_000));
     group.bench_function("queue_pop_60k", |b| {
         b.iter(|| {
-            let mut q =
-                InstrQueue::new(Emulator::new(program.clone()), NoFrontendWrongPath, 2048);
+            let mut q = InstrQueue::new(
+                Emulator::new(program.clone()).unwrap(),
+                NoFrontendWrongPath,
+                2048,
+            );
             let mut count = 0u64;
             while q.pop().is_some() {
                 count += 1;
@@ -127,7 +130,7 @@ fn wrongpath_rate(c: &mut Criterion) {
     // Pre-populate the code cache and collect a future window.
     let mut code_cache = CodeCache::unbounded();
     let mut future = Vec::new();
-    let mut emu = Emulator::new(program.clone());
+    let mut emu = Emulator::new(program.clone()).unwrap();
     while let Ok(inst) = emu.step() {
         code_cache.insert(inst.pc, inst.instr);
         if future.len() < 512 {

@@ -22,12 +22,11 @@ fn bench_workload(c: &mut Criterion, group_name: &str, workload: &Workload) {
                 b.iter(|| {
                     let mut cfg = SimConfig::with_core(CoreConfig::golden_cove_like(), mode);
                     cfg.max_instructions = Some(INSTRUCTIONS);
-                    let result = Simulator::new(
-                        workload.program().clone(),
-                        workload.memory().clone(),
-                        cfg,
-                    )
-                    .run();
+                    let result =
+                        Simulator::new(workload.program().clone(), workload.memory().clone(), cfg)
+                            .unwrap()
+                            .run()
+                            .unwrap();
                     assert!(result.cycles > 0);
                     result.cycles
                 });
@@ -41,11 +40,11 @@ fn simulation_throughput(c: &mut Criterion) {
     // Branch-miss-heavy graph kernel: the paper's worst case for
     // wrong-path modeling overhead.
     let g = Graph::rmat(1 << 11, 12, 42);
-    let bfs = gap::bfs(&g, g.max_degree_vertex());
+    let bfs = gap::bfs(&g, g.max_degree_vertex()).unwrap();
     bench_workload(c, "simulate_gap_bfs", &bfs);
 
     // Regular FP kernel: wrong-path modeling is nearly free.
-    let triad = speclike::stream_triad(1 << 13, 100);
+    let triad = speclike::stream_triad(1 << 13, 100).unwrap();
     bench_workload(c, "simulate_fp_triad", &triad);
 }
 

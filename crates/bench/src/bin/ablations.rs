@@ -26,13 +26,19 @@ fn run_conv(
     cfg.max_instructions = Some(GAP_MAX_INSTRUCTIONS);
     cfg.convergence = convergence;
     cfg.code_cache_capacity = code_cache_capacity;
-    Simulator::new(w.program().clone(), w.memory().clone(), cfg).run()
+    Simulator::new(w.program().clone(), w.memory().clone(), cfg)
+        .unwrap()
+        .run()
+        .unwrap()
 }
 
 fn run_reference(w: &Workload, core: &CoreConfig) -> SimResult {
     let mut cfg = SimConfig::with_core(core.clone(), WrongPathMode::WrongPathEmulation);
     cfg.max_instructions = Some(GAP_MAX_INSTRUCTIONS);
-    Simulator::new(w.program().clone(), w.memory().clone(), cfg).run()
+    Simulator::new(w.program().clone(), w.memory().clone(), cfg)
+        .unwrap()
+        .run()
+        .unwrap()
 }
 
 fn main() {
@@ -88,20 +94,26 @@ fn main() {
     // static footprint actually exceeds small code caches). ---
     println!("ABLATION 3: code-cache capacity (conv error / code-cache miss rate)\n");
     println!("target: big_code (gcc-like, ~51K static instructions)\n");
-    let big = ffsim_workloads::speclike::big_code(3_000, 60_000, 2026 ^ 7);
+    let big =
+        ffsim_workloads::speclike::big_code(3_000, 60_000, 2026 ^ 7).expect("canonical parameters");
     let big_ref = {
         let mut cfg = SimConfig::with_core(core.clone(), WrongPathMode::WrongPathEmulation);
         cfg.max_instructions = Some(1_500_000);
-        Simulator::new(big.program().clone(), big.memory().clone(), cfg).run()
+        Simulator::new(big.program().clone(), big.memory().clone(), cfg)
+            .unwrap()
+            .run()
+            .unwrap()
     };
     let caps: [Option<usize>; 4] = [Some(1024), Some(8192), Some(32_768), None];
     let mut row = vec!["big_code".to_string()];
     for cap in caps {
-        let mut cfg =
-            SimConfig::with_core(core.clone(), WrongPathMode::ConvergenceExploitation);
+        let mut cfg = SimConfig::with_core(core.clone(), WrongPathMode::ConvergenceExploitation);
         cfg.max_instructions = Some(1_500_000);
         cfg.code_cache_capacity = cap;
-        let r = Simulator::new(big.program().clone(), big.memory().clone(), cfg).run();
+        let r = Simulator::new(big.program().clone(), big.memory().clone(), cfg)
+            .unwrap()
+            .run()
+            .unwrap();
         let cc = r.code_cache;
         let miss_rate = if cc.hits + cc.misses == 0 {
             0.0
@@ -141,10 +153,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["benchmark", "depth 64", "128", "256", "2048"],
-            &rows
-        )
+        render_table(&["benchmark", "depth 64", "128", "256", "2048"], &rows)
     );
     println!("\n(shallow queues truncate the visible correct-path future below the");
     println!("ROB size, cutting address recovery — the paper's \"not enough");
@@ -165,10 +174,16 @@ fn main() {
             c.dram.latency = lat;
             let mut cfg = SimConfig::with_core(c.clone(), WrongPathMode::NoWrongPath);
             cfg.max_instructions = Some(GAP_MAX_INSTRUCTIONS);
-            let nowp = Simulator::new(w.program().clone(), w.memory().clone(), cfg).run();
+            let nowp = Simulator::new(w.program().clone(), w.memory().clone(), cfg)
+                .unwrap()
+                .run()
+                .unwrap();
             let mut cfg = SimConfig::with_core(c, WrongPathMode::WrongPathEmulation);
             cfg.max_instructions = Some(GAP_MAX_INSTRUCTIONS);
-            let emul = Simulator::new(w.program().clone(), w.memory().clone(), cfg).run();
+            let emul = Simulator::new(w.program().clone(), w.memory().clone(), cfg)
+                .unwrap()
+                .run()
+                .unwrap();
             row.push(format!("{:+.1}%", nowp.error_vs(&emul)));
         }
         rows.push(row);
@@ -193,10 +208,16 @@ fn main() {
             c.l2_next_line_prefetcher = pf;
             let mut cfg = SimConfig::with_core(c.clone(), WrongPathMode::NoWrongPath);
             cfg.max_instructions = Some(GAP_MAX_INSTRUCTIONS);
-            let nowp = Simulator::new(w.program().clone(), w.memory().clone(), cfg).run();
+            let nowp = Simulator::new(w.program().clone(), w.memory().clone(), cfg)
+                .unwrap()
+                .run()
+                .unwrap();
             let mut cfg = SimConfig::with_core(c, WrongPathMode::WrongPathEmulation);
             cfg.max_instructions = Some(GAP_MAX_INSTRUCTIONS);
-            let emul = Simulator::new(w.program().clone(), w.memory().clone(), cfg).run();
+            let emul = Simulator::new(w.program().clone(), w.memory().clone(), cfg)
+                .unwrap()
+                .run()
+                .unwrap();
             row.push(format!("{:+.1}%", nowp.error_vs(&emul)));
         }
         rows.push(row);
@@ -225,7 +246,10 @@ fn main() {
             // wrong-path modeling, not predictor accuracy itself.
             let mut cfg = SimConfig::with_core(c.clone(), WrongPathMode::WrongPathEmulation);
             cfg.max_instructions = Some(GAP_MAX_INSTRUCTIONS);
-            let emul = Simulator::new(w.program().clone(), w.memory().clone(), cfg).run();
+            let emul = Simulator::new(w.program().clone(), w.memory().clone(), cfg)
+                .unwrap()
+                .run()
+                .unwrap();
             let r = run_conv(w, &c, ConvergenceConfig::default(), None);
             row.push(format!(
                 "{:+.1}% / {:.0}%",

@@ -1,0 +1,238 @@
+//! Fault-injection harness: deterministically injects faults into
+//! *wrong-path* execution and asserts the *correct path* is untouched.
+//!
+//! Rationale: under the squash policy (the default), a fault raised during
+//! wrong-path emulation must behave exactly like hardware — the speculative
+//! work is thrown away, the checkpoint is restored, and the run continues as
+//! if nothing happened. This harness proves that end to end: for every
+//! scenario and every wrong-path modeling technique, the injected run must
+//! retire the same number of correct-path instructions and end in a
+//! bit-identical architectural state (registers, pc, logical memory) as the
+//! uninjected run.
+//!
+//! Scenarios (all knobs of [`SimConfig`], all deterministic):
+//!
+//! * `pc-corruption` — every wrong-path start pc is XORed with a mask,
+//!   sending speculative fetch outside the program text (observable as
+//!   illegal-pc stops),
+//! * `oob-load` — an address limit placed just past the workload's array:
+//!   the wrong path after the loop-exit misprediction keeps striding upward
+//!   and faults (observable as squashed faults),
+//! * `div-zero` — divide-by-zero trapping enabled for a loop whose divisor
+//!   reaches zero only on the wrong path (observable as squashed faults),
+//! * `watchdog` — a tiny speculative-instruction watchdog tripping on the
+//!   wrong path's runaway loop (observable as watchdog trips).
+//!
+//! A final section flips [`FaultPolicy`] to `AbortRun` and checks that the
+//! same injections now surface as typed [`SimError::WrongPathFault`]s.
+
+use ffsim_bench::render_table;
+use ffsim_core::{
+    FaultStats, PcCorruption, SimConfig, SimError, SimResult, Simulator, WrongPathMode,
+};
+use ffsim_emu::{FaultPolicy, Memory};
+use ffsim_isa::{Program, Reg};
+use ffsim_uarch::CoreConfig;
+
+/// Loop trip count; long enough to train the predictor so the loop exit is
+/// the one guaranteed misprediction.
+const TRIPS: i64 = 3_000;
+/// Base address of the workload array.
+const ARRAY_BASE: u64 = 0x1000_0000;
+/// First data address past the array — the injected address limit.
+const ARRAY_LIMIT: u64 = ARRAY_BASE + 8 * TRIPS as u64;
+
+/// Count-down loop with a division: `q = c / i` with `i` in `TRIPS..=1` on
+/// the correct path. The wrong path at loop exit re-enters the body with
+/// `i = 0` (divide by zero) and then loops with `i` ever more negative
+/// (runaway — watchdog fodder).
+fn countdown_div() -> Program {
+    let (i, c, q) = (Reg::new(1), Reg::new(2), Reg::new(3));
+    let mut a = ffsim_isa::Asm::new();
+    a.li(i, TRIPS);
+    a.li(c, 1_000_003);
+    a.label("loop");
+    a.div(q, c, i);
+    a.addi(i, i, -1);
+    a.bnez(i, "loop");
+    a.halt();
+    a.assemble().expect("countdown_div assembles")
+}
+
+/// Count-up strided loads: `v = a[i]` for `i` in `0..TRIPS` on the correct
+/// path, touching exactly `[ARRAY_BASE, ARRAY_LIMIT)`. The wrong path at
+/// loop exit keeps striding past the end of the array.
+fn countup_load() -> Program {
+    let (i, n, base, t, v) = (
+        Reg::new(1),
+        Reg::new(2),
+        Reg::new(5),
+        Reg::new(6),
+        Reg::new(7),
+    );
+    let mut a = ffsim_isa::Asm::new();
+    a.li(i, 0);
+    a.li(n, TRIPS);
+    a.li(base, ARRAY_BASE as i64);
+    a.label("loop");
+    a.slli(t, i, 3);
+    a.add(t, t, base);
+    a.ld(v, 0, t);
+    a.addi(i, i, 1);
+    a.blt(i, n, "loop");
+    a.halt();
+    a.assemble().expect("countup_load assembles")
+}
+
+/// One injection scenario: a workload, a config mutation, and the
+/// wrong-path-emulation counter that must prove the injection happened.
+struct Scenario {
+    name: &'static str,
+    program: Program,
+    inject: fn(&mut SimConfig),
+    observed: fn(&FaultStats) -> u64,
+    observed_name: &'static str,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "pc-corruption",
+            program: countdown_div(),
+            inject: |cfg| {
+                cfg.wp_pc_corruption = Some(PcCorruption {
+                    every_nth: 1,
+                    xor_mask: 0xffff_0000,
+                });
+            },
+            observed: |f| f.illegal_pc_stops,
+            observed_name: "illegal-pc stops",
+        },
+        Scenario {
+            name: "oob-load",
+            program: countup_load(),
+            inject: |cfg| cfg.fault_model.addr_limit = Some(ARRAY_LIMIT),
+            observed: |f| f.squashed_faults,
+            observed_name: "squashed faults",
+        },
+        Scenario {
+            name: "div-zero",
+            program: countdown_div(),
+            inject: |cfg| cfg.fault_model.trap_div_zero = true,
+            observed: |f| f.squashed_faults,
+            observed_name: "squashed faults",
+        },
+        Scenario {
+            name: "watchdog",
+            program: countdown_div(),
+            inject: |cfg| cfg.wrong_path_watchdog = Some(16),
+            observed: |f| f.watchdog_trips,
+            observed_name: "watchdog trips",
+        },
+    ]
+}
+
+fn run_one(
+    program: &Program,
+    mode: WrongPathMode,
+    tweak: &dyn Fn(&mut SimConfig),
+) -> Result<SimResult, SimError> {
+    let mut cfg = SimConfig::with_core(CoreConfig::golden_cove_like(), mode);
+    tweak(&mut cfg);
+    Simulator::new(program.clone(), Memory::new(), cfg)?.run()
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut checks = 0u32;
+
+    for s in scenarios() {
+        let mut digests = Vec::new();
+        for mode in WrongPathMode::ALL {
+            let clean = run_one(&s.program, mode, &|_| {})
+                .unwrap_or_else(|e| panic!("{}/{mode}: clean run failed: {e}", s.name));
+            let injected = run_one(&s.program, mode, &s.inject)
+                .unwrap_or_else(|e| panic!("{}/{mode}: injected run failed: {e}", s.name));
+
+            assert_eq!(
+                injected.instructions, clean.instructions,
+                "{}/{mode}: injection changed the correct-path instruction count",
+                s.name
+            );
+            assert_eq!(
+                injected.state_digest, clean.state_digest,
+                "{}/{mode}: injection changed the final architectural state",
+                s.name
+            );
+            checks += 2;
+            if mode == WrongPathMode::WrongPathEmulation {
+                let seen = (s.observed)(&injected.faults);
+                assert!(
+                    seen > 0,
+                    "{}/{mode}: injection was not observable ({} = 0)",
+                    s.name,
+                    s.observed_name
+                );
+                checks += 1;
+            }
+            digests.push(clean.state_digest);
+            rows.push(vec![
+                s.name.to_string(),
+                mode.to_string(),
+                injected.instructions.to_string(),
+                format!("{:#018x}", injected.state_digest),
+                injected.faults.squashed_faults.to_string(),
+                injected.faults.watchdog_trips.to_string(),
+                injected.faults.illegal_pc_stops.to_string(),
+            ]);
+        }
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "{}: modes disagree on the final architectural state: {digests:?}",
+            s.name
+        );
+        checks += 1;
+    }
+
+    println!("Fault injection: correct path is bit-identical under every injected");
+    println!("wrong-path fault, across all four techniques (squash policy).\n");
+    println!(
+        "{}",
+        render_table(
+            &[
+                "scenario",
+                "mode",
+                "retired",
+                "state digest",
+                "squashed",
+                "wd-trips",
+                "illegal-pc"
+            ],
+            &rows,
+        )
+    );
+
+    // Under AbortRun the same injections must surface as typed errors.
+    println!("FaultPolicy::AbortRun surfaces the same injections as typed errors:");
+    for s in scenarios() {
+        if s.name == "pc-corruption" {
+            // A corrupted start pc is an ordinary speculation artifact
+            // (illegal-pc stop), not a fault, under either policy.
+            continue;
+        }
+        let err = run_one(&s.program, WrongPathMode::WrongPathEmulation, &|cfg| {
+            (s.inject)(cfg);
+            cfg.fault_policy = FaultPolicy::AbortRun;
+        })
+        .expect_err("abort policy must turn the injected wrong-path fault into an error");
+        assert!(
+            matches!(err, SimError::WrongPathFault(_)),
+            "{}: expected WrongPathFault, got {err}",
+            s.name
+        );
+        checks += 1;
+        println!("  {:13} -> {err}", s.name);
+    }
+
+    println!("\nok: {checks} assertions passed");
+}

@@ -41,12 +41,16 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["benchmark", "error", "ipc(nowp)", "ipc(wpemul)", "bar (2%/#)"],
+            &[
+                "benchmark",
+                "error",
+                "ipc(nowp)",
+                "ipc(wpemul)",
+                "bar (2%/#)"
+            ],
             &rows
         )
     );
     println!("average error: {:+.1}%", mean(&errors));
-    println!(
-        "paper: all errors <= 0, average -9.6%, worst -22% (bc); pr/tc least affected"
-    );
+    println!("paper: all errors <= 0, average -9.6%, worst -22% (bc); pr/tc least affected");
 }

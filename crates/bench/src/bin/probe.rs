@@ -7,7 +7,8 @@ fn main() {
     let core = CoreConfig::golden_cove_like();
     for k in all_speclike(1, 2026) {
         let w = &k.workload;
-        let results = run_all_modes(w.program(), w.memory(), &core, Some(1_500_000));
+        let results = run_all_modes(w.program(), w.memory(), &core, Some(1_500_000))
+            .expect("probe workload faulted");
         let wpemul = results[3].clone();
         println!(
             "{:4} {:16} nowp {:+6.2}% instrec {:+6.2}% conv {:+6.2}% | bmpki {:5.2} l2mpki {:5.2} l1i-mpki {:5.2} | n={}k",

@@ -30,7 +30,7 @@ fn main() {
     let mut total = 0;
     for (label, g) in &graphs {
         let src = g.max_degree_vertex();
-        let kernels: Vec<Workload> = vec![gap::bfs(g, src), gap::sssp(g, src, 3)];
+        let kernels: Vec<Workload> = vec![gap::bfs(g, src).unwrap(), gap::sssp(g, src, 3).unwrap()];
         for w in kernels {
             let [nowp, _, conv, wpemul] = run_modes(&w, &core, max);
             let e_nowp = nowp.error_vs(&wpemul);

@@ -22,10 +22,7 @@ fn report(label: &str, workloads: &[&Workload], max_instructions: u64) {
     for w in workloads {
         let results: [SimResult; 4] = run_modes(w, &core, max_instructions);
         let nowp = &results[0];
-        let s: Vec<f64> = results[1..]
-            .iter()
-            .map(|r| r.slowdown_vs(nowp))
-            .collect();
+        let s: Vec<f64> = results[1..].iter().map(|r| r.slowdown_vs(nowp)).collect();
         for i in 0..3 {
             slow[i].push(s[i]);
             max_slow[i] = max_slow[i].max(s[i]);

@@ -40,20 +40,21 @@ fn main() {
 
     println!("running GAP suite (scale 12)...");
     let gap_suite: Vec<Workload> = gap::all_gap(12, 16, 42);
-    let gap_results: Vec<[SimResult; 4]> = gap_suite
-        .iter()
-        .map(|w| run_modes(w, &core, max))
-        .collect();
+    let gap_results: Vec<[SimResult; 4]> =
+        gap_suite.iter().map(|w| run_modes(w, &core, max)).collect();
 
     // Claim 1 (Fig. 1): all GAP nowp errors <= 0.
-    let nowp_errs: Vec<f64> = gap_results
-        .iter()
-        .map(|r| r[0].error_vs(&r[3]))
-        .collect();
+    let nowp_errs: Vec<f64> = gap_results.iter().map(|r| r[0].error_vs(&r[3])).collect();
     card.check(
         "Fig. 1: no-wrong-path modeling underestimates GAP performance everywhere",
         nowp_errs.iter().all(|&e| e <= 0.5),
-        format!("errors: {:?}", nowp_errs.iter().map(|e| format!("{e:+.1}%")).collect::<Vec<_>>()),
+        format!(
+            "errors: {:?}",
+            nowp_errs
+                .iter()
+                .map(|e| format!("{e:+.1}%"))
+                .collect::<Vec<_>>()
+        ),
     );
 
     // Claim 2 (Fig. 1): pr and tc are the least sensitive kernels.
@@ -95,7 +96,9 @@ fn main() {
     card.check(
         "Fig. 4: instrec does not help GAP; conv cuts the average error >=1.5x",
         (instrec_avg - nowp_avg).abs() < 1.5 && conv_avg < nowp_avg / 1.5,
-        format!("avg |error| nowp {nowp_avg:.1}% -> instrec {instrec_avg:.1}% -> conv {conv_avg:.1}%"),
+        format!(
+            "avg |error| nowp {nowp_avg:.1}% -> instrec {instrec_avg:.1}% -> conv {conv_avg:.1}%"
+        ),
     );
 
     // Claim 4 (Table II): wrong-path instruction count ordering.
@@ -124,20 +127,20 @@ fn main() {
     card.check(
         "Table III: convergence found for most misses, within tens of instructions",
         conv_fracs.iter().all(|&f| f > 0.6) && dists.iter().all(|&d| d < 40.0),
-        format!("conv frac {:.0}-{:.0}%, dist {:.1}-{:.1}",
+        format!(
+            "conv frac {:.0}-{:.0}%, dist {:.1}-{:.1}",
             conv_fracs.iter().fold(f64::INFINITY, |a, &b| a.min(b)) * 100.0,
             conv_fracs.iter().fold(0.0f64, |a, &b| a.max(b)) * 100.0,
             dists.iter().fold(f64::INFINITY, |a, &b| a.min(b)),
-            dists.iter().fold(0.0f64, |a, &b| a.max(b))),
+            dists.iter().fold(0.0f64, |a, &b| a.max(b))
+        ),
     );
 
     // Claim 6: the prefetch mechanism — wpemul lowers correct-path L2
     // misses vs nowp on converging kernels.
     let prefetch_wins = gap_results
         .iter()
-        .filter(|r| {
-            r[3].l2.misses.get(PathKind::Correct) < r[0].l2.misses.get(PathKind::Correct)
-        })
+        .filter(|r| r[3].l2.misses.get(PathKind::Correct) < r[0].l2.misses.get(PathKind::Correct))
         .count();
     card.check(
         "mechanism: wrong-path execution prefetches for the correct path",
@@ -165,7 +168,10 @@ fn main() {
     card.check(
         "Fig. 4: FP kernels are insensitive to wrong-path modeling",
         fp_errs.iter().all(|e| e.abs() < 1.0),
-        format!("max FP |error| {:.2}%", fp_errs.iter().fold(0.0f64, |a, &b| a.max(b.abs()))),
+        format!(
+            "max FP |error| {:.2}%",
+            fp_errs.iter().fold(0.0f64, |a, &b| a.max(b.abs()))
+        ),
     );
 
     // Claim 8 (Fig. 4 right): INT negatively skewed; conv narrows it.
@@ -180,7 +186,10 @@ fn main() {
         ),
     );
 
-    println!("\nscorecard: {} passed, {} failed", card.passed, card.failed);
+    println!(
+        "\nscorecard: {} passed, {} failed",
+        card.passed, card.failed
+    );
     if card.failed > 0 {
         std::process::exit(1);
     }

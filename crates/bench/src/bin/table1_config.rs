@@ -20,55 +20,87 @@ fn main() {
         )
     };
     let rows = vec![
-        vec!["Frontend".into(), format!(
-            "{}-wide fetch/decode, {} cycles deep, {} cycles redirect penalty",
-            c.fetch_width, c.frontend_depth, c.redirect_penalty
-        )],
-        vec!["Window".into(), format!(
-            "{}-entry ROB, {}-entry scheduler, {}/{} load/store queue",
-            c.rob_size, c.iq_size, c.load_queue, c.store_queue
-        )],
+        vec![
+            "Frontend".into(),
+            format!(
+                "{}-wide fetch/decode, {} cycles deep, {} cycles redirect penalty",
+                c.fetch_width, c.frontend_depth, c.redirect_penalty
+            ),
+        ],
+        vec![
+            "Window".into(),
+            format!(
+                "{}-entry ROB, {}-entry scheduler, {}/{} load/store queue",
+                c.rob_size, c.iq_size, c.load_queue, c.store_queue
+            ),
+        ],
         vec!["Retire".into(), format!("{}-wide", c.retire_width)],
-        vec!["Integer units".into(), format!(
-            "{} ALU (1c), {} mul ({}c), {} div ({}c, unpipelined)",
-            c.int_alu.count, c.int_mul.count, c.int_mul.latency, c.int_div.count, c.int_div.latency
-        )],
-        vec!["FP units".into(), format!(
-            "{} add ({}c), {} mul ({}c), {} div ({}c, unpipelined)",
-            c.fp_add.count, c.fp_add.latency, c.fp_mul.count, c.fp_mul.latency,
-            c.fp_div.count, c.fp_div.latency
-        )],
-        vec!["Memory ports".into(), format!(
-            "{} load, {} store",
-            c.load_ports.count, c.store_ports.count
-        )],
-        vec!["Branch predictor".into(), format!(
+        vec![
+            "Integer units".into(),
+            format!(
+                "{} ALU (1c), {} mul ({}c), {} div ({}c, unpipelined)",
+                c.int_alu.count,
+                c.int_mul.count,
+                c.int_mul.latency,
+                c.int_div.count,
+                c.int_div.latency
+            ),
+        ],
+        vec![
+            "FP units".into(),
+            format!(
+                "{} add ({}c), {} mul ({}c), {} div ({}c, unpipelined)",
+                c.fp_add.count,
+                c.fp_add.latency,
+                c.fp_mul.count,
+                c.fp_mul.latency,
+                c.fp_div.count,
+                c.fp_div.latency
+            ),
+        ],
+        vec![
+            "Memory ports".into(),
+            format!("{} load, {} store", c.load_ports.count, c.store_ports.count),
+        ],
+        vec![
+            "Branch predictor".into(),
+            format!(
             "gshare/bimodal hybrid ({}-bit history, {}K entries), {}-entry indirect, {}-entry RAS",
             c.branch.gshare_history_bits,
             (1u64 << c.branch.gshare_table_bits) / 1024,
             c.branch.indirect_entries,
             c.branch.ras_entries
-        )],
+        ),
+        ],
         vec!["L1I".into(), cache(c.l1i)],
         vec!["L1D".into(), cache(c.l1d)],
         vec!["L2".into(), cache(c.l2)],
         vec!["LLC (per-core share)".into(), cache(c.llc)],
-        vec!["ITLB / DTLB".into(), format!(
-            "{} / {} entries, {}-cycle walk",
-            c.itlb.entries, c.dtlb.entries, c.itlb.walk_latency
-        )],
-        vec!["DRAM".into(), format!(
-            "{} cycles latency, 1 line per {} cycles (per-core bandwidth share)",
-            c.dram.latency, c.dram.cycles_per_line
-        )],
-        vec!["Wrong-path budget".into(), format!(
-            "{} instructions per misprediction (ROB + frontend)",
-            c.wrong_path_budget()
-        )],
-        vec!["Frontend queue".into(), format!(
-            "{} instructions of functional runahead",
-            c.queue_depth
-        )],
+        vec![
+            "ITLB / DTLB".into(),
+            format!(
+                "{} / {} entries, {}-cycle walk",
+                c.itlb.entries, c.dtlb.entries, c.itlb.walk_latency
+            ),
+        ],
+        vec![
+            "DRAM".into(),
+            format!(
+                "{} cycles latency, 1 line per {} cycles (per-core bandwidth share)",
+                c.dram.latency, c.dram.cycles_per_line
+            ),
+        ],
+        vec![
+            "Wrong-path budget".into(),
+            format!(
+                "{} instructions per misprediction (ROB + frontend)",
+                c.wrong_path_budget()
+            ),
+        ],
+        vec![
+            "Frontend queue".into(),
+            format!("{} instructions of functional runahead", c.queue_depth),
+        ],
     ];
     println!("TABLE I: simulated core configuration (Golden Cove-like)\n");
     println!("{}", render_table(&["structure", "configuration"], &rows));

@@ -15,6 +15,7 @@
 //! | `table3_convergence` | Table III — convergence-technique metrics |
 //! | `speed_comparison` | §V-B — simulation-speed slowdowns |
 //! | `ablations` | design-choice studies (not in the paper) |
+//! | `fault_injection` | robustness — wrong-path fault injection (not in the paper) |
 //!
 //! The library half holds the shared experiment setup: canonical workload
 //! scales, per-mode runners, and plain-text table/histogram formatting.
@@ -52,6 +53,12 @@ pub fn spec_suite() -> Vec<SpecKernel> {
 }
 
 /// Runs one workload under a specific mode.
+///
+/// # Panics
+///
+/// The experiment workloads are canonical and fault-free; any
+/// [`SimError`](ffsim_core::SimError) here is a harness bug and panics
+/// with the typed error's message.
 #[must_use]
 pub fn run_mode(
     workload: &Workload,
@@ -61,16 +68,14 @@ pub fn run_mode(
 ) -> SimResult {
     let mut cfg = SimConfig::with_core(core.clone(), mode);
     cfg.max_instructions = Some(max_instructions);
-    Simulator::new(workload.program().clone(), workload.memory().clone(), cfg).run()
+    Simulator::new(workload.program().clone(), workload.memory().clone(), cfg)
+        .and_then(Simulator::run)
+        .unwrap_or_else(|e| panic!("experiment workload failed under {mode}: {e}"))
 }
 
 /// Runs one workload under all four modes (paper order).
 #[must_use]
-pub fn run_modes(
-    workload: &Workload,
-    core: &CoreConfig,
-    max_instructions: u64,
-) -> [SimResult; 4] {
+pub fn run_modes(workload: &Workload, core: &CoreConfig, max_instructions: u64) -> [SimResult; 4] {
     WrongPathMode::ALL.map(|mode| run_mode(workload, core, mode, max_instructions))
 }
 

@@ -1,0 +1,105 @@
+//! The crate-level typed error surface.
+//!
+//! Everything that can go wrong while building or running a simulation is
+//! funnelled into [`SimError`], so harnesses and binaries get one `Result`
+//! type end to end: assembly errors, emulator construction errors, config
+//! validation, and execution faults (with their correct-path/wrong-path
+//! provenance preserved).
+
+use ffsim_emu::{EmuError, Fault};
+use ffsim_isa::AsmError;
+use std::error::Error;
+use std::fmt;
+
+/// Why a simulation could not be built or did not complete.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// The [`SimConfig`](crate::SimConfig) is invalid (zero queue depth,
+    /// zero watchdog, ...). The message names the offending knob.
+    InvalidConfig(String),
+    /// A fault on the *correct* path terminated the run — a workload bug.
+    /// `retired` is the number of instructions retired before the fault.
+    CorrectPathFault {
+        /// The fault raised by the correct-path instruction.
+        fault: Fault,
+        /// Correct-path instructions retired before the fault.
+        retired: u64,
+    },
+    /// A fault during wrong-path emulation ended the run under
+    /// [`FaultPolicy::AbortRun`](ffsim_emu::FaultPolicy::AbortRun). Under
+    /// the default squash policy wrong-path faults never surface here.
+    WrongPathFault(Fault),
+    /// The functional emulator could not be constructed.
+    Emulator(EmuError),
+    /// The workload program failed to assemble.
+    Assembly(AsmError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulation config: {msg}"),
+            SimError::CorrectPathFault { fault, retired } => {
+                write!(
+                    f,
+                    "correct-path fault after {retired} instructions: {fault}"
+                )
+            }
+            SimError::WrongPathFault(fault) => {
+                write!(f, "wrong-path fault (abort policy): {fault}")
+            }
+            SimError::Emulator(e) => write!(f, "emulator setup failed: {e}"),
+            SimError::Assembly(e) => write!(f, "assembly failed: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::CorrectPathFault { fault, .. } | SimError::WrongPathFault(fault) => {
+                Some(fault)
+            }
+            SimError::Emulator(e) => Some(e),
+            SimError::Assembly(e) => Some(e),
+            SimError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<EmuError> for SimError {
+    fn from(e: EmuError) -> SimError {
+        SimError::Emulator(e)
+    }
+}
+
+impl From<AsmError> for SimError {
+    fn from(e: AsmError) -> SimError {
+        SimError::Assembly(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_cause() {
+        let e = SimError::CorrectPathFault {
+            fault: Fault::IllegalPc { pc: 0x40 },
+            retired: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("7 instructions"));
+        assert!(s.contains("0x40"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn conversions() {
+        let e: SimError = AsmError::EmptyProgram.into();
+        assert!(matches!(e, SimError::Assembly(_)));
+        let e: SimError = EmuError::EntryNotExecutable { entry: 4 }.into();
+        assert!(matches!(e, SimError::Emulator(_)));
+    }
+}

@@ -36,7 +36,7 @@
 //! a.halt();
 //! let program = a.assemble()?;
 //!
-//! let results = run_all_modes(&program, &Memory::new(), &CoreConfig::tiny_for_tests(), None);
+//! let results = run_all_modes(&program, &Memory::new(), &CoreConfig::tiny_for_tests(), None)?;
 //! let reference = &results[3]; // wpemul
 //! for r in &results {
 //!     println!("{}: ipc {:.3}, error {:+.2}%", r.mode, r.ipc(), r.error_vs(reference));
@@ -50,6 +50,7 @@
 #![warn(missing_debug_implementations)]
 
 mod code_cache;
+mod error;
 mod metrics;
 mod mode;
 mod pipeline;
@@ -58,11 +59,10 @@ mod sim;
 mod wrongpath;
 
 pub use code_cache::{CodeCache, CodeCacheStats};
-pub use metrics::SimResult;
+pub use error::SimError;
+pub use metrics::{FaultStats, SimResult};
 pub use mode::WrongPathMode;
 pub use pipeline::{InstrTimes, LoadTiming, Pipeline, WindowState};
-pub use replica::ReplicaPolicy;
+pub use replica::{PcCorruption, ReplicaPolicy};
 pub use sim::{run_all_modes, NullObserver, SimConfig, SimObserver, Simulator};
-pub use wrongpath::{
-    reconstruct, recover_addresses, ConvergenceConfig, ConvergenceStats, WpInst,
-};
+pub use wrongpath::{reconstruct, recover_addresses, ConvergenceConfig, ConvergenceStats, WpInst};

@@ -3,9 +3,12 @@
 use crate::code_cache::CodeCacheStats;
 use crate::mode::WrongPathMode;
 use crate::wrongpath::ConvergenceStats;
-use ffsim_emu::Fault;
 use ffsim_uarch::{BranchStats, CacheStats, DramStats, TlbStats};
 use std::time::Duration;
+
+/// Wrong-path fault-handling counters (squashes, watchdog trips, wild
+/// fetches) — re-exported from the functional layer.
+pub use ffsim_emu::WrongPathFaultStats as FaultStats;
 
 /// The complete result of one simulation run.
 #[derive(Clone, Debug)]
@@ -40,8 +43,15 @@ pub struct SimResult {
     pub dtlb: TlbStats,
     /// Host wall-clock time of the run (simulation speed comparisons).
     pub wall_time: Duration,
-    /// A correct-path fault that terminated the stream early, if any.
-    pub fault: Option<Fault>,
+    /// Wrong-path fault handling counters (faults squashed, watchdog
+    /// trips, wild fetches). Fatal faults are not recorded here — they
+    /// surface as [`SimError`](crate::SimError) from `Simulator::run`.
+    pub faults: FaultStats,
+    /// A 64-bit digest of the final architectural state (registers, pc,
+    /// logical memory). Runs that retire the same correct path end with
+    /// the same digest, whatever happened on wrong paths — the invariant
+    /// the fault-injection harness checks.
+    pub state_digest: u64,
 }
 
 impl SimResult {
@@ -136,7 +146,8 @@ mod tests {
             itlb: TlbStats::default(),
             dtlb: TlbStats::default(),
             wall_time: Duration::from_millis(100),
-            fault: None,
+            faults: FaultStats::default(),
+            state_digest: 0,
         }
     }
 

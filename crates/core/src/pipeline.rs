@@ -321,7 +321,9 @@ impl Pipeline {
                 let lat = match (load_timing, mem) {
                     _ if squashed_before_issue => 0,
                     (LoadTiming::Real, Some(m)) => {
-                        self.hierarchy.data_access(m.addr, false, issue, path).latency
+                        self.hierarchy
+                            .data_access(m.addr, false, issue, path)
+                            .latency
                     }
                     // Address unknown (instruction reconstruction): model
                     // as an L1D hit without touching cache state.
@@ -542,7 +544,14 @@ mod tests {
     fn assume_hit_skips_cache_state() {
         let mut p = pipeline();
         let mut w = p.begin_wrong_path();
-        let t = p.feed_wrong(&mut w, 0x1000, &load(1, 2), None, LoadTiming::AssumeL1Hit, 1000);
+        let t = p.feed_wrong(
+            &mut w,
+            0x1000,
+            &load(1, 2),
+            None,
+            LoadTiming::AssumeL1Hit,
+            1000,
+        );
         // No data-cache access happened at all.
         assert_eq!(p.hierarchy().l1d().stats().accesses(), 0);
         // And latency is the fixed L1 latency.
@@ -554,11 +563,15 @@ mod tests {
     fn wrong_path_load_with_address_touches_cache() {
         let mut p = pipeline();
         let mut w = p.begin_wrong_path();
-        let _ = p.feed_wrong(&mut w, 0x1000, &load(1, 2), mem(0x9000), LoadTiming::Real, 1000);
-        assert_eq!(
-            p.hierarchy().l1d().stats().misses.get(PathKind::Wrong),
-            1
+        let _ = p.feed_wrong(
+            &mut w,
+            0x1000,
+            &load(1, 2),
+            mem(0x9000),
+            LoadTiming::Real,
+            1000,
         );
+        assert_eq!(p.hierarchy().l1d().stats().misses.get(PathKind::Wrong), 1);
         assert!(p.hierarchy().l1d().probe(0x9000));
         assert_eq!(p.wrong_path_injected(), 1);
         assert_eq!(p.retired(), 0, "wrong-path instructions never retire");
@@ -569,7 +582,14 @@ mod tests {
         let mut p = pipeline();
         let snap = p.snapshot_regs();
         let mut w = p.begin_wrong_path();
-        let _ = p.feed_wrong(&mut w, 0x1000, &load(1, 2), mem(0x9000), LoadTiming::Real, 1000);
+        let _ = p.feed_wrong(
+            &mut w,
+            0x1000,
+            &load(1, 2),
+            mem(0x9000),
+            LoadTiming::Real,
+            1000,
+        );
         p.restore_regs(snap);
         // A dependent correct-path consumer of x1 is not delayed by the
         // squashed wrong-path load.

@@ -18,6 +18,21 @@ use ffsim_emu::{BranchOracle, BranchOutcome, DynInst, FrontendPolicy, WrongPathR
 use ffsim_isa::{Addr, Instr};
 use ffsim_uarch::{BranchConfig, BranchPredictor, SpeculativeState};
 
+/// Deterministic wrong-path pc corruption, for fault injection.
+///
+/// Every `every_nth` wrong-path request has its start pc XORed with
+/// `xor_mask` *before* emulation. Because corruption only perturbs the
+/// speculative stream — which is checkpointed and squashed — it must never
+/// change correct-path results; the fault-injection harness asserts exactly
+/// that.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PcCorruption {
+    /// Corrupt the Nth, 2Nth, ... wrong-path request (must be non-zero).
+    pub every_nth: u64,
+    /// Mask XORed into the wrong-path start pc.
+    pub xor_mask: u64,
+}
+
 /// Frontend policy holding the branch-predictor replica.
 #[derive(Clone, Debug)]
 pub struct ReplicaPolicy {
@@ -25,6 +40,9 @@ pub struct ReplicaPolicy {
     wrong_path_budget: usize,
     /// Speculative fetch state for the wrong path currently being emulated.
     scratch: Option<SpeculativeState>,
+    corruption: Option<PcCorruption>,
+    requests: u64,
+    corrupted: u64,
 }
 
 impl ReplicaPolicy {
@@ -36,7 +54,17 @@ impl ReplicaPolicy {
             predictor: BranchPredictor::new(branch_cfg),
             wrong_path_budget,
             scratch: None,
+            corruption: None,
+            requests: 0,
+            corrupted: 0,
         }
+    }
+
+    /// Enables deterministic wrong-path pc corruption (fault injection).
+    #[must_use]
+    pub fn with_pc_corruption(mut self, corruption: Option<PcCorruption>) -> ReplicaPolicy {
+        self.corruption = corruption;
+        self
     }
 
     /// The replica predictor (for sync validation against the timing
@@ -45,15 +73,16 @@ impl ReplicaPolicy {
     pub fn predictor(&self) -> &BranchPredictor {
         &self.predictor
     }
+
+    /// How many wrong-path start pcs were corrupted so far.
+    #[must_use]
+    pub fn corrupted_requests(&self) -> u64 {
+        self.corrupted
+    }
 }
 
 impl BranchOracle for ReplicaPolicy {
-    fn next_fetch_pc(
-        &mut self,
-        pc: Addr,
-        instr: &Instr,
-        _computed: BranchOutcome,
-    ) -> Option<Addr> {
+    fn next_fetch_pc(&mut self, pc: Addr, instr: &Instr, _computed: BranchOutcome) -> Option<Addr> {
         // Steer wrong-path branches by prediction, not by their computed
         // outcome (paper §III-A): "the predicted target is used to
         // continue the wrong path".
@@ -71,7 +100,14 @@ impl FrontendPolicy for ReplicaPolicy {
         let res = self
             .predictor
             .observe(inst.pc, &inst.instr, b.taken, b.next_pc);
-        let start = res.wrong_path_start?;
+        let mut start = res.wrong_path_start?;
+        self.requests += 1;
+        if let Some(c) = self.corruption {
+            if c.every_nth > 0 && self.requests.is_multiple_of(c.every_nth) {
+                start ^= c.xor_mask;
+                self.corrupted += 1;
+            }
+        }
         self.scratch = Some(self.predictor.speculative_state());
         Some(WrongPathRequest {
             start,
@@ -108,7 +144,7 @@ mod tests {
     #[test]
     fn replica_attaches_bundle_at_final_back_edge() {
         let policy = ReplicaPolicy::new(branch_cfg(), 16);
-        let mut q = InstrQueue::new(Emulator::new(loop_program(50)), policy, 256);
+        let mut q = InstrQueue::new(Emulator::new(loop_program(50)).unwrap(), policy, 256);
         let mut bundles = Vec::new();
         while let Some(e) = q.pop() {
             if let Some(wp) = e.wrong_path {
@@ -129,7 +165,7 @@ mod tests {
         // A second predictor fed the same stream must mispredict at the
         // same branches the replica requested bundles for.
         let policy = ReplicaPolicy::new(branch_cfg(), 16);
-        let mut q = InstrQueue::new(Emulator::new(loop_program(30)), policy, 256);
+        let mut q = InstrQueue::new(Emulator::new(loop_program(30)).unwrap(), policy, 256);
         let mut shadow = BranchPredictor::new(branch_cfg());
         while let Some(e) = q.pop() {
             if let Some(b) = e.inst.branch {
@@ -153,9 +189,41 @@ mod tests {
     }
 
     #[test]
+    fn pc_corruption_is_counted_and_confined_to_wrong_path() {
+        let policy = ReplicaPolicy::new(branch_cfg(), 16).with_pc_corruption(Some(PcCorruption {
+            every_nth: 1,
+            xor_mask: 0xffff_0000,
+        }));
+        let mut q = InstrQueue::new(Emulator::new(loop_program(50)).unwrap(), policy, 256);
+        let mut retired = 0;
+        while q.pop().is_some() {
+            retired += 1;
+        }
+        assert!(q.policy().corrupted_requests() >= 1);
+        assert!(
+            q.fault_stats().illegal_pc_stops >= 1,
+            "corrupted start pcs land outside the text"
+        );
+        assert!(q.fault().is_none(), "corruption never ends the stream");
+        // Same correct-path length as an uncorrupted run.
+        let clean = ReplicaPolicy::new(branch_cfg(), 16);
+        let mut q2 = InstrQueue::new(Emulator::new(loop_program(50)).unwrap(), clean, 256);
+        let mut clean_retired = 0;
+        while q2.pop().is_some() {
+            clean_retired += 1;
+        }
+        assert_eq!(retired, clean_retired);
+        assert_eq!(
+            q.emulator().digest(),
+            q2.emulator().digest(),
+            "architectural state is bit-identical"
+        );
+    }
+
+    #[test]
     fn budget_is_honoured() {
         let policy = ReplicaPolicy::new(branch_cfg(), 5);
-        let mut q = InstrQueue::new(Emulator::new(loop_program(40)), policy, 256);
+        let mut q = InstrQueue::new(Emulator::new(loop_program(40)).unwrap(), policy, 256);
         while let Some(e) = q.pop() {
             if let Some(wp) = e.wrong_path {
                 assert!(wp.insts.len() <= 5);

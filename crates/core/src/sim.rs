@@ -2,15 +2,17 @@
 //! backend, and the four wrong-path modeling techniques.
 
 use crate::code_cache::CodeCache;
-use crate::metrics::SimResult;
+use crate::error::SimError;
+use crate::metrics::{FaultStats, SimResult};
 use crate::mode::WrongPathMode;
 use crate::pipeline::{LoadTiming, Pipeline};
-use crate::replica::ReplicaPolicy;
+use crate::replica::{PcCorruption, ReplicaPolicy};
 use crate::wrongpath::{
     reconstruct, recover_addresses, ConvergenceConfig, ConvergenceStats, WpInst,
 };
 use ffsim_emu::{
-    DynInst, Emulator, Fault, InstrQueue, Memory, NoFrontendWrongPath, StreamEntry,
+    DynInst, Emulator, FaultModel, FaultPolicy, InstrQueue, Memory, NoFrontendWrongPath,
+    StreamEntry,
 };
 use ffsim_isa::{Program, INSTR_BYTES};
 use ffsim_uarch::{BranchPredictor, CoreConfig};
@@ -36,9 +38,32 @@ pub struct SimConfig {
     /// Convergence-technique tunables (used in
     /// [`WrongPathMode::ConvergenceExploitation`] only).
     pub convergence: ConvergenceConfig,
+    /// What to do when wrong-path emulation faults: squash and resume
+    /// (default — mirrors hardware, where speculative faults are deferred
+    /// and dropped on squash), or abort the whole run.
+    pub fault_policy: FaultPolicy,
+    /// Maximum speculative instructions per wrong-path emulation before the
+    /// watchdog trips (`None` = unbounded). Defensive bound against wild
+    /// speculative paths looping forever; must be non-zero.
+    pub wrong_path_watchdog: Option<u64>,
+    /// Which conditions the functional emulator treats as faults (address
+    /// limits, divide-by-zero trapping). The default is permissive RISC-V
+    /// semantics: no address limit, `x / 0 = -1`.
+    pub fault_model: FaultModel,
+    /// Bound on the sparse memory's materialized page count (`None` =
+    /// unbounded). A correct-path store past the limit is a fatal
+    /// [`Fault::OutOfRange`](ffsim_emu::Fault); must be non-zero.
+    pub max_memory_pages: Option<usize>,
+    /// Deterministic wrong-path start-pc corruption (fault injection,
+    /// [`WrongPathMode::WrongPathEmulation`] only). `None` disables it.
+    pub wp_pc_corruption: Option<PcCorruption>,
 }
 
 impl SimConfig {
+    /// Default wrong-path watchdog limit: far above any real speculative
+    /// window (ROB + frontend), far below a hang.
+    pub const DEFAULT_WATCHDOG: u64 = 65_536;
+
     /// A run of `mode` on the default Golden Cove–like core.
     #[must_use]
     pub fn new(mode: WrongPathMode) -> SimConfig {
@@ -55,7 +80,44 @@ impl SimConfig {
             warmup_instructions: 0,
             code_cache_capacity: None,
             convergence: ConvergenceConfig::default(),
+            fault_policy: FaultPolicy::default(),
+            wrong_path_watchdog: Some(SimConfig::DEFAULT_WATCHDOG),
+            fault_model: FaultModel::default(),
+            max_memory_pages: None,
+            wp_pc_corruption: None,
         }
+    }
+
+    /// Checks the configuration for nonsense values; called by
+    /// [`Simulator::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.core.queue_depth == 0 {
+            return Err(SimError::InvalidConfig(
+                "core.queue_depth must be non-zero".into(),
+            ));
+        }
+        if self.wrong_path_watchdog == Some(0) {
+            return Err(SimError::InvalidConfig(
+                "wrong_path_watchdog must be non-zero (use None for unbounded)".into(),
+            ));
+        }
+        if self.max_memory_pages == Some(0) {
+            return Err(SimError::InvalidConfig(
+                "max_memory_pages must be non-zero (use None for unbounded)".into(),
+            ));
+        }
+        if let Some(c) = self.wp_pc_corruption {
+            if c.every_nth == 0 {
+                return Err(SimError::InvalidConfig(
+                    "wp_pc_corruption.every_nth must be non-zero".into(),
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -83,10 +145,31 @@ impl Frontend {
         }
     }
 
-    fn fault(&self) -> Option<Fault> {
+    fn fault(&self) -> Option<ffsim_emu::Fault> {
         match self {
             Frontend::Passive(q) => q.fault(),
             Frontend::Replica(q) => q.fault(),
+        }
+    }
+
+    fn fault_was_wrong_path(&self) -> bool {
+        match self {
+            Frontend::Passive(q) => q.fault_was_wrong_path(),
+            Frontend::Replica(q) => q.fault_was_wrong_path(),
+        }
+    }
+
+    fn fault_stats(&self) -> FaultStats {
+        match self {
+            Frontend::Passive(q) => q.fault_stats(),
+            Frontend::Replica(q) => q.fault_stats(),
+        }
+    }
+
+    fn emulator(&self) -> &Emulator {
+        match self {
+            Frontend::Passive(q) => q.emulator(),
+            Frontend::Replica(q) => q.emulator(),
         }
     }
 }
@@ -132,7 +215,7 @@ impl SimObserver for NullObserver {}
 /// a.halt();
 ///
 /// let cfg = SimConfig::new(WrongPathMode::ConvergenceExploitation);
-/// let result = Simulator::new(a.assemble()?, Memory::new(), cfg).run();
+/// let result = Simulator::new(a.assemble()?, Memory::new(), cfg)?.run()?;
 /// assert_eq!(result.instructions, 202);
 /// assert!(result.ipc() > 0.0);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -153,20 +236,39 @@ pub struct Simulator {
 
 impl Simulator {
     /// Builds a simulator for `program` with an initial `memory` image.
-    #[must_use]
-    pub fn new(program: Program, memory: Memory, cfg: SimConfig) -> Simulator {
-        let emu = Emulator::with_memory(program, memory);
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for nonsense configuration values and
+    /// [`SimError::Emulator`] when the program's entry point is not
+    /// executable.
+    pub fn new(
+        program: Program,
+        mut memory: Memory,
+        cfg: SimConfig,
+    ) -> Result<Simulator, SimError> {
+        cfg.validate()?;
+        if cfg.max_memory_pages.is_some() {
+            memory.set_page_limit(cfg.max_memory_pages);
+        }
+        let mut emu = Emulator::with_memory(program, memory)?;
+        emu.set_fault_model(cfg.fault_model);
         let frontend = match cfg.mode {
-            WrongPathMode::WrongPathEmulation => Frontend::Replica(InstrQueue::new(
-                emu,
-                ReplicaPolicy::new(cfg.core.branch, cfg.core.wrong_path_budget()),
-                cfg.core.queue_depth,
-            )),
-            _ => Frontend::Passive(InstrQueue::new(
-                emu,
-                NoFrontendWrongPath,
-                cfg.core.queue_depth,
-            )),
+            WrongPathMode::WrongPathEmulation => Frontend::Replica(
+                InstrQueue::new(
+                    emu,
+                    ReplicaPolicy::new(cfg.core.branch, cfg.core.wrong_path_budget())
+                        .with_pc_corruption(cfg.wp_pc_corruption),
+                    cfg.core.queue_depth,
+                )
+                .with_fault_policy(cfg.fault_policy)
+                .with_watchdog(cfg.wrong_path_watchdog),
+            ),
+            _ => Frontend::Passive(
+                InstrQueue::new(emu, NoFrontendWrongPath, cfg.core.queue_depth)
+                    .with_fault_policy(cfg.fault_policy)
+                    .with_watchdog(cfg.wrong_path_watchdog),
+            ),
         };
         let predictor = BranchPredictor::new(cfg.core.branch);
         let pipeline = Pipeline::new(cfg.core.clone());
@@ -174,7 +276,7 @@ impl Simulator {
             Some(cap) => CodeCache::with_capacity(cap),
             None => CodeCache::unbounded(),
         };
-        Simulator {
+        Ok(Simulator {
             cfg,
             frontend,
             predictor,
@@ -183,7 +285,7 @@ impl Simulator {
             conv_stats: ConvergenceStats::default(),
             future_buf: Vec::new(),
             wp_buf: Vec::new(),
-        }
+        })
     }
 
     /// Injects a wrong-path instruction sequence into the pipeline.
@@ -229,16 +331,27 @@ impl Simulator {
         pipeline.restore_regs(snapshot);
     }
 
-    /// Runs the simulation to completion (program `halt`, stream fault, or
-    /// the configured instruction limit) and returns the result.
-    #[must_use]
-    pub fn run(self) -> SimResult {
+    /// Runs the simulation to completion (program `halt` or the configured
+    /// instruction limit) and returns the result.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CorrectPathFault`] when a correct-path instruction
+    /// faults (a workload bug), and [`SimError::WrongPathFault`] when a
+    /// wrong-path fault ends the stream under
+    /// [`FaultPolicy::AbortRun`](ffsim_emu::FaultPolicy::AbortRun). Under
+    /// the default squash policy wrong-path faults are absorbed and only
+    /// counted in [`SimResult::faults`].
+    pub fn run(self) -> Result<SimResult, SimError> {
         self.run_observed(&mut NullObserver)
     }
 
     /// Runs the simulation, reporting events to `observer`.
-    #[must_use]
-    pub fn run_observed(mut self, observer: &mut dyn SimObserver) -> SimResult {
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulator::run`].
+    pub fn run_observed(mut self, observer: &mut dyn SimObserver) -> Result<SimResult, SimError> {
         let started = Instant::now();
         let budget = self.cfg.core.wrong_path_budget();
         let rob = self.cfg.core.rob_size;
@@ -299,8 +412,7 @@ impl Simulator {
                 WrongPathMode::NoWrongPath => {}
                 WrongPathMode::InstructionReconstruction => {
                     if let Some(start) = res.wrong_path_start {
-                        let wp =
-                            reconstruct(&mut self.code_cache, &self.predictor, start, budget);
+                        let wp = reconstruct(&mut self.code_cache, &self.predictor, start, budget);
                         Self::inject_wrong_path(&mut self.pipeline, &wp, resolve, budget, None);
                     }
                 }
@@ -348,7 +460,13 @@ impl Simulator {
                         self.wp_buf.clear();
                         self.wp_buf
                             .extend(bundle.insts.iter().map(WpInst::from_dyn));
-                        Self::inject_wrong_path(&mut self.pipeline, &self.wp_buf, resolve, budget, None);
+                        Self::inject_wrong_path(
+                            &mut self.pipeline,
+                            &self.wp_buf,
+                            resolve,
+                            budget,
+                            None,
+                        );
                     }
                 }
             }
@@ -357,15 +475,23 @@ impl Simulator {
                 .redirect(resolve + self.cfg.core.redirect_penalty);
         }
 
+        if let Some(fault) = self.frontend.fault() {
+            return Err(if self.frontend.fault_was_wrong_path() {
+                SimError::WrongPathFault(fault)
+            } else {
+                SimError::CorrectPathFault {
+                    fault,
+                    retired: instructions,
+                }
+            });
+        }
+
         let h = self.pipeline.hierarchy();
-        SimResult {
+        Ok(SimResult {
             mode: self.cfg.mode,
             instructions: instructions.saturating_sub(warmup.min(instructions)),
             cycles: self.pipeline.cycles().saturating_sub(cycles_base),
-            wrong_path_instructions: self
-                .pipeline
-                .wrong_path_injected()
-                .saturating_sub(wp_base),
+            wrong_path_instructions: self.pipeline.wrong_path_injected().saturating_sub(wp_base),
             branch: self.predictor.stats(),
             convergence: self.conv_stats,
             code_cache: self.code_cache.stats(),
@@ -377,8 +503,9 @@ impl Simulator {
             itlb: h.itlb().stats(),
             dtlb: h.dtlb().stats(),
             wall_time: started.elapsed(),
-            fault: self.frontend.fault(),
-        }
+            faults: self.frontend.fault_stats(),
+            state_digest: self.frontend.emulator().digest(),
+        })
     }
 }
 
@@ -386,18 +513,25 @@ impl Simulator {
 /// same core configuration, returning results in [`WrongPathMode::ALL`]
 /// order. The program and memory image are reused via cloning, so all
 /// four runs see identical workloads.
-#[must_use]
+///
+/// # Errors
+///
+/// The first [`SimError`] any of the four runs produces.
 pub fn run_all_modes(
     program: &Program,
     memory: &Memory,
     core: &CoreConfig,
     max_instructions: Option<u64>,
-) -> [SimResult; 4] {
-    WrongPathMode::ALL.map(|mode| {
+) -> Result<[SimResult; 4], SimError> {
+    let mut results = Vec::with_capacity(WrongPathMode::ALL.len());
+    for mode in WrongPathMode::ALL {
         let mut cfg = SimConfig::with_core(core.clone(), mode);
         cfg.max_instructions = max_instructions;
-        Simulator::new(program.clone(), memory.clone(), cfg).run()
-    })
+        results.push(Simulator::new(program.clone(), memory.clone(), cfg)?.run()?);
+    }
+    Ok(results
+        .try_into()
+        .expect("exactly four modes in WrongPathMode::ALL"))
 }
 
 #[cfg(test)]
@@ -426,7 +560,8 @@ mod tests {
     #[test]
     fn all_modes_agree_on_instruction_count() {
         let p = simple_loop(200);
-        let results = run_all_modes(&p, &Memory::new(), &CoreConfig::tiny_for_tests(), None);
+        let results =
+            run_all_modes(&p, &Memory::new(), &CoreConfig::tiny_for_tests(), None).unwrap();
         let counts: Vec<u64> = results.iter().map(|r| r.instructions).collect();
         assert!(
             counts.windows(2).all(|w| w[0] == w[1]),
@@ -434,15 +569,23 @@ mod tests {
         );
         assert_eq!(counts[0], 1 + 1 + 400 + 1);
         for r in &results {
-            assert!(r.fault.is_none());
             assert!(r.cycles > 0);
         }
+        // Bit-identical final architectural state across all four modes.
+        let digests: Vec<u64> = results.iter().map(|r| r.state_digest).collect();
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "state digests must agree across modes: {digests:?}"
+        );
     }
 
     #[test]
     fn nowp_never_injects_wrong_path() {
         let p = simple_loop(100);
-        let r = Simulator::new(p, Memory::new(), tiny(WrongPathMode::NoWrongPath)).run();
+        let r = Simulator::new(p, Memory::new(), tiny(WrongPathMode::NoWrongPath))
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(r.wrong_path_instructions, 0);
         assert_eq!(r.l1d.misses.get(ffsim_uarch::PathKind::Wrong), 0);
         assert_eq!(r.l1i.misses.get(ffsim_uarch::PathKind::Wrong), 0);
@@ -456,7 +599,10 @@ mod tests {
             WrongPathMode::ConvergenceExploitation,
             WrongPathMode::WrongPathEmulation,
         ] {
-            let r = Simulator::new(p.clone(), Memory::new(), tiny(mode)).run();
+            let r = Simulator::new(p.clone(), Memory::new(), tiny(mode))
+                .unwrap()
+                .run()
+                .unwrap();
             assert!(
                 r.wrong_path_instructions > 0,
                 "{mode}: loop-exit misprediction must inject wrong path"
@@ -472,7 +618,9 @@ mod tests {
             Memory::new(),
             tiny(WrongPathMode::InstructionReconstruction),
         )
-        .run();
+        .unwrap()
+        .run()
+        .unwrap();
         assert_eq!(r.l1d.misses.get(ffsim_uarch::PathKind::Wrong), 0);
         assert_eq!(r.l1d.hits.get(ffsim_uarch::PathKind::Wrong), 0);
     }
@@ -482,14 +630,20 @@ mod tests {
         let p = simple_loop(1000);
         let mut cfg = tiny(WrongPathMode::NoWrongPath);
         cfg.max_instructions = Some(50);
-        let r = Simulator::new(p, Memory::new(), cfg).run();
+        let r = Simulator::new(p, Memory::new(), cfg)
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(r.instructions, 50);
     }
 
     #[test]
     fn branch_stats_track_the_loop() {
         let p = simple_loop(100);
-        let r = Simulator::new(p, Memory::new(), tiny(WrongPathMode::NoWrongPath)).run();
+        let r = Simulator::new(p, Memory::new(), tiny(WrongPathMode::NoWrongPath))
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(r.branch.cond_branches, 100);
         // The back edge trains quickly; the loop exit mispredicts.
         assert!(r.branch.cond_mispredicts >= 1);
@@ -532,7 +686,9 @@ mod tests {
             c.max_instructions = Some(500);
             c
         })
-        .run();
+        .unwrap()
+        .run()
+        .unwrap();
         // Warm: skip the first pass (5 instrs/elem + 3 setup), measure after.
         let warm = Simulator::new(p, Memory::new(), {
             let mut c = tiny(WrongPathMode::NoWrongPath);
@@ -540,7 +696,9 @@ mod tests {
             c.max_instructions = Some(500);
             c
         })
-        .run();
+        .unwrap()
+        .run()
+        .unwrap();
         assert_eq!(cold.instructions, 500);
         assert_eq!(warm.instructions, 500);
         assert!(
@@ -559,7 +717,10 @@ mod tests {
         let p = simple_loop(10);
         let mut cfg = tiny(WrongPathMode::NoWrongPath);
         cfg.warmup_instructions = 1_000_000;
-        let r = Simulator::new(p, Memory::new(), cfg).run();
+        let r = Simulator::new(p, Memory::new(), cfg)
+            .unwrap()
+            .run()
+            .unwrap();
         assert_eq!(r.instructions, 0, "no measured instructions");
     }
 
@@ -572,7 +733,11 @@ mod tests {
             ordered: bool,
         }
         impl SimObserver for Counter {
-            fn on_instruction(&mut self, _inst: &ffsim_emu::DynInst, t: crate::pipeline::InstrTimes) {
+            fn on_instruction(
+                &mut self,
+                _inst: &ffsim_emu::DynInst,
+                t: crate::pipeline::InstrTimes,
+            ) {
                 self.instructions += 1;
                 self.ordered &= t.fetch <= t.dispatch && t.dispatch <= t.issue;
                 self.last_complete = self.last_complete.max(t.complete);
@@ -589,8 +754,14 @@ mod tests {
             last_complete: 0,
             ordered: true,
         };
-        let r = Simulator::new(p, Memory::new(), tiny(WrongPathMode::ConvergenceExploitation))
-            .run_observed(&mut obs);
+        let r = Simulator::new(
+            p,
+            Memory::new(),
+            tiny(WrongPathMode::ConvergenceExploitation),
+        )
+        .unwrap()
+        .run_observed(&mut obs)
+        .unwrap();
         assert_eq!(obs.instructions, r.instructions);
         assert_eq!(obs.mispredicts, r.branch.mispredicts());
         assert!(obs.ordered, "stage timestamps must be ordered");
@@ -598,9 +769,60 @@ mod tests {
     }
 
     #[test]
+    fn invalid_configs_are_rejected() {
+        let p = simple_loop(5);
+        let mut cfg = tiny(WrongPathMode::NoWrongPath);
+        cfg.wrong_path_watchdog = Some(0);
+        assert!(matches!(
+            Simulator::new(p.clone(), Memory::new(), cfg),
+            Err(SimError::InvalidConfig(_))
+        ));
+        let mut cfg = tiny(WrongPathMode::NoWrongPath);
+        cfg.max_memory_pages = Some(0);
+        assert!(Simulator::new(p.clone(), Memory::new(), cfg).is_err());
+        let mut cfg = tiny(WrongPathMode::WrongPathEmulation);
+        cfg.wp_pc_corruption = Some(PcCorruption {
+            every_nth: 0,
+            xor_mask: 1,
+        });
+        assert!(Simulator::new(p, Memory::new(), cfg).is_err());
+    }
+
+    #[test]
+    fn correct_path_fault_is_a_typed_error() {
+        // Two stores to far-apart pages under a one-page memory limit: the
+        // second materialization faults on the correct path.
+        let a1 = Reg::new(1);
+        let a2 = Reg::new(2);
+        let mut a = Asm::new();
+        a.li(a1, 0x1000_0000);
+        a.li(a2, 0x2000_0000);
+        a.sd(a1, 0, a1);
+        a.sd(a2, 0, a2);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut cfg = tiny(WrongPathMode::NoWrongPath);
+        cfg.max_memory_pages = Some(1);
+        let err = Simulator::new(p, Memory::new(), cfg)
+            .unwrap()
+            .run()
+            .unwrap_err();
+        match err {
+            SimError::CorrectPathFault { fault, retired } => {
+                assert!(matches!(fault, ffsim_emu::Fault::OutOfRange { .. }));
+                assert_eq!(retired, 3, "li, li, sd retire before the faulting sd");
+            }
+            other => panic!("expected a correct-path fault, got {other}"),
+        }
+    }
+
+    #[test]
     fn ipc_is_plausible() {
         let p = simple_loop(500);
-        let r = Simulator::new(p, Memory::new(), tiny(WrongPathMode::NoWrongPath)).run();
+        let r = Simulator::new(p, Memory::new(), tiny(WrongPathMode::NoWrongPath))
+            .unwrap()
+            .run()
+            .unwrap();
         // The loop body is a 1-cycle dependence chain (addi) plus a branch:
         // IPC must be positive and below the 6-wide frontend bound.
         let ipc = r.ipc();

@@ -300,8 +300,7 @@ pub fn recover_addresses(
             }
             stats.scan_length_sum += 1;
             let ops = w.instr.operands();
-            let src_dirty =
-                cfg.track_dirty_regs && ops.src_iter().any(|r| dirty.contains(r));
+            let src_dirty = cfg.track_dirty_regs && ops.src_iter().any(|r| dirty.contains(r));
             if w.instr.is_mem() {
                 if src_dirty {
                     stats.skipped_dirty += 1;

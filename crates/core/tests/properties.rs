@@ -231,12 +231,12 @@ proptest! {
 
         for mode in WrongPathMode::ALL {
             let cfg = SimConfig::with_core(CoreConfig::tiny_for_tests(), mode);
-            let r1 = Simulator::new(program.clone(), Memory::new(), cfg.clone()).run();
-            let r2 = Simulator::new(program.clone(), Memory::new(), cfg).run();
+            let r1 = Simulator::new(program.clone(), Memory::new(), cfg.clone()).unwrap().run().unwrap();
+            let r2 = Simulator::new(program.clone(), Memory::new(), cfg).unwrap().run().unwrap();
             prop_assert_eq!(r1.cycles, r2.cycles, "{} must be deterministic", mode);
             prop_assert_eq!(r1.instructions, r2.instructions);
             prop_assert_eq!(r1.wrong_path_instructions, r2.wrong_path_instructions);
-            prop_assert!(r1.fault.is_none());
+            prop_assert_eq!(r1.state_digest, r2.state_digest);
         }
     }
 
@@ -253,8 +253,8 @@ proptest! {
             a.assemble().unwrap()
         };
         let cfg = SimConfig::with_core(CoreConfig::tiny_for_tests(), WrongPathMode::NoWrongPath);
-        let small = Simulator::new(make(10), Memory::new(), cfg.clone()).run();
-        let large = Simulator::new(make(10 + extra), Memory::new(), cfg).run();
+        let small = Simulator::new(make(10), Memory::new(), cfg.clone()).unwrap().run().unwrap();
+        let large = Simulator::new(make(10 + extra), Memory::new(), cfg).unwrap().run().unwrap();
         prop_assert!(large.cycles > small.cycles);
         prop_assert!(large.instructions > small.instructions);
     }

@@ -7,6 +7,7 @@
 //! branches. This is the functional-first contract described in §II of the
 //! paper: "instruction address, disassembled instruction, memory addresses".
 
+use crate::exec::Fault;
 use ffsim_isa::{Addr, BranchKind, ExecClass, Instr, Operands};
 
 /// A data-memory access performed by an instruction.
@@ -96,8 +97,19 @@ pub enum WrongPathStop {
     /// unmapped region.
     IllegalPc(Addr),
     /// A fault occurred on the wrong path (e.g. misaligned access); faults
-    /// must be suppressed, so generation stops.
-    Fault,
+    /// must be suppressed, so generation stops. The
+    /// [`FaultPolicy`](crate::FaultPolicy) decides whether the fault is
+    /// squashed with the bundle or aborts the run.
+    Fault(Fault),
+    /// The wrong path ran for `limit` instructions without terminating and
+    /// the watchdog fired (see `InstrQueue::with_watchdog`); the pc is
+    /// where emulation was cut off.
+    WatchdogExceeded {
+        /// Wrong-path pc at which the watchdog fired.
+        pc: Addr,
+        /// The configured limit, in wrong-path instructions.
+        limit: u64,
+    },
     /// The wrong path reached a `halt` (the syscall analogue — emulation
     /// cannot continue past it).
     Halt,

@@ -13,7 +13,7 @@
 //!   suppressed stores and suppressed faults.
 
 use crate::dyninst::{BranchOutcome, DynInst, WrongPathBundle, WrongPathStop};
-use crate::exec::{execute, Fault, RegWrite};
+use crate::exec::{execute, Fault, FaultModel, RegWrite};
 use crate::mem::Memory;
 use crate::state::ArchState;
 use ffsim_isa::{Addr, Instr, Program};
@@ -40,6 +40,28 @@ impl fmt::Display for StepError {
 
 impl Error for StepError {}
 
+/// Why an [`Emulator`] could not be constructed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EmuError {
+    /// The program's entry point does not address an instruction.
+    EntryNotExecutable {
+        /// The offending entry pc.
+        entry: Addr,
+    },
+}
+
+impl fmt::Display for EmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmuError::EntryNotExecutable { entry } => {
+                write!(f, "program entry point {entry:#x} is not executable")
+            }
+        }
+    }
+}
+
+impl Error for EmuError {}
+
 /// Decides the fetch direction of branches *on the wrong path*.
 ///
 /// On real hardware the wrong path is steered by the branch predictor, not
@@ -63,7 +85,12 @@ pub trait BranchOracle {
 pub struct FollowComputed;
 
 impl BranchOracle for FollowComputed {
-    fn next_fetch_pc(&mut self, _pc: Addr, _instr: &Instr, computed: BranchOutcome) -> Option<Addr> {
+    fn next_fetch_pc(
+        &mut self,
+        _pc: Addr,
+        _instr: &Instr,
+        computed: BranchOutcome,
+    ) -> Option<Addr> {
         Some(computed.next_pc)
     }
 }
@@ -81,7 +108,7 @@ impl BranchOracle for FollowComputed {
 /// a.li(Reg::new(2), 3);
 /// a.add(Reg::new(3), Reg::new(1), Reg::new(2));
 /// a.halt();
-/// let mut emu = Emulator::new(a.assemble()?);
+/// let mut emu = Emulator::new(a.assemble()?)?;
 /// let executed = emu.run_to_halt(100)?;
 /// assert_eq!(executed, 4);
 /// assert_eq!(emu.state().reg(Reg::new(3)), 5);
@@ -92,6 +119,7 @@ pub struct Emulator {
     program: Program,
     mem: Memory,
     state: ArchState,
+    fault_model: FaultModel,
     seq: u64,
     halted: bool,
 }
@@ -99,23 +127,65 @@ pub struct Emulator {
 impl Emulator {
     /// Creates an emulator for `program` with zeroed memory, entering at the
     /// program's entry point.
-    #[must_use]
-    pub fn new(program: Program) -> Emulator {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::EntryNotExecutable`] if the entry point does not
+    /// address an instruction.
+    pub fn new(program: Program) -> Result<Emulator, EmuError> {
         Emulator::with_memory(program, Memory::new())
     }
 
     /// Creates an emulator with a pre-initialized memory image (workloads
     /// lay out their data segments before starting execution).
-    #[must_use]
-    pub fn with_memory(program: Program, mem: Memory) -> Emulator {
-        let state = ArchState::new(program.entry());
-        Emulator {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmuError::EntryNotExecutable`] if the entry point does not
+    /// address an instruction.
+    pub fn with_memory(program: Program, mem: Memory) -> Result<Emulator, EmuError> {
+        let entry = program.entry();
+        if program.instr_at(entry).is_none() {
+            return Err(EmuError::EntryNotExecutable { entry });
+        }
+        let state = ArchState::new(entry);
+        Ok(Emulator {
             program,
             mem,
             state,
+            fault_model: FaultModel::default(),
             seq: 0,
             halted: false,
+        })
+    }
+
+    /// Selects the [`FaultModel`] applied to every executed instruction
+    /// (correct and wrong path alike). Defaults to
+    /// [`FaultModel::permissive`].
+    pub fn set_fault_model(&mut self, model: FaultModel) {
+        self.fault_model = model;
+    }
+
+    /// The active fault model.
+    #[must_use]
+    pub fn fault_model(&self) -> FaultModel {
+        self.fault_model
+    }
+
+    /// A 64-bit digest of the full architectural state (registers, pc and
+    /// logical memory contents) for bit-identity comparisons across runs.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        // Fold the two component digests FNV-style so the pair ordering
+        // matters.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for v in [self.state.digest(), self.mem.digest()] {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
         }
+        h
     }
 
     /// The program being executed.
@@ -190,14 +260,19 @@ impl Emulator {
             .program
             .instr_at(pc)
             .ok_or(StepError::Fault(Fault::IllegalPc { pc }))?;
-        let out = execute(&self.state, &self.mem, pc, &instr).map_err(StepError::Fault)?;
+        let out = execute(&self.state, &self.mem, pc, &instr, &self.fault_model)
+            .map_err(StepError::Fault)?;
+        if let Some(st) = out.store {
+            // Commit the store first so a page-limit hit faults before any
+            // register effect lands.
+            self.mem
+                .try_write_uint(st.addr, st.width, st.bits)
+                .map_err(|e| StepError::Fault(Fault::OutOfRange { pc, addr: e.addr }))?;
+        }
         match out.reg_write {
             Some(RegWrite::Int(r, v)) => self.state.set_reg(r, v),
             Some(RegWrite::Fp(f, v)) => self.state.set_freg(f, v),
             None => {}
-        }
-        if let Some(st) = out.store {
-            self.mem.write_uint(st.addr, st.width, st.bits);
         }
         self.state.pc = out.next_pc;
         if matches!(instr, Instr::Halt) {
@@ -249,10 +324,36 @@ impl Emulator {
         max_insts: usize,
         oracle: &mut dyn BranchOracle,
     ) -> WrongPathBundle {
+        self.emulate_wrong_path_bounded(start, max_insts, None, oracle)
+    }
+
+    /// Like [`Emulator::emulate_wrong_path`], with an additional watchdog
+    /// bound: if the wrong path runs for `watchdog` instructions without
+    /// terminating on its own, generation stops with
+    /// [`WrongPathStop::WatchdogExceeded`]. The watchdog is a fault-
+    /// tolerance backstop (distinguishable from the ordinary budget, which
+    /// models ROB plus frontend capacity); the squash-and-restore contract
+    /// is identical either way.
+    #[must_use]
+    pub fn emulate_wrong_path_bounded(
+        &mut self,
+        start: Addr,
+        max_insts: usize,
+        watchdog: Option<u64>,
+        oracle: &mut dyn BranchOracle,
+    ) -> WrongPathBundle {
         let checkpoint = self.checkpoint();
         self.state.pc = start;
         let mut insts = Vec::new();
         let stop = loop {
+            if let Some(limit) = watchdog {
+                if insts.len() as u64 >= limit {
+                    break WrongPathStop::WatchdogExceeded {
+                        pc: self.state.pc,
+                        limit,
+                    };
+                }
+            }
             if insts.len() >= max_insts {
                 break WrongPathStop::BudgetExhausted;
             }
@@ -263,8 +364,9 @@ impl Emulator {
             if matches!(instr, Instr::Halt) {
                 break WrongPathStop::Halt;
             }
-            let Ok(out) = execute(&self.state, &self.mem, pc, &instr) else {
-                break WrongPathStop::Fault;
+            let out = match execute(&self.state, &self.mem, pc, &instr, &self.fault_model) {
+                Ok(out) => out,
+                Err(fault) => break WrongPathStop::Fault(fault),
             };
             // Register writes go to the scratch state (restored below);
             // stores are suppressed entirely.
@@ -332,7 +434,7 @@ mod tests {
 
     #[test]
     fn runs_loop_to_completion() {
-        let mut emu = Emulator::new(loop_program());
+        let mut emu = Emulator::new(loop_program()).unwrap();
         let n = emu.run_to_halt(1000).unwrap();
         assert_eq!(emu.state().reg(Reg::new(2)), 55);
         // 1 li + 10 * 3 loop body + halt
@@ -343,7 +445,7 @@ mod tests {
 
     #[test]
     fn step_emits_branch_outcomes() {
-        let mut emu = Emulator::new(loop_program());
+        let mut emu = Emulator::new(loop_program()).unwrap();
         let mut taken = 0;
         let mut not_taken = 0;
         while let Ok(inst) = emu.step() {
@@ -361,7 +463,7 @@ mod tests {
 
     #[test]
     fn seq_numbers_are_dense() {
-        let mut emu = Emulator::new(loop_program());
+        let mut emu = Emulator::new(loop_program()).unwrap();
         let mut expect = 0;
         while let Ok(inst) = emu.step() {
             assert_eq!(inst.seq, expect);
@@ -378,7 +480,7 @@ mod tests {
         a.li(x2, 42);
         a.sd(x2, 0, x1);
         a.halt();
-        let mut emu = Emulator::new(a.assemble().unwrap());
+        let mut emu = Emulator::new(a.assemble().unwrap()).unwrap();
         emu.run_to_halt(10).unwrap();
         assert_eq!(emu.mem().read_u64(0x100), 42);
     }
@@ -389,7 +491,7 @@ mod tests {
         a.li(Reg::new(1), 0x9999_0000);
         a.jr(Reg::new(1));
         a.halt();
-        let mut emu = Emulator::new(a.assemble().unwrap());
+        let mut emu = Emulator::new(a.assemble().unwrap()).unwrap();
         emu.step().unwrap();
         emu.step().unwrap(); // the jump itself executes fine
         match emu.step() {
@@ -417,7 +519,7 @@ mod tests {
         let p = a.assemble().unwrap();
         let wrong_target = p.base() + 5 * 4; // label "wrong"
 
-        let mut emu = Emulator::new(p);
+        let mut emu = Emulator::new(p).unwrap();
         emu.step().unwrap();
         emu.step().unwrap();
         let before = emu.checkpoint();
@@ -441,7 +543,7 @@ mod tests {
 
     #[test]
     fn wrong_path_budget_exhaustion() {
-        let mut emu = Emulator::new(loop_program());
+        let mut emu = Emulator::new(loop_program()).unwrap();
         emu.step().unwrap(); // li
         let loop_head = emu.state().pc;
         let bundle = emu.emulate_wrong_path(loop_head, 7, &mut FollowComputed);
@@ -451,7 +553,7 @@ mod tests {
 
     #[test]
     fn wrong_path_illegal_start() {
-        let mut emu = Emulator::new(loop_program());
+        let mut emu = Emulator::new(loop_program()).unwrap();
         let bundle = emu.emulate_wrong_path(0xdead_0000, 64, &mut FollowComputed);
         assert!(bundle.insts.is_empty());
         assert_eq!(bundle.stop, WrongPathStop::IllegalPc(0xdead_0000));
@@ -472,7 +574,7 @@ mod tests {
         }
         let p = loop_program();
         let loop_head = p.base() + 4;
-        let mut emu = Emulator::new(p);
+        let mut emu = Emulator::new(p).unwrap();
         emu.step().unwrap();
         let bundle = emu.emulate_wrong_path(loop_head, 64, &mut StopAtBranch);
         // add, addi, bnez → oracle stops at the branch (branch included).
@@ -490,7 +592,7 @@ mod tests {
         a.halt();
         let p = a.assemble().unwrap();
         let wp = p.base() + 4;
-        let mut emu = Emulator::new(p);
+        let mut emu = Emulator::new(p).unwrap();
         emu.mem_mut().write_u64(0x300, 1234);
         emu.step().unwrap();
         let bundle = emu.emulate_wrong_path(wp, 8, &mut FollowComputed);
@@ -499,5 +601,100 @@ mod tests {
         // a dependent wrong-path store address in richer programs); here we
         // just confirm state was restored.
         assert_eq!(emu.state().reg(x2), 0);
+    }
+
+    #[test]
+    fn valid_entry_constructs_ok() {
+        // `Program`'s own constructors assert the entry is in-text, so the
+        // emulator-level check is defense-in-depth; exercise the Ok path
+        // and the error's rendering.
+        assert!(Emulator::new(loop_program()).is_ok());
+        let err = EmuError::EntryNotExecutable { entry: 0xdead_0000 };
+        assert!(err.to_string().contains("0xdead0000"));
+    }
+
+    #[test]
+    fn wrong_path_watchdog_cuts_off_and_restores() {
+        let mut emu = Emulator::new(loop_program()).unwrap();
+        emu.step().unwrap(); // li
+        let before = emu.checkpoint();
+        let loop_head = emu.state().pc;
+        // Watchdog (5) binds before the budget (100).
+        let bundle = emu.emulate_wrong_path_bounded(loop_head, 100, Some(5), &mut FollowComputed);
+        assert_eq!(bundle.insts.len(), 5);
+        assert!(matches!(
+            bundle.stop,
+            WrongPathStop::WatchdogExceeded { limit: 5, .. }
+        ));
+        assert_eq!(emu.state(), &before, "watchdog squash restores state");
+        // Budget binds first when smaller: stop reason stays BudgetExhausted.
+        let bundle = emu.emulate_wrong_path_bounded(loop_head, 3, Some(5), &mut FollowComputed);
+        assert_eq!(bundle.stop, WrongPathStop::BudgetExhausted);
+    }
+
+    #[test]
+    fn wrong_path_fault_carries_cause_and_restores() {
+        // Wrong path performs a misaligned load.
+        let (x1, x2) = (Reg::new(1), Reg::new(2));
+        let mut a = Asm::new();
+        a.li(x1, 0x101); // misaligned for an 8-byte load
+        a.label("wp");
+        a.ld(x2, 0, x1);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let wp = p.base() + 4;
+        let mut emu = Emulator::new(p).unwrap();
+        emu.step().unwrap();
+        let before = emu.checkpoint();
+        let bundle = emu.emulate_wrong_path(wp, 8, &mut FollowComputed);
+        assert_eq!(
+            bundle.stop,
+            WrongPathStop::Fault(Fault::Misaligned {
+                pc: wp,
+                addr: 0x101
+            })
+        );
+        assert!(bundle.insts.is_empty());
+        assert_eq!(emu.state(), &before);
+    }
+
+    #[test]
+    fn page_limit_store_faults_on_correct_path() {
+        let (x1, x2) = (Reg::new(1), Reg::new(2));
+        let mut a = Asm::new();
+        a.li(x1, 0x10_0000);
+        a.li(x2, 7);
+        a.sd(x2, 0, x1);
+        a.halt();
+        let mut mem = Memory::new();
+        mem.write_u64(0x100, 1); // consume the only allowed page
+        mem.set_page_limit(Some(1));
+        let mut emu = Emulator::with_memory(a.assemble().unwrap(), mem).unwrap();
+        emu.step().unwrap();
+        emu.step().unwrap();
+        match emu.step() {
+            Err(StepError::Fault(Fault::OutOfRange { addr, .. })) => {
+                assert_eq!(addr, 0x10_0000);
+            }
+            other => panic!("expected out-of-range fault, got {other:?}"),
+        }
+        assert_eq!(
+            emu.state().reg(x2),
+            7,
+            "register state untouched by the faulting store"
+        );
+    }
+
+    #[test]
+    fn digest_is_sensitive_to_state_and_memory() {
+        let mut a = Emulator::new(loop_program()).unwrap();
+        let mut b = Emulator::new(loop_program()).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        a.run_to_halt(1000).unwrap();
+        assert_ne!(a.digest(), b.digest());
+        b.run_to_halt(1000).unwrap();
+        assert_eq!(a.digest(), b.digest());
+        b.mem_mut().write_u8(0x900, 1);
+        assert_ne!(a.digest(), b.digest());
     }
 }

@@ -15,10 +15,12 @@ use std::fmt;
 
 /// Faults raised by instruction execution.
 ///
-/// On the correct path a fault indicates a workload bug and aborts the
-/// simulation; on the wrong path faults are suppressed and simply terminate
-/// wrong-path generation, as required by the paper (§III-B: "Stores, as
-/// well as exceptions, need to be suppressed").
+/// On the correct path a fault indicates a workload bug and surfaces as a
+/// typed error; on the wrong path faults are expected — real speculative
+/// execution dereferences garbage pointers and divides by zero all the
+/// time — and the [`FaultPolicy`](crate::FaultPolicy) decides whether they
+/// squash the speculative stream or abort the run, per the paper (§III-B:
+/// "Stores, as well as exceptions, need to be suppressed").
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Fault {
     /// A memory access that is not naturally aligned.
@@ -33,6 +35,30 @@ pub enum Fault {
         /// Offending pc.
         pc: Addr,
     },
+    /// A memory access beyond the configured address-space or page-count
+    /// bound (see [`FaultModel::addr_limit`] and
+    /// [`Memory::set_page_limit`](crate::Memory::set_page_limit)).
+    OutOfRange {
+        /// Instruction address.
+        pc: Addr,
+        /// Offending data address.
+        addr: Addr,
+    },
+    /// Integer division (or remainder) by zero under
+    /// [`FaultModel::trap_div_zero`]. With the default model this is not a
+    /// fault: RISC-V semantics apply (`x/0 = -1`, `x%0 = x`).
+    DivideByZero {
+        /// Instruction address.
+        pc: Addr,
+    },
+    /// A wrong path ran past the configured watchdog limit without
+    /// terminating (see `InstrQueue::with_watchdog`).
+    WatchdogExceeded {
+        /// Wrong-path pc at which the watchdog fired.
+        pc: Addr,
+        /// The configured limit, in wrong-path instructions.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for Fault {
@@ -42,11 +68,55 @@ impl fmt::Display for Fault {
                 write!(f, "misaligned access to {addr:#x} at pc {pc:#x}")
             }
             Fault::IllegalPc { pc } => write!(f, "illegal program counter {pc:#x}"),
+            Fault::OutOfRange { pc, addr } => {
+                write!(f, "out-of-range access to {addr:#x} at pc {pc:#x}")
+            }
+            Fault::DivideByZero { pc } => write!(f, "integer division by zero at pc {pc:#x}"),
+            Fault::WatchdogExceeded { pc, limit } => {
+                write!(
+                    f,
+                    "wrong-path watchdog ({limit} instructions) fired at pc {pc:#x}"
+                )
+            }
         }
     }
 }
 
 impl Error for Fault {}
+
+/// Configurable fault semantics for instruction execution.
+///
+/// The default model matches the seed simulator: RISC-V division semantics
+/// (never faulting) and an unbounded address space. Hardening knobs let
+/// the fault-injection harness and strict deployments turn latent
+/// wild-address or divide-by-zero behaviour into typed [`Fault`]s.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FaultModel {
+    /// Raise [`Fault::DivideByZero`] on integer division/remainder by zero
+    /// instead of applying RISC-V semantics.
+    pub trap_div_zero: bool,
+    /// Raise [`Fault::OutOfRange`] on any data access at or beyond this
+    /// address (`None` = full 64-bit space).
+    pub addr_limit: Option<Addr>,
+}
+
+impl FaultModel {
+    /// The permissive model: RISC-V division, unbounded addresses.
+    #[must_use]
+    pub fn permissive() -> FaultModel {
+        FaultModel::default()
+    }
+
+    /// Checks a data access of `size` bytes at `addr` against the model.
+    fn check_access(&self, pc: Addr, addr: Addr, size: u64) -> Result<(), Fault> {
+        if let Some(limit) = self.addr_limit {
+            if addr >= limit || addr.saturating_add(size) > limit {
+                return Err(Fault::OutOfRange { pc, addr });
+            }
+        }
+        Ok(())
+    }
+}
 
 /// A pending register write.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -128,6 +198,13 @@ fn branch_taken(cond: BranchCond, a: u64, b: u64) -> bool {
     }
 }
 
+fn check_div(model: &FaultModel, pc: Addr, op: AluOp, divisor: u64) -> Result<(), Fault> {
+    if model.trap_div_zero && matches!(op, AluOp::Div | AluOp::Rem) && divisor == 0 {
+        return Err(Fault::DivideByZero { pc });
+    }
+    Ok(())
+}
+
 fn sign_extend(value: u64, width_bytes: u64) -> u64 {
     let bits = width_bytes * 8;
     if bits == 64 {
@@ -138,12 +215,14 @@ fn sign_extend(value: u64, width_bytes: u64) -> u64 {
 }
 
 /// Executes `instr` at `pc`, reading `state` and `mem`, without mutating
-/// either. The caller decides which effects to commit.
+/// either. The caller decides which effects to commit. `model` selects
+/// which conditions fault (see [`FaultModel`]).
 pub(crate) fn execute(
     state: &ArchState,
     mem: &Memory,
     pc: Addr,
     instr: &Instr,
+    model: &FaultModel,
 ) -> Result<ExecOutcome, Fault> {
     let fallthrough = pc + INSTR_BYTES;
     let mut out = ExecOutcome {
@@ -155,9 +234,12 @@ pub(crate) fn execute(
     };
     match *instr {
         Instr::Alu { op, rd, rs1, rs2 } => {
-            out.reg_write = Some(RegWrite::Int(rd, alu(op, state.reg(rs1), state.reg(rs2))));
+            let b = state.reg(rs2);
+            check_div(model, pc, op, b)?;
+            out.reg_write = Some(RegWrite::Int(rd, alu(op, state.reg(rs1), b)));
         }
         Instr::AluImm { op, rd, rs1, imm } => {
+            check_div(model, pc, op, imm as u64)?;
             out.reg_write = Some(RegWrite::Int(rd, alu(op, state.reg(rs1), imm as u64)));
         }
         Instr::LoadImm { rd, imm } => {
@@ -175,6 +257,7 @@ pub(crate) fn execute(
             if !addr.is_multiple_of(size) {
                 return Err(Fault::Misaligned { pc, addr });
             }
+            model.check_access(pc, addr, size)?;
             let raw = mem.read_uint(addr, size);
             let value = if signed { sign_extend(raw, size) } else { raw };
             out.reg_write = Some(RegWrite::Int(rd, value));
@@ -195,6 +278,7 @@ pub(crate) fn execute(
             if !addr.is_multiple_of(size) {
                 return Err(Fault::Misaligned { pc, addr });
             }
+            model.check_access(pc, addr, size)?;
             out.store = Some(StoreOp {
                 addr,
                 width: size,
@@ -207,13 +291,17 @@ pub(crate) fn execute(
             });
         }
         Instr::FpAlu { op, fd, fs1, fs2 } => {
-            out.reg_write = Some(RegWrite::Fp(fd, fp_alu(op, state.freg(fs1), state.freg(fs2))));
+            out.reg_write = Some(RegWrite::Fp(
+                fd,
+                fp_alu(op, state.freg(fs1), state.freg(fs2)),
+            ));
         }
         Instr::FpLoad { fd, base, offset } => {
             let addr = state.reg(base).wrapping_add(offset as u64);
             if !addr.is_multiple_of(8) {
                 return Err(Fault::Misaligned { pc, addr });
             }
+            model.check_access(pc, addr, 8)?;
             out.reg_write = Some(RegWrite::Fp(fd, mem.read_f64(addr)));
             out.mem = Some(MemAccess {
                 addr,
@@ -226,6 +314,7 @@ pub(crate) fn execute(
             if !addr.is_multiple_of(8) {
                 return Err(Fault::Misaligned { pc, addr });
             }
+            model.check_access(pc, addr, 8)?;
             out.store = Some(StoreOp {
                 addr,
                 width: 8,
@@ -338,7 +427,7 @@ mod tests {
             width: MemWidth::W,
             signed: true,
         };
-        let out = execute(&s, &m, 0x1000, &signed).unwrap();
+        let out = execute(&s, &m, 0x1000, &signed, &FaultModel::default()).unwrap();
         assert_eq!(
             out.reg_write,
             Some(RegWrite::Int(Reg::new(2), (-10i64) as u64))
@@ -350,11 +439,8 @@ mod tests {
             width: MemWidth::W,
             signed: false,
         };
-        let out = execute(&s, &m, 0x1000, &unsigned).unwrap();
-        assert_eq!(
-            out.reg_write,
-            Some(RegWrite::Int(Reg::new(2), 0xffff_fff6))
-        );
+        let out = execute(&s, &m, 0x1000, &unsigned, &FaultModel::default()).unwrap();
+        assert_eq!(out.reg_write, Some(RegWrite::Int(Reg::new(2), 0xffff_fff6)));
     }
 
     #[test]
@@ -369,7 +455,7 @@ mod tests {
             signed: true,
         };
         assert_eq!(
-            execute(&s, &m, 0x1000, &ld),
+            execute(&s, &m, 0x1000, &ld, &FaultModel::default()),
             Err(Fault::Misaligned {
                 pc: 0x1000,
                 addr: 0x101
@@ -388,7 +474,7 @@ mod tests {
             rs2: Reg::new(2),
             target: 0x2000,
         };
-        let out = execute(&s, &m, 0x1000, &b).unwrap();
+        let out = execute(&s, &m, 0x1000, &b, &FaultModel::default()).unwrap();
         assert_eq!(out.next_pc, 0x2000);
         assert_eq!(
             out.branch,
@@ -398,7 +484,7 @@ mod tests {
             })
         );
         s.set_reg(Reg::new(2), 6);
-        let out = execute(&s, &m, 0x1000, &b).unwrap();
+        let out = execute(&s, &m, 0x1000, &b, &FaultModel::default()).unwrap();
         assert_eq!(out.next_pc, 0x1004);
         assert!(!out.branch.unwrap().taken);
     }
@@ -412,7 +498,7 @@ mod tests {
             base: Reg::new(5),
             offset: 0,
         };
-        let out = execute(&s, &m, 0x1000, &j).unwrap();
+        let out = execute(&s, &m, 0x1000, &j, &FaultModel::default()).unwrap();
         assert_eq!(out.next_pc, 0x2000);
         assert_eq!(out.reg_write, Some(RegWrite::Int(Reg::new(1), 0x1004)));
     }
@@ -428,7 +514,7 @@ mod tests {
             offset: 0,
             width: MemWidth::D,
         };
-        let out = execute(&s, &m, 0x1000, &st).unwrap();
+        let out = execute(&s, &m, 0x1000, &st, &FaultModel::default()).unwrap();
         assert_eq!(
             out.store,
             Some(StoreOp {
@@ -452,7 +538,7 @@ mod tests {
             fs1: FReg::new(1),
             fs2: FReg::new(2),
         };
-        let out = execute(&s, &m, 0x1000, &f).unwrap();
+        let out = execute(&s, &m, 0x1000, &f, &FaultModel::default()).unwrap();
         assert_eq!(out.reg_write, Some(RegWrite::Fp(FReg::new(0), 3.0)));
 
         s.set_reg(Reg::new(3), (-7i64) as u64);
@@ -460,7 +546,7 @@ mod tests {
             fd: FReg::new(3),
             rs: Reg::new(3),
         };
-        let out = execute(&s, &m, 0x1000, &cvt).unwrap();
+        let out = execute(&s, &m, 0x1000, &cvt, &FaultModel::default()).unwrap();
         assert_eq!(out.reg_write, Some(RegWrite::Fp(FReg::new(3), -7.0)));
 
         s.set_freg(FReg::new(4), -2.9);
@@ -468,7 +554,7 @@ mod tests {
             rd: Reg::new(4),
             fs: FReg::new(4),
         };
-        let out = execute(&s, &m, 0x1000, &cvt2).unwrap();
+        let out = execute(&s, &m, 0x1000, &cvt2, &FaultModel::default()).unwrap();
         assert_eq!(
             out.reg_write,
             Some(RegWrite::Int(Reg::new(4), (-2i64) as u64)),
@@ -477,9 +563,91 @@ mod tests {
     }
 
     #[test]
+    fn div_by_zero_traps_only_when_enabled() {
+        let (mut s, m) = setup();
+        s.set_reg(Reg::new(1), 7);
+        let div = Instr::Alu {
+            op: AluOp::Div,
+            rd: Reg::new(2),
+            rs1: Reg::new(1),
+            rs2: Reg::new(3), // x3 = 0
+        };
+        let out = execute(&s, &m, 0x1000, &div, &FaultModel::default()).unwrap();
+        assert_eq!(out.reg_write, Some(RegWrite::Int(Reg::new(2), u64::MAX)));
+        let strict = FaultModel {
+            trap_div_zero: true,
+            ..FaultModel::default()
+        };
+        assert_eq!(
+            execute(&s, &m, 0x1000, &div, &strict),
+            Err(Fault::DivideByZero { pc: 0x1000 })
+        );
+        // Mul with a zero operand must not trap.
+        let mul = Instr::Alu {
+            op: AluOp::Mul,
+            rd: Reg::new(2),
+            rs1: Reg::new(1),
+            rs2: Reg::new(3),
+        };
+        assert!(execute(&s, &m, 0x1000, &mul, &strict).is_ok());
+    }
+
+    #[test]
+    fn addr_limit_bounds_data_accesses() {
+        let (mut s, m) = setup();
+        let model = FaultModel {
+            addr_limit: Some(0x200),
+            ..FaultModel::default()
+        };
+        s.set_reg(Reg::new(1), 0x1f8);
+        let ld = Instr::Load {
+            rd: Reg::new(2),
+            base: Reg::new(1),
+            offset: 0,
+            width: MemWidth::D,
+            signed: false,
+        };
+        assert!(
+            execute(&s, &m, 0x1000, &ld, &model).is_ok(),
+            "last in-bounds dword"
+        );
+        s.set_reg(Reg::new(1), 0x200);
+        assert_eq!(
+            execute(&s, &m, 0x1000, &ld, &model),
+            Err(Fault::OutOfRange {
+                pc: 0x1000,
+                addr: 0x200
+            })
+        );
+        // Straddling the limit faults too.
+        s.set_reg(Reg::new(1), 0x1fc);
+        let ld_w = Instr::Load {
+            rd: Reg::new(2),
+            base: Reg::new(1),
+            offset: 0,
+            width: MemWidth::W,
+            signed: false,
+        };
+        assert!(execute(&s, &m, 0x1000, &ld_w, &model).is_ok());
+        let st = Instr::Store {
+            src: Reg::new(2),
+            base: Reg::new(1),
+            offset: 8,
+            width: MemWidth::W,
+        };
+        assert_eq!(
+            execute(&s, &m, 0x1000, &st, &model),
+            Err(Fault::OutOfRange {
+                pc: 0x1000,
+                addr: 0x204
+            })
+        );
+    }
+
+    #[test]
     fn halt_points_at_itself() {
         let (s, m) = setup();
-        let out = execute(&s, &m, 0x1000, &Instr::Halt).unwrap();
+        let out = execute(&s, &m, 0x1000, &Instr::Halt, &FaultModel::default()).unwrap();
         assert_eq!(out.next_pc, 0x1000);
     }
 }

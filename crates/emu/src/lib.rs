@@ -30,7 +30,7 @@
 //! a.halt();
 //!
 //! // Functional-only run:
-//! let mut emu = Emulator::new(a.assemble()?);
+//! let mut emu = Emulator::new(a.assemble()?)?;
 //! emu.run_to_halt(100)?;
 //! assert_eq!(emu.mem().read_u64(0x1000), 5);
 //!
@@ -38,7 +38,7 @@
 //! let mut a2 = Asm::new();
 //! a2.nop();
 //! a2.halt();
-//! let mut queue = InstrQueue::new(Emulator::new(a2.assemble()?), NoFrontendWrongPath, 256);
+//! let mut queue = InstrQueue::new(Emulator::new(a2.assemble()?)?, NoFrontendWrongPath, 256);
 //! while let Some(entry) = queue.pop() {
 //!     // ... feed entry.inst to a timing model ...
 //!     let _ = entry;
@@ -59,8 +59,11 @@ mod queue;
 mod state;
 
 pub use dyninst::{BranchOutcome, DynInst, MemAccess, WrongPathBundle, WrongPathStop};
-pub use emulator::{BranchOracle, Emulator, FollowComputed, StepError};
-pub use exec::Fault;
-pub use mem::{Memory, PAGE_BYTES};
-pub use queue::{FrontendPolicy, InstrQueue, NoFrontendWrongPath, StreamEntry, WrongPathRequest};
+pub use emulator::{BranchOracle, EmuError, Emulator, FollowComputed, StepError};
+pub use exec::{Fault, FaultModel};
+pub use mem::{Memory, MemoryLimitError, PAGE_BYTES};
+pub use queue::{
+    FaultPolicy, FrontendPolicy, InstrQueue, NoFrontendWrongPath, StreamEntry, WrongPathFaultStats,
+    WrongPathRequest,
+};
 pub use state::ArchState;

@@ -9,12 +9,36 @@
 
 use ffsim_isa::Addr;
 use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
 
 /// Bytes per backing page.
 pub const PAGE_BYTES: usize = 4096;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_MASK: u64 = PAGE_BYTES as u64 - 1;
+
+/// A write was refused because it would materialize a page past the
+/// configured [`Memory::set_page_limit`] bound.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemoryLimitError {
+    /// The address whose page could not be materialized.
+    pub addr: Addr,
+    /// The configured page-count limit.
+    pub limit: usize,
+}
+
+impl fmt::Display for MemoryLimitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "write to {:#x} exceeds the {}-page memory limit",
+            self.addr, self.limit
+        )
+    }
+}
+
+impl Error for MemoryLimitError {}
 
 /// Sparse paged byte-addressable memory.
 ///
@@ -30,6 +54,7 @@ const PAGE_MASK: u64 = PAGE_BYTES as u64 - 1;
 #[derive(Clone, Default, Debug)]
 pub struct Memory {
     pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    page_limit: Option<usize>,
 }
 
 impl Memory {
@@ -39,10 +64,68 @@ impl Memory {
         Memory::default()
     }
 
+    /// Creates an empty memory that refuses to materialize more than
+    /// `limit` pages (see [`Memory::set_page_limit`]).
+    #[must_use]
+    pub fn with_page_limit(limit: usize) -> Memory {
+        Memory {
+            pages: HashMap::new(),
+            page_limit: Some(limit),
+        }
+    }
+
+    /// Bounds the sparse page map to at most `limit` resident pages.
+    ///
+    /// Once the limit is reached, writes that would materialize a new page
+    /// fail ([`Memory::try_write_bytes`]) — the emulator surfaces them as
+    /// [`Fault::OutOfRange`](crate::Fault::OutOfRange). Writes to already
+    /// resident pages still succeed; reads are unaffected (never-written
+    /// memory reads as zero without allocating). Pages already resident
+    /// above the limit stay resident.
+    pub fn set_page_limit(&mut self, limit: Option<usize>) {
+        self.page_limit = limit;
+    }
+
+    /// The configured page-count bound, if any.
+    #[must_use]
+    pub fn page_limit(&self) -> Option<usize> {
+        self.page_limit
+    }
+
     /// Number of pages that have been materialized by writes.
     #[must_use]
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
+    }
+
+    /// A 64-bit FNV-1a digest of the logical memory contents.
+    ///
+    /// Pages are folded in ascending address order and all-zero pages are
+    /// skipped, so the digest depends only on observable contents — two
+    /// memories that read identically digest identically regardless of
+    /// which pages happen to be resident. Used by the fault-injection
+    /// harness to assert bit-identical final state across runs.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut indices: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.iter().any(|&b| b != 0))
+            .map(|(&i, _)| i)
+            .collect();
+        indices.sort_unstable();
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for i in indices {
+            fold(&i.to_le_bytes());
+            fold(&self.pages[&i][..]);
+        }
+        h
     }
 
     /// Reads a single byte.
@@ -54,13 +137,38 @@ impl Memory {
         }
     }
 
-    /// Writes a single byte, materializing the page if needed.
-    pub fn write_u8(&mut self, addr: Addr, value: u8) {
-        let page = self
+    /// Materializes the page containing `addr`, honouring the page limit.
+    fn page_mut(&mut self, addr: Addr) -> Result<&mut [u8; PAGE_BYTES], MemoryLimitError> {
+        let idx = addr >> PAGE_SHIFT;
+        if !self.pages.contains_key(&idx) {
+            if let Some(limit) = self.page_limit {
+                if self.pages.len() >= limit {
+                    return Err(MemoryLimitError { addr, limit });
+                }
+            }
+        }
+        Ok(self
             .pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
-        page[(addr & PAGE_MASK) as usize] = value;
+            .entry(idx)
+            .or_insert_with(|| Box::new([0u8; PAGE_BYTES])))
+    }
+
+    /// Writes a single byte, failing if a new page would exceed the limit.
+    pub fn try_write_u8(&mut self, addr: Addr, value: u8) -> Result<(), MemoryLimitError> {
+        self.page_mut(addr)?[(addr & PAGE_MASK) as usize] = value;
+        Ok(())
+    }
+
+    /// Writes a single byte, materializing the page if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured page limit is exceeded; trusted setup code
+    /// may use the infallible writers, emulated stores go through
+    /// [`Memory::try_write_uint`].
+    pub fn write_u8(&mut self, addr: Addr, value: u8) {
+        self.try_write_u8(addr, value)
+            .expect("page limit exceeded by trusted setup write");
     }
 
     /// Reads `N` little-endian bytes starting at `addr`.
@@ -83,20 +191,36 @@ impl Memory {
         out
     }
 
-    /// Writes `N` little-endian bytes starting at `addr`.
-    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+    /// Writes little-endian bytes starting at `addr`, failing (with no
+    /// partial effects for single-page writes) if a new page would exceed
+    /// the configured limit.
+    pub fn try_write_bytes(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), MemoryLimitError> {
         let off = (addr & PAGE_MASK) as usize;
         if off + bytes.len() <= PAGE_BYTES {
-            let page = self
-                .pages
-                .entry(addr >> PAGE_SHIFT)
-                .or_insert_with(|| Box::new([0u8; PAGE_BYTES]));
+            let page = self.page_mut(addr)?;
             page[off..off + bytes.len()].copy_from_slice(bytes);
-            return;
+            return Ok(());
         }
+        // Straddling write: materialize both pages up front so a limit hit
+        // cannot leave a half-written value behind.
+        let last = addr.wrapping_add(bytes.len() as u64 - 1);
+        self.page_mut(addr)?;
+        self.page_mut(last)?;
         for (i, &b) in bytes.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u64), b);
+            self.try_write_u8(addr.wrapping_add(i as u64), b)?;
         }
+        Ok(())
+    }
+
+    /// Writes `N` little-endian bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a configured page limit is exceeded (see
+    /// [`Memory::write_u8`]).
+    pub fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        self.try_write_bytes(addr, bytes)
+            .expect("page limit exceeded by trusted setup write");
     }
 
     /// Reads a little-endian `u16`.
@@ -163,13 +287,32 @@ impl Memory {
     ///
     /// # Panics
     ///
-    /// Panics if `width` is not 1, 2, 4 or 8.
+    /// Panics if `width` is not 1, 2, 4 or 8 (internal invariant: widths
+    /// come from `MemWidth::bytes()`), or if a configured page limit is
+    /// exceeded (see [`Memory::write_u8`]).
     pub fn write_uint(&mut self, addr: Addr, width: u64, value: u64) {
+        self.try_write_uint(addr, width, value)
+            .expect("page limit exceeded by trusted setup write");
+    }
+
+    /// Writes the low `width` bytes of `value` (width ∈ {1,2,4,8}),
+    /// failing if a new page would exceed the configured limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not 1, 2, 4 or 8 (internal invariant: widths
+    /// come from `MemWidth::bytes()`).
+    pub fn try_write_uint(
+        &mut self,
+        addr: Addr,
+        width: u64,
+        value: u64,
+    ) -> Result<(), MemoryLimitError> {
         match width {
-            1 => self.write_u8(addr, value as u8),
-            2 => self.write_u16(addr, value as u16),
-            4 => self.write_u32(addr, value as u32),
-            8 => self.write_u64(addr, value),
+            1 => self.try_write_bytes(addr, &[value as u8]),
+            2 => self.try_write_bytes(addr, &(value as u16).to_le_bytes()),
+            4 => self.try_write_bytes(addr, &(value as u32).to_le_bytes()),
+            8 => self.try_write_bytes(addr, &value.to_le_bytes()),
             w => panic!("unsupported access width {w}"),
         }
     }
@@ -241,5 +384,49 @@ mod tests {
     #[should_panic(expected = "unsupported access width")]
     fn bad_width_panics() {
         let _ = Memory::new().read_uint(0, 3);
+    }
+
+    #[test]
+    fn page_limit_bounds_materialization() {
+        let mut m = Memory::with_page_limit(2);
+        assert!(m.try_write_u8(0x0, 1).is_ok());
+        assert!(m.try_write_u8(0x1000, 2).is_ok());
+        assert_eq!(
+            m.try_write_u8(0x2000, 3),
+            Err(MemoryLimitError {
+                addr: 0x2000,
+                limit: 2
+            })
+        );
+        // Resident pages stay writable at the limit.
+        assert!(m.try_write_u8(0x5, 9).is_ok());
+        assert_eq!(m.resident_pages(), 2);
+        // Reads never allocate.
+        assert_eq!(m.read_u64(0x9_0000), 0);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn straddling_write_at_limit_has_no_partial_effect() {
+        let mut m = Memory::with_page_limit(1);
+        let addr = PAGE_BYTES as u64 - 4;
+        assert!(m.try_write_uint(addr, 8, u64::MAX).is_err());
+        assert_eq!(m.read_u64(addr), 0, "failed write must not be partial");
+    }
+
+    #[test]
+    fn digest_tracks_logical_contents() {
+        let mut a = Memory::new();
+        let mut b = Memory::new();
+        assert_eq!(a.digest(), b.digest());
+        a.write_u64(0x40, 77);
+        assert_ne!(a.digest(), b.digest());
+        b.write_u64(0x40, 77);
+        // `b` also materializes (but zeroes) an unrelated page.
+        b.write_u8(0x7000, 1);
+        b.write_u8(0x7000, 0);
+        assert_eq!(a.digest(), b.digest(), "zero pages are not observable");
+        b.write_u64(0x40, 78);
+        assert_ne!(a.digest(), b.digest());
     }
 }

@@ -17,11 +17,44 @@
 //!   mispredicted (§III-B). The resulting [`WrongPathBundle`] travels with
 //!   the branch's queue entry.
 
-use crate::dyninst::{DynInst, WrongPathBundle};
+use crate::dyninst::{DynInst, WrongPathBundle, WrongPathStop};
 use crate::emulator::{BranchOracle, Emulator, StepError};
 use crate::exec::Fault;
 use ffsim_isa::Addr;
 use std::collections::VecDeque;
+
+/// What to do when a fault (or watchdog trip) occurs during *wrong-path*
+/// emulation.
+///
+/// Correct-path faults always terminate the stream and surface as a typed
+/// error — they indicate a workload bug. Wrong-path faults are a normal
+/// consequence of speculation; the default mirrors hardware, which squashes
+/// the speculative work and carries on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FaultPolicy {
+    /// Restore the checkpoint, keep the already-emulated wrong-path prefix
+    /// (the timing model plays it and squashes it, as hardware would), count
+    /// the event, and resume the correct path. The default.
+    #[default]
+    SquashWrongPath,
+    /// Treat any wrong-path fault as fatal: end the stream and report the
+    /// fault. Useful for debugging workloads and frontend policies.
+    AbortRun,
+}
+
+/// Counters for wrong-path fault handling under
+/// [`FaultPolicy::SquashWrongPath`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct WrongPathFaultStats {
+    /// Wrong paths that ended in a fault and were squashed.
+    pub squashed_faults: u64,
+    /// Wrong paths cut off by the watchdog.
+    pub watchdog_trips: u64,
+    /// Wrong paths that ran off the program text (wild fetch address).
+    /// Counted under either policy: leaving the text is normal speculative
+    /// behaviour, not a fault.
+    pub illegal_pc_stops: u64,
+}
 
 /// A request to emulate the wrong path of a (predicted-mispredicted)
 /// branch, produced by a [`FrontendPolicy`].
@@ -92,7 +125,7 @@ pub struct StreamEntry {
 /// a.li(Reg::new(1), 7);
 /// a.addi(Reg::new(1), Reg::new(1), 1);
 /// a.halt();
-/// let mut q = InstrQueue::new(Emulator::new(a.assemble()?), NoFrontendWrongPath, 128);
+/// let mut q = InstrQueue::new(Emulator::new(a.assemble()?)?, NoFrontendWrongPath, 128);
 /// assert_eq!(q.peek(2).unwrap().inst.instr.to_string(), "halt");
 /// let first = q.pop().unwrap();
 /// assert_eq!(first.inst.pc, 0x1_0000);
@@ -106,6 +139,10 @@ pub struct InstrQueue<P> {
     depth: usize,
     ended: bool,
     fault: Option<Fault>,
+    fault_on_wrong_path: bool,
+    fault_policy: FaultPolicy,
+    watchdog: Option<u64>,
+    wp_stats: WrongPathFaultStats,
 }
 
 impl<P: FrontendPolicy> InstrQueue<P> {
@@ -113,7 +150,8 @@ impl<P: FrontendPolicy> InstrQueue<P> {
     ///
     /// # Panics
     ///
-    /// Panics if `depth` is zero.
+    /// Panics if `depth` is zero (internal invariant: `SimConfig`
+    /// validation rejects a zero depth before construction).
     #[must_use]
     pub fn new(emu: Emulator, policy: P, depth: usize) -> InstrQueue<P> {
         assert!(depth > 0, "queue depth must be positive");
@@ -124,20 +162,64 @@ impl<P: FrontendPolicy> InstrQueue<P> {
             depth,
             ended: false,
             fault: None,
+            fault_on_wrong_path: false,
+            fault_policy: FaultPolicy::default(),
+            watchdog: None,
+            wp_stats: WrongPathFaultStats::default(),
         }
+    }
+
+    /// Selects the wrong-path [`FaultPolicy`] (default: squash).
+    #[must_use]
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> InstrQueue<P> {
+        self.fault_policy = policy;
+        self
+    }
+
+    /// Bounds every wrong path to at most `watchdog` instructions, on top
+    /// of the per-request budget. A trip is handled per the fault policy.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: Option<u64>) -> InstrQueue<P> {
+        self.watchdog = watchdog;
+        self
     }
 
     fn refill_to(&mut self, want: usize) {
         while self.buf.len() < want && !self.ended {
             match self.emu.step() {
                 Ok(inst) => {
-                    let wrong_path = self
-                        .policy
-                        .on_instruction(&inst)
-                        .map(|req| {
-                            self.emu
-                                .emulate_wrong_path(req.start, req.max_insts, &mut self.policy)
-                        });
+                    let req = self.policy.on_instruction(&inst);
+                    let mut wrong_path = req.map(|req| {
+                        self.emu.emulate_wrong_path_bounded(
+                            req.start,
+                            req.max_insts,
+                            self.watchdog,
+                            &mut self.policy,
+                        )
+                    });
+                    if let Some(bundle) = &wrong_path {
+                        if matches!(bundle.stop, WrongPathStop::IllegalPc(_)) {
+                            self.wp_stats.illegal_pc_stops += 1;
+                        }
+                        if let Some(fault) = Self::bundle_fault(bundle) {
+                            match self.fault_policy {
+                                FaultPolicy::SquashWrongPath => match bundle.stop {
+                                    WrongPathStop::WatchdogExceeded { .. } => {
+                                        self.wp_stats.watchdog_trips += 1;
+                                    }
+                                    _ => self.wp_stats.squashed_faults += 1,
+                                },
+                                FaultPolicy::AbortRun => {
+                                    self.fault = Some(fault);
+                                    self.fault_on_wrong_path = true;
+                                    self.ended = true;
+                                    // The aborted bundle is not handed to the
+                                    // timing model.
+                                    wrong_path = None;
+                                }
+                            }
+                        }
+                    }
                     self.buf.push_back(StreamEntry { inst, wrong_path });
                 }
                 Err(StepError::Halted) => self.ended = true,
@@ -146,6 +228,17 @@ impl<P: FrontendPolicy> InstrQueue<P> {
                     self.ended = true;
                 }
             }
+        }
+    }
+
+    /// The fault a bundle's stop reason corresponds to, if any.
+    fn bundle_fault(bundle: &WrongPathBundle) -> Option<Fault> {
+        match bundle.stop {
+            WrongPathStop::Fault(f) => Some(f),
+            WrongPathStop::WatchdogExceeded { pc, limit } => {
+                Some(Fault::WatchdogExceeded { pc, limit })
+            }
+            _ => None,
         }
     }
 
@@ -183,10 +276,26 @@ impl<P: FrontendPolicy> InstrQueue<P> {
         self.buf.is_empty()
     }
 
-    /// The correct-path fault that ended the stream, if any.
+    /// The fault that ended the stream, if any. With
+    /// [`FaultPolicy::SquashWrongPath`] (the default) this is always a
+    /// correct-path fault; under [`FaultPolicy::AbortRun`] it may also be a
+    /// wrong-path fault (see [`InstrQueue::fault_was_wrong_path`]).
     #[must_use]
     pub fn fault(&self) -> Option<Fault> {
         self.fault
+    }
+
+    /// Whether the stream-ending fault occurred during wrong-path emulation
+    /// (only possible under [`FaultPolicy::AbortRun`]).
+    #[must_use]
+    pub fn fault_was_wrong_path(&self) -> bool {
+        self.fault_on_wrong_path
+    }
+
+    /// Wrong-path squash counters (see [`WrongPathFaultStats`]).
+    #[must_use]
+    pub fn fault_stats(&self) -> WrongPathFaultStats {
+        self.wp_stats
     }
 
     /// The frontend policy.
@@ -204,6 +313,12 @@ impl<P: FrontendPolicy> InstrQueue<P> {
     #[must_use]
     pub fn emulator(&self) -> &Emulator {
         &self.emu
+    }
+
+    /// Mutable access to the underlying emulator (e.g. to configure the
+    /// fault model before streaming).
+    pub fn emulator_mut(&mut self) -> &mut Emulator {
+        &mut self.emu
     }
 }
 
@@ -227,7 +342,7 @@ mod tests {
     #[test]
     fn pop_yields_program_order() {
         let mut q = InstrQueue::new(
-            Emulator::new(counted_program(3)),
+            Emulator::new(counted_program(3)).unwrap(),
             NoFrontendWrongPath,
             16,
         );
@@ -243,7 +358,7 @@ mod tests {
     #[test]
     fn peek_does_not_consume() {
         let mut q = InstrQueue::new(
-            Emulator::new(counted_program(3)),
+            Emulator::new(counted_program(3)).unwrap(),
             NoFrontendWrongPath,
             16,
         );
@@ -258,7 +373,7 @@ mod tests {
     #[test]
     fn peek_beyond_depth_is_none() {
         let mut q = InstrQueue::new(
-            Emulator::new(counted_program(100)),
+            Emulator::new(counted_program(100)).unwrap(),
             NoFrontendWrongPath,
             8,
         );
@@ -269,7 +384,7 @@ mod tests {
     #[test]
     fn peek_past_end_is_none() {
         let mut q = InstrQueue::new(
-            Emulator::new(counted_program(1)),
+            Emulator::new(counted_program(1)).unwrap(),
             NoFrontendWrongPath,
             64,
         );
@@ -309,7 +424,7 @@ mod tests {
 
     #[test]
     fn wrong_path_bundles_attach_to_branches() {
-        let mut q = InstrQueue::new(Emulator::new(counted_program(3)), AlwaysWrong, 16);
+        let mut q = InstrQueue::new(Emulator::new(counted_program(3)).unwrap(), AlwaysWrong, 16);
         let mut bundles = 0;
         let mut bundle_len = 0;
         while let Some(e) = q.pop() {
@@ -334,7 +449,7 @@ mod tests {
         a.ld(Reg::new(2), 0, Reg::new(1));
         a.halt();
         let mut q = InstrQueue::new(
-            Emulator::new(a.assemble().unwrap()),
+            Emulator::new(a.assemble().unwrap()).unwrap(),
             NoFrontendWrongPath,
             4,
         );
@@ -344,5 +459,90 @@ mod tests {
         }
         assert_eq!(n, 1, "only the li executes");
         assert!(q.fault().is_some());
+        assert!(!q.fault_was_wrong_path());
+    }
+
+    /// Correct path: two li's, a not-taken bnez, halt. The wrong path at
+    /// the branch target immediately performs a misaligned load.
+    fn faulting_wrong_path_program() -> Program {
+        let (x1, x2, x3) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        let mut a = Asm::new();
+        a.li(x1, 0x33); // misaligned base for an 8-byte load
+        a.li(x2, 0);
+        a.bnez(x2, "wrong"); // never taken on the correct path
+        a.halt();
+        a.label("wrong");
+        a.ld(x3, 0, x1);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn wrong_path_fault_squashes_by_default() {
+        let mut q = InstrQueue::new(
+            Emulator::new(faulting_wrong_path_program()).unwrap(),
+            AlwaysWrong,
+            16,
+        );
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(
+            n, 4,
+            "full correct path retires despite the wrong-path fault"
+        );
+        assert!(q.fault().is_none());
+        assert_eq!(q.fault_stats().squashed_faults, 1);
+        assert_eq!(q.fault_stats().watchdog_trips, 0);
+    }
+
+    #[test]
+    fn wrong_path_fault_aborts_under_abort_policy() {
+        let mut q = InstrQueue::new(
+            Emulator::new(faulting_wrong_path_program()).unwrap(),
+            AlwaysWrong,
+            16,
+        )
+        .with_fault_policy(FaultPolicy::AbortRun);
+        let mut popped = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        assert_eq!(popped.len(), 3, "stream ends at the branch");
+        assert!(popped[2].wrong_path.is_none(), "aborted bundle is dropped");
+        assert!(matches!(q.fault(), Some(Fault::Misaligned { .. })));
+        assert!(q.fault_was_wrong_path());
+    }
+
+    #[test]
+    fn watchdog_trips_are_counted_and_squash() {
+        let mut q = InstrQueue::new(Emulator::new(counted_program(3)).unwrap(), AlwaysWrong, 16)
+            .with_watchdog(Some(4));
+        let mut n = 0;
+        let mut wp_len = 0;
+        while let Some(e) = q.pop() {
+            n += 1;
+            if let Some(wp) = e.wrong_path {
+                wp_len = wp.insts.len();
+            }
+        }
+        assert_eq!(n, 8, "correct path unaffected");
+        assert_eq!(wp_len, 4, "wrong path cut off at the watchdog");
+        assert_eq!(q.fault_stats().watchdog_trips, 1);
+        assert!(q.fault().is_none());
+    }
+
+    #[test]
+    fn watchdog_aborts_under_abort_policy() {
+        let mut q = InstrQueue::new(Emulator::new(counted_program(3)).unwrap(), AlwaysWrong, 16)
+            .with_watchdog(Some(4))
+            .with_fault_policy(FaultPolicy::AbortRun);
+        while q.pop().is_some() {}
+        assert!(matches!(
+            q.fault(),
+            Some(Fault::WatchdogExceeded { limit: 4, .. })
+        ));
+        assert!(q.fault_was_wrong_path());
     }
 }

@@ -64,6 +64,32 @@ impl ArchState {
     pub fn set_freg(&mut self, f: FReg, value: f64) {
         self.fp_regs[f.index()] = value;
     }
+
+    /// A 64-bit FNV-1a digest of the register file and pc.
+    ///
+    /// FP registers are folded by IEEE-754 bit pattern, so the digest is
+    /// exact (two states digest equal iff bit-identical, NaN payloads
+    /// included). Combined with [`Memory::digest`](crate::Memory::digest)
+    /// by the fault-injection harness to compare final architectural state
+    /// across runs.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for &r in &self.int_regs {
+            fold(r);
+        }
+        for &f in &self.fp_regs {
+            fold(f.to_bits());
+        }
+        fold(self.pc);
+        h
+    }
 }
 
 #[cfg(test)]

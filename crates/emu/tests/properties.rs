@@ -3,11 +3,46 @@
 //! queue/emulator stream coherence.
 
 use ffsim_emu::{
-    Emulator, FollowComputed, InstrQueue, Memory, NoFrontendWrongPath, StepError,
+    BranchOracle, BranchOutcome, DynInst, Emulator, FaultModel, FaultPolicy, FollowComputed,
+    FrontendPolicy, InstrQueue, Memory, NoFrontendWrongPath, StepError, WrongPathRequest,
 };
 use ffsim_isa::{Addr, AluOp, Instr, MemWidth, Program, Reg, INSTR_BYTES};
 use proptest::prelude::*;
 use std::collections::HashMap;
+
+/// A hostile frontend policy: requests wrong-path emulation every `k`-th
+/// instruction from a (possibly corrupted) start pc. Used to prove that
+/// whatever the wrong path does — fault, run wild, trip the watchdog — the
+/// correct-path stream is untouched under the squash policy.
+struct InjectEveryK {
+    k: u64,
+    seen: u64,
+    xor_mask: u64,
+    budget: usize,
+}
+
+impl BranchOracle for InjectEveryK {
+    fn next_fetch_pc(
+        &mut self,
+        _pc: Addr,
+        _instr: &Instr,
+        computed: BranchOutcome,
+    ) -> Option<Addr> {
+        Some(computed.next_pc)
+    }
+}
+
+impl FrontendPolicy for InjectEveryK {
+    fn on_instruction(&mut self, inst: &DynInst) -> Option<WrongPathRequest> {
+        self.seen += 1;
+        self.seen
+            .is_multiple_of(self.k)
+            .then_some(WrongPathRequest {
+                start: inst.pc ^ self.xor_mask,
+                max_insts: self.budget,
+            })
+    }
+}
 
 fn arb_reg() -> impl Strategy<Value = Reg> {
     // x30 is reserved as the data base pointer in generated programs and
@@ -37,26 +72,27 @@ fn arb_alu_op() -> impl Strategy<Value = AluOp> {
 /// A random program: ALU soup over a small aligned data region, with
 /// aligned loads/stores and a final halt. Always fault-free.
 fn arb_program() -> impl Strategy<Value = Program> {
-    let instr = prop_oneof![
-        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
-        (arb_reg(), -1000i64..1000).prop_map(|(rd, imm)| Instr::LoadImm { rd, imm }),
-        // Loads/stores against a fixed aligned base materialized in x30.
-        (arb_reg(), 0i64..64).prop_map(|(rd, word)| Instr::Load {
-            rd,
-            base: Reg::new(30),
-            offset: word * 8,
-            width: MemWidth::D,
-            signed: false,
-        }),
-        (arb_reg(), 0i64..64).prop_map(|(src, word)| Instr::Store {
-            src,
-            base: Reg::new(30),
-            offset: word * 8,
-            width: MemWidth::D,
-        }),
-        Just(Instr::Nop),
-    ];
+    let instr =
+        prop_oneof![
+            (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
+                .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+            (arb_reg(), -1000i64..1000).prop_map(|(rd, imm)| Instr::LoadImm { rd, imm }),
+            // Loads/stores against a fixed aligned base materialized in x30.
+            (arb_reg(), 0i64..64).prop_map(|(rd, word)| Instr::Load {
+                rd,
+                base: Reg::new(30),
+                offset: word * 8,
+                width: MemWidth::D,
+                signed: false,
+            }),
+            (arb_reg(), 0i64..64).prop_map(|(src, word)| Instr::Store {
+                src,
+                base: Reg::new(30),
+                offset: word * 8,
+                width: MemWidth::D,
+            }),
+            Just(Instr::Nop),
+        ];
     proptest::collection::vec(instr, 1..60).prop_map(|body| {
         let mut instrs = vec![Instr::LoadImm {
             rd: Reg::new(30),
@@ -99,8 +135,8 @@ proptest! {
     /// Two emulators on the same program produce byte-identical streams.
     #[test]
     fn execution_is_deterministic(p in arb_program()) {
-        let mut a = Emulator::new(p.clone());
-        let mut b = Emulator::new(p);
+        let mut a = Emulator::new(p.clone()).unwrap();
+        let mut b = Emulator::new(p).unwrap();
         loop {
             match (a.step(), b.step()) {
                 (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
@@ -115,7 +151,7 @@ proptest! {
     /// straight-line programs.
     #[test]
     fn stream_is_well_linked(p in arb_program()) {
-        let mut emu = Emulator::new(p);
+        let mut emu = Emulator::new(p).unwrap();
         let mut prev: Option<(u64, Addr)> = None;
         while let Ok(inst) = emu.step() {
             if let Some((seq, next_pc)) = prev {
@@ -138,7 +174,7 @@ proptest! {
         start_word in 0u64..128,
         budget in 1usize..64,
     ) {
-        let mut emu = Emulator::new(p.clone());
+        let mut emu = Emulator::new(p.clone()).unwrap();
         let _ = emu.run_to_halt(warmup);
         let state_before = emu.checkpoint();
         let mem_words: Vec<u64> = (0..64).map(|i| emu.mem().read_u64(0x10_0000 + i * 8)).collect();
@@ -150,7 +186,7 @@ proptest! {
             prop_assert_eq!(emu.mem().read_u64(0x10_0000 + i as u64 * 8), *w);
         }
         // And the correct path still completes identically to a fresh run.
-        let mut fresh = Emulator::new(p);
+        let mut fresh = Emulator::new(p).unwrap();
         let _ = fresh.run_to_halt(warmup);
         loop {
             match (emu.step(), fresh.step()) {
@@ -169,8 +205,8 @@ proptest! {
         peeks in proptest::collection::vec(0usize..16, 0..64),
         depth in 1usize..64,
     ) {
-        let mut direct = Emulator::new(p.clone());
-        let mut q = InstrQueue::new(Emulator::new(p), NoFrontendWrongPath, depth);
+        let mut direct = Emulator::new(p.clone()).unwrap();
+        let mut q = InstrQueue::new(Emulator::new(p).unwrap(), NoFrontendWrongPath, depth);
         let mut peek_iter = peeks.into_iter().cycle();
         loop {
             // Random peeking must not disturb the stream.
@@ -192,8 +228,48 @@ proptest! {
     /// requested.
     #[test]
     fn wrong_path_budget_respected(p in arb_program(), budget in 0usize..32) {
-        let mut emu = Emulator::new(p.clone());
+        let mut emu = Emulator::new(p.clone()).unwrap();
         let bundle = emu.emulate_wrong_path(p.entry(), budget, &mut FollowComputed);
         prop_assert!(bundle.insts.len() <= budget);
+    }
+
+    /// Squash invariance: injecting wrong-path emulation at random points —
+    /// with corrupted start pcs, a strict fault model, and a tiny watchdog —
+    /// never changes the correct-path stream or the final architectural
+    /// state under `FaultPolicy::SquashWrongPath`.
+    #[test]
+    fn wrong_path_fault_injection_is_squashed(
+        p in arb_program(),
+        k in 1u64..8,
+        xor_mask in prop_oneof![Just(0u64), Just(8), Just(0x40), Just(0xffff_0000)],
+        budget in 1usize..48,
+        watchdog in 1u64..32,
+    ) {
+        let injected_policy = InjectEveryK { k, seen: 0, xor_mask, budget };
+        let mut injected = InstrQueue::new(Emulator::new(p.clone()).unwrap(), injected_policy, 32)
+            .with_fault_policy(FaultPolicy::SquashWrongPath)
+            .with_watchdog(Some(watchdog));
+        // A strict fault model bounding data accesses to just past the
+        // program's 64-word data region, so wild wrong paths fault readily.
+        // (trap_div_zero stays off: it would also trap the *correct* path,
+        // which arb_program allows to divide by zero.)
+        injected.emulator_mut().set_fault_model(FaultModel {
+            trap_div_zero: false,
+            addr_limit: Some(0x10_0000 + 64 * 8),
+        });
+        let mut clean = InstrQueue::new(
+            Emulator::new(p).unwrap(),
+            NoFrontendWrongPath,
+            32,
+        );
+        loop {
+            match (injected.pop(), clean.pop()) {
+                (Some(a), Some(b)) => prop_assert_eq!(a.inst, b.inst),
+                (None, None) => break,
+                (a, b) => prop_assert!(false, "stream divergence: {a:?} vs {b:?}"),
+            }
+        }
+        prop_assert!(injected.fault().is_none(), "squash policy never ends the stream");
+        prop_assert_eq!(injected.emulator().digest(), clean.emulator().digest());
     }
 }

@@ -115,7 +115,11 @@ impl Asm {
         // Duplicates are reported at assemble() time so the builder API
         // stays infallible; remember the first definition and mark the
         // conflict with a sentinel re-insert.
-        if self.labels.insert(name.clone(), self.instrs.len()).is_some() {
+        if self
+            .labels
+            .insert(name.clone(), self.instrs.len())
+            .is_some()
+        {
             self.fixups.push((usize::MAX, name));
         }
         self

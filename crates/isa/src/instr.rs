@@ -389,9 +389,7 @@ impl Instr {
             Instr::Load { .. } | Instr::FpLoad { .. } => ExecClass::Load,
             Instr::Store { .. } | Instr::FpStore { .. } => ExecClass::Store,
             Instr::FpAlu { op, .. } => op.exec_class(),
-            Instr::FpCmp { .. } | Instr::IntToFp { .. } | Instr::FpToInt { .. } => {
-                ExecClass::FpAdd
-            }
+            Instr::FpCmp { .. } | Instr::IntToFp { .. } | Instr::FpToInt { .. } => ExecClass::FpAdd,
             Instr::Branch { .. } | Instr::Jal { .. } | Instr::Jalr { .. } => ExecClass::Branch,
         }
     }
@@ -462,16 +460,12 @@ impl Instr {
             Instr::AluImm { rd, rs1, .. } => Operands::new(&[A::from(rs1)], Some(A::from(rd))),
             Instr::LoadImm { rd, .. } => Operands::new(&[], Some(A::from(rd))),
             Instr::Load { rd, base, .. } => Operands::new(&[A::from(base)], Some(A::from(rd))),
-            Instr::Store { src, base, .. } => {
-                Operands::new(&[A::from(src), A::from(base)], None)
-            }
+            Instr::Store { src, base, .. } => Operands::new(&[A::from(src), A::from(base)], None),
             Instr::FpAlu { fd, fs1, fs2, .. } => {
                 Operands::new(&[A::from(fs1), A::from(fs2)], Some(A::from(fd)))
             }
             Instr::FpLoad { fd, base, .. } => Operands::new(&[A::from(base)], Some(A::from(fd))),
-            Instr::FpStore { fs, base, .. } => {
-                Operands::new(&[A::from(fs), A::from(base)], None)
-            }
+            Instr::FpStore { fs, base, .. } => Operands::new(&[A::from(fs), A::from(base)], None),
             Instr::FpCmp { rd, fs1, fs2, .. } => {
                 Operands::new(&[A::from(fs1), A::from(fs2)], Some(A::from(rd)))
             }

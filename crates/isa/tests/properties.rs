@@ -46,8 +46,12 @@ fn arb_width() -> impl Strategy<Value = MemWidth> {
 /// Any instruction except control flow (branch targets need label context).
 fn arb_straightline_instr() -> impl Strategy<Value = Instr> {
     prop_oneof![
-        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op, rd, rs1, rs2 }),
+        (arb_alu_op(), arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| Instr::Alu {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
         (arb_alu_op(), arb_reg(), arb_reg(), any::<i32>()).prop_map(|(op, rd, rs1, imm)| {
             Instr::AluImm {
                 op,
@@ -57,15 +61,20 @@ fn arb_straightline_instr() -> impl Strategy<Value = Instr> {
             }
         }),
         (arb_reg(), any::<i64>()).prop_map(|(rd, imm)| Instr::LoadImm { rd, imm }),
-        (arb_reg(), arb_reg(), any::<i16>(), arb_width(), any::<bool>()).prop_map(
-            |(rd, base, offset, width, signed)| Instr::Load {
+        (
+            arb_reg(),
+            arb_reg(),
+            any::<i16>(),
+            arb_width(),
+            any::<bool>()
+        )
+            .prop_map(|(rd, base, offset, width, signed)| Instr::Load {
                 rd,
                 base,
                 offset: offset as i64,
                 width,
                 signed,
-            }
-        ),
+            }),
         (arb_reg(), arb_reg(), any::<i16>(), arb_width()).prop_map(|(src, base, offset, width)| {
             Instr::Store {
                 src,

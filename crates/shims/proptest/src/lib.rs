@@ -1,0 +1,474 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal property-testing harness with the same API shape the
+//! in-repo property tests use: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, range / tuple / [`Just`] / [`any`] strategies, the
+//! [`prop_oneof!`] union, and `collection::{vec, hash_set}`.
+//!
+//! Differences from upstream: no shrinking (failing inputs are reported
+//! at full size), and case generation is deterministic per test name and
+//! case index so CI failures always reproduce. The number of cases per
+//! property defaults to 64 and can be overridden with `PROPTEST_CASES`.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod test_runner {
+    //! The deterministic random source driving case generation.
+
+    /// SplitMix64 generator seeded from the test name and case index.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator for case `case` of the test named `name`.
+        pub fn deterministic(name: &str, case: u64) -> TestRng {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            }
+        }
+
+        /// The next raw 64-bit sample.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A sample in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of random values of one type.
+///
+/// Object-safe (so [`prop_oneof!`] can box heterogeneous strategies);
+/// combinators requiring `Sized` are provided as defaulted methods.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        (**self).new_value(rng)
+    }
+}
+
+/// Boxes a strategy (used by [`prop_oneof!`] to unify branch types).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn new_value(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (the [`prop_oneof!`] macro).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union over `options`; must be non-empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].new_value(rng)
+    }
+}
+
+impl<V> std::fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Strategy for any value of `T` (see [`Arbitrary`]).
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The `any::<T>()` strategy constructor.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Integer and float ranges are strategies (uniform over the range).
+pub trait RangeValue: PartialOrd + Copy {
+    /// Uniform sample from `[low, high)`.
+    fn sample(rng: &mut TestRng, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_range_value_int {
+    ($($t:ty),*) => {$(
+        impl RangeValue for $t {
+            fn sample(rng: &mut TestRng, low: Self, high: Self) -> Self {
+                assert!(low < high, "range strategy: empty range");
+                let span = (high as i128 - low as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (low as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_value_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl RangeValue for f64 {
+    fn sample(rng: &mut TestRng, low: Self, high: Self) -> Self {
+        assert!(low < high, "range strategy: empty range");
+        low + (high - low) * ((rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64))
+    }
+}
+
+impl<T: RangeValue> Strategy for Range<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::sample(rng, self.start, self.end)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// A collection size specification: an exact length or a half-open
+    /// range of lengths.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange(Range<usize>);
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut TestRng) -> usize {
+            if self.0.start + 1 >= self.0.end {
+                self.0.start
+            } else {
+                Strategy::new_value(&self.0, rng)
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> SizeRange {
+            SizeRange(exact..exact + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, len_range)` — a vector of `element` samples.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>` with a target size from `size`.
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `hash_set(element, size_range)` — a set of distinct samples.
+    ///
+    /// Sampling retries on duplicates a bounded number of times, so the
+    /// produced set may be smaller than the drawn target when the element
+    /// domain is narrow (matching upstream's best-effort behaviour).
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let target = self.size.draw(rng);
+            let mut out = HashSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 16 + 16 {
+                out.insert(self.element.new_value(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+// Re-exported so `use proptest::prelude::*` brings in what tests need.
+pub mod prelude {
+    //! The customary glob import.
+    pub use crate::{any, boxed, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property (panics with context on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strategy)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` runs the
+/// body for `PROPTEST_CASES` (default 64) deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases: u64 = std::env::var("PROPTEST_CASES")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(64);
+                for case in 0..cases {
+                    let mut rng = $crate::test_runner::TestRng::deterministic(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::new_value(&($strategy), &mut rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let mut rng = TestRng::deterministic("compose", 0);
+        let s = (0u8..30, -1000i64..1000).prop_map(|(a, b)| (u64::from(a), b));
+        for _ in 0..200 {
+            let (a, b) = s.new_value(&mut rng);
+            assert!(a < 30);
+            assert!((-1000..1000).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_branch() {
+        let mut rng = TestRng::deterministic("oneof", 0);
+        let s = prop_oneof![Just(1u64), Just(2), Just(4), Just(8)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.new_value(&mut rng));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let mut rng = TestRng::deterministic("vec", 0);
+        let s = crate::collection::vec(0u64..10, 1..60);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((1..60).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn hash_set_distinct_and_bounded() {
+        let mut rng = TestRng::deterministic("hs", 0);
+        let s = crate::collection::hash_set(0u8..48, 0..16);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!(v.len() < 16);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let a = TestRng::deterministic("x", 3).next_u64();
+        let b = TestRng::deterministic("x", 3).next_u64();
+        let c = TestRng::deterministic("x", 4).next_u64();
+        let d = TestRng::deterministic("y", 3).next_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(x in 0u64..100, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            let y = if flip { x + 1 } else { x };
+            prop_assert!(y <= 100);
+        }
+    }
+}

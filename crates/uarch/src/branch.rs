@@ -640,7 +640,9 @@ mod tests {
         // A pseudo-random but deterministic outcome sequence.
         let mut x = 12345u64;
         for i in 0..500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = x & 4 != 0;
             let pc = 0x2000 + (i % 7) * 4;
             let next = if taken { 0x100 } else { pc + 4 };

@@ -131,7 +131,10 @@ impl Cache {
 
     fn index(&self, addr: Addr) -> (usize, u64) {
         let line = addr >> self.line_shift;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Looks up `addr`, updating recency, dirtiness and statistics.

@@ -128,7 +128,11 @@ mod tests {
         assert_eq!(t.access(page(1), PathKind::Correct), 0);
         assert_eq!(t.access(page(3), PathKind::Correct), 25);
         assert_eq!(t.access(page(2), PathKind::Correct), 25, "page 2 evicted");
-        assert_eq!(t.access(page(1), PathKind::Correct), 25, "page 1 now evicted");
+        assert_eq!(
+            t.access(page(1), PathKind::Correct),
+            25,
+            "page 1 now evicted"
+        );
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use ffsim_isa::{BranchCond, Instr, Reg};
 use ffsim_uarch::{
-    BranchConfig, BranchPredictor, Cache, CacheConfig, CoreConfig, DramConfig, Dram, Level,
-    Lookup, MemoryHierarchy, PathKind, ReturnStack, TlbConfig, Tlb,
+    BranchConfig, BranchPredictor, Cache, CacheConfig, CoreConfig, Dram, DramConfig, Level, Lookup,
+    MemoryHierarchy, PathKind, ReturnStack, Tlb, TlbConfig,
 };
 use proptest::prelude::*;
 use std::collections::VecDeque;

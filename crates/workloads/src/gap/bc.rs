@@ -11,7 +11,7 @@
 use super::load_graph;
 use crate::graph::Graph;
 use crate::layout::DataLayout;
-use crate::workload::Workload;
+use crate::workload::{Workload, WorkloadError};
 use ffsim_emu::Memory;
 use ffsim_isa::{Asm, FReg, Reg};
 
@@ -58,12 +58,13 @@ fn reference_delta(g: &Graph, source: usize) -> Vec<f64> {
 
 /// Builds the betweenness-centrality workload from `source`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `source` is out of range.
-#[must_use]
-pub fn bc(g: &Graph, source: usize) -> Workload {
-    assert!(source < g.num_vertices(), "source out of range");
+/// Returns an error if `source` is out of range.
+pub fn bc(g: &Graph, source: usize) -> Result<Workload, WorkloadError> {
+    if source >= g.num_vertices() {
+        return Err(WorkloadError::InvalidParam("source out of range".into()));
+    }
     let n = g.num_vertices() as u64;
     let mut mem = Memory::new();
     let mut layout = DataLayout::new();
@@ -177,7 +178,7 @@ pub fn bc(g: &Graph, source: usize) -> Workload {
     a.slli(t1, u, 3);
     a.add(t3, t1, dist_r);
     a.ld(du, 0, t3); // dw
-    // coef = (1 + delta[w]) / sigma[w]
+                     // coef = (1 + delta[w]) / sigma[w]
     a.add(t3, t1, delta_r);
     a.fld(coef, 0, t3);
     a.fadd(coef, coef, fone);
@@ -214,8 +215,8 @@ pub fn bc(g: &Graph, source: usize) -> Workload {
     a.halt();
 
     let expected = reference_delta(g, source);
-    Workload::new("bc", a.assemble().expect("bc assembles"), mem).with_validator(Box::new(
-        move |final_mem| {
+    Ok(
+        Workload::new("bc", a.assemble()?, mem).with_validator(Box::new(move |final_mem| {
             for (vtx, &want) in expected.iter().enumerate() {
                 let got = final_mem.read_f64(delta + vtx as u64 * 8);
                 let tolerance = 1e-9 * want.abs().max(1.0);
@@ -224,8 +225,8 @@ pub fn bc(g: &Graph, source: usize) -> Workload {
                 }
             }
             Ok(())
-        },
-    ))
+        })),
+    )
 }
 
 #[cfg(test)]
@@ -238,7 +239,7 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
         let d = reference_delta(&g, 0);
         assert!(d[1] > d[2] && d[2] > d[3]);
-        bc(&g, 0).run_and_validate(1_000_000).unwrap();
+        bc(&g, 0).unwrap().run_and_validate(1_000_000).unwrap();
     }
 
     #[test]
@@ -247,12 +248,12 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
         let d = reference_delta(&g, 0);
         assert!((d[1] - d[2]).abs() < 1e-12, "symmetric vertices equal");
-        bc(&g, 0).run_and_validate(1_000_000).unwrap();
+        bc(&g, 0).unwrap().run_and_validate(1_000_000).unwrap();
     }
 
     #[test]
     fn bc_with_unreachable_component() {
         let g = Graph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
-        bc(&g, 0).run_and_validate(1_000_000).unwrap();
+        bc(&g, 0).unwrap().run_and_validate(1_000_000).unwrap();
     }
 }

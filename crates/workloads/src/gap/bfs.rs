@@ -8,7 +8,7 @@
 use super::load_graph;
 use crate::graph::Graph;
 use crate::layout::DataLayout;
-use crate::workload::Workload;
+use crate::workload::{Workload, WorkloadError};
 use ffsim_emu::Memory;
 use ffsim_isa::{Asm, Reg};
 
@@ -31,12 +31,13 @@ fn reference_dist(g: &Graph, source: usize) -> Vec<u64> {
 
 /// Builds the BFS workload from `source`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `source` is out of range.
-#[must_use]
-pub fn bfs(g: &Graph, source: usize) -> Workload {
-    assert!(source < g.num_vertices(), "source out of range");
+/// Returns an error if `source` is out of range.
+pub fn bfs(g: &Graph, source: usize) -> Result<Workload, WorkloadError> {
+    if source >= g.num_vertices() {
+        return Err(WorkloadError::InvalidParam("source out of range".into()));
+    }
     let n = g.num_vertices() as u64;
     let mut mem = Memory::new();
     let mut layout = DataLayout::new();
@@ -114,8 +115,8 @@ pub fn bfs(g: &Graph, source: usize) -> Workload {
     a.halt();
 
     let expected = reference_dist(g, source);
-    Workload::new("bfs", a.assemble().expect("bfs assembles"), mem).with_validator(Box::new(
-        move |final_mem| {
+    Ok(
+        Workload::new("bfs", a.assemble()?, mem).with_validator(Box::new(move |final_mem| {
             for (vtx, &want) in expected.iter().enumerate() {
                 let got = final_mem.read_u64(dist + vtx as u64 * 8);
                 if got != want {
@@ -123,8 +124,8 @@ pub fn bfs(g: &Graph, source: usize) -> Workload {
                 }
             }
             Ok(())
-        },
-    ))
+        })),
+    )
 }
 
 #[cfg(test)]
@@ -135,14 +136,14 @@ mod tests {
     fn bfs_on_path_graph() {
         // 0-1-2-3: distances 1,2,3,4.
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
-        let w = bfs(&g, 0);
+        let w = bfs(&g, 0).unwrap();
         w.run_and_validate(10_000).unwrap();
     }
 
     #[test]
     fn bfs_with_unreachable_vertices() {
         let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
-        let w = bfs(&g, 0);
+        let w = bfs(&g, 0).unwrap();
         w.run_and_validate(10_000).unwrap();
     }
 

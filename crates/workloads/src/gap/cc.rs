@@ -7,7 +7,7 @@
 use super::load_graph;
 use crate::graph::Graph;
 use crate::layout::DataLayout;
-use crate::workload::Workload;
+use crate::workload::{Workload, WorkloadError};
 use ffsim_emu::Memory;
 use ffsim_isa::{Asm, Reg};
 
@@ -38,8 +38,7 @@ fn reference_components(g: &Graph) -> Vec<u64> {
 }
 
 /// Builds the connected-components workload.
-#[must_use]
-pub fn cc(g: &Graph) -> Workload {
+pub fn cc(g: &Graph) -> Result<Workload, WorkloadError> {
     let n = g.num_vertices() as u64;
     let mut mem = Memory::new();
     let mut layout = DataLayout::new();
@@ -105,8 +104,8 @@ pub fn cc(g: &Graph) -> Workload {
     a.halt();
 
     let expected = reference_components(g);
-    Workload::new("cc", a.assemble().expect("cc assembles"), mem).with_validator(Box::new(
-        move |final_mem| {
+    Ok(
+        Workload::new("cc", a.assemble()?, mem).with_validator(Box::new(move |final_mem| {
             for (vtx, &want) in expected.iter().enumerate() {
                 let got = final_mem.read_u64(comp + vtx as u64 * 8);
                 if got != want {
@@ -114,8 +113,8 @@ pub fn cc(g: &Graph) -> Workload {
                 }
             }
             Ok(())
-        },
-    ))
+        })),
+    )
 }
 
 #[cfg(test)]
@@ -125,7 +124,7 @@ mod tests {
     #[test]
     fn cc_two_components() {
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
-        cc(&g).run_and_validate(1_000_000).unwrap();
+        cc(&g).unwrap().run_and_validate(1_000_000).unwrap();
     }
 
     #[test]
@@ -133,7 +132,7 @@ mod tests {
         // A long chain forces several label-propagation sweeps.
         let edges: Vec<(u32, u32)> = (0..19).map(|i| (i, i + 1)).collect();
         let g = Graph::from_edges(20, &edges);
-        cc(&g).run_and_validate(1_000_000).unwrap();
+        cc(&g).unwrap().run_and_validate(1_000_000).unwrap();
     }
 
     #[test]

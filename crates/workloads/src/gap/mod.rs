@@ -59,13 +59,17 @@ pub(crate) fn load_graph(g: &Graph, mem: &mut Memory, layout: &mut DataLayout) -
 pub fn all_gap(scale: u32, avg_degree: usize, seed: u64) -> Vec<Workload> {
     let g = Graph::rmat(1 << scale, avg_degree, seed);
     let src = g.max_degree_vertex();
+    // Internal invariant: the canonical parameters used here are always in
+    // range for every kernel, so construction cannot fail.
+    let ok =
+        |w: Result<Workload, crate::WorkloadError>| w.expect("canonical GAP parameters are valid");
     vec![
-        bc(&g, src),
-        bfs(&g, src),
-        cc(&g),
-        pr(&g, 3),
-        sssp(&g, src, seed ^ 0x5551),
-        tc(&g),
+        ok(bc(&g, src)),
+        ok(bfs(&g, src)),
+        ok(cc(&g)),
+        ok(pr(&g, 3)),
+        ok(sssp(&g, src, seed ^ 0x5551)),
+        ok(tc(&g)),
     ]
 }
 
@@ -91,12 +95,12 @@ mod tests {
         let g = Graph::uniform(300, 6, 7);
         let src = g.max_degree_vertex();
         let workloads = vec![
-            bc(&g, src),
-            bfs(&g, src),
-            cc(&g),
-            pr(&g, 2),
-            sssp(&g, src, 99),
-            tc(&g),
+            bc(&g, src).unwrap(),
+            bfs(&g, src).unwrap(),
+            cc(&g).unwrap(),
+            pr(&g, 2).unwrap(),
+            sssp(&g, src, 99).unwrap(),
+            tc(&g).unwrap(),
         ];
         for w in workloads {
             w.run_and_validate(20_000_000)
@@ -109,12 +113,12 @@ mod tests {
     fn kernels_handle_sparse_components() {
         let g = Graph::from_edges(16, &[(0, 1), (1, 2), (4, 5)]);
         for w in [
-            bc(&g, 0),
-            bfs(&g, 0),
-            cc(&g),
-            pr(&g, 2),
-            sssp(&g, 0, 1),
-            tc(&g),
+            bc(&g, 0).unwrap(),
+            bfs(&g, 0).unwrap(),
+            cc(&g).unwrap(),
+            pr(&g, 2).unwrap(),
+            sssp(&g, 0, 1).unwrap(),
+            tc(&g).unwrap(),
         ] {
             w.run_and_validate(1_000_000)
                 .unwrap_or_else(|e| panic!("{e}"));

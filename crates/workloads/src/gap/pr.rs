@@ -8,7 +8,7 @@
 use super::load_graph;
 use crate::graph::Graph;
 use crate::layout::DataLayout;
-use crate::workload::Workload;
+use crate::workload::{Workload, WorkloadError};
 use ffsim_emu::Memory;
 use ffsim_isa::{Asm, FReg, Reg};
 
@@ -49,12 +49,15 @@ fn reference_scores(g: &Graph, iterations: usize) -> Vec<f64> {
 /// Builds the PageRank workload with the given number of power
 /// iterations.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `iterations` is zero.
-#[must_use]
-pub fn pr(g: &Graph, iterations: usize) -> Workload {
-    assert!(iterations > 0, "need at least one iteration");
+/// Returns an error if `iterations` is zero.
+pub fn pr(g: &Graph, iterations: usize) -> Result<Workload, WorkloadError> {
+    if iterations == 0 {
+        return Err(WorkloadError::InvalidParam(
+            "need at least one iteration".into(),
+        ));
+    }
     let n = g.num_vertices() as u64;
     let mut mem = Memory::new();
     let mut layout = DataLayout::new();
@@ -163,8 +166,8 @@ pub fn pr(g: &Graph, iterations: usize) -> Workload {
     a.halt();
 
     let expected = reference_scores(g, iterations);
-    Workload::new("pr", a.assemble().expect("pr assembles"), mem).with_validator(Box::new(
-        move |final_mem| {
+    Ok(
+        Workload::new("pr", a.assemble()?, mem).with_validator(Box::new(move |final_mem| {
             for (vtx, &want) in expected.iter().enumerate() {
                 let got = final_mem.read_f64(score + vtx as u64 * 8);
                 if (got - want).abs() > 1e-12 {
@@ -172,8 +175,8 @@ pub fn pr(g: &Graph, iterations: usize) -> Workload {
                 }
             }
             Ok(())
-        },
-    ))
+        })),
+    )
 }
 
 #[cfg(test)]
@@ -183,13 +186,13 @@ mod tests {
     #[test]
     fn pr_on_triangle() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
-        pr(&g, 4).run_and_validate(100_000).unwrap();
+        pr(&g, 4).unwrap().run_and_validate(100_000).unwrap();
     }
 
     #[test]
     fn pr_with_dangling_vertex() {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2)]);
-        pr(&g, 3).run_and_validate(100_000).unwrap();
+        pr(&g, 3).unwrap().run_and_validate(100_000).unwrap();
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use super::load_graph;
 use crate::graph::Graph;
 use crate::layout::DataLayout;
-use crate::workload::Workload;
+use crate::workload::{Workload, WorkloadError};
 use ffsim_emu::Memory;
 use ffsim_isa::{Asm, Reg};
 use rand::rngs::StdRng;
@@ -50,12 +50,13 @@ fn reference_dist(g: &Graph, source: usize, weights: &[u32]) -> Vec<u64> {
 
 /// Builds the SSSP workload from `source` with weights seeded by `seed`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `source` is out of range.
-#[must_use]
-pub fn sssp(g: &Graph, source: usize, seed: u64) -> Workload {
-    assert!(source < g.num_vertices(), "source out of range");
+/// Returns an error if `source` is out of range.
+pub fn sssp(g: &Graph, source: usize, seed: u64) -> Result<Workload, WorkloadError> {
+    if source >= g.num_vertices() {
+        return Err(WorkloadError::InvalidParam("source out of range".into()));
+    }
     let n = g.num_vertices() as u64;
     let weights = edge_weights(g, seed);
     let mut mem = Memory::new();
@@ -134,8 +135,8 @@ pub fn sssp(g: &Graph, source: usize, seed: u64) -> Workload {
     a.halt();
 
     let expected = reference_dist(g, source, &weights);
-    Workload::new("sssp", a.assemble().expect("sssp assembles"), mem).with_validator(Box::new(
-        move |final_mem| {
+    Ok(
+        Workload::new("sssp", a.assemble()?, mem).with_validator(Box::new(move |final_mem| {
             for (vtx, &want) in expected.iter().enumerate() {
                 let got = final_mem.read_u64(dist + vtx as u64 * 8);
                 if got != want {
@@ -143,8 +144,8 @@ pub fn sssp(g: &Graph, source: usize, seed: u64) -> Workload {
                 }
             }
             Ok(())
-        },
-    ))
+        })),
+    )
 }
 
 #[cfg(test)]
@@ -154,13 +155,13 @@ mod tests {
     #[test]
     fn sssp_on_small_graph() {
         let g = Graph::from_edges(5, &[(0, 1), (1, 2), (0, 3), (3, 2), (2, 4)]);
-        sssp(&g, 0, 7).run_and_validate(1_000_000).unwrap();
+        sssp(&g, 0, 7).unwrap().run_and_validate(1_000_000).unwrap();
     }
 
     #[test]
     fn sssp_unreachable_stays_inf() {
         let g = Graph::from_edges(4, &[(0, 1)]);
-        let w = sssp(&g, 0, 3);
+        let w = sssp(&g, 0, 3).unwrap();
         w.run_and_validate(100_000).unwrap();
     }
 

@@ -9,7 +9,7 @@
 use super::load_graph;
 use crate::graph::Graph;
 use crate::layout::DataLayout;
-use crate::workload::Workload;
+use crate::workload::{Workload, WorkloadError};
 use ffsim_emu::Memory;
 use ffsim_isa::{Asm, Reg};
 
@@ -47,8 +47,7 @@ fn reference_count(g: &Graph) -> u64 {
 
 /// Builds the triangle-counting workload; the count is stored to a result
 /// word checked by the validator.
-#[must_use]
-pub fn tc(g: &Graph) -> Workload {
+pub fn tc(g: &Graph) -> Result<Workload, WorkloadError> {
     let n = g.num_vertices() as u64;
     let mut mem = Memory::new();
     let mut layout = DataLayout::new();
@@ -129,15 +128,15 @@ pub fn tc(g: &Graph) -> Workload {
     a.halt();
 
     let expected = reference_count(g);
-    Workload::new("tc", a.assemble().expect("tc assembles"), mem).with_validator(Box::new(
-        move |final_mem| {
+    Ok(
+        Workload::new("tc", a.assemble()?, mem).with_validator(Box::new(move |final_mem| {
             let got = final_mem.read_u64(result);
             if got != expected {
                 return Err(format!("triangle count = {got}, expected {expected}"));
             }
             Ok(())
-        },
-    ))
+        })),
+    )
 }
 
 #[cfg(test)]
@@ -148,7 +147,7 @@ mod tests {
     fn tc_counts_one_triangle() {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
         assert_eq!(reference_count(&g), 1);
-        tc(&g).run_and_validate(100_000).unwrap();
+        tc(&g).unwrap().run_and_validate(100_000).unwrap();
     }
 
     #[test]
@@ -156,7 +155,7 @@ mod tests {
         // K4 has 4 triangles.
         let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
         assert_eq!(reference_count(&g), 4);
-        tc(&g).run_and_validate(100_000).unwrap();
+        tc(&g).unwrap().run_and_validate(100_000).unwrap();
     }
 
     #[test]
@@ -164,6 +163,6 @@ mod tests {
         // A star has no triangles.
         let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
         assert_eq!(reference_count(&g), 0);
-        tc(&g).run_and_validate(100_000).unwrap();
+        tc(&g).unwrap().run_and_validate(100_000).unwrap();
     }
 }

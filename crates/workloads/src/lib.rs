@@ -17,10 +17,10 @@
 //! ```
 //! use ffsim_workloads::{gap, Graph};
 //! let g = Graph::rmat(256, 8, 42);
-//! let w = gap::bfs(&g, g.max_degree_vertex());
+//! let w = gap::bfs(&g, g.max_degree_vertex())?;
 //! let instructions = w.run_and_validate(10_000_000)?;
 //! assert!(instructions > 1_000);
-//! # Ok::<(), String>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -34,4 +34,4 @@ mod workload;
 
 pub use graph::Graph;
 pub use layout::{DataLayout, DATA_BASE};
-pub use workload::{Validator, Workload};
+pub use workload::{Validator, Workload, WorkloadError};

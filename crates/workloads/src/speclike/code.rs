@@ -10,7 +10,7 @@
 //!   dispatch jump per operation — the indirect-predictor stressor.
 
 use crate::layout::DataLayout;
-use crate::workload::Workload;
+use crate::workload::{Workload, WorkloadError};
 use ffsim_emu::Memory;
 use ffsim_isa::{Asm, Reg};
 use rand::rngs::StdRng;
@@ -44,9 +44,12 @@ impl BlockOp {
 /// stub table in pseudo-random order, `visits` calls total. The code
 /// footprint is ~64 bytes per block, far exceeding the L1I at bench
 /// scale.
-#[must_use]
-pub fn big_code(num_blocks: usize, visits: usize, seed: u64) -> Workload {
-    assert!(num_blocks >= 2, "need at least two blocks");
+pub fn big_code(num_blocks: usize, visits: usize, seed: u64) -> Result<Workload, WorkloadError> {
+    if num_blocks < 2 {
+        return Err(WorkloadError::InvalidParam(
+            "need at least two blocks".into(),
+        ));
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     // Each block applies 4 random ops to the accumulator.
     let blocks: Vec<[BlockOp; 4]> = (0..num_blocks)
@@ -143,14 +146,14 @@ pub fn big_code(num_blocks: usize, visits: usize, seed: u64) -> Workload {
         }
     }
 
-    Workload::new("big_code", a.assemble().expect("assembles"), mem).with_validator(Box::new(
-        move |m| {
+    Ok(
+        Workload::new("big_code", a.assemble()?, mem).with_validator(Box::new(move |m| {
             let got = m.read_u64(result);
             (got == expect)
                 .then_some(())
                 .ok_or_else(|| format!("acc {got:#x}, expected {expect:#x}"))
-        },
-    ))
+        })),
+    )
 }
 
 const INTERP_KEY: i64 = 0x9E37_79B9;
@@ -170,8 +173,7 @@ fn interp_step(op: u8, acc: u64, t: u64) -> (u64, u64) {
 
 /// `perlbench`-like: a bytecode interpreter whose dispatch is an indirect
 /// jump through a handler table, one per executed operation.
-#[must_use]
-pub fn interp_dispatch(num_ops: usize, seed: u64) -> Workload {
+pub fn interp_dispatch(num_ops: usize, seed: u64) -> Result<Workload, WorkloadError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let bytecode: Vec<u8> = (0..num_ops).map(|_| rng.gen_range(0..8)).collect();
     let mut acc_e = 7u64;
@@ -270,8 +272,8 @@ pub fn interp_dispatch(num_ops: usize, seed: u64) -> Workload {
     a.j("dispatch");
     pad_to(&mut a, s);
 
-    Workload::new("interp_dispatch", a.assemble().expect("assembles"), mem).with_validator(
-        Box::new(move |m| {
+    Ok(
+        Workload::new("interp_dispatch", a.assemble()?, mem).with_validator(Box::new(move |m| {
             let got_acc = m.read_u64(result);
             let got_t = m.read_u64(result + 8);
             if got_acc != acc_e {
@@ -281,7 +283,7 @@ pub fn interp_dispatch(num_ops: usize, seed: u64) -> Workload {
                 return Err(format!("t {got_t:#x}, expected {t_e:#x}"));
             }
             Ok(())
-        }),
+        })),
     )
 }
 
@@ -291,19 +293,25 @@ mod tests {
 
     #[test]
     fn big_code_validates() {
-        big_code(50, 500, 1).run_and_validate(500_000).unwrap();
+        big_code(50, 500, 1)
+            .unwrap()
+            .run_and_validate(500_000)
+            .unwrap();
     }
 
     #[test]
     fn big_code_footprint_scales_with_blocks() {
-        let small = big_code(10, 10, 2);
-        let large = big_code(200, 10, 2);
+        let small = big_code(10, 10, 2).unwrap();
+        let large = big_code(200, 10, 2).unwrap();
         assert!(large.program().len() > small.program().len() + 190 * 16);
     }
 
     #[test]
     fn interp_dispatch_validates() {
-        interp_dispatch(1000, 3).run_and_validate(500_000).unwrap();
+        interp_dispatch(1000, 3)
+            .unwrap()
+            .run_and_validate(500_000)
+            .unwrap();
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! wrong-path technique (including none at all) lands near 0% error.
 
 use crate::layout::DataLayout;
-use crate::workload::Workload;
+use crate::workload::{Workload, WorkloadError};
 use ffsim_emu::Memory;
 use ffsim_isa::{Asm, FReg, Reg};
 use rand::rngs::StdRng;
@@ -38,8 +38,7 @@ fn check_f64_array(
 }
 
 /// `lbm`-like: STREAM triad `a[i] = b[i] + s * c[i]`, repeated.
-#[must_use]
-pub fn stream_triad(n: usize, iters: usize) -> Workload {
+pub fn stream_triad(n: usize, iters: usize) -> Result<Workload, WorkloadError> {
     let b_host: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
     let c_host: Vec<f64> = (0..n).map(|i| (n - i) as f64 * 0.25).collect();
     let scalar = 3.0;
@@ -91,15 +90,13 @@ pub fn stream_triad(n: usize, iters: usize) -> Workload {
     a.bnez(it, "iter");
     a.halt();
 
-    Workload::new("stream_triad", a.assemble().expect("assembles"), mem).with_validator(
-        Box::new(move |m| check_f64_array(m, a_a, &expect, "a")),
-    )
+    Ok(Workload::new("stream_triad", a.assemble()?, mem)
+        .with_validator(Box::new(move |m| check_f64_array(m, a_a, &expect, "a"))))
 }
 
 /// `cactuBSSN`-like: dense matrix-vector product `y = A·x`, repeated with
 /// `x ← y` normalization-free chaining.
-#[must_use]
-pub fn dense_mv(n: usize, iters: usize) -> Workload {
+pub fn dense_mv(n: usize, iters: usize) -> Result<Workload, WorkloadError> {
     let a_host: Vec<f64> = (0..n * n)
         .map(|k| ((k % 17) as f64 - 8.0) / (n as f64 * 16.0))
         .collect();
@@ -188,15 +185,17 @@ pub fn dense_mv(n: usize, iters: usize) -> Workload {
     // Iteration 1 writes y_a, iteration 2 writes x_a, ...: the final
     // output lives in y_a for odd iteration counts, x_a for even.
     let out = if iters % 2 == 1 { y_a } else { x_a };
-    Workload::new("dense_mv", a.assemble().expect("assembles"), mem).with_validator(Box::new(
-        move |m| check_f64_array(m, out, &y_expect, "y"),
-    ))
+    Ok(Workload::new("dense_mv", a.assemble()?, mem)
+        .with_validator(Box::new(move |m| check_f64_array(m, out, &y_expect, "y"))))
 }
 
 /// 3-point stencil smoothing with buffer ping-pong.
-#[must_use]
-pub fn stencil3(n: usize, iters: usize) -> Workload {
-    assert!(n >= 3, "stencil needs at least 3 points");
+pub fn stencil3(n: usize, iters: usize) -> Result<Workload, WorkloadError> {
+    if n < 3 {
+        return Err(WorkloadError::InvalidParam(
+            "stencil needs at least 3 points".into(),
+        ));
+    }
     let third = 1.0 / 3.0;
     let mut cur: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64).collect();
     let init = cur.clone();
@@ -256,14 +255,12 @@ pub fn stencil3(n: usize, iters: usize) -> Workload {
 
     let out = if iters % 2 == 1 { buf_b } else { buf_a };
     let expect = cur;
-    Workload::new("stencil3", a.assemble().expect("assembles"), mem).with_validator(Box::new(
-        move |m| check_f64_array(m, out, &expect, "grid"),
-    ))
+    Ok(Workload::new("stencil3", a.assemble()?, mem)
+        .with_validator(Box::new(move |m| check_f64_array(m, out, &expect, "grid"))))
 }
 
 /// `nab`-like reduction: repeated dot products.
-#[must_use]
-pub fn dot_product(n: usize, iters: usize) -> Workload {
+pub fn dot_product(n: usize, iters: usize) -> Result<Workload, WorkloadError> {
     let x: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
     let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).cos()).collect();
     let mut dot = 0.0f64;
@@ -314,23 +311,24 @@ pub fn dot_product(n: usize, iters: usize) -> Workload {
     a.fsd(total, 0, t1);
     a.halt();
 
-    Workload::new("dot_product", a.assemble().expect("assembles"), mem).with_validator(
-        Box::new(move |m| {
+    Ok(
+        Workload::new("dot_product", a.assemble()?, mem).with_validator(Box::new(move |m| {
             let got = m.read_f64(result);
             let tol = 1e-9 * expect.abs().max(1.0);
             ((got - expect).abs() <= tol)
                 .then_some(())
                 .ok_or_else(|| format!("dot = {got}, expected {expect}"))
-        }),
+        })),
     )
 }
 
 /// Horner polynomial evaluation over many points — long FP dependence
 /// chains, negligible memory traffic.
-#[must_use]
-pub fn poly_eval(points: usize, degree: usize) -> Workload {
+pub fn poly_eval(points: usize, degree: usize) -> Result<Workload, WorkloadError> {
     let coeffs: Vec<f64> = (0..=degree).map(|k| 1.0 / (k + 1) as f64).collect();
-    let xs: Vec<f64> = (0..points).map(|i| (i % 200) as f64 / 100.0 - 1.0).collect();
+    let xs: Vec<f64> = (0..points)
+        .map(|i| (i % 200) as f64 / 100.0 - 1.0)
+        .collect();
     let expect: Vec<f64> = xs
         .iter()
         .map(|&x| coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c))
@@ -380,15 +378,21 @@ pub fn poly_eval(points: usize, degree: usize) -> Workload {
     a.label("done");
     a.halt();
 
-    Workload::new("poly_eval", a.assemble().expect("assembles"), mem).with_validator(Box::new(
-        move |m| check_f64_array(m, out_a, &expect, "poly"),
-    ))
+    Ok(
+        Workload::new("poly_eval", a.assemble()?, mem).with_validator(Box::new(move |m| {
+            check_f64_array(m, out_a, &expect, "poly")
+        })),
+    )
 }
 
 /// `fotonik`-ish: sparse matrix-vector product in CSR — regular FP with a
 /// gathered inner loop (mildly irregular for an FP code).
-#[must_use]
-pub fn spmv(n: usize, nnz_per_row: usize, iters: usize, seed: u64) -> Workload {
+pub fn spmv(
+    n: usize,
+    nnz_per_row: usize,
+    iters: usize,
+    seed: u64,
+) -> Result<Workload, WorkloadError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut offsets = Vec::with_capacity(n + 1);
     let mut cols = Vec::new();
@@ -492,15 +496,13 @@ pub fn spmv(n: usize, nnz_per_row: usize, iters: usize, seed: u64) -> Workload {
 
     // Same ping-pong parity as dense_mv: odd iteration counts end in y_a.
     let out = if iters % 2 == 1 { y_a } else { x_a };
-    Workload::new("spmv", a.assemble().expect("assembles"), mem).with_validator(Box::new(
-        move |m| check_f64_array(m, out, &y_expect, "y"),
-    ))
+    Ok(Workload::new("spmv", a.assemble()?, mem)
+        .with_validator(Box::new(move |m| check_f64_array(m, out, &y_expect, "y"))))
 }
 
 /// A 1-D n-body force accumulation step — FP-divide heavy, O(n²) compute
 /// over a tiny working set.
-#[must_use]
-pub fn nbody_step(bodies: usize, iters: usize) -> Workload {
+pub fn nbody_step(bodies: usize, iters: usize) -> Result<Workload, WorkloadError> {
     let pos: Vec<f64> = (0..bodies).map(|i| i as f64 * 1.5 + 0.25).collect();
     let eps = 0.01;
     let mut force_expect = vec![0.0f64; bodies];
@@ -567,9 +569,11 @@ pub fn nbody_step(bodies: usize, iters: usize) -> Workload {
     a.bnez(it, "iter");
     a.halt();
 
-    Workload::new("nbody_step", a.assemble().expect("assembles"), mem).with_validator(Box::new(
-        move |m| check_f64_array(m, force_a, &force_expect, "force"),
-    ))
+    Ok(
+        Workload::new("nbody_step", a.assemble()?, mem).with_validator(Box::new(move |m| {
+            check_f64_array(m, force_a, &force_expect, "force")
+        })),
+    )
 }
 
 #[cfg(test)]
@@ -578,39 +582,57 @@ mod tests {
 
     #[test]
     fn stream_triad_validates() {
-        stream_triad(200, 3).run_and_validate(100_000).unwrap();
+        stream_triad(200, 3)
+            .unwrap()
+            .run_and_validate(100_000)
+            .unwrap();
     }
 
     #[test]
     fn dense_mv_validates_odd_and_even_iters() {
-        dense_mv(12, 3).run_and_validate(100_000).unwrap();
-        dense_mv(12, 4).run_and_validate(100_000).unwrap();
+        dense_mv(12, 3).unwrap().run_and_validate(100_000).unwrap();
+        dense_mv(12, 4).unwrap().run_and_validate(100_000).unwrap();
     }
 
     #[test]
     fn stencil3_validates_odd_and_even_iters() {
-        stencil3(64, 3).run_and_validate(100_000).unwrap();
-        stencil3(64, 4).run_and_validate(100_000).unwrap();
+        stencil3(64, 3).unwrap().run_and_validate(100_000).unwrap();
+        stencil3(64, 4).unwrap().run_and_validate(100_000).unwrap();
     }
 
     #[test]
     fn dot_product_validates() {
-        dot_product(300, 2).run_and_validate(100_000).unwrap();
+        dot_product(300, 2)
+            .unwrap()
+            .run_and_validate(100_000)
+            .unwrap();
     }
 
     #[test]
     fn poly_eval_validates() {
-        poly_eval(100, 8).run_and_validate(100_000).unwrap();
+        poly_eval(100, 8)
+            .unwrap()
+            .run_and_validate(100_000)
+            .unwrap();
     }
 
     #[test]
     fn spmv_validates() {
-        spmv(64, 6, 2, 3).run_and_validate(200_000).unwrap();
-        spmv(64, 6, 3, 3).run_and_validate(200_000).unwrap();
+        spmv(64, 6, 2, 3)
+            .unwrap()
+            .run_and_validate(200_000)
+            .unwrap();
+        spmv(64, 6, 3, 3)
+            .unwrap()
+            .run_and_validate(200_000)
+            .unwrap();
     }
 
     #[test]
     fn nbody_validates() {
-        nbody_step(24, 2).run_and_validate(200_000).unwrap();
+        nbody_step(24, 2)
+            .unwrap()
+            .run_and_validate(200_000)
+            .unwrap();
     }
 }

@@ -3,7 +3,7 @@
 //! bit/byte manipulation.
 
 use crate::layout::DataLayout;
-use crate::workload::Workload;
+use crate::workload::{Workload, WorkloadError};
 use ffsim_emu::Memory;
 use ffsim_isa::{Asm, Reg};
 use rand::rngs::StdRng;
@@ -15,8 +15,7 @@ fn reg(i: u8) -> Reg {
 
 /// `mcf`-like: serialized pointer chasing around a single random cycle —
 /// memory-latency-bound, almost no branch misses.
-#[must_use]
-pub fn pointer_chase(nodes: usize, steps: usize, seed: u64) -> Workload {
+pub fn pointer_chase(nodes: usize, steps: usize, seed: u64) -> Result<Workload, WorkloadError> {
     let mut rng = StdRng::seed_from_u64(seed);
     // Sattolo's algorithm: a single cycle visiting every node.
     let mut next: Vec<u64> = (0..nodes as u64).collect();
@@ -52,13 +51,13 @@ pub fn pointer_chase(nodes: usize, steps: usize, seed: u64) -> Workload {
     for _ in 0..steps {
         expect = next[expect as usize];
     }
-    Workload::new("pointer_chase", a.assemble().expect("assembles"), mem).with_validator(
-        Box::new(move |m| {
+    Ok(
+        Workload::new("pointer_chase", a.assemble()?, mem).with_validator(Box::new(move |m| {
             let got = m.read_u64(result);
             (got == expect)
                 .then_some(())
                 .ok_or_else(|| format!("final node {got}, expected {expect}"))
-        }),
+        })),
     )
 }
 
@@ -66,9 +65,12 @@ const HASH_MULT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// `xalancbmk`-like: open-addressing hash probes with data-dependent
 /// collision loops over a large table.
-#[must_use]
-pub fn hash_probe(table_size: usize, probes: usize, seed: u64) -> Workload {
-    assert!(table_size.is_power_of_two(), "table must be a power of two");
+pub fn hash_probe(table_size: usize, probes: usize, seed: u64) -> Result<Workload, WorkloadError> {
+    if !table_size.is_power_of_two() {
+        return Err(WorkloadError::InvalidParam(
+            "table must be a power of two".into(),
+        ));
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mask = (table_size - 1) as u64;
     // Fill ~60% of the table with non-zero keys via linear probing.
@@ -164,20 +166,19 @@ pub fn hash_probe(table_size: usize, probes: usize, seed: u64) -> Workload {
     a.sd(found, 0, t1);
     a.halt();
 
-    Workload::new("hash_probe", a.assemble().expect("assembles"), mem).with_validator(Box::new(
-        move |m| {
+    Ok(
+        Workload::new("hash_probe", a.assemble()?, mem).with_validator(Box::new(move |m| {
             let got = m.read_u64(result);
             (got == expect)
                 .then_some(())
                 .ok_or_else(|| format!("found {got}, expected {expect}"))
-        },
-    ))
+        })),
+    )
 }
 
 /// `gobmk`-ish: repeated binary searches — ~50% mispredicted comparisons,
 /// log-depth dependence chains.
-#[must_use]
-pub fn binary_search(len: usize, searches: usize, seed: u64) -> Workload {
+pub fn binary_search(len: usize, searches: usize, seed: u64) -> Result<Workload, WorkloadError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut sorted: Vec<u64> = (0..len).map(|_| rng.gen_range(0..1 << 40)).collect();
     sorted.sort_unstable();
@@ -251,20 +252,19 @@ pub fn binary_search(len: usize, searches: usize, seed: u64) -> Workload {
     a.sd(found, 0, t1);
     a.halt();
 
-    Workload::new("binary_search", a.assemble().expect("assembles"), mem).with_validator(
-        Box::new(move |m| {
+    Ok(
+        Workload::new("binary_search", a.assemble()?, mem).with_validator(Box::new(move |m| {
             let got = m.read_u64(result);
             (got == expect)
                 .then_some(())
                 .ok_or_else(|| format!("found {got}, expected {expect}"))
-        }),
+        })),
     )
 }
 
 /// `omnetpp`-ish: key-directed descents through an implicit binary tree —
 /// pointer-ish traversal with a data-dependent direction branch per level.
-#[must_use]
-pub fn tree_walk(nodes: usize, walks: usize, seed: u64) -> Workload {
+pub fn tree_walk(nodes: usize, walks: usize, seed: u64) -> Result<Workload, WorkloadError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let keys: Vec<u64> = (0..nodes).map(|_| rng.gen_range(0..1 << 32)).collect();
     let queries: Vec<u64> = (0..walks).map(|_| rng.gen_range(0..1 << 32)).collect();
@@ -327,20 +327,23 @@ pub fn tree_walk(nodes: usize, walks: usize, seed: u64) -> Workload {
     a.sd(acc, 0, t1);
     a.halt();
 
-    Workload::new("tree_walk", a.assemble().expect("assembles"), mem).with_validator(Box::new(
-        move |m| {
+    Ok(
+        Workload::new("tree_walk", a.assemble()?, mem).with_validator(Box::new(move |m| {
             let got = m.read_u64(result);
             (got == expect)
                 .then_some(())
                 .ok_or_else(|| format!("checksum {got:#x}, expected {expect:#x}"))
-        },
-    ))
+        })),
+    )
 }
 
 /// `perlbench`-ish: naive substring search over a small-alphabet text —
 /// byte loads and an early-exit inner comparison loop.
-#[must_use]
-pub fn string_match(text_len: usize, pattern_len: usize, seed: u64) -> Workload {
+pub fn string_match(
+    text_len: usize,
+    pattern_len: usize,
+    seed: u64,
+) -> Result<Workload, WorkloadError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let alphabet = b"abcd";
     let text: Vec<u8> = (0..text_len)
@@ -405,20 +408,19 @@ pub fn string_match(text_len: usize, pattern_len: usize, seed: u64) -> Workload 
     a.sd(count, 0, t1);
     a.halt();
 
-    Workload::new("string_match", a.assemble().expect("assembles"), mem).with_validator(
-        Box::new(move |m| {
+    Ok(
+        Workload::new("string_match", a.assemble()?, mem).with_validator(Box::new(move |m| {
             let got = m.read_u64(result);
             (got == expect)
                 .then_some(())
                 .ok_or_else(|| format!("matches {got}, expected {expect}"))
-        }),
+        })),
     )
 }
 
 /// Run-length encoding over run-structured bytes — sequential access with
 /// data-dependent run-boundary branches.
-#[must_use]
-pub fn rle_encode(len: usize, seed: u64) -> Workload {
+pub fn rle_encode(len: usize, seed: u64) -> Result<Workload, WorkloadError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut input = Vec::with_capacity(len);
     while input.len() < len {
@@ -493,8 +495,8 @@ pub fn rle_encode(len: usize, seed: u64) -> Workload {
     a.sd(pairs, 0, t1);
     a.halt();
 
-    Workload::new("rle_encode", a.assemble().expect("assembles"), mem).with_validator(Box::new(
-        move |m| {
+    Ok(
+        Workload::new("rle_encode", a.assemble()?, mem).with_validator(Box::new(move |m| {
             let got = m.read_u64(result);
             if got != expect_pairs {
                 return Err(format!("pairs {got}, expected {expect_pairs}"));
@@ -506,8 +508,8 @@ pub fn rle_encode(len: usize, seed: u64) -> Workload {
                 }
             }
             Ok(())
-        },
-    ))
+        })),
+    )
 }
 
 /// Database-style filtered scan: `if a[i] > threshold { sum += a[i] }`
@@ -515,8 +517,7 @@ pub fn rle_encode(len: usize, seed: u64) -> Workload {
 /// wrong path *converges at the next element* with index-based (and thus
 /// recoverable) addresses. This is the SPEC-INT-style case the paper's
 /// convergence technique fixes.
-#[must_use]
-pub fn filter_scan(len: usize, seed: u64) -> Workload {
+pub fn filter_scan(len: usize, seed: u64) -> Result<Workload, WorkloadError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let data: Vec<u64> = (0..len).map(|_| rng.gen_range(0..1000)).collect();
     let threshold = 500u64;
@@ -558,14 +559,14 @@ pub fn filter_scan(len: usize, seed: u64) -> Workload {
     a.sd(sum, 0, t1);
     a.halt();
 
-    Workload::new("filter_scan", a.assemble().expect("assembles"), mem).with_validator(Box::new(
-        move |m| {
+    Ok(
+        Workload::new("filter_scan", a.assemble()?, mem).with_validator(Box::new(move |m| {
             let got = m.read_u64(result);
             (got == expect)
                 .then_some(())
                 .ok_or_else(|| format!("sum {got}, expected {expect}"))
-        },
-    ))
+        })),
+    )
 }
 
 /// Masked sparse gather: `if mask[i] { acc += data[idx[i]] }` — the
@@ -573,8 +574,7 @@ pub fn filter_scan(len: usize, seed: u64) -> Workload {
 /// the wrong path converges at the next index with recoverable addresses
 /// (both `idx[i+1]` directly and `data[idx[i+1]]` through the recovered
 /// index load).
-#[must_use]
-pub fn masked_gather(n: usize, data_len: usize, seed: u64) -> Workload {
+pub fn masked_gather(n: usize, data_len: usize, seed: u64) -> Result<Workload, WorkloadError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mask: Vec<u64> = (0..n).map(|_| u64::from(rng.gen_bool(0.5))).collect();
     let idx: Vec<u64> = (0..n).map(|_| rng.gen_range(0..data_len as u64)).collect();
@@ -629,21 +629,20 @@ pub fn masked_gather(n: usize, data_len: usize, seed: u64) -> Workload {
     a.sd(acc, 0, t1);
     a.halt();
 
-    Workload::new("masked_gather", a.assemble().expect("assembles"), mem).with_validator(
-        Box::new(move |m| {
+    Ok(
+        Workload::new("masked_gather", a.assemble()?, mem).with_validator(Box::new(move |m| {
             let got = m.read_u64(result);
             (got == expect)
                 .then_some(())
                 .ok_or_else(|| format!("acc {got}, expected {expect}"))
-        }),
+        })),
     )
 }
 
 /// `xz`-like: variable-length prefix-code decoding from a packed
 /// bitstream, with per-symbol data-dependent branches and histogram
 /// stores — the mixed positive/negative wrong-path interference case.
-#[must_use]
-pub fn bitstream_decode(num_symbols: usize, seed: u64) -> Workload {
+pub fn bitstream_decode(num_symbols: usize, seed: u64) -> Result<Workload, WorkloadError> {
     let mut rng = StdRng::seed_from_u64(seed);
     // Prefix code: A=0, B=10, C=110, D=111 (skewed symbol frequencies).
     let symbols: Vec<u8> = (0..num_symbols)
@@ -745,8 +744,8 @@ pub fn bitstream_decode(num_symbols: usize, seed: u64) -> Workload {
     a.halt();
 
     let expected_syms = symbols.clone();
-    Workload::new("bitstream_decode", a.assemble().expect("assembles"), mem).with_validator(
-        Box::new(move |m| {
+    Ok(
+        Workload::new("bitstream_decode", a.assemble()?, mem).with_validator(Box::new(move |m| {
             for (k, &want) in expect_hist.iter().enumerate() {
                 let got = m.read_u64(hist_a + k as u64 * 8);
                 if got != want {
@@ -760,7 +759,7 @@ pub fn bitstream_decode(num_symbols: usize, seed: u64) -> Workload {
                 }
             }
             Ok(())
-        }),
+        })),
     )
 }
 
@@ -770,51 +769,81 @@ mod tests {
 
     #[test]
     fn pointer_chase_validates() {
-        pointer_chase(256, 1000, 1).run_and_validate(100_000).unwrap();
+        pointer_chase(256, 1000, 1)
+            .unwrap()
+            .run_and_validate(100_000)
+            .unwrap();
     }
 
     #[test]
     fn hash_probe_validates() {
-        hash_probe(256, 300, 2).run_and_validate(200_000).unwrap();
+        hash_probe(256, 300, 2)
+            .unwrap()
+            .run_and_validate(200_000)
+            .unwrap();
     }
 
     #[test]
     fn binary_search_validates() {
-        binary_search(500, 200, 3).run_and_validate(200_000).unwrap();
+        binary_search(500, 200, 3)
+            .unwrap()
+            .run_and_validate(200_000)
+            .unwrap();
     }
 
     #[test]
     fn tree_walk_validates() {
-        tree_walk(512, 300, 4).run_and_validate(200_000).unwrap();
+        tree_walk(512, 300, 4)
+            .unwrap()
+            .run_and_validate(200_000)
+            .unwrap();
     }
 
     #[test]
     fn string_match_validates() {
-        string_match(2000, 4, 5).run_and_validate(500_000).unwrap();
+        string_match(2000, 4, 5)
+            .unwrap()
+            .run_and_validate(500_000)
+            .unwrap();
     }
 
     #[test]
     fn string_match_pattern_longer_than_text() {
-        string_match(3, 8, 6).run_and_validate(10_000).unwrap();
+        string_match(3, 8, 6)
+            .unwrap()
+            .run_and_validate(10_000)
+            .unwrap();
     }
 
     #[test]
     fn rle_encode_validates() {
-        rle_encode(2000, 7).run_and_validate(500_000).unwrap();
+        rle_encode(2000, 7)
+            .unwrap()
+            .run_and_validate(500_000)
+            .unwrap();
     }
 
     #[test]
     fn bitstream_decode_validates() {
-        bitstream_decode(1500, 8).run_and_validate(500_000).unwrap();
+        bitstream_decode(1500, 8)
+            .unwrap()
+            .run_and_validate(500_000)
+            .unwrap();
     }
 
     #[test]
     fn filter_scan_validates() {
-        filter_scan(3000, 9).run_and_validate(100_000).unwrap();
+        filter_scan(3000, 9)
+            .unwrap()
+            .run_and_validate(100_000)
+            .unwrap();
     }
 
     #[test]
     fn masked_gather_validates() {
-        masked_gather(2000, 512, 10).run_and_validate(100_000).unwrap();
+        masked_gather(2000, 512, 10)
+            .unwrap()
+            .run_and_validate(100_000)
+            .unwrap();
     }
 }

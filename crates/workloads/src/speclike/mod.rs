@@ -54,7 +54,12 @@ pub struct SpecKernel {
 /// 1 = bench-sized), deterministic in `seed`.
 #[must_use]
 pub fn all_speclike(scale: u32, seed: u64) -> Vec<SpecKernel> {
-    let k = |workload, category| SpecKernel { workload, category };
+    // Internal invariant: the canonical sizes used here are always in
+    // range for every kernel, so construction cannot fail.
+    let k = |workload: Result<Workload, crate::WorkloadError>, category| SpecKernel {
+        workload: workload.expect("canonical SPEC-like parameters are valid"),
+        category,
+    };
     let s = scale;
     // Per-kernel sizes: (test, bench) tuples selected so bench runs are a
     // few hundred thousand to a few million dynamic instructions.
@@ -80,10 +85,7 @@ pub fn all_speclike(scale: u32, seed: u64) -> Vec<SpecKernel> {
             string_match(sz(4_000, 400_000), sz(8, 24), seed ^ 4),
             SpecCategory::Int,
         ),
-        k(
-            rle_encode(sz(4_000, 600_000), seed ^ 5),
-            SpecCategory::Int,
-        ),
+        k(rle_encode(sz(4_000, 600_000), seed ^ 5), SpecCategory::Int),
         k(
             bitstream_decode(sz(4_000, 300_000), seed ^ 6),
             SpecCategory::Int,
@@ -96,7 +98,10 @@ pub fn all_speclike(scale: u32, seed: u64) -> Vec<SpecKernel> {
             masked_gather(sz(2_000, 1 << 16), sz(1 << 10, 1 << 19), seed ^ 11),
             SpecCategory::Int,
         ),
-        k(big_code(sz(200, 3_000), sz(2_000, 60_000), seed ^ 7), SpecCategory::Int),
+        k(
+            big_code(sz(200, 3_000), sz(2_000, 60_000), seed ^ 7),
+            SpecCategory::Int,
+        ),
         k(
             interp_dispatch(sz(2_000, 200_000), seed ^ 8),
             SpecCategory::Int,
@@ -107,7 +112,10 @@ pub fn all_speclike(scale: u32, seed: u64) -> Vec<SpecKernel> {
         ),
         k(dense_mv(sz(48, 320), sz(4, 6)), SpecCategory::Fp),
         k(stencil3(sz(1 << 10, 1 << 15), sz(4, 12)), SpecCategory::Fp),
-        k(dot_product(sz(1 << 10, 1 << 16), sz(4, 10)), SpecCategory::Fp),
+        k(
+            dot_product(sz(1 << 10, 1 << 16), sz(4, 10)),
+            SpecCategory::Fp,
+        ),
         k(poly_eval(sz(1 << 9, 1 << 14), 12), SpecCategory::Fp),
         k(
             spmv(sz(1 << 9, 1 << 14), 8, sz(2, 6), seed ^ 9),
@@ -128,11 +136,7 @@ mod tests {
                 .workload
                 .run_and_validate(50_000_000)
                 .unwrap_or_else(|e| panic!("{e}"));
-            assert!(
-                n > 500,
-                "{} ran only {n} instructions",
-                k.workload.name()
-            );
+            assert!(n > 500, "{} ran only {n} instructions", k.workload.name());
         }
     }
 

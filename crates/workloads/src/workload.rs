@@ -2,8 +2,42 @@
 //! optional result validator.
 
 use ffsim_emu::{Emulator, Memory, StepError};
-use ffsim_isa::Program;
+use ffsim_isa::{AsmError, Program};
 use std::fmt;
+
+/// Why a workload could not be built: a nonsense kernel parameter, or an
+/// assembly failure in the generated program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WorkloadError {
+    /// A kernel parameter is out of range (the message names it).
+    InvalidParam(String),
+    /// The generated kernel failed to assemble.
+    Assembly(AsmError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::InvalidParam(msg) => write!(f, "invalid workload parameter: {msg}"),
+            WorkloadError::Assembly(e) => write!(f, "workload failed to assemble: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WorkloadError::Assembly(e) => Some(e),
+            WorkloadError::InvalidParam(_) => None,
+        }
+    }
+}
+
+impl From<AsmError> for WorkloadError {
+    fn from(e: AsmError) -> WorkloadError {
+        WorkloadError::Assembly(e)
+    }
+}
 
 /// A result validator: inspects the final memory image and reports what,
 /// if anything, is wrong.
@@ -86,7 +120,8 @@ impl Workload {
     /// Returns an error on a fault, on exceeding `max_steps` without
     /// halting, or on validation failure.
     pub fn run_and_validate(&self, max_steps: u64) -> Result<u64, String> {
-        let mut emu = Emulator::with_memory(self.program.clone(), self.memory.clone());
+        let mut emu = Emulator::with_memory(self.program.clone(), self.memory.clone())
+            .map_err(|e| format!("{}: {e}", self.name))?;
         let n = emu.run_to_halt(max_steps).map_err(|e| match e {
             StepError::Fault(f) => format!("{}: fault: {f}", self.name),
             StepError::Halted => unreachable!("run_to_halt never returns Halted"),

@@ -100,7 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Then timing under the four techniques.
     let core = CoreConfig::golden_cove_like();
-    let results = run_all_modes(w.program(), w.memory(), &core, None);
+    let results = run_all_modes(w.program(), w.memory(), &core, None)?;
     let reference = results[3].clone();
     for r in &results {
         println!(

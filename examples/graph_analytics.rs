@@ -12,17 +12,19 @@ use ffsim_emu::Emulator;
 use ffsim_uarch::CoreConfig;
 use ffsim_workloads::{gap, Graph, Workload};
 
-fn build(kernel: &str, g: &Graph) -> Workload {
+fn build(kernel: &str, g: &Graph) -> Result<Workload, Box<dyn std::error::Error>> {
     let src = g.max_degree_vertex();
-    match kernel {
-        "bc" => gap::bc(g, src),
-        "bfs" => gap::bfs(g, src),
-        "cc" => gap::cc(g),
-        "pr" => gap::pr(g, 3),
-        "sssp" => gap::sssp(g, src, 7),
-        "tc" => gap::tc(g),
-        other => panic!("unknown kernel `{other}` (expected bc|bfs|cc|pr|sssp|tc)"),
-    }
+    Ok(match kernel {
+        "bc" => gap::bc(g, src)?,
+        "bfs" => gap::bfs(g, src)?,
+        "cc" => gap::cc(g)?,
+        "pr" => gap::pr(g, 3)?,
+        "sssp" => gap::sssp(g, src, 7)?,
+        "tc" => gap::tc(g)?,
+        other => {
+            return Err(format!("unknown kernel `{other}` (expected bc|bfs|cc|pr|sssp|tc)").into())
+        }
+    })
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,21 +41,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         g.degree(g.max_degree_vertex())
     );
 
-    let w = build(&kernel, &g);
-    println!("kernel `{}`: {} static instructions", w.name(), w.program().len());
+    let w = build(&kernel, &g)?;
+    println!(
+        "kernel `{}`: {} static instructions",
+        w.name(),
+        w.program().len()
+    );
 
     // First: functional-only execution with result validation against the
     // Rust reference implementation.
-    let mut emu = Emulator::with_memory(w.program().clone(), w.memory().clone());
+    let mut emu = Emulator::with_memory(w.program().clone(), w.memory().clone())?;
     let executed = emu.run_to_halt(500_000_000)?;
-    w.validate(emu.mem()).map_err(|e| format!("validation failed: {e}"))?;
+    w.validate(emu.mem())
+        .map_err(|e| format!("validation failed: {e}"))?;
     println!("functional run: {executed} instructions, results VALID\n");
 
     // Then: timing simulation under all four wrong-path techniques.
     let core = CoreConfig::golden_cove_like();
     let cap = executed.min(3_000_000);
     println!("timing simulation ({cap} instructions) under all four modes:");
-    let results = run_all_modes(w.program(), w.memory(), &core, Some(cap));
+    let results = run_all_modes(w.program(), w.memory(), &core, Some(cap))?;
     let reference = results[3].clone();
     for r in &results {
         println!(
@@ -68,7 +75,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Convergence-technique internals (the paper's Table III view).
     let mut cfg = SimConfig::with_core(core, WrongPathMode::ConvergenceExploitation);
     cfg.max_instructions = Some(cap);
-    let conv = Simulator::new(w.program().clone(), w.memory().clone(), cfg).run();
+    let conv = Simulator::new(w.program().clone(), w.memory().clone(), cfg)?.run()?;
     let c = &conv.convergence;
     println!(
         "\nconvergence internals: {:.0}% of branch misses converge after {:.1} \

@@ -73,14 +73,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Simulate under all four techniques on the Golden Cove-like core.
     println!("simulating {steps} loop iterations under all four wrong-path modes...\n");
     let core = CoreConfig::golden_cove_like();
-    let results = run_all_modes(&program, &mem, &core, None);
+    let results = run_all_modes(&program, &mem, &core, None)?;
     let reference = results[WrongPathMode::ALL
         .iter()
         .position(|m| *m == WrongPathMode::WrongPathEmulation)
         .expect("emulation mode present")]
     .clone();
 
-    println!("{:10} {:>8} {:>10} {:>12} {:>10}", "mode", "IPC", "error", "wp-instr", "host time");
+    println!(
+        "{:10} {:>8} {:>10} {:>12} {:>10}",
+        "mode", "IPC", "error", "wp-instr", "host time"
+    );
     for r in &results {
         println!(
             "{:10} {:8.3} {:+9.2}% {:11.1}% {:9.0}ms",

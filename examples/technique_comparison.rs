@@ -31,7 +31,9 @@ fn main() {
             .map(|&mode| {
                 let mut cfg = SimConfig::with_core(core.clone(), mode);
                 cfg.max_instructions = Some(max_instructions);
-                Simulator::new(w.program().clone(), w.memory().clone(), cfg).run()
+                Simulator::new(w.program().clone(), w.memory().clone(), cfg)
+                    .and_then(ffsim_core::Simulator::run)
+                    .expect("workload must simulate cleanly")
             })
             .collect();
         let (nowp, wpemul) = (&results[0], &results[3]);

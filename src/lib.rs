@@ -38,7 +38,7 @@
 //!     &Memory::new(),
 //!     &CoreConfig::tiny_for_tests(),
 //!     None,
-//! );
+//! )?;
 //! assert_eq!(results.len(), WrongPathMode::ALL.len());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

@@ -27,12 +27,12 @@ fn run_gap(kernel: &str) -> [SimResult; 4] {
     let g = Graph::rmat(1 << 11, 12, 42);
     let src = g.max_degree_vertex();
     let w: Workload = match kernel {
-        "bfs" => gap::bfs(&g, src),
-        "sssp" => gap::sssp(&g, src, 3),
-        "pr" => gap::pr(&g, 2),
+        "bfs" => gap::bfs(&g, src).unwrap(),
+        "sssp" => gap::sssp(&g, src, 3).unwrap(),
+        "pr" => gap::pr(&g, 2).unwrap(),
         other => panic!("unexpected kernel {other}"),
     };
-    run_all_modes(w.program(), w.memory(), &core(), Some(250_000))
+    run_all_modes(w.program(), w.memory(), &core(), Some(250_000)).unwrap()
 }
 
 /// Fig. 1: not modeling the wrong path *underestimates* performance on
@@ -104,12 +104,16 @@ fn claim_pr_is_least_sensitive() {
 /// every technique.
 #[test]
 fn claim_fp_kernels_are_insensitive() {
-    let w = speclike::stream_triad(1 << 12, 3);
-    let results = run_all_modes(w.program(), w.memory(), &core(), None);
+    let w = speclike::stream_triad(1 << 12, 3).unwrap();
+    let results = run_all_modes(w.program(), w.memory(), &core(), None).unwrap();
     let reference = &results[3];
     for r in &results[..3] {
         let err = r.error_vs(reference).abs();
-        assert!(err < 0.5, "{}: fp error should be ~0, got {err:.2}%", r.mode);
+        assert!(
+            err < 0.5,
+            "{}: fp error should be ~0, got {err:.2}%",
+            r.mode
+        );
     }
 }
 
