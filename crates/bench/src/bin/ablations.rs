@@ -10,37 +10,58 @@
 //!
 //! Each ablation reports the convergence-technique error against the same
 //! wrong-path-emulation reference.
+//!
+//! All ~80 simulations across the seven studies are submitted as a single
+//! supervised campaign and executed in parallel across the worker pool
+//! (panic-isolated, watchdog-bounded); the tables are then assembled from
+//! the records by job id.
 
-use ffsim_bench::{gap_suite, render_table, GAP_MAX_INSTRUCTIONS};
-use ffsim_core::{ConvergenceConfig, SimConfig, SimResult, Simulator, WrongPathMode};
+use ffsim_bench::{
+    expect_sim, gap_suite, owned_workload, render_table, run_supervised, workload_fn,
+    GAP_MAX_INSTRUCTIONS,
+};
+use ffsim_core::{ConvergenceConfig, SimResult, WrongPathMode};
+use ffsim_driver::{Job, WorkloadFn};
 use ffsim_uarch::CoreConfig;
 use ffsim_workloads::Workload;
+use std::sync::Arc;
 
-fn run_conv(
-    w: &Workload,
+/// A convergence-mode job with the given tunables.
+fn conv_job(
+    id: String,
+    workload: WorkloadFn,
     core: &CoreConfig,
+    max_instructions: u64,
     convergence: ConvergenceConfig,
     code_cache_capacity: Option<usize>,
-) -> SimResult {
-    let mut cfg = SimConfig::with_core(core.clone(), WrongPathMode::ConvergenceExploitation);
-    cfg.max_instructions = Some(GAP_MAX_INSTRUCTIONS);
-    cfg.convergence = convergence;
-    cfg.code_cache_capacity = code_cache_capacity;
-    Simulator::new(w.program().clone(), w.memory().clone(), cfg)
-        .unwrap()
-        .run()
-        .unwrap()
+) -> Job {
+    Job::new(id, WrongPathMode::ConvergenceExploitation, workload)
+        .with_core(core.clone())
+        .with_max_instructions(max_instructions)
+        .no_degradation()
+        .with_tweak(Arc::new(move |cfg| {
+            cfg.convergence = convergence;
+            cfg.code_cache_capacity = code_cache_capacity;
+        }))
 }
 
-fn run_reference(w: &Workload, core: &CoreConfig) -> SimResult {
-    let mut cfg = SimConfig::with_core(core.clone(), WrongPathMode::WrongPathEmulation);
-    cfg.max_instructions = Some(GAP_MAX_INSTRUCTIONS);
-    Simulator::new(w.program().clone(), w.memory().clone(), cfg)
-        .unwrap()
-        .run()
-        .unwrap()
+/// A wrong-path-emulation reference job.
+fn ref_job(id: String, workload: WorkloadFn, core: &CoreConfig, max_instructions: u64) -> Job {
+    Job::new(id, WrongPathMode::WrongPathEmulation, workload)
+        .with_core(core.clone())
+        .with_max_instructions(max_instructions)
+        .no_degradation()
 }
 
+/// A no-wrong-path job.
+fn nowp_job(id: String, workload: WorkloadFn, core: &CoreConfig, max_instructions: u64) -> Job {
+    Job::new(id, WrongPathMode::NoWrongPath, workload)
+        .with_core(core.clone())
+        .with_max_instructions(max_instructions)
+        .no_degradation()
+}
+
+#[allow(clippy::too_many_lines)] // one job-list + one table per ablation, linear and flat
 fn main() {
     let core = CoreConfig::golden_cove_like();
     // Use the three most convergence-sensitive kernels to keep runtime sane.
@@ -48,29 +69,140 @@ fn main() {
         .into_iter()
         .filter(|w| matches!(w.name(), "bc" | "bfs" | "sssp"))
         .collect();
-    let refs: Vec<SimResult> = suite.iter().map(|w| run_reference(w, &core)).collect();
+    let workloads: Vec<(String, WorkloadFn)> = suite
+        .iter()
+        .map(|w| (w.name().to_string(), workload_fn(w)))
+        .collect();
 
-    // --- Ablation 1 & 2: convergence detection and independence check. ---
-    println!("ABLATION 1+2: convergence detection scope and dirty-register tracking\n");
     let variants = [
         ("one-sided + dirty (paper)", true, true),
         ("two-sided + dirty", false, true),
         ("one-sided, no dirty (optimistic)", true, false),
     ];
-    let mut rows = Vec::new();
-    for w in &suite {
-        let reference = &refs[suite.iter().position(|x| x.name() == w.name()).unwrap()];
-        let mut row = vec![w.name().to_string()];
-        for (_, one_sided, dirty) in variants {
-            let r = run_conv(
-                w,
+    let caps: [Option<usize>; 4] = [Some(1024), Some(8192), Some(32_768), None];
+    let depths = [64usize, 128, 256, 2048];
+    let latencies = [70u64, 150, 260, 400];
+    let history_bits = [2u32, 6, 14];
+
+    let big =
+        ffsim_workloads::speclike::big_code(3_000, 60_000, 2026 ^ 7).expect("canonical parameters");
+    let big_workload = owned_workload(big.program().clone(), big.memory().clone());
+
+    // --- Submit every run of all seven ablations as one campaign. ---
+    let mut jobs: Vec<Job> = Vec::new();
+    for (name, w) in &workloads {
+        jobs.push(ref_job(
+            format!("ref/{name}"),
+            w.clone(),
+            &core,
+            GAP_MAX_INSTRUCTIONS,
+        ));
+        for (label, one_sided, dirty) in variants {
+            jobs.push(conv_job(
+                format!("a12/{name}/{label}"),
+                w.clone(),
                 &core,
+                GAP_MAX_INSTRUCTIONS,
                 ConvergenceConfig {
                     one_sided_only: one_sided,
                     track_dirty_regs: dirty,
                 },
                 None,
-            );
+            ));
+        }
+        for depth in depths {
+            let mut c = core.clone();
+            c.queue_depth = depth;
+            jobs.push(conv_job(
+                format!("a4/{name}/{depth}"),
+                w.clone(),
+                &c,
+                GAP_MAX_INSTRUCTIONS,
+                ConvergenceConfig::default(),
+                None,
+            ));
+        }
+        for lat in latencies {
+            let mut c = core.clone();
+            c.dram.latency = lat;
+            jobs.push(nowp_job(
+                format!("a5/{name}/{lat}/nowp"),
+                w.clone(),
+                &c,
+                GAP_MAX_INSTRUCTIONS,
+            ));
+            jobs.push(ref_job(
+                format!("a5/{name}/{lat}/wpemul"),
+                w.clone(),
+                &c,
+                GAP_MAX_INSTRUCTIONS,
+            ));
+        }
+        for pf in [false, true] {
+            let mut c = core.clone();
+            c.l2_next_line_prefetcher = pf;
+            jobs.push(nowp_job(
+                format!("a6/{name}/{pf}/nowp"),
+                w.clone(),
+                &c,
+                GAP_MAX_INSTRUCTIONS,
+            ));
+            jobs.push(ref_job(
+                format!("a6/{name}/{pf}/wpemul"),
+                w.clone(),
+                &c,
+                GAP_MAX_INSTRUCTIONS,
+            ));
+        }
+        for bits in history_bits {
+            let mut c = core.clone();
+            c.branch.gshare_history_bits = bits;
+            c.branch.gshare_table_bits = bits.max(10);
+            // Reference must use the same predictor: the error isolates the
+            // wrong-path modeling, not predictor accuracy itself.
+            jobs.push(ref_job(
+                format!("a7/{name}/{bits}/wpemul"),
+                w.clone(),
+                &c,
+                GAP_MAX_INSTRUCTIONS,
+            ));
+            jobs.push(conv_job(
+                format!("a7/{name}/{bits}/conv"),
+                w.clone(),
+                &c,
+                GAP_MAX_INSTRUCTIONS,
+                ConvergenceConfig::default(),
+                None,
+            ));
+        }
+    }
+    jobs.push(ref_job(
+        "a3/ref".to_string(),
+        big_workload.clone(),
+        &core,
+        1_500_000,
+    ));
+    for cap in caps {
+        jobs.push(conv_job(
+            format!("a3/cap/{cap:?}"),
+            big_workload.clone(),
+            &core,
+            1_500_000,
+            ConvergenceConfig::default(),
+            cap,
+        ));
+    }
+    let records = run_supervised(jobs);
+    let sim = |id: String| -> &SimResult { expect_sim(&records, &id) };
+
+    // --- Ablation 1 & 2: convergence detection and independence check. ---
+    println!("ABLATION 1+2: convergence detection scope and dirty-register tracking\n");
+    let mut rows = Vec::new();
+    for (name, _) in &workloads {
+        let reference = sim(format!("ref/{name}"));
+        let mut row = vec![name.clone()];
+        for (label, _, _) in variants {
+            let r = sim(format!("a12/{name}/{label}"));
             row.push(format!(
                 "{:+.1}% (rec {:.0}%)",
                 r.error_vs(reference),
@@ -94,33 +226,17 @@ fn main() {
     // static footprint actually exceeds small code caches). ---
     println!("ABLATION 3: code-cache capacity (conv error / code-cache miss rate)\n");
     println!("target: big_code (gcc-like, ~51K static instructions)\n");
-    let big =
-        ffsim_workloads::speclike::big_code(3_000, 60_000, 2026 ^ 7).expect("canonical parameters");
-    let big_ref = {
-        let mut cfg = SimConfig::with_core(core.clone(), WrongPathMode::WrongPathEmulation);
-        cfg.max_instructions = Some(1_500_000);
-        Simulator::new(big.program().clone(), big.memory().clone(), cfg)
-            .unwrap()
-            .run()
-            .unwrap()
-    };
-    let caps: [Option<usize>; 4] = [Some(1024), Some(8192), Some(32_768), None];
+    let big_ref = sim("a3/ref".to_string());
     let mut row = vec!["big_code".to_string()];
     for cap in caps {
-        let mut cfg = SimConfig::with_core(core.clone(), WrongPathMode::ConvergenceExploitation);
-        cfg.max_instructions = Some(1_500_000);
-        cfg.code_cache_capacity = cap;
-        let r = Simulator::new(big.program().clone(), big.memory().clone(), cfg)
-            .unwrap()
-            .run()
-            .unwrap();
+        let r = sim(format!("a3/cap/{cap:?}"));
         let cc = r.code_cache;
         let miss_rate = if cc.hits + cc.misses == 0 {
             0.0
         } else {
             cc.misses as f64 * 100.0 / (cc.hits + cc.misses) as f64
         };
-        row.push(format!("{:+.1}% / {miss_rate:.0}%", r.error_vs(&big_ref)));
+        row.push(format!("{:+.1}% / {miss_rate:.0}%", r.error_vs(big_ref)));
     }
     println!(
         "{}",
@@ -134,15 +250,12 @@ fn main() {
 
     // --- Ablation 4: frontend queue depth. ---
     println!("ABLATION 4: frontend runahead queue depth (conv error / addr recover)\n");
-    let depths = [64usize, 128, 256, 2048];
     let mut rows = Vec::new();
-    for w in &suite {
-        let reference = &refs[suite.iter().position(|x| x.name() == w.name()).unwrap()];
-        let mut row = vec![w.name().to_string()];
+    for (name, _) in &workloads {
+        let reference = sim(format!("ref/{name}"));
+        let mut row = vec![name.clone()];
         for depth in depths {
-            let mut c = core.clone();
-            c.queue_depth = depth;
-            let r = run_conv(w, &c, ConvergenceConfig::default(), None);
+            let r = sim(format!("a4/{name}/{depth}"));
             row.push(format!(
                 "{:+.1}% / {:.0}%",
                 r.error_vs(reference),
@@ -165,26 +278,13 @@ fn main() {
     // the difference: memory latency sets the branch resolution time and
     // with it the time spent on the wrong path.
     println!("\nABLATION 5: nowp error vs DRAM latency (the Cain/Mutlu dispute)\n");
-    let latencies = [70u64, 150, 260, 400];
     let mut rows = Vec::new();
-    for w in &suite {
-        let mut row = vec![w.name().to_string()];
+    for (name, _) in &workloads {
+        let mut row = vec![name.clone()];
         for lat in latencies {
-            let mut c = core.clone();
-            c.dram.latency = lat;
-            let mut cfg = SimConfig::with_core(c.clone(), WrongPathMode::NoWrongPath);
-            cfg.max_instructions = Some(GAP_MAX_INSTRUCTIONS);
-            let nowp = Simulator::new(w.program().clone(), w.memory().clone(), cfg)
-                .unwrap()
-                .run()
-                .unwrap();
-            let mut cfg = SimConfig::with_core(c, WrongPathMode::WrongPathEmulation);
-            cfg.max_instructions = Some(GAP_MAX_INSTRUCTIONS);
-            let emul = Simulator::new(w.program().clone(), w.memory().clone(), cfg)
-                .unwrap()
-                .run()
-                .unwrap();
-            row.push(format!("{:+.1}%", nowp.error_vs(&emul)));
+            let nowp = sim(format!("a5/{name}/{lat}/nowp"));
+            let emul = sim(format!("a5/{name}/{lat}/wpemul"));
+            row.push(format!("{:+.1}%", nowp.error_vs(emul)));
         }
         rows.push(row);
     }
@@ -201,24 +301,12 @@ fn main() {
     // --- Ablation 6: interaction with an L2 next-line prefetcher. ---
     println!("\nABLATION 6: nowp error with an L2 next-line prefetcher\n");
     let mut rows = Vec::new();
-    for w in &suite {
-        let mut row = vec![w.name().to_string()];
+    for (name, _) in &workloads {
+        let mut row = vec![name.clone()];
         for pf in [false, true] {
-            let mut c = core.clone();
-            c.l2_next_line_prefetcher = pf;
-            let mut cfg = SimConfig::with_core(c.clone(), WrongPathMode::NoWrongPath);
-            cfg.max_instructions = Some(GAP_MAX_INSTRUCTIONS);
-            let nowp = Simulator::new(w.program().clone(), w.memory().clone(), cfg)
-                .unwrap()
-                .run()
-                .unwrap();
-            let mut cfg = SimConfig::with_core(c, WrongPathMode::WrongPathEmulation);
-            cfg.max_instructions = Some(GAP_MAX_INSTRUCTIONS);
-            let emul = Simulator::new(w.program().clone(), w.memory().clone(), cfg)
-                .unwrap()
-                .run()
-                .unwrap();
-            row.push(format!("{:+.1}%", nowp.error_vs(&emul)));
+            let nowp = sim(format!("a6/{name}/{pf}/nowp"));
+            let emul = sim(format!("a6/{name}/{pf}/wpemul"));
+            row.push(format!("{:+.1}%", nowp.error_vs(emul)));
         }
         rows.push(row);
     }
@@ -234,26 +322,15 @@ fn main() {
     // mispredicts more *within* the wrong path, diverging from the future
     // correct path earlier and cutting address recovery.
     println!("\nABLATION 7: direction-predictor strength (conv error / addr recover)\n");
-    let history_bits = [2u32, 6, 14];
     let mut rows = Vec::new();
-    for w in &suite {
-        let mut row = vec![w.name().to_string()];
+    for (name, _) in &workloads {
+        let mut row = vec![name.clone()];
         for bits in history_bits {
-            let mut c = core.clone();
-            c.branch.gshare_history_bits = bits;
-            c.branch.gshare_table_bits = bits.max(10);
-            // Reference must use the same predictor: the error isolates the
-            // wrong-path modeling, not predictor accuracy itself.
-            let mut cfg = SimConfig::with_core(c.clone(), WrongPathMode::WrongPathEmulation);
-            cfg.max_instructions = Some(GAP_MAX_INSTRUCTIONS);
-            let emul = Simulator::new(w.program().clone(), w.memory().clone(), cfg)
-                .unwrap()
-                .run()
-                .unwrap();
-            let r = run_conv(w, &c, ConvergenceConfig::default(), None);
+            let emul = sim(format!("a7/{name}/{bits}/wpemul"));
+            let r = sim(format!("a7/{name}/{bits}/conv"));
             row.push(format!(
                 "{:+.1}% / {:.0}%",
-                r.error_vs(&emul),
+                r.error_vs(emul),
                 r.convergence.recover_frac() * 100.0
             ));
         }

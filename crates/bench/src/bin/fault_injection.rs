@@ -24,15 +24,19 @@
 //!   wrong path's runaway loop (observable as watchdog trips).
 //!
 //! A final section flips [`FaultPolicy`] to `AbortRun` and checks that the
-//! same injections now surface as typed [`SimError::WrongPathFault`]s.
+//! same injections now surface as typed wrong-path faults.
+//!
+//! All clean/injected runs execute as one supervised campaign through the
+//! driver; the expected-to-fail `AbortRun` jobs demonstrate that a failing
+//! job is recorded with its typed error while sibling jobs are untouched.
 
-use ffsim_bench::render_table;
-use ffsim_core::{
-    FaultStats, PcCorruption, SimConfig, SimError, SimResult, Simulator, WrongPathMode,
-};
+use ffsim_bench::{expect_sim, owned_workload, render_table, run_supervised};
+use ffsim_core::{FaultStats, PcCorruption, SimConfig, WrongPathMode};
+use ffsim_driver::{AttemptOutcome, Job, JobStatus};
 use ffsim_emu::{FaultPolicy, Memory};
 use ffsim_isa::{Program, Reg};
 use ffsim_uarch::CoreConfig;
+use std::sync::Arc;
 
 /// Loop trip count; long enough to train the predictor so the loop exit is
 /// the one guaranteed misprediction.
@@ -132,27 +136,60 @@ fn scenarios() -> Vec<Scenario> {
     ]
 }
 
-fn run_one(
-    program: &Program,
-    mode: WrongPathMode,
-    tweak: &dyn Fn(&mut SimConfig),
-) -> Result<SimResult, SimError> {
-    let mut cfg = SimConfig::with_core(CoreConfig::golden_cove_like(), mode);
-    tweak(&mut cfg);
-    Simulator::new(program.clone(), Memory::new(), cfg)?.run()
-}
-
 fn main() {
+    // Submit every run — clean and injected, all four modes, plus the
+    // expected-to-fail AbortRun jobs — as one supervised campaign.
+    let core = CoreConfig::golden_cove_like();
+    let mut jobs = Vec::new();
+    for s in scenarios() {
+        let workload = owned_workload(s.program.clone(), Memory::new());
+        for mode in WrongPathMode::ALL {
+            jobs.push(
+                Job::new(format!("{}/{mode}/clean", s.name), mode, workload.clone())
+                    .with_core(core.clone())
+                    .no_degradation(),
+            );
+            jobs.push(
+                Job::new(
+                    format!("{}/{mode}/injected", s.name),
+                    mode,
+                    workload.clone(),
+                )
+                .with_core(core.clone())
+                .no_degradation()
+                .with_tweak(Arc::new(s.inject)),
+            );
+        }
+        if s.name != "pc-corruption" {
+            // A corrupted start pc is an ordinary speculation artifact
+            // (illegal-pc stop), not a fault, under either policy — no
+            // abort-policy job for it.
+            let inject = s.inject;
+            jobs.push(
+                Job::new(
+                    format!("abort/{}", s.name),
+                    WrongPathMode::WrongPathEmulation,
+                    workload.clone(),
+                )
+                .with_core(core.clone())
+                .no_degradation()
+                .with_tweak(Arc::new(move |cfg| {
+                    inject(cfg);
+                    cfg.fault_policy = FaultPolicy::AbortRun;
+                })),
+            );
+        }
+    }
+    let records = run_supervised(jobs);
+
     let mut rows = Vec::new();
     let mut checks = 0u32;
 
     for s in scenarios() {
         let mut digests = Vec::new();
         for mode in WrongPathMode::ALL {
-            let clean = run_one(&s.program, mode, &|_| {})
-                .unwrap_or_else(|e| panic!("{}/{mode}: clean run failed: {e}", s.name));
-            let injected = run_one(&s.program, mode, &s.inject)
-                .unwrap_or_else(|e| panic!("{}/{mode}: injected run failed: {e}", s.name));
+            let clean = expect_sim(&records, &format!("{}/{mode}/clean", s.name));
+            let injected = expect_sim(&records, &format!("{}/{mode}/injected", s.name));
 
             assert_eq!(
                 injected.instructions, clean.instructions,
@@ -212,26 +249,36 @@ fn main() {
         )
     );
 
-    // Under AbortRun the same injections must surface as typed errors.
+    // Under AbortRun the same injections must surface as typed errors —
+    // recorded by the driver as failed jobs with the fault message, while
+    // every sibling job in the same campaign completed untouched.
     println!("FaultPolicy::AbortRun surfaces the same injections as typed errors:");
     for s in scenarios() {
         if s.name == "pc-corruption" {
-            // A corrupted start pc is an ordinary speculation artifact
-            // (illegal-pc stop), not a fault, under either policy.
             continue;
         }
-        let err = run_one(&s.program, WrongPathMode::WrongPathEmulation, &|cfg| {
-            (s.inject)(cfg);
-            cfg.fault_policy = FaultPolicy::AbortRun;
-        })
-        .expect_err("abort policy must turn the injected wrong-path fault into an error");
+        let record = records
+            .get(&format!("abort/{}", s.name))
+            .unwrap_or_else(|| panic!("abort/{} has no record", s.name));
+        assert_eq!(
+            record.status,
+            JobStatus::Failed,
+            "{}: abort policy must fail the job",
+            s.name
+        );
+        let AttemptOutcome::Fault(msg) = &record.attempts[0].outcome else {
+            panic!(
+                "{}: expected a typed fault, got {:?}",
+                s.name, record.attempts[0].outcome
+            );
+        };
         assert!(
-            matches!(err, SimError::WrongPathFault(_)),
-            "{}: expected WrongPathFault, got {err}",
+            msg.starts_with("wrong-path fault"),
+            "{}: expected WrongPathFault, got {msg}",
             s.name
         );
         checks += 1;
-        println!("  {:13} -> {err}", s.name);
+        println!("  {:13} -> {msg}", s.name);
     }
 
     println!("\nok: {checks} assertions passed");

@@ -5,23 +5,49 @@
 //! has a small instruction footprint); convergence exploitation cuts the
 //! average error from 9.6% to 3.8%, flipping `bc` slightly positive
 //! (conv models only the positive interference).
+//!
+//! The 24 simulations (6 kernels × 4 techniques) run as one supervised
+//! campaign: in parallel across the worker pool, each with panic
+//! isolation and a watchdog deadline.
 
-use ffsim_bench::{gap_suite, mean_abs, render_table, run_modes, GAP_MAX_INSTRUCTIONS};
+use ffsim_bench::{
+    expect_sim, gap_suite, mean_abs, render_table, run_supervised, workload_fn,
+    GAP_MAX_INSTRUCTIONS,
+};
+use ffsim_core::WrongPathMode;
+use ffsim_driver::Job;
 use ffsim_uarch::CoreConfig;
 
 fn main() {
     let core = CoreConfig::golden_cove_like();
+    let suite = gap_suite();
+
+    let jobs = suite
+        .iter()
+        .flat_map(|w| {
+            let workload = workload_fn(w);
+            WrongPathMode::ALL.map(|mode| {
+                Job::new(format!("{}/{mode}", w.name()), mode, workload.clone())
+                    .with_core(core.clone())
+                    .with_max_instructions(GAP_MAX_INSTRUCTIONS)
+                    .no_degradation()
+            })
+        })
+        .collect();
+    let records = run_supervised(jobs);
+
     let mut rows = Vec::new();
     let mut nowp_errs = Vec::new();
     let mut instrec_errs = Vec::new();
     let mut conv_errs = Vec::new();
     println!("FIGURE 4 (left): error per wrong-path technique (GAP)\n");
-    for w in gap_suite() {
-        let [nowp, instrec, conv, wpemul] = run_modes(&w, &core, GAP_MAX_INSTRUCTIONS);
+    for w in &suite {
+        let result = |mode: WrongPathMode| expect_sim(&records, &format!("{}/{mode}", w.name()));
+        let wpemul = result(WrongPathMode::WrongPathEmulation);
         let (e0, e1, e2) = (
-            nowp.error_vs(&wpemul),
-            instrec.error_vs(&wpemul),
-            conv.error_vs(&wpemul),
+            result(WrongPathMode::NoWrongPath).error_vs(wpemul),
+            result(WrongPathMode::InstructionReconstruction).error_vs(wpemul),
+            result(WrongPathMode::ConvergenceExploitation).error_vs(wpemul),
         );
         nowp_errs.push(e0);
         instrec_errs.push(e1);

@@ -23,9 +23,13 @@
 #![warn(missing_docs)]
 
 use ffsim_core::{SimConfig, SimResult, Simulator, WrongPathMode};
+use ffsim_driver::{Campaign, CampaignConfig, Job, JobRecord, RetryPolicy, WorkloadFn};
 use ffsim_uarch::CoreConfig;
 use ffsim_workloads::speclike::{all_speclike, SpecKernel};
 use ffsim_workloads::{gap, Workload};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// log2 of the GAP graph vertex count used by the experiments.
 pub const GAP_SCALE: u32 = 14;
@@ -77,6 +81,70 @@ pub fn run_mode(
 #[must_use]
 pub fn run_modes(workload: &Workload, core: &CoreConfig, max_instructions: u64) -> [SimResult; 4] {
     WrongPathMode::ALL.map(|mode| run_mode(workload, core, mode, max_instructions))
+}
+
+/// A [`WorkloadFn`] serving clones of an already-built program and memory
+/// image. Harness workloads are generated once (graph construction is the
+/// expensive part) and cloned per attempt.
+#[must_use]
+pub fn owned_workload(program: ffsim_isa::Program, memory: ffsim_emu::Memory) -> WorkloadFn {
+    Arc::new(move || Ok((program.clone(), memory.clone())))
+}
+
+/// A [`WorkloadFn`] for a harness [`Workload`].
+#[must_use]
+pub fn workload_fn(workload: &Workload) -> WorkloadFn {
+    owned_workload(workload.program().clone(), workload.memory().clone())
+}
+
+/// Runs a set of named jobs through the supervised campaign driver and
+/// returns their records keyed by job id.
+///
+/// Harness semantics differ from production campaigns: the workloads are
+/// deterministic, so attempts are not retried (a retry would fail
+/// identically) and the degradation ladder is disabled per job by the
+/// caller where failure must surface. Jobs run in parallel across the
+/// worker pool with panic isolation and a per-job watchdog deadline, so
+/// one faulting experiment cannot take down or hang the whole binary.
+///
+/// # Panics
+///
+/// Panics on campaign-level errors (duplicate ids). Individual job
+/// failures are returned in the records; use [`expect_sim`] for jobs that
+/// must have succeeded.
+#[must_use]
+pub fn run_supervised(jobs: Vec<Job>) -> BTreeMap<String, JobRecord> {
+    let campaign = Campaign::new(CampaignConfig {
+        workers: 0,
+        retry: RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        },
+        default_timeout: Some(Duration::from_secs(600)),
+        manifest_path: None,
+    });
+    campaign
+        .run(jobs)
+        .unwrap_or_else(|e| panic!("experiment campaign failed: {e}"))
+        .records
+}
+
+/// The full result of a job that must have succeeded.
+///
+/// # Panics
+///
+/// Panics with the job's recorded attempt history when it is missing or
+/// did not complete — any failure of a canonical experiment workload is a
+/// harness bug.
+#[must_use]
+pub fn expect_sim<'a>(records: &'a BTreeMap<String, JobRecord>, id: &str) -> &'a SimResult {
+    let record = records
+        .get(id)
+        .unwrap_or_else(|| panic!("experiment job {id} has no record"));
+    record
+        .sim
+        .as_ref()
+        .unwrap_or_else(|| panic!("experiment job {id} failed: {:?}", record.attempts))
 }
 
 /// Renders a plain-text table with aligned columns.

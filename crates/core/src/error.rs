@@ -6,7 +6,7 @@
 //! validation, and execution faults (with their correct-path/wrong-path
 //! provenance preserved).
 
-use ffsim_emu::{EmuError, Fault};
+use ffsim_emu::{CancelCause, EmuError, Fault};
 use ffsim_isa::AsmError;
 use std::error::Error;
 use std::fmt;
@@ -33,6 +33,23 @@ pub enum SimError {
     Emulator(EmuError),
     /// The workload program failed to assemble.
     Assembly(AsmError),
+    /// The run's [`CancelToken`](crate::CancelToken) was cancelled by a
+    /// supervisor (shutdown, user interrupt). The simulation stopped at a
+    /// clean instruction boundary; no thread was killed.
+    Cancelled,
+    /// The run's [`CancelToken`](crate::CancelToken) expired: a wall-clock
+    /// watchdog decided the job ran too long. As with [`SimError::Cancelled`],
+    /// the stop is cooperative and state stays consistent.
+    DeadlineExceeded,
+}
+
+impl From<CancelCause> for SimError {
+    fn from(cause: CancelCause) -> SimError {
+        match cause {
+            CancelCause::Cancelled => SimError::Cancelled,
+            CancelCause::DeadlineExceeded => SimError::DeadlineExceeded,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -50,6 +67,8 @@ impl fmt::Display for SimError {
             }
             SimError::Emulator(e) => write!(f, "emulator setup failed: {e}"),
             SimError::Assembly(e) => write!(f, "assembly failed: {e}"),
+            SimError::Cancelled => write!(f, "simulation cancelled by supervisor"),
+            SimError::DeadlineExceeded => write!(f, "simulation exceeded its wall-clock deadline"),
         }
     }
 }
@@ -62,7 +81,7 @@ impl Error for SimError {
             }
             SimError::Emulator(e) => Some(e),
             SimError::Assembly(e) => Some(e),
-            SimError::InvalidConfig(_) => None,
+            SimError::InvalidConfig(_) | SimError::Cancelled | SimError::DeadlineExceeded => None,
         }
     }
 }

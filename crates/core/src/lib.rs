@@ -60,6 +60,7 @@ mod wrongpath;
 
 pub use code_cache::{CodeCache, CodeCacheStats};
 pub use error::SimError;
+pub use ffsim_emu::{CancelCause, CancelToken};
 pub use metrics::{FaultStats, SimResult};
 pub use mode::WrongPathMode;
 pub use pipeline::{InstrTimes, LoadTiming, Pipeline, WindowState};

@@ -248,6 +248,8 @@ impl Pipeline {
             .iter()
             .enumerate()
             .min_by_key(|(_, &free)| free)
+            // Invariant: every server vector is built `count.max(1)` long
+            // in `Pipeline::new`, so the pool is never empty.
             .expect("pool is non-empty");
         let issue = ready.max(servers[best]);
         if squash_at.is_none_or(|resolve| issue < resolve) {
@@ -275,7 +277,9 @@ impl Pipeline {
         let class = instr.exec_class();
         let fetch = self.fetch_one(pc, path);
 
-        // Dispatch: wait for window resources.
+        // Dispatch: wait for window resources. Invariant: the pops below
+        // cannot fail — `SimConfig::validate` rejects zero-sized windows,
+        // so `len() >= size` implies the structure is non-empty.
         let mut dispatch = fetch + self.cfg.frontend_depth;
         if window.rob.len() >= self.cfg.rob_size {
             let oldest = window.rob.pop_front().expect("rob non-empty");

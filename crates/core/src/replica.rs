@@ -89,6 +89,9 @@ impl BranchOracle for ReplicaPolicy {
         let state = self
             .scratch
             .as_mut()
+            // Invariant: the emulator only consults the oracle between
+            // `begin_wrong_path` (which installs the scratch state) and
+            // the matching `end_wrong_path`.
             .expect("oracle called outside wrong-path emulation");
         self.predictor.predict_speculative(pc, instr, state).next_pc
     }

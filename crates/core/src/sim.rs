@@ -11,8 +11,8 @@ use crate::wrongpath::{
     reconstruct, recover_addresses, ConvergenceConfig, ConvergenceStats, WpInst,
 };
 use ffsim_emu::{
-    DynInst, Emulator, FaultModel, FaultPolicy, InstrQueue, Memory, NoFrontendWrongPath,
-    StreamEntry,
+    CancelCause, CancelToken, DynInst, Emulator, FaultModel, FaultPolicy, InstrQueue, Memory,
+    NoFrontendWrongPath, StreamEntry,
 };
 use ffsim_isa::{Program, INSTR_BYTES};
 use ffsim_uarch::{BranchPredictor, CoreConfig};
@@ -57,6 +57,12 @@ pub struct SimConfig {
     /// Deterministic wrong-path start-pc corruption (fault injection,
     /// [`WrongPathMode::WrongPathEmulation`] only). `None` disables it.
     pub wp_pc_corruption: Option<PcCorruption>,
+    /// Cooperative cancellation token shared with a supervisor (`None` =
+    /// uncancellable). Checked once per retired instruction in
+    /// [`Simulator::run`] and once per emulated instruction in the
+    /// functional frontend; a fired token surfaces as
+    /// [`SimError::Cancelled`] or [`SimError::DeadlineExceeded`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl SimConfig {
@@ -85,6 +91,7 @@ impl SimConfig {
             fault_model: FaultModel::default(),
             max_memory_pages: None,
             wp_pc_corruption: None,
+            cancel: None,
         }
     }
 
@@ -98,6 +105,24 @@ impl SimConfig {
         if self.core.queue_depth == 0 {
             return Err(SimError::InvalidConfig(
                 "core.queue_depth must be non-zero".into(),
+            ));
+        }
+        // Zero-sized window structures would make the dispatch-stage
+        // "full window" checks (`len() >= size`) fire on empty queues and
+        // panic inside the timing model; reject them up front.
+        for (size, knob) in [
+            (self.core.rob_size, "core.rob_size"),
+            (self.core.iq_size, "core.iq_size"),
+            (self.core.load_queue, "core.load_queue"),
+            (self.core.store_queue, "core.store_queue"),
+        ] {
+            if size == 0 {
+                return Err(SimError::InvalidConfig(format!("{knob} must be non-zero")));
+            }
+        }
+        if self.code_cache_capacity == Some(0) {
+            return Err(SimError::InvalidConfig(
+                "code_cache_capacity must be non-zero (use None for unbounded)".into(),
             ));
         }
         if self.wrong_path_watchdog == Some(0) {
@@ -163,6 +188,13 @@ impl Frontend {
         match self {
             Frontend::Passive(q) => q.fault_stats(),
             Frontend::Replica(q) => q.fault_stats(),
+        }
+    }
+
+    fn cancelled(&self) -> Option<CancelCause> {
+        match self {
+            Frontend::Passive(q) => q.cancelled(),
+            Frontend::Replica(q) => q.cancelled(),
         }
     }
 
@@ -253,6 +285,7 @@ impl Simulator {
         }
         let mut emu = Emulator::with_memory(program, memory)?;
         emu.set_fault_model(cfg.fault_model);
+        emu.set_cancel_token(cfg.cancel.clone());
         let frontend = match cfg.mode {
             WrongPathMode::WrongPathEmulation => Frontend::Replica(
                 InstrQueue::new(
@@ -342,6 +375,11 @@ impl Simulator {
     /// [`FaultPolicy::AbortRun`](ffsim_emu::FaultPolicy::AbortRun). Under
     /// the default squash policy wrong-path faults are absorbed and only
     /// counted in [`SimResult::faults`].
+    ///
+    /// With a [`CancelToken`] configured, a fired token surfaces as
+    /// [`SimError::Cancelled`] or [`SimError::DeadlineExceeded`] within one
+    /// retired instruction — the cooperative cancellation contract the
+    /// campaign driver's watchdog relies on.
     pub fn run(self) -> Result<SimResult, SimError> {
         self.run_observed(&mut NullObserver)
     }
@@ -356,6 +394,7 @@ impl Simulator {
         let budget = self.cfg.core.wrong_path_budget();
         let rob = self.cfg.core.rob_size;
         let warmup = self.cfg.warmup_instructions;
+        let cancel = self.cfg.cancel.clone();
         let mut instructions: u64 = 0;
         // Measurement baselines, captured at the warmup boundary.
         let mut cycles_base: u64 = 0;
@@ -367,6 +406,10 @@ impl Simulator {
             .max_instructions
             .is_none_or(|max| instructions < warmup + max)
         {
+            // Cancellation point: one relaxed load per retired instruction.
+            if let Some(cause) = cancel.as_ref().and_then(CancelToken::cause) {
+                return Err(cause.into());
+            }
             if !warmed && instructions >= warmup {
                 warmed = true;
                 cycles_base = self.pipeline.cycles();
@@ -449,10 +492,14 @@ impl Simulator {
                     // The frontend replica predicted this misprediction and
                     // emulated the wrong path; both predictors are
                     // deterministic on the program-order stream, so the
-                    // bundle is present exactly when we mispredict.
-                    debug_assert_eq!(
-                        entry.wrong_path.is_some(),
-                        res.wrong_path_start.is_some(),
+                    // bundle is present exactly when we mispredict — unless
+                    // the stream ended abnormally (pending abort-policy
+                    // fault or cancellation), in which case the trailing
+                    // entries legitimately carry no bundle.
+                    debug_assert!(
+                        entry.wrong_path.is_some() == res.wrong_path_start.is_some()
+                            || self.frontend.fault().is_some()
+                            || self.frontend.cancelled().is_some(),
                         "frontend replica desynchronized at pc {:#x}",
                         inst.pc
                     );
@@ -475,6 +522,11 @@ impl Simulator {
                 .redirect(resolve + self.cfg.core.redirect_penalty);
         }
 
+        if let Some(cause) = self.frontend.cancelled() {
+            // The token fired inside the functional frontend (runahead or
+            // wrong-path emulation) rather than between retirements.
+            return Err(cause.into());
+        }
         if let Some(fault) = self.frontend.fault() {
             return Err(if self.frontend.fault_was_wrong_path() {
                 SimError::WrongPathFault(fault)
@@ -786,6 +838,74 @@ mod tests {
             xor_mask: 1,
         });
         assert!(Simulator::new(p, Memory::new(), cfg).is_err());
+    }
+
+    #[test]
+    fn zero_sized_windows_are_rejected_not_panicking() {
+        // A zero-sized window structure or code cache would previously
+        // panic deep inside the timing model; validation must surface a
+        // typed error instead.
+        let p = simple_loop(5);
+        for tweak in [
+            (|cfg: &mut SimConfig| cfg.core.rob_size = 0) as fn(&mut SimConfig),
+            |cfg| cfg.core.iq_size = 0,
+            |cfg| cfg.core.load_queue = 0,
+            |cfg| cfg.core.store_queue = 0,
+            |cfg| cfg.code_cache_capacity = Some(0),
+        ] {
+            let mut cfg = tiny(WrongPathMode::NoWrongPath);
+            tweak(&mut cfg);
+            assert!(matches!(
+                Simulator::new(p.clone(), Memory::new(), cfg),
+                Err(SimError::InvalidConfig(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn cancel_token_surfaces_as_typed_error() {
+        // A pre-fired token stops the run before the first retirement.
+        let token = CancelToken::new();
+        token.cancel();
+        let mut cfg = tiny(WrongPathMode::NoWrongPath);
+        cfg.cancel = Some(token);
+        let err = Simulator::new(simple_loop(100), Memory::new(), cfg)
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SimError::Cancelled);
+
+        // An expired deadline maps to DeadlineExceeded.
+        let token = CancelToken::new();
+        token.expire();
+        let mut cfg = tiny(WrongPathMode::WrongPathEmulation);
+        cfg.cancel = Some(token);
+        let err = Simulator::new(simple_loop(100), Memory::new(), cfg)
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SimError::DeadlineExceeded);
+    }
+
+    #[test]
+    fn cancellation_from_another_thread_stops_a_long_run() {
+        // An effectively-unbounded loop; the watcher thread fires the
+        // token and the run must come back with the typed error rather
+        // than spinning forever.
+        let token = CancelToken::new();
+        let watcher = token.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            watcher.expire();
+        });
+        let mut cfg = tiny(WrongPathMode::ConvergenceExploitation);
+        cfg.cancel = Some(token);
+        let err = Simulator::new(simple_loop(2_000_000_000), Memory::new(), cfg)
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert_eq!(err, SimError::DeadlineExceeded);
+        handle.join().unwrap();
     }
 
     #[test]

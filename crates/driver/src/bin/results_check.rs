@@ -1,0 +1,247 @@
+//! Verifies that the committed `results_*.txt` files at the repository
+//! root match what the bench binaries produce today.
+//!
+//! Committed results silently drift when the simulator changes; this check
+//! regenerates each file by running the corresponding bench binary (found
+//! next to this executable in the target directory) and diffs its stdout
+//! against the committed copy. Cargo's own stderr chatter (`Finished`,
+//! `Running`, …) that was captured into some committed files is stripped
+//! before comparison.
+//!
+//! ```text
+//! results_check [--only NAME] [--volatile] [--update] [--repo-root PATH]
+//! ```
+//!
+//! `results_speed.txt` contains host wall-clock timings and is skipped
+//! unless `--volatile` is given. `--update` rewrites the committed files
+//! from the regenerated output instead of failing.
+
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+/// A committed results file and the bench binary that regenerates it.
+struct Target {
+    /// Bench binary name (also the `--only` key).
+    bin: &'static str,
+    /// Results file at the repository root.
+    file: &'static str,
+    /// Whether the output contains host wall-clock values that change
+    /// between runs (skipped unless `--volatile`).
+    volatile: bool,
+}
+
+const TARGETS: &[Target] = &[
+    Target {
+        bin: "fig1_nowp_error",
+        file: "results_fig1.txt",
+        volatile: false,
+    },
+    Target {
+        bin: "fig4_gap_techniques",
+        file: "results_fig4_gap.txt",
+        volatile: false,
+    },
+    Target {
+        bin: "fig4_spec_distribution",
+        file: "results_fig4_spec.txt",
+        volatile: false,
+    },
+    Target {
+        bin: "table1_config",
+        file: "results_table1.txt",
+        volatile: false,
+    },
+    Target {
+        bin: "table2_wp_fraction",
+        file: "results_table2.txt",
+        volatile: false,
+    },
+    Target {
+        bin: "table3_convergence",
+        file: "results_table3.txt",
+        volatile: false,
+    },
+    Target {
+        bin: "ablations",
+        file: "results_ablations.txt",
+        volatile: false,
+    },
+    Target {
+        bin: "fault_injection",
+        file: "results_fault_injection.txt",
+        volatile: false,
+    },
+    Target {
+        bin: "robustness",
+        file: "results_robustness.txt",
+        volatile: false,
+    },
+    Target {
+        bin: "speed_comparison",
+        file: "results_speed.txt",
+        volatile: true,
+    },
+];
+
+/// Drops cargo stderr chatter that leaked into committed files when they
+/// were captured with `cargo run ... &> file`.
+fn normalize(text: &str) -> String {
+    let mut out: String = text
+        .lines()
+        .filter(|line| {
+            let t = line.trim_start();
+            !(t.starts_with("Finished")
+                || t.starts_with("Running")
+                || t.starts_with("Compiling")
+                || t.starts_with("warning"))
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    out.push('\n');
+    out
+}
+
+fn first_difference(expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!(
+                "first difference at line {}:\n  committed:   {e}\n  regenerated: {a}",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "line counts differ: committed {} vs regenerated {}",
+        expected.lines().count(),
+        actual.lines().count()
+    )
+}
+
+struct Args {
+    only: Option<String>,
+    volatile: bool,
+    update: bool,
+    repo_root: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // The driver crate lives at <root>/crates/driver.
+    let mut args = Args {
+        only: None,
+        volatile: false,
+        update: false,
+        repo_root: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--only" => args.only = Some(argv.next().ok_or("--only needs a value")?),
+            "--volatile" => args.volatile = true,
+            "--update" => args.update = true,
+            "--repo-root" => {
+                args.repo_root = PathBuf::from(argv.next().ok_or("--repo-root needs a value")?);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("results_check: {e}");
+            eprintln!(
+                "usage: results_check [--only NAME] [--volatile] [--update] [--repo-root PATH]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let bin_dir = match std::env::current_exe() {
+        Ok(exe) => exe.parent().map(PathBuf::from).unwrap_or_default(),
+        Err(e) => {
+            eprintln!("results_check: locating executable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0u32;
+    let mut checked = 0u32;
+    for target in TARGETS {
+        if args.only.as_deref().is_some_and(|only| only != target.bin) {
+            continue;
+        }
+        if target.volatile && !args.volatile && args.only.is_none() {
+            eprintln!(
+                "results_check: skip {} (volatile; use --volatile)",
+                target.file
+            );
+            continue;
+        }
+
+        let bin = bin_dir.join(target.bin);
+        let output = match Command::new(&bin).output() {
+            Ok(output) => output,
+            Err(e) => {
+                eprintln!(
+                    "results_check: running {} ({e}); build the bench bins first: \
+                     cargo build --release -p ffsim-bench",
+                    bin.display()
+                );
+                failures += 1;
+                continue;
+            }
+        };
+        if !output.status.success() {
+            eprintln!(
+                "results_check: {} exited with {}",
+                target.bin, output.status
+            );
+            failures += 1;
+            continue;
+        }
+        let regenerated = normalize(&String::from_utf8_lossy(&output.stdout));
+
+        let path = args.repo_root.join(target.file);
+        if args.update {
+            if let Err(e) = std::fs::write(&path, &regenerated) {
+                eprintln!("results_check: writing {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+            eprintln!("results_check: updated {}", target.file);
+            checked += 1;
+            continue;
+        }
+
+        let committed = match std::fs::read_to_string(&path) {
+            Ok(text) => normalize(&text),
+            Err(e) => {
+                eprintln!("results_check: reading {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        if committed == regenerated {
+            eprintln!("results_check: ok {}", target.file);
+            checked += 1;
+        } else {
+            eprintln!(
+                "results_check: MISMATCH {} — {}",
+                target.file,
+                first_difference(&committed, &regenerated)
+            );
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("results_check: {failures} failure(s), {checked} ok");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("results_check: all {checked} checked files match");
+        ExitCode::SUCCESS
+    }
+}

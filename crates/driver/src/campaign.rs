@@ -1,0 +1,319 @@
+//! The supervised campaign runner.
+//!
+//! A campaign executes a set of [`Job`]s across a worker pool. Every
+//! attempt runs under full supervision:
+//!
+//! - **panic isolation** — attempts run inside `catch_unwind`, so a panic
+//!   in the simulator (or a workload builder) fails one attempt, never the
+//!   worker or sibling jobs;
+//! - **wall-clock deadlines** — each attempt gets a fresh [`CancelToken`]
+//!   registered with the [`Watchdog`]; a hung simulation is cancelled
+//!   cooperatively ([`SimError::DeadlineExceeded`]), never thread-killed;
+//! - **retry with backoff** — failed attempts retry up to the
+//!   [`RetryPolicy`] bound with deterministic exponential backoff;
+//! - **graceful degradation** — jobs whose attempts are exhausted under
+//!   [`WrongPathEmulation`](ffsim_core::WrongPathMode::WrongPathEmulation)
+//!   walk down the fidelity ladder (`wpemul → conv → instrec → nowp`),
+//!   recording every rung, instead of failing the campaign.
+//!
+//! Completed jobs are persisted to a JSON manifest after each finish, so a
+//! killed campaign resumes by re-running only the jobs without a record.
+
+use crate::job::{
+    ladder_next, AttemptOutcome, AttemptRecord, Job, JobRecord, JobStatus, JobSummary,
+};
+use crate::manifest;
+use crate::retry::RetryPolicy;
+use crate::watchdog::Watchdog;
+use ffsim_core::{CancelToken, SimConfig, SimError, Simulator};
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Campaign-wide supervision settings.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Worker threads (`0` = one per available CPU).
+    pub workers: usize,
+    /// Retry policy applied to every job that does not override it.
+    pub retry: RetryPolicy,
+    /// Per-attempt wall-clock deadline for jobs without their own
+    /// (`None` = attempts are only bounded by cancellation).
+    pub default_timeout: Option<Duration>,
+    /// Manifest location (`None` = in-memory campaign, no resume).
+    pub manifest_path: Option<PathBuf>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            workers: 0,
+            retry: RetryPolicy::default(),
+            default_timeout: Some(Duration::from_secs(300)),
+            manifest_path: None,
+        }
+    }
+}
+
+/// What a finished (or cancelled) campaign produced.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// Records for every job with a terminal status — freshly executed
+    /// ones plus any loaded from the manifest.
+    pub records: BTreeMap<String, JobRecord>,
+    /// Jobs skipped because the manifest already had their record.
+    pub resumed: usize,
+    /// Jobs executed to a terminal status by this invocation.
+    pub executed: usize,
+    /// Whether the campaign token fired; unfinished jobs stay absent from
+    /// [`CampaignOutcome::records`] and re-run on resume.
+    pub cancelled: bool,
+}
+
+/// A supervised simulation campaign. See the [module docs](self).
+#[derive(Debug)]
+pub struct Campaign {
+    cfg: CampaignConfig,
+    cancel: CancelToken,
+}
+
+impl Campaign {
+    /// Creates a campaign with the given supervision settings.
+    #[must_use]
+    pub fn new(cfg: CampaignConfig) -> Campaign {
+        Campaign {
+            cfg,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// The campaign-wide cancellation token. Firing it stops the campaign
+    /// promptly: workers take no new jobs and in-flight attempts are
+    /// cancelled through their own tokens by the watchdog.
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Runs `jobs` to completion (or cancellation).
+    ///
+    /// Jobs already present in the manifest are skipped and counted in
+    /// [`CampaignOutcome::resumed`]. Job order in the output is by id,
+    /// independent of worker count and scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Duplicate job ids, a corrupt or unreadable manifest, or a manifest
+    /// persist failure mid-campaign (the campaign stops at the first one —
+    /// continuing would silently lose resume coverage).
+    pub fn run(&self, jobs: Vec<Job>) -> Result<CampaignOutcome, String> {
+        let mut seen = std::collections::HashSet::new();
+        for job in &jobs {
+            if !seen.insert(job.id.clone()) {
+                return Err(format!("duplicate job id: {}", job.id));
+            }
+        }
+
+        let done = match &self.cfg.manifest_path {
+            Some(path) => manifest::load(path)?,
+            None => BTreeMap::new(),
+        };
+        let resumed = jobs.iter().filter(|j| done.contains_key(&j.id)).count();
+        let queue: VecDeque<Job> = jobs
+            .into_iter()
+            .filter(|j| !done.contains_key(&j.id))
+            .collect();
+
+        let watchdog = Watchdog::spawn(self.cancel.clone());
+        let queue = Mutex::new(queue);
+        let done = Mutex::new(done);
+        let executed = Mutex::new(0usize);
+        let persist_error: Mutex<Option<String>> = Mutex::new(None);
+
+        let workers = if self.cfg.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.cfg.workers
+        };
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    loop {
+                        if self.cancel.is_cancelled() {
+                            return;
+                        }
+                        let Some(job) = lock(&queue).pop_front() else {
+                            return;
+                        };
+                        let Some(record) = self.run_job(&job, &watchdog) else {
+                            // Campaign cancelled mid-job: leave it without
+                            // a record so a resumed campaign re-runs it.
+                            return;
+                        };
+                        // The save happens under the records lock: concurrent
+                        // saves would race on the shared temp file, and an
+                        // older snapshot must never overwrite a newer one.
+                        let mut done = lock(&done);
+                        done.insert(record.id.clone(), record);
+                        *lock(&executed) += 1;
+                        if let Some(path) = &self.cfg.manifest_path {
+                            if let Err(e) = manifest::save(path, &done) {
+                                lock(&persist_error).get_or_insert(e);
+                                self.cancel.cancel();
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        drop(watchdog);
+
+        if let Some(e) = lock(&persist_error).take() {
+            return Err(e);
+        }
+        Ok(CampaignOutcome {
+            records: done
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            resumed,
+            executed: executed
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            cancelled: self.cancel.is_cancelled(),
+        })
+    }
+
+    /// Runs one job through retries and the degradation ladder. Returns
+    /// `None` only when the campaign was cancelled mid-job (the job is
+    /// then deliberately unrecorded).
+    fn run_job(&self, job: &Job, watchdog: &Watchdog) -> Option<JobRecord> {
+        let retry = RetryPolicy {
+            max_attempts: job
+                .max_attempts
+                .unwrap_or(self.cfg.retry.max_attempts)
+                .max(1),
+            ..self.cfg.retry
+        };
+        let timeout = job.timeout.or(self.cfg.default_timeout);
+        let mut attempts: Vec<AttemptRecord> = Vec::new();
+        let mut mode = job.mode;
+
+        loop {
+            for rung_attempt in 1..=retry.max_attempts {
+                if self.cancel.is_cancelled() {
+                    return None;
+                }
+                let token = CancelToken::new();
+                let deadline = timeout.map(|t| Instant::now() + t);
+                let guard = watchdog.guard(&token, deadline);
+                let (outcome, result) = run_attempt(job, mode, &token);
+                drop(guard);
+
+                if matches!(outcome, AttemptOutcome::Cancelled) && self.cancel.is_cancelled() {
+                    return None;
+                }
+
+                let attempt_no = attempts.len() as u32 + 1;
+                if let Some(result) = result {
+                    attempts.push(AttemptRecord {
+                        attempt: attempt_no,
+                        mode,
+                        outcome: AttemptOutcome::Success,
+                        backoff_ms: 0,
+                    });
+                    let status = if mode == job.mode {
+                        JobStatus::Completed
+                    } else {
+                        JobStatus::Degraded
+                    };
+                    return Some(JobRecord {
+                        id: job.id.clone(),
+                        requested_mode: job.mode,
+                        final_mode: mode,
+                        status,
+                        attempts,
+                        summary: Some(JobSummary::of(&result)),
+                        sim: Some(result),
+                    });
+                }
+                let retrying = rung_attempt < retry.max_attempts;
+                let backoff = if retrying {
+                    retry.backoff(&job.id, rung_attempt)
+                } else {
+                    Duration::ZERO
+                };
+                attempts.push(AttemptRecord {
+                    attempt: attempt_no,
+                    mode,
+                    outcome,
+                    backoff_ms: backoff.as_millis() as u64,
+                });
+                if retrying && !backoff.is_zero() && !self.cancel.is_cancelled() {
+                    std::thread::sleep(backoff);
+                }
+            }
+            match ladder_next(mode).filter(|_| job.degrade) {
+                Some(next) => mode = next,
+                None => {
+                    return Some(JobRecord {
+                        id: job.id.clone(),
+                        requested_mode: job.mode,
+                        final_mode: mode,
+                        status: JobStatus::Failed,
+                        attempts,
+                        summary: None,
+                        sim: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // Attempt panics are contained by catch_unwind; any residual poison
+    // must not wedge the campaign.
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn run_attempt(
+    job: &Job,
+    mode: ffsim_core::WrongPathMode,
+    token: &CancelToken,
+) -> (AttemptOutcome, Option<ffsim_core::SimResult>) {
+    let caught = catch_unwind(AssertUnwindSafe(|| -> Result<_, SimError> {
+        let (program, memory) = (job.workload)()?;
+        let mut cfg = SimConfig::with_core(job.core.clone(), mode);
+        cfg.max_instructions = job.max_instructions;
+        if let Some(tweak) = &job.tweak {
+            tweak(&mut cfg);
+        }
+        // Installed after the tweak: a tweak must not be able to detach
+        // the attempt from supervision.
+        cfg.cancel = Some(token.clone());
+        Simulator::new(program, memory, cfg)?.run()
+    }));
+    match caught {
+        Ok(Ok(result)) => (AttemptOutcome::Success, Some(result)),
+        Ok(Err(SimError::Cancelled)) => (AttemptOutcome::Cancelled, None),
+        Ok(Err(SimError::DeadlineExceeded)) => (AttemptOutcome::DeadlineExceeded, None),
+        Ok(Err(e)) => (AttemptOutcome::Fault(e.to_string()), None),
+        Err(payload) => (AttemptOutcome::Panic(panic_message(payload.as_ref())), None),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

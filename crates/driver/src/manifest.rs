@@ -1,0 +1,165 @@
+//! Campaign manifest: the on-disk record of completed jobs.
+//!
+//! The manifest is written incrementally — rewritten atomically
+//! (temp-file + rename) after every job that finishes — so a campaign
+//! killed mid-flight (SIGTERM, OOM, power) loses only its in-flight jobs.
+//! Resuming a campaign against the same manifest path re-runs exactly the
+//! jobs without a record.
+//!
+//! Serialization is deterministic: records are sorted by job id and
+//! contain no wall-clock values, so the same campaign produces a
+//! byte-identical manifest whatever the worker count or kill timing.
+
+use crate::job::JobRecord;
+use crate::json::{parse, Value};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Current manifest format version; bumped on incompatible layout changes.
+pub const MANIFEST_VERSION: i64 = 1;
+
+/// Serializes `records` (keyed and therefore sorted by job id).
+#[must_use]
+pub fn to_json(records: &BTreeMap<String, JobRecord>) -> String {
+    Value::Obj(vec![
+        ("version".into(), Value::Int(MANIFEST_VERSION)),
+        (
+            "jobs".into(),
+            Value::Arr(records.values().map(JobRecord::to_value).collect()),
+        ),
+    ])
+    .to_json()
+}
+
+/// Parses a manifest document into records keyed by job id.
+///
+/// # Errors
+///
+/// A message describing the syntax error, version mismatch, or malformed
+/// record. Callers treat any error as fatal: silently dropping records
+/// would re-run completed jobs at best and mask corruption at worst.
+pub fn from_json(text: &str) -> Result<BTreeMap<String, JobRecord>, String> {
+    let doc = parse(text)?;
+    let version = doc
+        .get("version")
+        .and_then(Value::as_int)
+        .ok_or("manifest missing version")?;
+    if version != MANIFEST_VERSION {
+        return Err(format!(
+            "manifest version {version} unsupported (expected {MANIFEST_VERSION})"
+        ));
+    }
+    let jobs = doc
+        .get("jobs")
+        .and_then(Value::as_arr)
+        .ok_or("manifest missing jobs array")?;
+    let mut records = BTreeMap::new();
+    for (i, job) in jobs.iter().enumerate() {
+        let record = JobRecord::from_value(job).ok_or(format!("malformed job record #{i}"))?;
+        if records.insert(record.id.clone(), record).is_some() {
+            return Err(format!("duplicate job id in record #{i}"));
+        }
+    }
+    Ok(records)
+}
+
+/// Loads a manifest from disk; a missing file is an empty manifest.
+///
+/// # Errors
+///
+/// I/O failures other than not-found, and any parse error from
+/// [`from_json`].
+pub fn load(path: &Path) -> Result<BTreeMap<String, JobRecord>, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => {
+            from_json(&text).map_err(|e| format!("corrupt manifest {}: {e}", path.display()))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(BTreeMap::new()),
+        Err(e) => Err(format!("reading manifest {}: {e}", path.display())),
+    }
+}
+
+/// Atomically replaces the manifest at `path` (write temp file in the same
+/// directory, then rename): a crash mid-save leaves the previous manifest
+/// intact rather than a truncated one.
+///
+/// # Errors
+///
+/// I/O failures writing the temp file or renaming it into place.
+pub fn save(path: &Path, records: &BTreeMap<String, JobRecord>) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, to_json(records))
+        .map_err(|e| format!("writing manifest {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("installing manifest {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{AttemptOutcome, AttemptRecord, JobStatus, JobSummary};
+    use ffsim_core::WrongPathMode;
+
+    fn record(id: &str) -> JobRecord {
+        JobRecord {
+            id: id.into(),
+            requested_mode: WrongPathMode::ConvergenceExploitation,
+            final_mode: WrongPathMode::ConvergenceExploitation,
+            status: JobStatus::Completed,
+            attempts: vec![AttemptRecord {
+                attempt: 1,
+                mode: WrongPathMode::ConvergenceExploitation,
+                outcome: AttemptOutcome::Success,
+                backoff_ms: 0,
+            }],
+            summary: Some(JobSummary {
+                instructions: 10,
+                cycles: 20,
+                wrong_path_instructions: 1,
+                state_digest: 0x42,
+            }),
+            sim: None,
+        }
+    }
+
+    #[test]
+    fn round_trips_and_sorts_by_id() {
+        let mut records = BTreeMap::new();
+        // Insertion order here is reversed; serialization must sort.
+        records.insert("z".to_string(), record("z"));
+        records.insert("a".to_string(), record("a"));
+        let json = to_json(&records);
+        assert!(json.find("\"a\"").unwrap() < json.find("\"z\"").unwrap());
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back["a"].status, JobStatus::Completed);
+    }
+
+    #[test]
+    fn missing_file_is_empty() {
+        let dir = std::env::temp_dir().join("ffsim-driver-manifest-missing");
+        assert!(load(&dir.join("does-not-exist.json")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_version_and_duplicates() {
+        assert!(from_json("{\"version\": 99, \"jobs\": []}").is_err());
+        let one = record("a").to_value().to_json();
+        let one = one.trim_end();
+        let doc = format!("{{\"version\": 1, \"jobs\": [{one}, {one}]}}");
+        assert!(from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("ffsim-driver-manifest-rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        let mut records = BTreeMap::new();
+        records.insert("a".to_string(), record("a"));
+        save(&path, &records).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back["a"].summary.unwrap().state_digest, 0x42);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,191 @@
+//! Deterministic campaign reports.
+//!
+//! The report contains no wall-clock values and is sorted by job id, so
+//! the same campaign renders byte-identically whatever the worker count,
+//! scheduling, or resume history.
+
+use crate::job::{AttemptOutcome, JobRecord, JobStatus};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders the campaign report: a summary table (one row per job, sorted
+/// by id) followed by the attempt history of every job that needed more
+/// than one attempt.
+#[must_use]
+pub fn render(records: &BTreeMap<String, JobRecord>) -> String {
+    let rows: Vec<Vec<String>> = records
+        .values()
+        .map(|r| {
+            let (instructions, cycles, ipc, digest) = match &r.summary {
+                Some(s) => (
+                    s.instructions.to_string(),
+                    s.cycles.to_string(),
+                    format!("{:.3}", s.ipc()),
+                    format!("{:#018x}", s.state_digest),
+                ),
+                None => ("-".into(), "-".into(), "-".into(), "-".into()),
+            };
+            vec![
+                r.id.clone(),
+                r.requested_mode.label().to_string(),
+                r.final_mode.label().to_string(),
+                r.status.label().to_string(),
+                r.attempts.len().to_string(),
+                instructions,
+                cycles,
+                ipc,
+                digest,
+            ]
+        })
+        .collect();
+
+    let mut out = String::from("campaign report\n\n");
+    out.push_str(&table(
+        &[
+            "job",
+            "requested",
+            "final",
+            "status",
+            "attempts",
+            "instructions",
+            "cycles",
+            "ipc",
+            "digest",
+        ],
+        &rows,
+    ));
+
+    let (completed, degraded, failed) =
+        records
+            .values()
+            .fold((0, 0, 0), |(c, d, f), r| match r.status {
+                JobStatus::Completed => (c + 1, d, f),
+                JobStatus::Degraded => (c, d + 1, f),
+                JobStatus::Failed => (c, d, f + 1),
+            });
+    let _ = writeln!(
+        out,
+        "\n{} jobs: {completed} completed, {degraded} degraded, {failed} failed",
+        records.len()
+    );
+
+    let eventful: Vec<&JobRecord> = records.values().filter(|r| r.attempts.len() > 1).collect();
+    if !eventful.is_empty() {
+        out.push_str("\nattempt history\n");
+        for record in eventful {
+            let _ = writeln!(out, "  {}:", record.id);
+            for a in &record.attempts {
+                let outcome = match &a.outcome {
+                    AttemptOutcome::Success => "success".to_string(),
+                    AttemptOutcome::Fault(msg) => format!("fault: {msg}"),
+                    AttemptOutcome::DeadlineExceeded => "deadline exceeded".to_string(),
+                    AttemptOutcome::Cancelled => "cancelled".to_string(),
+                    AttemptOutcome::Panic(msg) => format!("panic: {msg}"),
+                };
+                let _ = writeln!(
+                    out,
+                    "    #{} [{}] {outcome} (backoff {} ms)",
+                    a.attempt,
+                    a.mode.label(),
+                    a.backoff_ms
+                );
+            }
+        }
+    }
+    out
+}
+
+/// A right-aligned text table (same layout as the bench crate's tables;
+/// duplicated here because the driver sits below the bench crate in the
+/// dependency graph).
+fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (c, cell) in cells.iter().enumerate() {
+            if c > 0 {
+                line.push_str("  ");
+            }
+            let _ = write!(line, "{cell:>w$}", w = widths[c]);
+        }
+        line
+    };
+    let mut out = String::new();
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_string()).collect();
+    out.push_str(&fmt_row(&header_cells));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{AttemptRecord, JobSummary};
+    use ffsim_core::WrongPathMode;
+
+    fn record(id: &str, attempts: usize) -> JobRecord {
+        JobRecord {
+            id: id.into(),
+            requested_mode: WrongPathMode::WrongPathEmulation,
+            final_mode: WrongPathMode::WrongPathEmulation,
+            status: JobStatus::Completed,
+            attempts: (1..=attempts)
+                .map(|i| AttemptRecord {
+                    attempt: i as u32,
+                    mode: WrongPathMode::WrongPathEmulation,
+                    outcome: if i == attempts {
+                        AttemptOutcome::Success
+                    } else {
+                        AttemptOutcome::Panic("boom".into())
+                    },
+                    backoff_ms: 17,
+                })
+                .collect(),
+            summary: Some(JobSummary {
+                instructions: 1000,
+                cycles: 2000,
+                wrong_path_instructions: 50,
+                state_digest: 0xabc,
+            }),
+            sim: None,
+        }
+    }
+
+    #[test]
+    fn report_is_sorted_and_deterministic() {
+        let mut records = BTreeMap::new();
+        records.insert("zz".to_string(), record("zz", 1));
+        records.insert("aa".to_string(), record("aa", 2));
+        let text = render(&records);
+        assert_eq!(text, render(&records));
+        assert!(text.find("aa").unwrap() < text.find("zz").unwrap());
+        assert!(text.contains("2 jobs: 2 completed, 0 degraded, 0 failed"));
+        // Only the multi-attempt job appears in the history section.
+        assert!(text.contains("attempt history"));
+        assert!(text.contains("panic: boom"));
+    }
+
+    #[test]
+    fn failed_jobs_render_placeholders() {
+        let mut rec = record("f", 1);
+        rec.status = JobStatus::Failed;
+        rec.summary = None;
+        let mut records = BTreeMap::new();
+        records.insert("f".to_string(), rec);
+        let text = render(&records);
+        assert!(text.contains("failed"));
+        assert!(text.contains('-'));
+    }
+}

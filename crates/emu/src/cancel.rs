@@ -1,0 +1,143 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] is a cheap, clonable handle shared between a
+//! simulation's hot loops and an external supervisor (a campaign driver's
+//! watchdog thread, a signal handler, a test harness). The supervisor
+//! *requests* termination by flipping the token; the simulation *observes*
+//! the request at its next cancellation point — one relaxed atomic load per
+//! executed instruction — and unwinds cleanly through its normal typed
+//! error path. Nothing is ever thread-killed: caches, statistics and the
+//! architectural state stay consistent, and the caller learns exactly why
+//! the run ended.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Why a [`CancelToken`] fired.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CancelCause {
+    /// The supervisor asked the run to stop (shutdown, user interrupt).
+    Cancelled,
+    /// The run exceeded its wall-clock deadline (watchdog).
+    DeadlineExceeded,
+}
+
+impl fmt::Display for CancelCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CancelCause::Cancelled => write!(f, "cancelled by supervisor"),
+            CancelCause::DeadlineExceeded => write!(f, "wall-clock deadline exceeded"),
+        }
+    }
+}
+
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const DEADLINE: u8 = 2;
+
+/// A shared cancellation flag checked inside simulation hot loops.
+///
+/// Clones share state (the token is an `Arc` internally), so a supervisor
+/// thread holding one clone can stop a simulation running with another.
+/// The fast path — [`CancelToken::cause`] while live — is a single relaxed
+/// atomic load, cheap enough to run once per emulated instruction.
+///
+/// # Examples
+///
+/// ```
+/// use ffsim_emu::{CancelCause, CancelToken};
+///
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// assert_eq!(token.cause(), None);
+/// watcher.expire();
+/// assert_eq!(token.cause(), Some(CancelCause::DeadlineExceeded));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    state: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A live (un-fired) token.
+    #[must_use]
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Requests cooperative termination ([`CancelCause::Cancelled`]).
+    ///
+    /// The first cause to fire wins; later calls are no-ops.
+    pub fn cancel(&self) {
+        let _ = self
+            .state
+            .compare_exchange(LIVE, CANCELLED, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// Marks the wall-clock deadline as exceeded
+    /// ([`CancelCause::DeadlineExceeded`]); called by watchdog threads.
+    ///
+    /// The first cause to fire wins; later calls are no-ops.
+    pub fn expire(&self) {
+        let _ = self
+            .state
+            .compare_exchange(LIVE, DEADLINE, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// Why the token fired, or `None` while it is live. This is the
+    /// cancellation-point check used inside hot loops.
+    #[must_use]
+    pub fn cause(&self) -> Option<CancelCause> {
+        match self.state.load(Ordering::Relaxed) {
+            CANCELLED => Some(CancelCause::Cancelled),
+            DEADLINE => Some(CancelCause::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// Whether the token has fired (either cause).
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.state.load(Ordering::Relaxed) != LIVE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.is_cancelled());
+        c.cancel();
+        assert_eq!(t.cause(), Some(CancelCause::Cancelled));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn first_cause_wins() {
+        let t = CancelToken::new();
+        t.expire();
+        t.cancel();
+        assert_eq!(t.cause(), Some(CancelCause::DeadlineExceeded));
+    }
+
+    #[test]
+    fn fires_across_threads() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        std::thread::spawn(move || c.expire()).join().unwrap();
+        assert_eq!(t.cause(), Some(CancelCause::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cause_displays() {
+        assert!(CancelCause::Cancelled.to_string().contains("cancelled"));
+        assert!(CancelCause::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+    }
+}

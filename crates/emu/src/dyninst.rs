@@ -7,6 +7,7 @@
 //! branches. This is the functional-first contract described in §II of the
 //! paper: "instruction address, disassembled instruction, memory addresses".
 
+use crate::cancel::CancelCause;
 use crate::exec::Fault;
 use ffsim_isa::{Addr, BranchKind, ExecClass, Instr, Operands};
 
@@ -116,6 +117,9 @@ pub enum WrongPathStop {
     /// The branch-direction oracle declined to predict (e.g. indirect
     /// branch without a target in the predictor).
     OracleStop,
+    /// The run's [`CancelToken`](crate::CancelToken) fired mid-emulation;
+    /// the partial bundle is discarded and the stream ends cooperatively.
+    Cancelled(CancelCause),
 }
 
 /// A fully-emulated wrong path for one mispredicted branch, produced by

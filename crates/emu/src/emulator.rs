@@ -12,6 +12,7 @@
 //! * **wrong-path emulation** ([`Emulator::emulate_wrong_path`]) with
 //!   suppressed stores and suppressed faults.
 
+use crate::cancel::{CancelCause, CancelToken};
 use crate::dyninst::{BranchOutcome, DynInst, WrongPathBundle, WrongPathStop};
 use crate::exec::{execute, Fault, FaultModel, RegWrite};
 use crate::mem::Memory;
@@ -27,6 +28,10 @@ pub enum StepError {
     Halted,
     /// A fault occurred on the correct path (workload bug).
     Fault(Fault),
+    /// The run's [`CancelToken`] fired (supervisor request or watchdog
+    /// deadline); the emulator state is left consistent at the boundary of
+    /// the last completed instruction.
+    Cancelled(CancelCause),
 }
 
 impl fmt::Display for StepError {
@@ -34,6 +39,7 @@ impl fmt::Display for StepError {
         match self {
             StepError::Halted => write!(f, "program has halted"),
             StepError::Fault(fault) => write!(f, "correct-path fault: {fault}"),
+            StepError::Cancelled(cause) => write!(f, "execution stopped: {cause}"),
         }
     }
 }
@@ -120,6 +126,7 @@ pub struct Emulator {
     mem: Memory,
     state: ArchState,
     fault_model: FaultModel,
+    cancel: Option<CancelToken>,
     seq: u64,
     halted: bool,
 }
@@ -154,9 +161,22 @@ impl Emulator {
             mem,
             state,
             fault_model: FaultModel::default(),
+            cancel: None,
             seq: 0,
             halted: false,
         })
+    }
+
+    /// Attaches a [`CancelToken`]: every subsequent [`Emulator::step`] and
+    /// wrong-path emulation loop iteration becomes a cancellation point
+    /// (one relaxed atomic load). `None` detaches.
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
+    }
+
+    /// The cause the attached token fired with, if any.
+    fn cancel_cause(&self) -> Option<CancelCause> {
+        self.cancel.as_ref().and_then(CancelToken::cause)
     }
 
     /// Selects the [`FaultModel`] applied to every executed instruction
@@ -255,6 +275,9 @@ impl Emulator {
         if self.halted {
             return Err(StepError::Halted);
         }
+        if let Some(cause) = self.cancel_cause() {
+            return Err(StepError::Cancelled(cause));
+        }
         let pc = self.state.pc;
         let instr = *self
             .program
@@ -346,6 +369,9 @@ impl Emulator {
         self.state.pc = start;
         let mut insts = Vec::new();
         let stop = loop {
+            if let Some(cause) = self.cancel_cause() {
+                break WrongPathStop::Cancelled(cause);
+            }
             if let Some(limit) = watchdog {
                 if insts.len() as u64 >= limit {
                     break WrongPathStop::WatchdogExceeded {

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cancel;
 mod dyninst;
 mod emulator;
 mod exec;
@@ -58,6 +59,7 @@ mod mem;
 mod queue;
 mod state;
 
+pub use cancel::{CancelCause, CancelToken};
 pub use dyninst::{BranchOutcome, DynInst, MemAccess, WrongPathBundle, WrongPathStop};
 pub use emulator::{BranchOracle, EmuError, Emulator, FollowComputed, StepError};
 pub use exec::{Fault, FaultModel};

@@ -17,6 +17,7 @@
 //!   mispredicted (§III-B). The resulting [`WrongPathBundle`] travels with
 //!   the branch's queue entry.
 
+use crate::cancel::CancelCause;
 use crate::dyninst::{DynInst, WrongPathBundle, WrongPathStop};
 use crate::emulator::{BranchOracle, Emulator, StepError};
 use crate::exec::Fault;
@@ -143,6 +144,7 @@ pub struct InstrQueue<P> {
     fault_policy: FaultPolicy,
     watchdog: Option<u64>,
     wp_stats: WrongPathFaultStats,
+    cancelled: Option<CancelCause>,
 }
 
 impl<P: FrontendPolicy> InstrQueue<P> {
@@ -166,6 +168,7 @@ impl<P: FrontendPolicy> InstrQueue<P> {
             fault_policy: FaultPolicy::default(),
             watchdog: None,
             wp_stats: WrongPathFaultStats::default(),
+            cancelled: None,
         }
     }
 
@@ -198,6 +201,18 @@ impl<P: FrontendPolicy> InstrQueue<P> {
                         )
                     });
                     if let Some(bundle) = &wrong_path {
+                        if let WrongPathStop::Cancelled(cause) = bundle.stop {
+                            // Cooperative cancellation mid-wrong-path: drop
+                            // the partial bundle, deliver the already-
+                            // retired correct path, and end the stream.
+                            self.cancelled = Some(cause);
+                            self.ended = true;
+                            self.buf.push_back(StreamEntry {
+                                inst,
+                                wrong_path: None,
+                            });
+                            continue;
+                        }
                         if matches!(bundle.stop, WrongPathStop::IllegalPc(_)) {
                             self.wp_stats.illegal_pc_stops += 1;
                         }
@@ -225,6 +240,10 @@ impl<P: FrontendPolicy> InstrQueue<P> {
                 Err(StepError::Halted) => self.ended = true,
                 Err(StepError::Fault(f)) => {
                     self.fault = Some(f);
+                    self.ended = true;
+                }
+                Err(StepError::Cancelled(cause)) => {
+                    self.cancelled = Some(cause);
                     self.ended = true;
                 }
             }
@@ -296,6 +315,13 @@ impl<P: FrontendPolicy> InstrQueue<P> {
     #[must_use]
     pub fn fault_stats(&self) -> WrongPathFaultStats {
         self.wp_stats
+    }
+
+    /// The cancellation cause that ended the stream, if the emulator's
+    /// [`CancelToken`](crate::CancelToken) fired mid-run.
+    #[must_use]
+    pub fn cancelled(&self) -> Option<CancelCause> {
+        self.cancelled
     }
 
     /// The frontend policy.
@@ -531,6 +557,78 @@ mod tests {
         assert_eq!(wp_len, 4, "wrong path cut off at the watchdog");
         assert_eq!(q.fault_stats().watchdog_trips, 1);
         assert!(q.fault().is_none());
+    }
+
+    #[test]
+    fn cancellation_ends_stream_cooperatively() {
+        use crate::cancel::CancelToken;
+        let token = CancelToken::new();
+        let mut emu = Emulator::new(counted_program(1000)).unwrap();
+        emu.set_cancel_token(Some(token.clone()));
+        let mut q = InstrQueue::new(emu, NoFrontendWrongPath, 4);
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+            if n == 10 {
+                token.cancel();
+            }
+        }
+        // Already-buffered entries drain, then the stream ends early.
+        assert!((10..100).contains(&n), "popped {n}");
+        assert_eq!(q.cancelled(), Some(CancelCause::Cancelled));
+        assert!(q.fault().is_none(), "cancellation is not a fault");
+    }
+
+    /// Oracle/policy that requests wrong paths like [`AlwaysWrong`] but
+    /// fires a cancel token mid-wrong-path, from inside the oracle.
+    struct CancelMidWrongPath {
+        token: crate::cancel::CancelToken,
+        oracle_calls: u32,
+    }
+    impl BranchOracle for CancelMidWrongPath {
+        fn next_fetch_pc(
+            &mut self,
+            _pc: ffsim_isa::Addr,
+            _instr: &Instr,
+            computed: BranchOutcome,
+        ) -> Option<ffsim_isa::Addr> {
+            self.oracle_calls += 1;
+            if self.oracle_calls == 2 {
+                self.token.expire();
+            }
+            Some(computed.next_pc)
+        }
+    }
+    impl FrontendPolicy for CancelMidWrongPath {
+        fn on_instruction(&mut self, inst: &DynInst) -> Option<WrongPathRequest> {
+            let b = inst.branch?;
+            if matches!(inst.instr, Instr::Branch { .. }) && !b.taken {
+                Some(WrongPathRequest {
+                    start: inst.instr.direct_target().unwrap(),
+                    max_insts: 64,
+                })
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn cancellation_mid_wrong_path_drops_partial_bundle() {
+        let token = crate::cancel::CancelToken::new();
+        let mut emu = Emulator::new(counted_program(3)).unwrap();
+        emu.set_cancel_token(Some(token.clone()));
+        let policy = CancelMidWrongPath {
+            token,
+            oracle_calls: 0,
+        };
+        let mut q = InstrQueue::new(emu, policy, 16);
+        let mut bundles = 0;
+        while let Some(e) = q.pop() {
+            bundles += u32::from(e.wrong_path.is_some());
+        }
+        assert_eq!(bundles, 0, "partial bundle must be dropped");
+        assert_eq!(q.cancelled(), Some(CancelCause::DeadlineExceeded));
     }
 
     #[test]

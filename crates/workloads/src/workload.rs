@@ -124,6 +124,7 @@ impl Workload {
             .map_err(|e| format!("{}: {e}", self.name))?;
         let n = emu.run_to_halt(max_steps).map_err(|e| match e {
             StepError::Fault(f) => format!("{}: fault: {f}", self.name),
+            StepError::Cancelled(cause) => format!("{}: {cause}", self.name),
             StepError::Halted => unreachable!("run_to_halt never returns Halted"),
         })?;
         if !emu.is_halted() {
