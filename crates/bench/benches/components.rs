@@ -4,10 +4,15 @@
 //! budget component by component.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use ffsim_core::{reconstruct, recover_addresses, CodeCache, ConvergenceConfig, ConvergenceStats};
+use ffsim_core::{
+    reconstruct, recover_addresses, CodeCache, ConvergenceConfig, ConvergenceStats, Pipeline,
+};
 use ffsim_emu::{Emulator, FollowComputed, InstrQueue, NoFrontendWrongPath};
 use ffsim_isa::{Asm, BranchCond, Instr, Reg};
+use ffsim_obs::{ObsConfig, TraceEvent, TraceEventKind, TraceSource};
 use ffsim_uarch::{BranchPredictor, Cache, CoreConfig, PathKind, Tlb};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 fn loop_program(n: i64) -> ffsim_isa::Program {
     let (x, y, base) = (Reg::new(1), Reg::new(2), Reg::new(5));
@@ -154,5 +159,73 @@ fn wrongpath_rate(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, emulator_step_rate, cache_rate, wrongpath_rate);
+/// Observability timing guard: a *disabled* trace ring in the pipeline hot
+/// loop must cost at most ~2% (one predictable branch per instruction —
+/// the `EventRing::record` fast path). The guard replays an emulated
+/// instruction stream through `feed_correct`, with and without a disabled
+/// `record` call per instruction, takes the minimum of several runs to
+/// shed scheduler noise, and panics if the ratio exceeds the budget.
+fn tracing_overhead_guard(_c: &mut Criterion) {
+    const REPS: usize = 9;
+    const BUDGET: f64 = 1.03;
+
+    let program = loop_program(10_000);
+    let mut emu = Emulator::new(program).unwrap();
+    let mut trace = Vec::new();
+    while let Ok(inst) = emu.step() {
+        trace.push((inst.pc, inst.instr, inst.mem));
+    }
+
+    let run_once = |with_ring: bool| -> Duration {
+        // The ring comes from a black-boxed config so the compiler cannot
+        // prove it disabled and fold the fast-path branch away.
+        let mut ring = black_box(ObsConfig::disabled()).ring();
+        let mut p = Pipeline::new(CoreConfig::tiny_for_tests());
+        let start = Instant::now();
+        for (pc, instr, mem) in &trace {
+            if with_ring {
+                ring.record(|| TraceEvent {
+                    ts: *pc,
+                    source: TraceSource::Timing,
+                    kind: TraceEventKind::Squash { instructions: 0 },
+                });
+            }
+            p.feed_correct(*pc, instr, *mem);
+        }
+        let elapsed = start.elapsed();
+        black_box((p.cycles(), ring.len()));
+        elapsed
+    };
+
+    // Warm up, then interleave the two variants so slow drift (frequency
+    // scaling, competing load) hits both minima equally.
+    run_once(false);
+    run_once(true);
+    let (mut without, mut with) = (Duration::MAX, Duration::MAX);
+    for _ in 0..REPS {
+        without = without.min(run_once(false));
+        with = with.min(run_once(true));
+    }
+    let ratio = with.as_secs_f64() / without.as_secs_f64();
+    eprintln!(
+        "tracing_overhead_guard: {} instructions, without {:?}, with disabled ring {:?}, ratio {ratio:.4}",
+        trace.len(),
+        without,
+        with
+    );
+    assert!(
+        ratio <= BUDGET,
+        "disabled tracing costs {:.1}% on the pipeline hot loop (budget {:.0}%)",
+        (ratio - 1.0) * 100.0,
+        (BUDGET - 1.0) * 100.0
+    );
+}
+
+criterion_group!(
+    benches,
+    emulator_step_rate,
+    cache_rate,
+    wrongpath_rate,
+    tracing_overhead_guard
+);
 criterion_main!(benches);

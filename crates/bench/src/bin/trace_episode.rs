@@ -1,0 +1,220 @@
+//! Observability smoke tool: dump a Chrome `trace_event` JSON of
+//! wrong-path episodes and cross-check every observability invariant.
+//!
+//! ```text
+//! trace_episode --check            # all modes: CPI sums, observer effect,
+//!                                  # trace parse, histogram consistency,
+//!                                  # nowp-vs-wpemul CPI decomposition
+//! trace_episode --out trace.json   # Chrome trace of a small wpemul run
+//!                                  # (load into chrome://tracing or Perfetto)
+//! ```
+//!
+//! `--check` exits non-zero on the first violated invariant, so CI can run
+//! it directly. The decomposition table it prints is the worked example in
+//! `EXPERIMENTS.md`: which stall class absorbs the IPC gap between
+//! `nowp` and `wpemul`.
+
+use ffsim_core::{ObsConfig, SimConfig, SimResult, Simulator, WrongPathMode};
+use ffsim_obs::{chrome_trace, json, ALL_CLASSES};
+use ffsim_uarch::CoreConfig;
+use ffsim_workloads::{gap, Workload};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Small BFS instance: branchy, memory-bound, finishes in well under a
+/// second, and its wrong paths prefetch for the correct path — the paper's
+/// headline effect, so the nowp-vs-wpemul decomposition is visible.
+fn workload() -> Workload {
+    let mut suite = gap::all_gap(10, 8, 42);
+    suite.remove(1) // bfs
+}
+
+const MAX_INSTRUCTIONS: u64 = 400_000;
+
+fn run(w: &Workload, mode: WrongPathMode, obs: ObsConfig) -> Result<SimResult, String> {
+    let mut cfg = SimConfig::with_core(CoreConfig::golden_cove_like(), mode);
+    cfg.max_instructions = Some(MAX_INSTRUCTIONS);
+    cfg.obs = obs;
+    Simulator::new(w.program().clone(), w.memory().clone(), cfg)
+        .and_then(Simulator::run)
+        .map_err(|e| format!("{mode}: {e}"))
+}
+
+fn ensure(cond: bool, what: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(format!("invariant violated: {what}"))
+    }
+}
+
+/// All observability invariants, across every wrong-path mode.
+fn check() -> Result<(), String> {
+    let w = workload();
+    let mut by_mode = Vec::new();
+    for mode in WrongPathMode::ALL {
+        let quiet = run(&w, mode, ObsConfig::disabled())?;
+        let observed = run(&w, mode, ObsConfig::enabled())?;
+
+        // Observer effect: tracing must not move the simulation.
+        ensure(quiet.cycles == observed.cycles, "cycles differ with obs on")?;
+        ensure(
+            quiet.instructions == observed.instructions,
+            "instructions differ with obs on",
+        )?;
+        ensure(
+            quiet.state_digest == observed.state_digest,
+            "state digest differs with obs on",
+        )?;
+
+        // CPI accounting: components sum exactly to total cycles.
+        ensure(
+            quiet.cpi.total() == quiet.cycles,
+            "CPI components do not sum to cycles (obs off)",
+        )?;
+        ensure(
+            observed.cpi.total() == observed.cycles,
+            "CPI components do not sum to cycles (obs on)",
+        )?;
+        ensure(quiet.obs.is_none(), "disabled run allocated an ObsReport")?;
+
+        let obs = observed
+            .obs
+            .as_ref()
+            .ok_or("enabled run produced no ObsReport")?;
+
+        // The Chrome export round-trips through the JSON parser.
+        let text = chrome_trace(&obs.events).to_json();
+        let parsed = json::parse(&text).map_err(|e| format!("trace does not parse: {e}"))?;
+        let events = parsed
+            .get("traceEvents")
+            .and_then(json::Value::as_arr)
+            .ok_or("trace has no traceEvents array")?;
+        ensure(
+            events.len() == obs.events.len(),
+            "exported event count differs from the ring",
+        )?;
+
+        // Histogram consistency: one episode-length sample per handled
+        // misprediction, and no samples lost.
+        let mispredicts = observed.branch.mispredicts();
+        ensure(
+            obs.wp_episode_len.count() == mispredicts,
+            "episode histogram count != mispredictions",
+        )?;
+        ensure(
+            obs.wp_episode_len.sum() == observed.wrong_path_instructions,
+            "episode histogram sum != injected wrong-path instructions",
+        )?;
+
+        println!(
+            "{mode}: ok ({} cycles, {} events, {} episodes)",
+            observed.cycles,
+            obs.events.len(),
+            obs.wp_episode_len.count()
+        );
+        by_mode.push(observed);
+    }
+
+    // The worked example: decompose the nowp-vs-wpemul IPC gap by stall
+    // class (paper Fig. 1 explained cycle by cycle).
+    let (nowp, wpemul) = (&by_mode[0], &by_mode[3]);
+    println!(
+        "\nCPI decomposition, {} ({} instructions):",
+        w.name(),
+        nowp.instructions
+    );
+    println!(
+        "{:>18}  {:>12} {:>8}  {:>12} {:>8}  {:>9}",
+        "stall class", "nowp cyc", "cpi", "wpemul cyc", "cpi", "delta cyc"
+    );
+    for class in ALL_CLASSES {
+        let a = nowp.cpi.get(class);
+        let b = wpemul.cpi.get(class);
+        if a == 0 && b == 0 {
+            continue;
+        }
+        println!(
+            "{:>18}  {:>12} {:>8.4}  {:>12} {:>8.4}  {:>+9}",
+            class.label(),
+            a,
+            a as f64 / nowp.instructions as f64,
+            b,
+            b as f64 / wpemul.instructions as f64,
+            b as i64 - a as i64,
+        );
+    }
+    println!(
+        "{:>18}  {:>12} {:>8.4}  {:>12} {:>8.4}  {:>+9}",
+        "total",
+        nowp.cycles,
+        1.0 / nowp.ipc(),
+        wpemul.cycles,
+        1.0 / wpemul.ipc(),
+        wpemul.cycles as i64 - nowp.cycles as i64,
+    );
+    println!(
+        "ipc {:.4} -> {:.4}, nowp error vs wpemul: {:+.2}%",
+        nowp.ipc(),
+        wpemul.ipc(),
+        nowp.error_vs(wpemul)
+    );
+    Ok(())
+}
+
+/// Writes a Chrome trace of a wrong-path-emulation run to `path`.
+fn dump(path: &PathBuf) -> Result<(), String> {
+    let w = workload();
+    let result = run(&w, WrongPathMode::WrongPathEmulation, ObsConfig::enabled())?;
+    let obs = result.obs.as_ref().ok_or("run produced no ObsReport")?;
+    let text = chrome_trace(&obs.events).to_json();
+    std::fs::write(path, &text).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!(
+        "wrote {} events to {} ({} dropped from the bounded ring)",
+        obs.events.len(),
+        path.display(),
+        obs.dropped_events
+    );
+    println!("episode lengths: {}", obs.wp_episode_len.summary());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut check_flag = false;
+    let mut out = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--check" => check_flag = true,
+            "--out" => match argv.next() {
+                Some(path) => out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("trace_episode: --out needs a value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("trace_episode: unknown argument: {other}");
+                eprintln!("usage: trace_episode [--check] [--out PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !check_flag && out.is_none() {
+        eprintln!("usage: trace_episode [--check] [--out PATH]");
+        return ExitCode::FAILURE;
+    }
+    if check_flag {
+        if let Err(e) = check() {
+            eprintln!("trace_episode: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &out {
+        if let Err(e) = dump(path) {
+            eprintln!("trace_episode: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

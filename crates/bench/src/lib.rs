@@ -122,6 +122,7 @@ pub fn run_supervised(jobs: Vec<Job>) -> BTreeMap<String, JobRecord> {
         },
         default_timeout: Some(Duration::from_secs(600)),
         manifest_path: None,
+        ..CampaignConfig::default()
     });
     campaign
         .run(jobs)

@@ -61,7 +61,8 @@ mod wrongpath;
 pub use code_cache::{CodeCache, CodeCacheStats};
 pub use error::SimError;
 pub use ffsim_emu::{CancelCause, CancelToken};
-pub use metrics::{FaultStats, SimResult};
+pub use ffsim_obs::{CpiStack, ObsConfig, StallClass};
+pub use metrics::{FaultStats, ObsReport, SimResult};
 pub use mode::WrongPathMode;
 pub use pipeline::{InstrTimes, LoadTiming, Pipeline, WindowState};
 pub use replica::{PcCorruption, ReplicaPolicy};

@@ -3,8 +3,30 @@
 use crate::code_cache::CodeCacheStats;
 use crate::mode::WrongPathMode;
 use crate::wrongpath::ConvergenceStats;
+use ffsim_obs::{CpiStack, Log2Hist, TraceEvent};
 use ffsim_uarch::{BranchStats, CacheStats, DramStats, TlbStats};
 use std::time::Duration;
+
+/// Observability artifacts collected during a run when
+/// [`ObsConfig::enabled`](ffsim_obs::ObsConfig) is set: the event trace
+/// and the wrong-path shape histograms. `None` on a disabled run — the
+/// observer-effect invariant guarantees every other [`SimResult`] field is
+/// identical either way.
+#[derive(Clone, Debug, Default)]
+pub struct ObsReport {
+    /// Buffered trace events: timing-model events (cycle timestamps)
+    /// followed by frontend events (instruction-ordinal timestamps).
+    /// Export with [`ffsim_obs::chrome_trace`].
+    pub events: Vec<TraceEvent>,
+    /// Events evicted from the bounded rings during the run.
+    pub dropped_events: u64,
+    /// Wrong-path instructions injected per misprediction episode
+    /// (compare to the paper's Table III wrong-path footprints).
+    pub wp_episode_len: Log2Hist,
+    /// Instructions scanned before the wrong path converged with the
+    /// future correct path (convergence-exploitation mode only).
+    pub conv_distance: Log2Hist,
+}
 
 /// Wrong-path fault-handling counters (squashes, watchdog trips, wild
 /// fetches) — re-exported from the functional layer.
@@ -52,6 +74,15 @@ pub struct SimResult {
     /// the same digest, whatever happened on wrong paths — the invariant
     /// the fault-injection harness checks.
     pub state_digest: u64,
+    /// Per-cycle stall attribution over the measured sample. Its
+    /// [`CpiStack::total`] equals [`SimResult::cycles`] exactly, so
+    /// [`SimResult::error_vs`] gaps between wrong-path techniques can be
+    /// decomposed into which stall class moved. Always collected — the
+    /// accounting rides the existing per-retire bookkeeping.
+    pub cpi: CpiStack,
+    /// Event trace and wrong-path histograms; `Some` only when the run's
+    /// [`ObsConfig`](ffsim_obs::ObsConfig) enabled observability.
+    pub obs: Option<ObsReport>,
 }
 
 impl SimResult {
@@ -148,6 +179,8 @@ mod tests {
             wall_time: Duration::from_millis(100),
             faults: FaultStats::default(),
             state_digest: 0,
+            cpi: CpiStack::new(),
+            obs: None,
         }
     }
 

@@ -23,9 +23,21 @@
 
 use ffsim_emu::MemAccess;
 use ffsim_isa::{Addr, ExecClass, Instr, NUM_ARCH_REGS};
+use ffsim_obs::{CpiStack, StallClass};
 use ffsim_uarch::{CoreConfig, Level, MemoryHierarchy, PathKind};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+
+/// Maps the hierarchy level that served an access to the stall class that
+/// charges cycles to it.
+fn level_class(level: Level) -> StallClass {
+    match level {
+        Level::L1 => StallClass::L1Bound,
+        Level::L2 => StallClass::L2Bound,
+        Level::Llc => StallClass::LlcBound,
+        Level::Memory => StallClass::DramBound,
+    }
+}
 
 /// Extra decode-buffer slack (cycles) between fetch and dispatch
 /// backpressure.
@@ -120,6 +132,23 @@ pub struct Pipeline {
     retired_in_cycle: usize,
     retired: u64,
     wrong_path_injected: u64,
+    // CPI-stack accounting: retire gaps are attributed to the stall class
+    // on the backward critical path of the retiring instruction, so the
+    // components telescope to exactly `cycles()`.
+    cpi: CpiStack,
+    // Stall class each architectural register's latest correct-path writer
+    // completed under — propagates memory-boundness down RAW chains.
+    reg_class: [StallClass; NUM_ARCH_REGS],
+    // Culprit profile of the most recently fed instruction:
+    // (critical-path class, cycles of memory latency beyond the FU).
+    last_profile: (StallClass, u64),
+    // Misprediction-recovery state: set by `redirect`, consumed by the
+    // first correct-path retire after it.
+    redirect_pending: bool,
+    // Fetch cycles consumed by wrong-path fetch since the last correct
+    // retire (charged to the WrongPathFetch lane at recovery).
+    wp_fetch_pending: u64,
+    last_wp_fetch_cycle: u64,
 }
 
 impl Pipeline {
@@ -143,6 +172,12 @@ impl Pipeline {
             retired_in_cycle: 0,
             retired: 0,
             wrong_path_injected: 0,
+            cpi: CpiStack::new(),
+            reg_class: [StallClass::Base; NUM_ARCH_REGS],
+            last_profile: (StallClass::Base, 0),
+            redirect_pending: false,
+            wp_fetch_pending: 0,
+            last_wp_fetch_cycle: u64::MAX,
         }
     }
 
@@ -175,6 +210,21 @@ impl Pipeline {
     #[must_use]
     pub fn wrong_path_injected(&self) -> u64 {
         self.wrong_path_injected
+    }
+
+    /// The CPI stack accumulated since construction (or the last
+    /// [`Pipeline::reset_cpi`]). Its [`CpiStack::total`] equals
+    /// [`Pipeline::cycles`] minus the cycle count at the last reset.
+    #[must_use]
+    pub fn cpi(&self) -> CpiStack {
+        self.cpi
+    }
+
+    /// Zeroes the CPI stack (warmup boundary). Attribution after the reset
+    /// telescopes from the current retire cycle, so the components of the
+    /// measured sample still sum exactly to its cycle count.
+    pub fn reset_cpi(&mut self) {
+        self.cpi.reset();
     }
 
     /// The cycle the next instruction would be fetched.
@@ -215,17 +265,24 @@ impl Pipeline {
         self.fetch_cycle = cycle;
         self.fetch_in_cycle = 0;
         self.last_fetch_line = None;
+        self.redirect_pending = true;
     }
 
-    fn fetch_one(&mut self, pc: Addr, path: PathKind) -> u64 {
+    fn fetch_one(&mut self, pc: Addr, path: PathKind) -> (u64, Level) {
         let line = pc >> self.line_shift;
+        let mut served_by = Level::L1;
         if self.last_fetch_line != Some(line) {
             let res = self.hierarchy.fetch(pc, self.fetch_cycle, path);
+            served_by = res.served_by;
             if res.served_by != Level::L1 {
                 // The L1I hit latency is pipelined into the frontend depth;
                 // only the excess stalls fetch.
-                self.fetch_cycle += res.latency - self.cfg.l1i.latency;
+                let stall = res.latency - self.cfg.l1i.latency;
+                self.fetch_cycle += stall;
                 self.fetch_in_cycle = 0;
+                if path == PathKind::Wrong {
+                    self.wp_fetch_pending += stall;
+                }
             }
             self.last_fetch_line = Some(line);
         }
@@ -234,7 +291,13 @@ impl Pipeline {
             self.fetch_in_cycle = 0;
         }
         self.fetch_in_cycle += 1;
-        self.fetch_cycle
+        // Each distinct cycle in which wrong-path instructions occupy fetch
+        // slots is bandwidth stolen from post-recovery refill.
+        if path == PathKind::Wrong && self.fetch_cycle != self.last_wp_fetch_cycle {
+            self.wp_fetch_pending += 1;
+            self.last_wp_fetch_cycle = self.fetch_cycle;
+        }
+        (self.fetch_cycle, served_by)
     }
 
     /// Computes the issue cycle on the least-loaded server of the class.
@@ -275,27 +338,42 @@ impl Pipeline {
         flush_at: Option<u64>,
     ) -> InstrTimes {
         let class = instr.exec_class();
-        let fetch = self.fetch_one(pc, path);
+        let (fetch, fetch_level) = self.fetch_one(pc, path);
 
         // Dispatch: wait for window resources. Invariant: the pops below
         // cannot fail — `SimConfig::validate` rejects zero-sized windows,
         // so `len() >= size` implies the structure is non-empty.
+        // `window_clamp` remembers which full resource (if any) pushed
+        // dispatch back the furthest, for CPI attribution.
         let mut dispatch = fetch + self.cfg.frontend_depth;
+        let mut window_clamp = None;
         if window.rob.len() >= self.cfg.rob_size {
             let oldest = window.rob.pop_front().expect("rob non-empty");
-            dispatch = dispatch.max(oldest);
+            if oldest > dispatch {
+                dispatch = oldest;
+                window_clamp = Some(StallClass::RobFull);
+            }
         }
         if window.iq.len() >= self.cfg.iq_size {
             let Reverse(earliest) = window.iq.pop().expect("iq non-empty");
-            dispatch = dispatch.max(earliest);
+            if earliest > dispatch {
+                dispatch = earliest;
+                window_clamp = Some(StallClass::IqFull);
+            }
         }
         if instr.is_load() && window.lq.len() >= self.cfg.load_queue {
             let oldest = window.lq.pop_front().expect("lq non-empty");
-            dispatch = dispatch.max(oldest);
+            if oldest > dispatch {
+                dispatch = oldest;
+                window_clamp = Some(StallClass::LsqFull);
+            }
         }
         if instr.is_store() && window.sq.len() >= self.cfg.store_queue {
             let oldest = window.sq.pop_front().expect("sq non-empty");
-            dispatch = dispatch.max(oldest);
+            if oldest > dispatch {
+                dispatch = oldest;
+                window_clamp = Some(StallClass::LsqFull);
+            }
         }
         // Decode-buffer backpressure: fetch cannot run arbitrarily far
         // ahead of a stalled dispatch stage.
@@ -303,11 +381,17 @@ impl Pipeline {
             .fetch_cycle
             .max(dispatch.saturating_sub(self.cfg.frontend_depth + DECODE_SLACK));
 
-        // Register dependences.
+        // Register dependences. `dep_class` tracks the stall class of the
+        // producer that gates readiness the longest.
         let ops = instr.operands();
         let mut ready = dispatch;
+        let mut dep_class = StallClass::Base;
         for src in ops.src_iter() {
-            ready = ready.max(self.reg_ready[src.flat_index()]);
+            let idx = src.flat_index();
+            if self.reg_ready[idx] > ready {
+                ready = self.reg_ready[idx];
+                dep_class = self.reg_class[idx];
+            }
         }
 
         // Issue on a functional unit.
@@ -319,20 +403,27 @@ impl Pipeline {
         // unneeded instructions of the wrong path", §III-B).
         let squashed_before_issue = flush_at.is_some_and(|resolve| issue >= resolve);
 
-        // Completion.
+        // Completion. `mem_level` records which level served a load (for
+        // CPI attribution); `mem_extra` the latency beyond the FU.
+        let mut mem_level = None;
+        let mut mem_extra = 0;
         let complete = match class {
             ExecClass::Load => {
                 let lat = match (load_timing, mem) {
                     _ if squashed_before_issue => 0,
                     (LoadTiming::Real, Some(m)) => {
-                        self.hierarchy
-                            .data_access(m.addr, false, issue, path)
-                            .latency
+                        let res = self.hierarchy.data_access(m.addr, false, issue, path);
+                        mem_level = Some(res.served_by);
+                        res.latency
                     }
                     // Address unknown (instruction reconstruction): model
                     // as an L1D hit without touching cache state.
-                    _ => self.cfg.l1d.latency,
+                    _ => {
+                        mem_level = Some(Level::L1);
+                        self.cfg.l1d.latency
+                    }
                 };
+                mem_extra = lat;
                 issue + fu_latency + lat
             }
             ExecClass::Store => {
@@ -350,9 +441,40 @@ impl Pipeline {
             _ => issue + fu_latency,
         };
 
-        // Scoreboard update.
+        // Backward critical-path culprit, in priority order: the
+        // instruction's own below-L1 memory access, then the gating
+        // producer's class (propagating memory-boundness down RAW chains),
+        // then FU contention, a full window resource, an instruction-cache
+        // miss, an L1-hit load, and finally base issue bandwidth.
+        let culprit = if let Some(level) = mem_level.filter(|&l| l != Level::L1) {
+            level_class(level)
+        } else if ready > dispatch {
+            dep_class
+        } else if issue > ready {
+            StallClass::Base
+        } else if let Some(clamp) = window_clamp {
+            clamp
+        } else if fetch_level != Level::L1 {
+            level_class(fetch_level)
+        } else if mem_level.is_some() {
+            StallClass::L1Bound
+        } else {
+            StallClass::Base
+        };
+        self.last_profile = (culprit, mem_extra);
+
+        // Scoreboard update. The class scoreboard only tracks correct-path
+        // writers: wrong-path `reg_ready` writes are rolled back via
+        // `restore_regs`, and stale classes behind rolled-back ready times
+        // are never consulted.
         if let Some(dst) = ops.dst {
             self.reg_ready[dst.flat_index()] = complete;
+            if path == PathKind::Correct {
+                self.reg_class[dst.flat_index()] = match culprit {
+                    c if c.is_memory_bound() => c,
+                    _ => StallClass::Base,
+                };
+            }
         }
 
         // Window occupancy bookkeeping. Wrong-path entries vacate at the
@@ -383,6 +505,7 @@ impl Pipeline {
     /// [`Pipeline::cycles`].
     pub fn feed_correct(&mut self, pc: Addr, instr: &Instr, mem: Option<MemAccess>) -> InstrTimes {
         let mut window = std::mem::take(&mut self.window);
+        let prev_retire = self.last_retire;
         let t = self.feed(
             &mut window,
             pc,
@@ -396,7 +519,44 @@ impl Pipeline {
         window.rob.push_back(retire);
         self.window = window;
         self.retired += 1;
+        self.attribute_retire_gap(retire - prev_retire);
         t
+    }
+
+    /// Charges the cycles between consecutive retires to stall classes.
+    /// Gaps telescope (`retire - prev_retire` summed over all retires is
+    /// exactly the final retire cycle), so the stack's total always equals
+    /// [`Pipeline::cycles`] relative to the last [`Pipeline::reset_cpi`].
+    fn attribute_retire_gap(&mut self, gap: u64) {
+        if gap > 0 {
+            // The retire slot itself is useful bandwidth.
+            self.cpi.add(StallClass::Base, false, 1);
+            let stall = gap - 1;
+            if stall > 0 {
+                let (culprit, mem_extra) = self.last_profile;
+                if self.redirect_pending {
+                    // Misprediction-recovery gap: the retiring instruction's
+                    // own memory latency keeps its class; fetch cycles the
+                    // wrong path consumed go to the wrong-path lane; the
+                    // rest is redirect + refill.
+                    let mut rest = stall;
+                    if culprit.is_memory_bound() {
+                        let mem_part = rest.min(mem_extra);
+                        self.cpi.add(culprit, false, mem_part);
+                        rest -= mem_part;
+                    }
+                    let stolen = rest.min(self.wp_fetch_pending);
+                    self.cpi.add(StallClass::WrongPathFetch, true, stolen);
+                    rest -= stolen;
+                    self.cpi.add(StallClass::FrontendMispredict, false, rest);
+                } else {
+                    self.cpi.add(culprit, false, stall);
+                }
+            }
+        }
+        self.redirect_pending = false;
+        self.wp_fetch_pending = 0;
+        self.last_wp_fetch_cycle = u64::MAX;
     }
 
     /// Starts a wrong-path injection episode: a scratch copy of the
@@ -670,6 +830,70 @@ mod tests {
         }
         // 1-wide retire: at least 20 cycles.
         assert!(p.cycles() >= 20);
+    }
+
+    #[test]
+    fn cpi_stack_sums_to_cycles() {
+        use ffsim_obs::StallClass;
+        let mut p = pipeline();
+        // A mix of stall behaviors: icache misses, dependence chains,
+        // DRAM-bound loads, ROB pressure, a wrong-path episode with a
+        // redirect.
+        for i in 0..50u64 {
+            let _ = p.feed_correct(0x1000 + i * 4, &alu(1, 1, 1), None);
+        }
+        let _ = p.feed_correct(0x2000, &load(1, 2), mem(0x80_0000));
+        let t_branch = p.feed_correct(0x2004, &alu(3, 1, 1), None);
+        // The mispredicted branch resolves when it completes (as in the
+        // simulator's run loop); wrong-path work fills the shadow.
+        let resolve = t_branch.complete + 100;
+        let snap = p.snapshot_regs();
+        let mut w = p.begin_wrong_path();
+        for i in 0..10u64 {
+            let _ = p.feed_wrong(
+                &mut w,
+                0x9000 + i * 4,
+                &load(4, 5),
+                mem(0xA0_0000 + i * 64),
+                LoadTiming::Real,
+                resolve,
+            );
+        }
+        p.restore_regs(snap);
+        p.redirect(resolve + 5);
+        for i in 0..20u64 {
+            let _ = p.feed_correct(0x3000 + i * 4, &alu(2, 2, 2), None);
+        }
+        assert_eq!(
+            p.cpi().total(),
+            p.cycles(),
+            "CPI components must sum exactly to elapsed cycles"
+        );
+        assert!(p.cpi().get(StallClass::FrontendMispredict) > 0);
+        assert!(p.cpi().get_lane(StallClass::WrongPathFetch, true) > 0);
+        assert!(p.cpi().get(StallClass::DramBound) > 0);
+        // Reset re-anchors the telescoping at the current cycle.
+        let before = p.cycles();
+        p.reset_cpi();
+        for i in 0..20u64 {
+            let _ = p.feed_correct(0x4000 + i * 4, &alu(6, 6, 6), None);
+        }
+        assert_eq!(p.cpi().total(), p.cycles() - before);
+    }
+
+    #[test]
+    fn dependence_on_dram_load_is_charged_to_dram() {
+        use ffsim_obs::StallClass;
+        let mut p = pipeline();
+        let _ = p.feed_correct(0x1000, &load(1, 2), mem(0x80_0000));
+        // A long chain of dependents on the missing load: their stall
+        // cycles are memory-bound, not base.
+        let _ = p.feed_correct(0x1004, &alu(3, 1, 1), None);
+        assert!(
+            p.cpi().get(StallClass::DramBound) > p.cpi().get(StallClass::Base),
+            "dependents of a DRAM miss must charge DramBound, got {:?}",
+            p.cpi()
+        );
     }
 
     #[test]

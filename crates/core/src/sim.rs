@@ -3,7 +3,7 @@
 
 use crate::code_cache::CodeCache;
 use crate::error::SimError;
-use crate::metrics::{FaultStats, SimResult};
+use crate::metrics::{FaultStats, ObsReport, SimResult};
 use crate::mode::WrongPathMode;
 use crate::pipeline::{LoadTiming, Pipeline};
 use crate::replica::{PcCorruption, ReplicaPolicy};
@@ -15,8 +15,18 @@ use ffsim_emu::{
     NoFrontendWrongPath, StreamEntry,
 };
 use ffsim_isa::{Program, INSTR_BYTES};
+use ffsim_obs::{EventRing, Log2Hist, ObsConfig, TraceEvent, TraceEventKind, TraceSource};
 use ffsim_uarch::{BranchPredictor, CoreConfig};
 use std::time::Instant;
+
+/// Builds a timing-model trace event (cycle timestamps).
+fn timing_event(ts: u64, kind: TraceEventKind) -> TraceEvent {
+    TraceEvent {
+        ts,
+        source: TraceSource::Timing,
+        kind,
+    }
+}
 
 /// Configuration of one simulation run.
 #[derive(Clone, Debug)]
@@ -63,6 +73,10 @@ pub struct SimConfig {
     /// functional frontend; a fired token surfaces as
     /// [`SimError::Cancelled`] or [`SimError::DeadlineExceeded`].
     pub cancel: Option<CancelToken>,
+    /// Observability: event tracing and wrong-path histograms. Defaults to
+    /// the `FFSIM_OBS` environment opt-in (off unless set); disabled runs
+    /// produce results bit-identical to an uninstrumented simulator.
+    pub obs: ObsConfig,
 }
 
 impl SimConfig {
@@ -92,6 +106,7 @@ impl SimConfig {
             max_memory_pages: None,
             wp_pc_corruption: None,
             cancel: None,
+            obs: ObsConfig::from_env(),
         }
     }
 
@@ -204,6 +219,20 @@ impl Frontend {
             Frontend::Replica(q) => q.emulator(),
         }
     }
+
+    fn take_trace(&mut self) -> Vec<TraceEvent> {
+        match self {
+            Frontend::Passive(q) => q.take_trace(),
+            Frontend::Replica(q) => q.take_trace(),
+        }
+    }
+
+    fn trace_dropped(&self) -> u64 {
+        match self {
+            Frontend::Passive(q) => q.trace_dropped(),
+            Frontend::Replica(q) => q.trace_dropped(),
+        }
+    }
 }
 
 /// Observes simulation events as they happen — per-retired-instruction
@@ -264,6 +293,12 @@ pub struct Simulator {
     future_buf: Vec<DynInst>,
     /// Reusable buffer for the reconstructed wrong path.
     wp_buf: Vec<WpInst>,
+    /// Timing-model event ring (disabled unless `cfg.obs.enabled`).
+    trace: EventRing,
+    /// Wrong-path instructions injected per misprediction episode.
+    wp_episode_hist: Log2Hist,
+    /// Convergence distances (convergence-exploitation mode only).
+    conv_dist_hist: Log2Hist,
 }
 
 impl Simulator {
@@ -295,12 +330,14 @@ impl Simulator {
                     cfg.core.queue_depth,
                 )
                 .with_fault_policy(cfg.fault_policy)
-                .with_watchdog(cfg.wrong_path_watchdog),
+                .with_watchdog(cfg.wrong_path_watchdog)
+                .with_trace(cfg.obs.ring()),
             ),
             _ => Frontend::Passive(
                 InstrQueue::new(emu, NoFrontendWrongPath, cfg.core.queue_depth)
                     .with_fault_policy(cfg.fault_policy)
-                    .with_watchdog(cfg.wrong_path_watchdog),
+                    .with_watchdog(cfg.wrong_path_watchdog)
+                    .with_trace(cfg.obs.ring()),
             ),
         };
         let predictor = BranchPredictor::new(cfg.core.branch);
@@ -309,6 +346,7 @@ impl Simulator {
             Some(cap) => CodeCache::with_capacity(cap),
             None => CodeCache::unbounded(),
         };
+        let trace = cfg.obs.ring();
         Ok(Simulator {
             cfg,
             frontend,
@@ -318,6 +356,9 @@ impl Simulator {
             conv_stats: ConvergenceStats::default(),
             future_buf: Vec::new(),
             wp_buf: Vec::new(),
+            trace,
+            wp_episode_hist: Log2Hist::new(),
+            conv_dist_hist: Log2Hist::new(),
         })
     }
 
@@ -415,9 +456,14 @@ impl Simulator {
                 cycles_base = self.pipeline.cycles();
                 wp_base = self.pipeline.wrong_path_injected();
                 self.pipeline.reset_hierarchy_stats();
+                // The CPI stack re-anchors at the boundary so its
+                // components sum to the measured sample's cycles.
+                self.pipeline.reset_cpi();
                 self.predictor.reset_stats();
                 self.code_cache.reset_stats();
                 self.conv_stats = ConvergenceStats::default();
+                self.wp_episode_hist = Log2Hist::new();
+                self.conv_dist_hist = Log2Hist::new();
             }
             let Some(entry) = self.frontend.pop() else {
                 break;
@@ -446,11 +492,19 @@ impl Simulator {
             // Misprediction: the branch resolves when it executes.
             let resolve = times.complete;
             observer.on_mispredict(inst.pc, resolve);
+            let branch_pc = inst.pc;
+            self.trace.record(|| {
+                timing_event(
+                    times.fetch,
+                    TraceEventKind::MispredictDetect { pc: branch_pc },
+                )
+            });
             if res.prediction.taken {
                 // Fetch had redirected to the (wrongly) predicted target.
                 self.pipeline.break_fetch_group();
             }
 
+            let wp_before = self.pipeline.wrong_path_injected();
             match self.cfg.mode {
                 WrongPathMode::NoWrongPath => {}
                 WrongPathMode::InstructionReconstruction => {
@@ -473,12 +527,25 @@ impl Simulator {
                                 None => break,
                             }
                         }
-                        let _ = recover_addresses(
+                        let convergence_distance = recover_addresses(
                             &mut self.wp_buf,
                             &self.future_buf,
                             &self.cfg.convergence,
                             &mut self.conv_stats,
                         );
+                        if self.trace.is_enabled() {
+                            if let Some(distance) = convergence_distance {
+                                self.conv_dist_hist.record(distance as u64);
+                                self.trace.record(|| {
+                                    timing_event(
+                                        resolve,
+                                        TraceEventKind::ConvergenceHit {
+                                            distance: distance as u64,
+                                        },
+                                    )
+                                });
+                            }
+                        }
                         Self::inject_wrong_path(
                             &mut self.pipeline,
                             &self.wp_buf,
@@ -518,8 +585,47 @@ impl Simulator {
                 }
             }
 
-            self.pipeline
-                .redirect(resolve + self.cfg.core.redirect_penalty);
+            if self.trace.is_enabled() {
+                let injected = self.pipeline.wrong_path_injected() - wp_before;
+                self.wp_episode_hist.record(injected);
+                if injected > 0 {
+                    // The wrong-path episode spans branch fetch to
+                    // resolution, rendered as a B/E duration pair.
+                    let start = res.wrong_path_start.unwrap_or(branch_pc);
+                    self.trace.record(|| {
+                        timing_event(times.fetch, TraceEventKind::WrongPathEnter { pc: start })
+                    });
+                    self.trace.record(|| {
+                        timing_event(
+                            resolve,
+                            TraceEventKind::WrongPathExit {
+                                instructions: injected,
+                            },
+                        )
+                    });
+                }
+                self.trace.record(|| {
+                    timing_event(
+                        resolve,
+                        TraceEventKind::Squash {
+                            instructions: injected,
+                        },
+                    )
+                });
+                self.trace.record(|| {
+                    timing_event(resolve, TraceEventKind::MispredictResolve { pc: branch_pc })
+                });
+            }
+            let resume = resolve + self.cfg.core.redirect_penalty;
+            self.trace.record(|| {
+                timing_event(
+                    resume,
+                    TraceEventKind::FetchRedirect {
+                        resume_cycle: resume,
+                    },
+                )
+            });
+            self.pipeline.redirect(resume);
         }
 
         if let Some(cause) = self.frontend.cancelled() {
@@ -537,6 +643,23 @@ impl Simulator {
                 }
             });
         }
+
+        let obs = if self.cfg.obs.enabled {
+            // Timing-model events first (cycle timestamps), then frontend
+            // events (instruction-ordinal timestamps) — separate tracks in
+            // the Chrome export.
+            let mut events = self.trace.take();
+            let dropped_events = self.trace.dropped() + self.frontend.trace_dropped();
+            events.extend(self.frontend.take_trace());
+            Some(ObsReport {
+                events,
+                dropped_events,
+                wp_episode_len: self.wp_episode_hist,
+                conv_distance: self.conv_dist_hist,
+            })
+        } else {
+            None
+        };
 
         let h = self.pipeline.hierarchy();
         Ok(SimResult {
@@ -557,6 +680,8 @@ impl Simulator {
             wall_time: started.elapsed(),
             faults: self.frontend.fault_stats(),
             state_digest: self.frontend.emulator().digest(),
+            cpi: self.pipeline.cpi(),
+            obs,
         })
     }
 }
@@ -933,6 +1058,130 @@ mod tests {
                 assert_eq!(retired, 3, "li, li, sd retire before the faulting sd");
             }
             other => panic!("expected a correct-path fault, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cpi_components_sum_to_cycles_in_every_mode() {
+        let p = streaming_loop(100);
+        for mode in WrongPathMode::ALL {
+            let r = Simulator::new(p.clone(), Memory::new(), tiny(mode))
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(
+                r.cpi.total(),
+                r.cycles,
+                "{mode}: CPI stack must sum exactly to cycles"
+            );
+            assert!(r.cpi.get(ffsim_obs::StallClass::Base) > 0, "{mode}");
+        }
+    }
+
+    #[test]
+    fn cpi_components_sum_to_cycles_with_warmup() {
+        let p = streaming_loop(100);
+        for mode in WrongPathMode::ALL {
+            let mut cfg = tiny(mode);
+            cfg.warmup_instructions = 300;
+            cfg.max_instructions = Some(400);
+            let r = Simulator::new(p.clone(), Memory::new(), cfg)
+                .unwrap()
+                .run()
+                .unwrap();
+            assert_eq!(
+                r.cpi.total(),
+                r.cycles,
+                "{mode}: warmup reset must re-anchor the CPI stack"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_path_fetch_cycles_appear_only_in_injecting_modes() {
+        use ffsim_obs::StallClass;
+        let p = simple_loop(200);
+        let nowp = Simulator::new(p.clone(), Memory::new(), tiny(WrongPathMode::NoWrongPath))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(
+            nowp.cpi.get(StallClass::WrongPathFetch),
+            0,
+            "no wrong path, no stolen fetch cycles"
+        );
+        assert_eq!(nowp.cpi.total_wrong(), 0);
+        let wpemul = Simulator::new(p, Memory::new(), tiny(WrongPathMode::WrongPathEmulation))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            wpemul.cpi.get_lane(StallClass::WrongPathFetch, true) > 0,
+            "wrong-path emulation must charge stolen fetch cycles: {:?}",
+            wpemul.cpi
+        );
+    }
+
+    #[test]
+    fn obs_run_collects_trace_and_histograms() {
+        let p = simple_loop(100);
+        let mut cfg = tiny(WrongPathMode::ConvergenceExploitation);
+        cfg.obs = ObsConfig::enabled();
+        let r = Simulator::new(p, Memory::new(), cfg)
+            .unwrap()
+            .run()
+            .unwrap();
+        let obs = r.obs.expect("enabled run must carry an ObsReport");
+        assert!(!obs.events.is_empty(), "mispredictions must leave events");
+        assert_eq!(
+            obs.wp_episode_len.count(),
+            r.branch.mispredicts(),
+            "one episode sample per misprediction"
+        );
+        assert!(
+            obs.events
+                .iter()
+                .any(|e| matches!(e.kind, TraceEventKind::MispredictResolve { .. })),
+            "resolve events present"
+        );
+        // Disabled runs carry no report.
+        let p2 = simple_loop(100);
+        let r2 = Simulator::new(
+            p2,
+            Memory::new(),
+            tiny(WrongPathMode::ConvergenceExploitation),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert!(r2.obs.is_none());
+    }
+
+    #[test]
+    fn observability_has_no_observer_effect() {
+        // The hard invariant: tracing on vs. off yields identical timing
+        // and architectural results in every mode.
+        let p = streaming_loop(60);
+        for mode in WrongPathMode::ALL {
+            let run = |enabled: bool| {
+                let mut cfg = tiny(mode);
+                cfg.obs = if enabled {
+                    ObsConfig::enabled()
+                } else {
+                    ObsConfig::disabled()
+                };
+                let r = Simulator::new(p.clone(), Memory::new(), cfg)
+                    .unwrap()
+                    .run()
+                    .unwrap();
+                (
+                    r.cycles,
+                    r.instructions,
+                    r.wrong_path_instructions,
+                    r.state_digest,
+                )
+            };
+            assert_eq!(run(false), run(true), "{mode}: observer effect detected");
         }
     }
 

@@ -3,8 +3,8 @@
 //! chain integrity, recovery soundness, and simulator determinism.
 
 use ffsim_core::{
-    reconstruct, recover_addresses, CodeCache, ConvergenceConfig, ConvergenceStats, Pipeline,
-    SimConfig, Simulator, WpInst, WrongPathMode,
+    reconstruct, recover_addresses, CodeCache, ConvergenceConfig, ConvergenceStats, ObsConfig,
+    Pipeline, SimConfig, Simulator, WpInst, WrongPathMode,
 };
 use ffsim_emu::{DynInst, MemAccess, Memory};
 use ffsim_isa::{AluOp, Instr, MemWidth, Program, Reg, INSTR_BYTES};
@@ -237,6 +237,48 @@ proptest! {
             prop_assert_eq!(r1.instructions, r2.instructions);
             prop_assert_eq!(r1.wrong_path_instructions, r2.wrong_path_instructions);
             prop_assert_eq!(r1.state_digest, r2.state_digest);
+        }
+    }
+
+    /// Observer-effect invariant: enabling CPI/event tracing never changes
+    /// the simulated outcome. Same workload, obs on vs. off, across all
+    /// four modes — identical cycles, instructions, and state digest.
+    #[test]
+    fn observability_never_perturbs_the_simulation(
+        body in proptest::collection::vec(arb_instr(), 1..40),
+        trip in 1i64..40,
+    ) {
+        let base = 0x1000u64;
+        let mut instrs = vec![
+            Instr::LoadImm { rd: Reg::new(31), imm: trip },
+            Instr::LoadImm { rd: Reg::new(30), imm: 0x10_0000 },
+        ];
+        let loop_start = base + instrs.len() as u64 * INSTR_BYTES;
+        instrs.extend(body.iter().copied());
+        instrs.push(Instr::AluImm { op: AluOp::Add, rd: Reg::new(31), rs1: Reg::new(31), imm: -1 });
+        instrs.push(Instr::Branch {
+            cond: ffsim_isa::BranchCond::Ne,
+            rs1: Reg::new(31),
+            rs2: Reg::ZERO,
+            target: loop_start,
+        });
+        instrs.push(Instr::Halt);
+        let program = Program::new(base, instrs);
+
+        for mode in WrongPathMode::ALL {
+            let mut off = SimConfig::with_core(CoreConfig::tiny_for_tests(), mode);
+            off.obs = ObsConfig::disabled();
+            let mut on = off.clone();
+            on.obs = ObsConfig::enabled();
+            let quiet = Simulator::new(program.clone(), Memory::new(), off).unwrap().run().unwrap();
+            let observed = Simulator::new(program.clone(), Memory::new(), on).unwrap().run().unwrap();
+            prop_assert_eq!(quiet.cycles, observed.cycles, "{}: cycles must not move", mode);
+            prop_assert_eq!(quiet.instructions, observed.instructions);
+            prop_assert_eq!(quiet.wrong_path_instructions, observed.wrong_path_instructions);
+            prop_assert_eq!(quiet.state_digest, observed.state_digest);
+            prop_assert_eq!(quiet.cpi.total(), observed.cpi.total());
+            prop_assert!(quiet.obs.is_none(), "disabled run must not allocate a report");
+            prop_assert!(observed.obs.is_some(), "enabled run must produce a report");
         }
     }
 

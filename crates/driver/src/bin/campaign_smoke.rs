@@ -166,6 +166,12 @@ fn main() -> ExitCode {
         "campaign_smoke: {} resumed, {} executed, cancelled: {}",
         outcome.resumed, outcome.executed, outcome.cancelled
     );
+    // Likewise the wall-clock timing appendix (present only under
+    // FFSIM_OBS telemetry).
+    let timing = report::render_timing(&outcome.records);
+    if !timing.is_empty() {
+        eprint!("{timing}");
+    }
 
     let text = report::render(&outcome.records);
     match &args.report {

@@ -20,16 +20,17 @@
 //! killed campaign resumes by re-running only the jobs without a record.
 
 use crate::job::{
-    ladder_next, AttemptOutcome, AttemptRecord, Job, JobRecord, JobStatus, JobSummary,
+    ladder_next, AttemptOutcome, AttemptRecord, Job, JobRecord, JobStatus, JobSummary, JobTiming,
 };
 use crate::manifest;
 use crate::retry::RetryPolicy;
+use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::watchdog::Watchdog;
 use ffsim_core::{CancelToken, SimConfig, SimError, Simulator};
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Campaign-wide supervision settings.
@@ -44,6 +45,9 @@ pub struct CampaignConfig {
     pub default_timeout: Option<Duration>,
     /// Manifest location (`None` = in-memory campaign, no resume).
     pub manifest_path: Option<PathBuf>,
+    /// Live telemetry: stderr heartbeats and per-job timing records.
+    /// Defaults to the `FFSIM_OBS` environment switch (off unless set).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for CampaignConfig {
@@ -53,6 +57,7 @@ impl Default for CampaignConfig {
             retry: RetryPolicy::default(),
             default_timeout: Some(Duration::from_secs(300)),
             manifest_path: None,
+            telemetry: TelemetryConfig::from_env(),
         }
     }
 }
@@ -138,36 +143,85 @@ impl Campaign {
             self.cfg.workers
         };
 
+        let telemetry = Telemetry::new(lock(&queue).len());
+        let pool_start = Instant::now();
+        let hb_stop = Mutex::new(false);
+        let hb_cv = Condvar::new();
+
         std::thread::scope(|scope| {
-            for _ in 0..workers {
+            let heartbeat = self.cfg.telemetry.enabled.then(|| {
                 scope.spawn(|| {
+                    let mut stopped = lock(&hb_stop);
                     loop {
-                        if self.cancel.is_cancelled() {
+                        let (guard, _) = hb_cv
+                            .wait_timeout(stopped, self.cfg.telemetry.heartbeat)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        stopped = guard;
+                        if *stopped {
                             return;
                         }
-                        let Some(job) = lock(&queue).pop_front() else {
-                            return;
-                        };
-                        let Some(record) = self.run_job(&job, &watchdog) else {
-                            // Campaign cancelled mid-job: leave it without
-                            // a record so a resumed campaign re-runs it.
-                            return;
-                        };
-                        // The save happens under the records lock: concurrent
-                        // saves would race on the shared temp file, and an
-                        // older snapshot must never overwrite a newer one.
-                        let mut done = lock(&done);
-                        done.insert(record.id.clone(), record);
-                        *lock(&executed) += 1;
-                        if let Some(path) = &self.cfg.manifest_path {
-                            if let Err(e) = manifest::save(path, &done) {
-                                lock(&persist_error).get_or_insert(e);
-                                self.cancel.cancel();
+                        eprintln!("{}", telemetry.heartbeat_line());
+                    }
+                })
+            });
+
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        loop {
+                            if self.cancel.is_cancelled() {
                                 return;
                             }
+                            let Some(job) = lock(&queue).pop_front() else {
+                                return;
+                            };
+                            let dequeued = Instant::now();
+                            telemetry.job_started();
+                            let record = self.run_job(&job, &watchdog, &telemetry);
+                            let Some(mut record) = record else {
+                                // Campaign cancelled mid-job: leave it without
+                                // a record so a resumed campaign re-runs it.
+                                telemetry.job_abandoned();
+                                return;
+                            };
+                            // Timing rides the record only under telemetry:
+                            // manifests written without it stay byte-stable.
+                            if self.cfg.telemetry.enabled {
+                                record.timing = Some(JobTiming {
+                                    queue_wait_ms: millis(dequeued - pool_start),
+                                    run_ms: millis(dequeued.elapsed()),
+                                    sim_wall_ms: record
+                                        .sim
+                                        .as_ref()
+                                        .map_or(0, |s| millis(s.wall_time)),
+                                });
+                            }
+                            telemetry.job_finished(&record);
+                            // The save happens under the records lock: concurrent
+                            // saves would race on the shared temp file, and an
+                            // older snapshot must never overwrite a newer one.
+                            let mut done = lock(&done);
+                            done.insert(record.id.clone(), record);
+                            *lock(&executed) += 1;
+                            if let Some(path) = &self.cfg.manifest_path {
+                                if let Err(e) = manifest::save(path, &done) {
+                                    lock(&persist_error).get_or_insert(e);
+                                    self.cancel.cancel();
+                                    return;
+                                }
+                            }
                         }
-                    }
-                });
+                    })
+                })
+                .collect();
+            for handle in handles {
+                let _ = handle.join();
+            }
+            if let Some(heartbeat) = heartbeat {
+                *lock(&hb_stop) = true;
+                hb_cv.notify_all();
+                eprintln!("{}", telemetry.heartbeat_line());
+                let _ = heartbeat.join();
             }
         });
         drop(watchdog);
@@ -190,7 +244,7 @@ impl Campaign {
     /// Runs one job through retries and the degradation ladder. Returns
     /// `None` only when the campaign was cancelled mid-job (the job is
     /// then deliberately unrecorded).
-    fn run_job(&self, job: &Job, watchdog: &Watchdog) -> Option<JobRecord> {
+    fn run_job(&self, job: &Job, watchdog: &Watchdog, telemetry: &Telemetry) -> Option<JobRecord> {
         let retry = RetryPolicy {
             max_attempts: job
                 .max_attempts
@@ -237,10 +291,14 @@ impl Campaign {
                         status,
                         attempts,
                         summary: Some(JobSummary::of(&result)),
+                        timing: None,
                         sim: Some(result),
                     });
                 }
                 let retrying = rung_attempt < retry.max_attempts;
+                if retrying {
+                    telemetry.attempt_retried();
+                }
                 let backoff = if retrying {
                     retry.backoff(&job.id, rung_attempt)
                 } else {
@@ -257,7 +315,10 @@ impl Campaign {
                 }
             }
             match ladder_next(mode).filter(|_| job.degrade) {
-                Some(next) => mode = next,
+                Some(next) => {
+                    telemetry.attempt_retried();
+                    mode = next;
+                }
                 None => {
                     return Some(JobRecord {
                         id: job.id.clone(),
@@ -266,12 +327,17 @@ impl Campaign {
                         status: JobStatus::Failed,
                         attempts,
                         summary: None,
+                        timing: None,
                         sim: None,
                     });
                 }
             }
         }
     }
+}
+
+fn millis(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {

@@ -344,6 +344,41 @@ fn int_value(v: u64) -> Value {
     Value::Int(i64::try_from(v).unwrap_or(i64::MAX))
 }
 
+/// Host-side timing breakdown of one job, recorded only when campaign
+/// telemetry is enabled ([`TelemetryConfig`](crate::TelemetryConfig)).
+///
+/// Wall-clock values vary run to run, so the `timing` key is written to
+/// the manifest only when present — with telemetry off (the default) the
+/// manifest stays byte-identical to one written before this field existed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct JobTiming {
+    /// From worker-pool start to this job's dequeue, in milliseconds.
+    pub queue_wait_ms: u64,
+    /// Total job wall time across all attempts, rungs, and backoff sleeps.
+    pub run_ms: u64,
+    /// Wall time of the successful simulation run alone (`0` for failed
+    /// jobs).
+    pub sim_wall_ms: u64,
+}
+
+impl JobTiming {
+    fn to_value(self) -> Value {
+        Value::Obj(vec![
+            ("queue_wait_ms".into(), int_value(self.queue_wait_ms)),
+            ("run_ms".into(), int_value(self.run_ms)),
+            ("sim_wall_ms".into(), int_value(self.sim_wall_ms)),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Option<JobTiming> {
+        Some(JobTiming {
+            queue_wait_ms: u64::try_from(value.get("queue_wait_ms")?.as_int()?).ok()?,
+            run_ms: u64::try_from(value.get("run_ms")?.as_int()?).ok()?,
+            sim_wall_ms: u64::try_from(value.get("sim_wall_ms")?.as_int()?).ok()?,
+        })
+    }
+}
+
 /// Everything the campaign recorded about one job: final status, the full
 /// attempt history, and (on success) the result summary.
 #[derive(Clone, Debug)]
@@ -361,6 +396,9 @@ pub struct JobRecord {
     pub attempts: Vec<AttemptRecord>,
     /// Deterministic result summary (successful jobs only).
     pub summary: Option<JobSummary>,
+    /// Host-side timing breakdown; `Some` only when the campaign ran with
+    /// telemetry enabled.
+    pub timing: Option<JobTiming>,
     /// The full in-memory result of the successful run. Not serialized —
     /// a resumed campaign has only the [`JobSummary`].
     pub sim: Option<SimResult>,
@@ -368,10 +406,12 @@ pub struct JobRecord {
 
 impl JobRecord {
     /// Serializes the persistent slice (everything but [`JobRecord::sim`]).
+    /// The `timing` key is emitted only when present, so manifests written
+    /// without telemetry are byte-identical to pre-telemetry ones.
     #[must_use]
     pub fn to_value(&self) -> Value {
-        Value::Obj(vec![
-            ("id".into(), Value::Str(self.id.clone())),
+        let mut members = vec![
+            ("id".to_string(), Value::Str(self.id.clone())),
             (
                 "requested_mode".into(),
                 Value::Str(self.requested_mode.label().into()),
@@ -389,7 +429,11 @@ impl JobRecord {
                 "summary".into(),
                 self.summary.map_or(Value::Null, JobSummary::to_value),
             ),
-        ])
+        ];
+        if let Some(timing) = self.timing {
+            members.push(("timing".into(), timing.to_value()));
+        }
+        Value::Obj(members)
     }
 
     /// Deserializes a record written by [`JobRecord::to_value`].
@@ -398,6 +442,10 @@ impl JobRecord {
         let summary = match value.get("summary")? {
             Value::Null => None,
             v => Some(JobSummary::from_value(v)?),
+        };
+        let timing = match value.get("timing") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(JobTiming::from_value(v)?),
         };
         Some(JobRecord {
             id: value.get("id")?.as_str()?.to_string(),
@@ -411,6 +459,7 @@ impl JobRecord {
                 .map(AttemptRecord::from_value)
                 .collect::<Option<Vec<_>>>()?,
             summary,
+            timing,
             sim: None,
         })
     }
@@ -474,6 +523,11 @@ mod tests {
                 wrong_path_instructions: 123,
                 state_digest: 0xdead_beef_0123_4567,
             }),
+            timing: Some(JobTiming {
+                queue_wait_ms: 12,
+                run_ms: 345,
+                sim_wall_ms: 330,
+            }),
             sim: None,
         };
         let json = record.to_value().to_json();
@@ -484,6 +538,28 @@ mod tests {
         assert_eq!(parsed.status, record.status);
         assert_eq!(parsed.attempts, record.attempts);
         assert_eq!(parsed.summary, record.summary);
+        assert_eq!(parsed.timing, record.timing);
+    }
+
+    #[test]
+    fn timing_key_is_absent_without_telemetry() {
+        let record = JobRecord {
+            id: "quiet".into(),
+            requested_mode: WrongPathMode::NoWrongPath,
+            final_mode: WrongPathMode::NoWrongPath,
+            status: JobStatus::Completed,
+            attempts: vec![],
+            summary: None,
+            timing: None,
+            sim: None,
+        };
+        let json = record.to_value().to_json();
+        assert!(
+            !json.contains("timing"),
+            "manifests without telemetry must not change shape"
+        );
+        let parsed = JobRecord::from_value(&crate::json::parse(&json).unwrap()).unwrap();
+        assert_eq!(parsed.timing, None);
     }
 
     #[test]
@@ -495,6 +571,7 @@ mod tests {
             status: JobStatus::Failed,
             attempts: vec![],
             summary: None,
+            timing: None,
             sim: None,
         };
         let json = record.to_value().to_json();

@@ -62,17 +62,19 @@
 
 mod campaign;
 mod job;
-pub mod json;
 pub mod manifest;
 pub mod report;
 mod retry;
+mod telemetry;
 mod watchdog;
 
 pub use campaign::{Campaign, CampaignConfig, CampaignOutcome};
 pub use ffsim_core::{CancelCause, CancelToken};
+pub use ffsim_obs::json;
 pub use job::{
     ladder_next, mode_from_label, AttemptOutcome, AttemptRecord, ConfigTweak, Job, JobRecord,
-    JobStatus, JobSummary, WorkloadFn,
+    JobStatus, JobSummary, JobTiming, WorkloadFn,
 };
 pub use retry::RetryPolicy;
+pub use telemetry::{Telemetry, TelemetryConfig};
 pub use watchdog::{WatchGuard, Watchdog};

@@ -117,6 +117,7 @@ mod tests {
                 wrong_path_instructions: 1,
                 state_digest: 0x42,
             }),
+            timing: None,
             sim: None,
         }
     }

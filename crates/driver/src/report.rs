@@ -95,6 +95,39 @@ pub fn render(records: &BTreeMap<String, JobRecord>) -> String {
     out
 }
 
+/// Renders the host-side timing appendix: one row per job that carries a
+/// [`JobTiming`](crate::JobTiming) record (campaigns run with telemetry
+/// enabled). Returns the empty string when no record has timing.
+///
+/// Wall-clock values vary run to run, so this table is for stderr and
+/// interactive use — it must never be written into the deterministic
+/// report artifact that [`render`] produces.
+#[must_use]
+pub fn render_timing(records: &BTreeMap<String, JobRecord>) -> String {
+    let rows: Vec<Vec<String>> = records
+        .values()
+        .filter_map(|r| {
+            r.timing.map(|t| {
+                vec![
+                    r.id.clone(),
+                    t.queue_wait_ms.to_string(),
+                    t.run_ms.to_string(),
+                    t.sim_wall_ms.to_string(),
+                ]
+            })
+        })
+        .collect();
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("job timing (host wall clock)\n\n");
+    out.push_str(&table(
+        &["job", "queue_wait_ms", "run_ms", "sim_wall_ms"],
+        &rows,
+    ));
+    out
+}
+
 /// A right-aligned text table (same layout as the bench crate's tables;
 /// duplicated here because the driver sits below the bench crate in the
 /// dependency graph).
@@ -159,6 +192,7 @@ mod tests {
                 wrong_path_instructions: 50,
                 state_digest: 0xabc,
             }),
+            timing: None,
             sim: None,
         }
     }
@@ -175,6 +209,34 @@ mod tests {
         // Only the multi-attempt job appears in the history section.
         assert!(text.contains("attempt history"));
         assert!(text.contains("panic: boom"));
+    }
+
+    #[test]
+    fn timing_appendix_is_empty_without_telemetry() {
+        let mut records = BTreeMap::new();
+        records.insert("a".to_string(), record("a", 1));
+        assert_eq!(render_timing(&records), "");
+    }
+
+    #[test]
+    fn timing_appendix_lists_timed_jobs() {
+        let mut rec = record("a", 1);
+        rec.timing = Some(crate::job::JobTiming {
+            queue_wait_ms: 3,
+            run_ms: 120,
+            sim_wall_ms: 100,
+        });
+        let mut records = BTreeMap::new();
+        records.insert("a".to_string(), rec);
+        records.insert("b".to_string(), record("b", 1)); // untimed: skipped
+        let text = render_timing(&records);
+        assert!(text.contains("job timing"));
+        assert!(text.contains("queue_wait_ms"));
+        assert!(text.contains("120"));
+        assert!(
+            !text.lines().any(|l| l.trim_start().starts_with('b')),
+            "untimed jobs stay out of the table"
+        );
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Live campaign telemetry: periodic stderr heartbeats and the shared
+//! progress counters behind them.
+//!
+//! Telemetry is **off by default** and is enabled by the same switch as
+//! every other observability feature (`FFSIM_OBS`, see
+//! [`ffsim_obs::ENV_VAR`]), or explicitly through [`TelemetryConfig`].
+//! Heartbeats go to **stderr only** — stdout artifacts (reports,
+//! manifests) stay byte-deterministic whatever the telemetry setting.
+//!
+//! The counters in [`Telemetry`] are plain atomics: workers bump them on
+//! the job lifecycle edges (dequeue, retry, finish) and the heartbeat
+//! thread renders a snapshot every [`TelemetryConfig::heartbeat`]. A
+//! snapshot may be torn across counters (a job can move from `running` to
+//! `done` between two loads) — heartbeats are progress indication, not an
+//! audit log, and the manifest remains the source of truth.
+
+use crate::job::{JobRecord, JobStatus};
+use ffsim_core::WrongPathMode;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Campaign telemetry settings.
+#[derive(Clone, Debug)]
+pub struct TelemetryConfig {
+    /// Master switch. When `false`, no heartbeat thread is spawned and no
+    /// per-job [`JobTiming`](crate::JobTiming) is recorded — the campaign
+    /// behaves byte-for-byte as if this module did not exist.
+    pub enabled: bool,
+    /// Heartbeat period.
+    pub heartbeat: Duration,
+}
+
+impl Default for TelemetryConfig {
+    /// Disabled, 5-second heartbeat.
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            enabled: false,
+            heartbeat: Duration::from_secs(5),
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Reads the master switch from the `FFSIM_OBS` environment variable
+    /// (the shared observability gate); heartbeat period stays at the
+    /// default.
+    #[must_use]
+    pub fn from_env() -> TelemetryConfig {
+        TelemetryConfig {
+            enabled: ffsim_obs::env_enabled(),
+            ..TelemetryConfig::default()
+        }
+    }
+}
+
+/// Shared campaign progress counters, updated by workers and rendered by
+/// the heartbeat thread. See the [module docs](self) for the consistency
+/// contract.
+#[derive(Debug)]
+pub struct Telemetry {
+    total: usize,
+    start: Instant,
+    running: AtomicUsize,
+    done: AtomicUsize,
+    failed: AtomicUsize,
+    retries: AtomicUsize,
+    /// Degraded-job count per final rung, indexed like
+    /// [`WrongPathMode::ALL`].
+    degraded: [AtomicUsize; 4],
+    /// Correct-path instructions simulated by finished jobs (MIPS).
+    instructions: AtomicU64,
+}
+
+impl Telemetry {
+    /// Fresh counters for a campaign of `total` pending jobs.
+    #[must_use]
+    pub fn new(total: usize) -> Telemetry {
+        Telemetry {
+            total,
+            start: Instant::now(),
+            running: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            retries: AtomicUsize::new(0),
+            degraded: [const { AtomicUsize::new(0) }; 4],
+            instructions: AtomicU64::new(0),
+        }
+    }
+
+    /// A worker dequeued a job.
+    pub fn job_started(&self) {
+        self.running.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An attempt failed and the job will try again (same rung or the next
+    /// one down the ladder).
+    pub fn attempt_retried(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A job reached a terminal record.
+    pub fn job_finished(&self, record: &JobRecord) {
+        self.running.fetch_sub(1, Ordering::Relaxed);
+        self.done.fetch_add(1, Ordering::Relaxed);
+        match record.status {
+            JobStatus::Failed => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            JobStatus::Degraded => {
+                if let Some(rung) = mode_index(record.final_mode) {
+                    self.degraded[rung].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            JobStatus::Completed => {}
+        }
+        if let Some(summary) = &record.summary {
+            self.instructions
+                .fetch_add(summary.instructions, Ordering::Relaxed);
+        }
+    }
+
+    /// A job was abandoned without a record (campaign cancelled mid-job).
+    pub fn job_abandoned(&self) {
+        self.running.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// One heartbeat line for the current counters and elapsed wall time.
+    #[must_use]
+    pub fn heartbeat_line(&self) -> String {
+        self.line_at(self.start.elapsed())
+    }
+
+    /// [`Telemetry::heartbeat_line`] with an explicit elapsed time
+    /// (deterministic rendering for tests).
+    #[must_use]
+    pub fn line_at(&self, elapsed: Duration) -> String {
+        let done = self.done.load(Ordering::Relaxed);
+        let running = self.running.load(Ordering::Relaxed);
+        let failed = self.failed.load(Ordering::Relaxed);
+        let retries = self.retries.load(Ordering::Relaxed);
+        let instructions = self.instructions.load(Ordering::Relaxed);
+        let secs = elapsed.as_secs_f64();
+        let mips = if secs > 0.0 {
+            instructions as f64 / secs / 1e6
+        } else {
+            0.0
+        };
+        let mut line = format!(
+            "campaign: {done}/{} done, {running} running, {retries} retries, {failed} failed",
+            self.total
+        );
+        let degraded: Vec<String> = WrongPathMode::ALL
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, mode)| {
+                let n = self.degraded[i].load(Ordering::Relaxed);
+                (n > 0).then(|| format!("{}={n}", mode.label()))
+            })
+            .collect();
+        if !degraded.is_empty() {
+            line.push_str(&format!(", degraded to {}", degraded.join(" ")));
+        }
+        line.push_str(&format!(" | {mips:.2} MIPS | {:.0}s", secs));
+        line
+    }
+}
+
+fn mode_index(mode: WrongPathMode) -> Option<usize> {
+    WrongPathMode::ALL.into_iter().position(|m| m == mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobSummary;
+
+    fn record(status: JobStatus, final_mode: WrongPathMode, instructions: u64) -> JobRecord {
+        JobRecord {
+            id: "j".into(),
+            requested_mode: WrongPathMode::WrongPathEmulation,
+            final_mode,
+            status,
+            attempts: vec![],
+            summary: (status != JobStatus::Failed).then_some(JobSummary {
+                instructions,
+                cycles: instructions,
+                wrong_path_instructions: 0,
+                state_digest: 0,
+            }),
+            timing: None,
+            sim: None,
+        }
+    }
+
+    #[test]
+    fn default_config_is_off() {
+        assert!(!TelemetryConfig::default().enabled);
+    }
+
+    #[test]
+    fn counters_track_the_job_lifecycle() {
+        let t = Telemetry::new(3);
+        t.job_started();
+        t.job_started();
+        t.attempt_retried();
+        t.job_finished(&record(
+            JobStatus::Completed,
+            WrongPathMode::WrongPathEmulation,
+            2_000_000,
+        ));
+        t.job_finished(&record(
+            JobStatus::Degraded,
+            WrongPathMode::ConvergenceExploitation,
+            1_000_000,
+        ));
+        t.job_started();
+        t.job_finished(&record(JobStatus::Failed, WrongPathMode::NoWrongPath, 0));
+        let line = t.line_at(Duration::from_secs(2));
+        assert_eq!(
+            line,
+            "campaign: 3/3 done, 0 running, 1 retries, 1 failed, \
+             degraded to conv=1 | 1.50 MIPS | 2s"
+        );
+    }
+
+    #[test]
+    fn abandoned_jobs_leave_done_untouched() {
+        let t = Telemetry::new(1);
+        t.job_started();
+        t.job_abandoned();
+        let line = t.line_at(Duration::from_secs(1));
+        assert!(line.starts_with("campaign: 0/1 done, 0 running"));
+    }
+}

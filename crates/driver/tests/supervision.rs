@@ -78,6 +78,7 @@ fn fast_config() -> CampaignConfig {
         },
         default_timeout: Some(Duration::from_secs(60)),
         manifest_path: None,
+        telemetry: ffsim_driver::TelemetryConfig::default(),
     }
 }
 
@@ -370,4 +371,41 @@ fn cancelling_the_campaign_stops_promptly_and_leaves_work_unrecorded() {
         start.elapsed() < Duration::from_secs(10),
         "cancellation was prompt"
     );
+}
+
+#[test]
+fn telemetry_records_timing_without_touching_the_report() {
+    let jobs = || {
+        WrongPathMode::ALL
+            .into_iter()
+            .map(|mode| tiny_job(&format!("countdown/{mode}"), mode, || countdown(200)))
+            .collect::<Vec<_>>()
+    };
+
+    let quiet = Campaign::new(fast_config()).run(jobs()).expect("quiet run");
+    let observed = Campaign::new(CampaignConfig {
+        telemetry: ffsim_driver::TelemetryConfig {
+            enabled: true,
+            heartbeat: Duration::from_millis(5),
+        },
+        ..fast_config()
+    })
+    .run(jobs())
+    .expect("telemetry run");
+
+    for record in observed.records.values() {
+        let timing = record.timing.expect("telemetry run records timing");
+        assert!(timing.run_ms >= timing.sim_wall_ms);
+        assert_eq!(record.status, JobStatus::Completed);
+    }
+    for record in quiet.records.values() {
+        assert!(record.timing.is_none(), "telemetry off records no timing");
+    }
+    // The deterministic report is identical either way: timing and
+    // heartbeats ride stderr and the manifest only.
+    assert_eq!(
+        ffsim_driver::report::render(&quiet.records),
+        ffsim_driver::report::render(&observed.records)
+    );
+    assert!(!ffsim_driver::report::render_timing(&observed.records).is_empty());
 }

@@ -22,6 +22,7 @@ use crate::dyninst::{DynInst, WrongPathBundle, WrongPathStop};
 use crate::emulator::{BranchOracle, Emulator, StepError};
 use crate::exec::Fault;
 use ffsim_isa::Addr;
+use ffsim_obs::{EventRing, TraceEvent, TraceEventKind, TraceSource};
 use std::collections::VecDeque;
 
 /// What to do when a fault (or watchdog trip) occurs during *wrong-path*
@@ -145,6 +146,7 @@ pub struct InstrQueue<P> {
     watchdog: Option<u64>,
     wp_stats: WrongPathFaultStats,
     cancelled: Option<CancelCause>,
+    trace: EventRing,
 }
 
 impl<P: FrontendPolicy> InstrQueue<P> {
@@ -169,6 +171,7 @@ impl<P: FrontendPolicy> InstrQueue<P> {
             watchdog: None,
             wp_stats: WrongPathFaultStats::default(),
             cancelled: None,
+            trace: EventRing::disabled(),
         }
     }
 
@@ -185,6 +188,27 @@ impl<P: FrontendPolicy> InstrQueue<P> {
     pub fn with_watchdog(mut self, watchdog: Option<u64>) -> InstrQueue<P> {
         self.watchdog = watchdog;
         self
+    }
+
+    /// Installs an event ring recording frontend wrong-path events
+    /// (entry/exit, watchdog trips, fault squashes). Timestamps are
+    /// emulated-instruction sequence numbers. A disabled ring (the
+    /// default) costs one branch per potential event.
+    #[must_use]
+    pub fn with_trace(mut self, trace: EventRing) -> InstrQueue<P> {
+        self.trace = trace;
+        self
+    }
+
+    /// Drains the frontend event ring (oldest first).
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.take()
+    }
+
+    /// Events evicted from the frontend event ring because it was full.
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.trace.dropped()
     }
 
     fn refill_to(&mut self, want: usize) {
@@ -233,6 +257,37 @@ impl<P: FrontendPolicy> InstrQueue<P> {
                                     wrong_path = None;
                                 }
                             }
+                        }
+                    }
+                    if self.trace.is_enabled() {
+                        if let (Some(req), Some(bundle)) = (req, &wrong_path) {
+                            let ts = inst.seq;
+                            let frontend = |kind| TraceEvent {
+                                ts,
+                                source: TraceSource::Frontend,
+                                kind,
+                            };
+                            let n = bundle.insts.len() as u64;
+                            let stop = bundle.stop;
+                            self.trace.record(|| {
+                                frontend(TraceEventKind::WrongPathEnter { pc: req.start })
+                            });
+                            match stop {
+                                WrongPathStop::WatchdogExceeded { pc, limit } => {
+                                    self.trace.record(|| {
+                                        frontend(TraceEventKind::WatchdogTrip { pc, limit })
+                                    });
+                                }
+                                WrongPathStop::Fault(_) => {
+                                    self.trace.record(|| {
+                                        frontend(TraceEventKind::Squash { instructions: n })
+                                    });
+                                }
+                                _ => {}
+                            }
+                            self.trace.record(|| {
+                                frontend(TraceEventKind::WrongPathExit { instructions: n })
+                            });
                         }
                     }
                     self.buf.push_back(StreamEntry { inst, wrong_path });
@@ -629,6 +684,41 @@ mod tests {
         }
         assert_eq!(bundles, 0, "partial bundle must be dropped");
         assert_eq!(q.cancelled(), Some(CancelCause::DeadlineExceeded));
+    }
+
+    #[test]
+    fn frontend_trace_records_wrong_path_episodes() {
+        let mut q = InstrQueue::new(Emulator::new(counted_program(3)).unwrap(), AlwaysWrong, 16)
+            .with_watchdog(Some(4))
+            .with_trace(EventRing::enabled(64));
+        while q.pop().is_some() {}
+        let events = q.take_trace();
+        // One wrong-path episode, watchdog-limited: enter, trip, exit.
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind.name()).collect();
+        assert_eq!(kinds, vec!["wrong-path", "watchdog-trip", "wrong-path"]);
+        assert!(events.iter().all(|e| e.source == TraceSource::Frontend));
+        assert!(matches!(
+            events[2].kind,
+            TraceEventKind::WrongPathExit { instructions: 4 }
+        ));
+        assert_eq!(q.trace_dropped(), 0);
+    }
+
+    #[test]
+    fn disabled_trace_changes_nothing() {
+        let run = |trace: bool| {
+            let mut q =
+                InstrQueue::new(Emulator::new(counted_program(5)).unwrap(), AlwaysWrong, 16);
+            if trace {
+                q = q.with_trace(EventRing::enabled(64));
+            }
+            let mut seqs = Vec::new();
+            while let Some(e) = q.pop() {
+                seqs.push(e.inst.seq);
+            }
+            (seqs, q.emulator().digest())
+        };
+        assert_eq!(run(false), run(true), "tracing must not perturb the stream");
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Log2-bucketed histograms for long-tailed simulator quantities
+//! (wrong-path episode lengths, convergence distances, stall runs).
+//!
+//! Values are `u64` counters bucketed by their bit length: bucket 0 holds
+//! exactly the value 0 and bucket `b >= 1` holds `[2^(b-1), 2^b)`. The
+//! representation is fixed-size and mergeable, so per-worker histograms
+//! combine into campaign-wide ones without rescaling, and everything is
+//! integer arithmetic — deterministic across platforms.
+
+use crate::json::Value;
+
+/// Number of buckets: one for zero plus one per possible bit length.
+pub const NUM_BUCKETS: usize = 65;
+
+/// A mergeable log2 histogram over `u64` samples.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Log2Hist {
+    counts: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Log2Hist {
+        Log2Hist {
+            counts: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// The bucket index of a value: 0 for 0, else its bit length.
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The inclusive `[lo, hi]` value range of a bucket index.
+#[must_use]
+pub fn bucket_range(index: usize) -> (u64, u64) {
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        b => (1 << (b - 1), (1 << b) - 1),
+    }
+}
+
+impl Log2Hist {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Log2Hist {
+        Log2Hist::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Folds another histogram into this one. Merging per-run histograms
+    /// yields exactly the histogram of the concatenated sample streams.
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `p`-th percentile (0 < p <= 100), resolved to the upper edge of
+    /// the bucket holding the rank-`ceil(p/100 * count)` sample, clamped to
+    /// the observed `[min, max]`. Returns `None` when empty.
+    ///
+    /// The result is an upper bound on the true percentile with at most
+    /// one-bucket (2x) resolution error — the standard trade-off of log2
+    /// histograms.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // ceil without floats: rank in [1, count].
+        let rank = ((self.count as f64 * p / 100.0).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The bucket is non-empty, so its samples lie in
+                // [max(lo, self.min), min(hi, self.max)].
+                let (_, hi) = bucket_range(b);
+                return Some(hi.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Iterates the non-empty buckets as `(lo, hi, count)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| {
+                let (lo, hi) = bucket_range(b);
+                (lo, hi, c)
+            })
+    }
+
+    /// Deterministic JSON form: summary statistics plus the non-empty
+    /// buckets (`[lo, hi, count]` triples).
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let int = |v: u64| Value::Int(i64::try_from(v).unwrap_or(i64::MAX));
+        Value::Obj(vec![
+            ("count".into(), int(self.count)),
+            ("sum".into(), int(self.sum)),
+            ("min".into(), int(self.min().unwrap_or(0))),
+            ("max".into(), int(self.max().unwrap_or(0))),
+            (
+                "buckets".into(),
+                Value::Arr(
+                    self.buckets()
+                        .map(|(lo, hi, c)| Value::Arr(vec![int(lo), int(hi), int(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// A compact one-line text rendering (for stderr diagnostics):
+    /// `count=N mean=M p50=X p90=Y p99=Z max=W`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return "count=0".to_string();
+        }
+        format!(
+            "count={} mean={:.1} p50={} p90={} p99={} max={}",
+            self.count,
+            self.mean(),
+            self.percentile(50.0).unwrap_or(0),
+            self.percentile(90.0).unwrap_or(0),
+            self.percentile(99.0).unwrap_or(0),
+            self.max,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for b in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_range(b);
+            assert_eq!(bucket_index(lo), b);
+            assert_eq!(bucket_index(hi), b);
+            assert!(lo <= hi);
+        }
+    }
+
+    #[test]
+    fn records_and_summarizes() {
+        let mut h = Log2Hist::new();
+        for v in [0, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean() - 1106.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_bucket_upper_edges_clamped_to_observed_range() {
+        let mut h = Log2Hist::new();
+        for _ in 0..99 {
+            h.record(10); // bucket [8, 15]
+        }
+        h.record(1000); // bucket [512, 1023]
+                        // p50 and p90 land in the [8, 15] bucket.
+        assert_eq!(h.percentile(50.0), Some(15));
+        assert_eq!(h.percentile(90.0), Some(15));
+        // p100 lands in the tail bucket, clamped to the observed max.
+        assert_eq!(h.percentile(100.0), Some(1000));
+        // Degenerate single-value histogram: every percentile is the value.
+        let mut one = Log2Hist::new();
+        one.record(100);
+        assert_eq!(one.percentile(1.0), Some(100));
+        assert_eq!(one.percentile(99.0), Some(100));
+        assert_eq!(Log2Hist::new().percentile(50.0), None);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_stream() {
+        let mut a = Log2Hist::new();
+        let mut b = Log2Hist::new();
+        let mut all = Log2Hist::new();
+        for v in [1u64, 5, 9, 200] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 7, 4096] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Merging an empty histogram is the identity.
+        let before = a;
+        a.merge(&Log2Hist::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn json_export_round_trips_through_parser() {
+        let mut h = Log2Hist::new();
+        for v in [3u64, 3, 3, 70] {
+            h.record(v);
+        }
+        let text = h.to_value().to_json();
+        let doc = crate::json::parse(&text).unwrap();
+        assert_eq!(doc.get("count").and_then(Value::as_int), Some(4));
+        assert_eq!(doc.get("sum").and_then(Value::as_int), Some(79));
+        let buckets = doc.get("buckets").and_then(Value::as_arr).unwrap();
+        assert_eq!(buckets.len(), 2, "two non-empty buckets");
+    }
+
+    #[test]
+    fn summary_line_is_stable() {
+        let mut h = Log2Hist::new();
+        h.record(8);
+        h.record(8);
+        assert_eq!(h.summary(), "count=2 mean=8.0 p50=8 p90=8 p99=8 max=8");
+        assert_eq!(Log2Hist::new().summary(), "count=0");
+    }
+}

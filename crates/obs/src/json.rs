@@ -1,11 +1,12 @@
-//! Minimal JSON reading and writing for campaign manifests.
+//! Minimal JSON reading and writing for campaign manifests and
+//! observability exports (Chrome traces, histograms, CPI stacks).
 //!
 //! The build environment has no crates.io access, so this module provides
-//! exactly the JSON surface the manifest needs: objects with ordered keys,
-//! arrays, strings, integers, booleans and null. Serialization is fully
-//! deterministic (insertion order, fixed two-space indentation), which the
-//! driver relies on for byte-identical manifests across runs and worker
-//! counts.
+//! exactly the JSON surface those artifacts need: objects with ordered
+//! keys, arrays, strings, integers, booleans and null. Serialization is
+//! fully deterministic (insertion order, fixed two-space indentation),
+//! which the campaign driver relies on for byte-identical manifests
+//! across runs and worker counts.
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,122 @@
+//! Observability primitives for the decoupled functional-first simulator.
+//!
+//! This crate is the shared, dependency-free substrate that the timing
+//! model, the functional frontend, and the campaign driver build their
+//! instrumentation on:
+//!
+//! - [`cpi`] — per-cycle stall attribution ([`CpiStack`]) whose components
+//!   sum exactly to the simulated cycle count, split by correct/wrong
+//!   path lane.
+//! - [`trace`] — typed pipeline/emulator events in a bounded ring
+//!   ([`EventRing`]) with a disabled fast path, plus a Chrome
+//!   `trace_event` JSON exporter ([`chrome_trace`]).
+//! - [`hist`] — mergeable log2 histograms ([`Log2Hist`]) for long-tailed
+//!   quantities such as wrong-path episode lengths and convergence
+//!   distances.
+//! - [`json`] — the deterministic, integer-only JSON reader/writer all
+//!   exports (and the campaign manifest) are built on.
+//!
+//! Everything here is designed for a hard observer-effect invariant: with
+//! observability disabled (the default), simulation results are bit-for-
+//! bit identical to an uninstrumented build, and the hot-loop overhead is
+//! a single predictable branch per potential event.
+
+#![warn(missing_docs)]
+
+pub mod cpi;
+pub mod hist;
+pub mod json;
+pub mod trace;
+
+pub use cpi::{CpiStack, StallClass, ALL_CLASSES};
+pub use hist::{Log2Hist, NUM_BUCKETS};
+pub use trace::{chrome_trace, EventRing, TraceEvent, TraceEventKind, TraceSource};
+
+/// Environment variable that switches observability on (`1`, `true`,
+/// `on`, `yes`; anything else — or unset — leaves it off).
+pub const ENV_VAR: &str = "FFSIM_OBS";
+
+/// Default event-ring capacity when tracing is enabled.
+pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
+
+/// Whether the [`ENV_VAR`] opt-in is set in the process environment.
+#[must_use]
+pub fn env_enabled() -> bool {
+    std::env::var(ENV_VAR)
+        .map(|v| matches!(v.trim(), "1" | "true" | "on" | "yes"))
+        .unwrap_or(false)
+}
+
+/// Observability configuration carried by simulator and driver configs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ObsConfig {
+    /// Master switch: when false (the default), no events are recorded,
+    /// no histograms filled, and outputs are byte-identical to an
+    /// uninstrumented run.
+    pub enabled: bool,
+    /// Event-ring capacity (most recent events kept).
+    pub trace_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig {
+            enabled: false,
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Disabled configuration (the default).
+    #[must_use]
+    pub fn disabled() -> ObsConfig {
+        ObsConfig::default()
+    }
+
+    /// Enabled configuration with the default ring capacity.
+    #[must_use]
+    pub fn enabled() -> ObsConfig {
+        ObsConfig {
+            enabled: true,
+            ..ObsConfig::default()
+        }
+    }
+
+    /// Reads the [`ENV_VAR`] opt-in: enabled iff `FFSIM_OBS` is set to a
+    /// truthy value.
+    #[must_use]
+    pub fn from_env() -> ObsConfig {
+        if env_enabled() {
+            ObsConfig::enabled()
+        } else {
+            ObsConfig::disabled()
+        }
+    }
+
+    /// Builds the event ring this configuration calls for.
+    #[must_use]
+    pub fn ring(&self) -> EventRing {
+        if self.enabled {
+            EventRing::enabled(self.trace_capacity)
+        } else {
+            EventRing::disabled()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off_and_ring_matches_config() {
+        let cfg = ObsConfig::default();
+        assert!(!cfg.enabled);
+        assert!(!cfg.ring().is_enabled());
+        let on = ObsConfig::enabled();
+        assert!(on.enabled);
+        assert!(on.ring().is_enabled());
+        assert_eq!(on.trace_capacity, DEFAULT_TRACE_CAPACITY);
+    }
+}

@@ -1,0 +1,362 @@
+//! Typed pipeline/emulator event tracing.
+//!
+//! [`EventRing`] is a bounded ring buffer of [`TraceEvent`]s behind a
+//! runtime-disabled fast path: when disabled (the default), recording is a
+//! single predictable branch and the event constructor closure is never
+//! called — zero events are allocated, zero formatting happens. The
+//! enabled ring keeps the most recent `capacity` events and counts what it
+//! dropped, so tracing a multi-million-instruction run is O(capacity)
+//! memory.
+//!
+//! [`chrome_trace`] exports events in the Chrome `trace_event` JSON format
+//! (load the file in `chrome://tracing` or <https://ui.perfetto.dev>).
+//! Timing-model events use simulated cycles as timestamps; frontend
+//! (functional emulator) events use the emulated instruction ordinal —
+//! they render as separate tracks (`tid` 0 and 1).
+
+use crate::json::Value;
+use std::collections::VecDeque;
+
+/// Which half of the decoupled simulator emitted an event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceSource {
+    /// The performance (timing) model; timestamps are simulated cycles.
+    Timing,
+    /// The functional frontend; timestamps are emulated-instruction
+    /// ordinals (sequence numbers).
+    Frontend,
+}
+
+impl TraceSource {
+    /// The Chrome trace thread id used for this source's track.
+    #[must_use]
+    pub fn tid(self) -> i64 {
+        match self {
+            TraceSource::Timing => 0,
+            TraceSource::Frontend => 1,
+        }
+    }
+}
+
+/// One typed simulator event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceEventKind {
+    /// A branch misprediction was detected at execution.
+    MispredictDetect {
+        /// The mispredicted branch's pc.
+        pc: u64,
+    },
+    /// The mispredicted branch resolved (squash point).
+    MispredictResolve {
+        /// The mispredicted branch's pc.
+        pc: u64,
+    },
+    /// Fetch was redirected to the correct path.
+    FetchRedirect {
+        /// The cycle fetch resumes at.
+        resume_cycle: u64,
+    },
+    /// Wrong-path fetch/emulation began.
+    WrongPathEnter {
+        /// First wrong-path pc.
+        pc: u64,
+    },
+    /// Wrong-path fetch/emulation ended.
+    WrongPathExit {
+        /// Wrong-path instructions produced this episode.
+        instructions: u64,
+    },
+    /// The convergence scan found the wrong path rejoining the correct
+    /// path (paper §III-C).
+    ConvergenceHit {
+        /// Instructions scanned before convergence.
+        distance: u64,
+    },
+    /// Speculative work was squashed.
+    Squash {
+        /// Instructions squashed.
+        instructions: u64,
+    },
+    /// The wrong-path watchdog cut off a runaway speculative path.
+    WatchdogTrip {
+        /// The pc at which the watchdog fired.
+        pc: u64,
+        /// The configured instruction limit.
+        limit: u64,
+    },
+}
+
+impl TraceEventKind {
+    /// Short stable event name (Chrome trace `name` field).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceEventKind::MispredictDetect { .. } => "mispredict-detect",
+            TraceEventKind::MispredictResolve { .. } => "mispredict-resolve",
+            TraceEventKind::FetchRedirect { .. } => "fetch-redirect",
+            TraceEventKind::WrongPathEnter { .. } => "wrong-path",
+            TraceEventKind::WrongPathExit { .. } => "wrong-path",
+            TraceEventKind::ConvergenceHit { .. } => "convergence-hit",
+            TraceEventKind::Squash { .. } => "squash",
+            TraceEventKind::WatchdogTrip { .. } => "watchdog-trip",
+        }
+    }
+
+    /// Chrome trace phase: wrong-path entry/exit render as a `B`/`E`
+    /// duration pair, everything else as an instant event (`i`).
+    #[must_use]
+    pub fn phase(self) -> &'static str {
+        match self {
+            TraceEventKind::WrongPathEnter { .. } => "B",
+            TraceEventKind::WrongPathExit { .. } => "E",
+            _ => "i",
+        }
+    }
+
+    fn args(self) -> Vec<(String, Value)> {
+        let int = |v: u64| Value::Int(i64::try_from(v).unwrap_or(i64::MAX));
+        match self {
+            TraceEventKind::MispredictDetect { pc } | TraceEventKind::MispredictResolve { pc } => {
+                vec![("pc".into(), int(pc))]
+            }
+            TraceEventKind::FetchRedirect { resume_cycle } => {
+                vec![("resume_cycle".into(), int(resume_cycle))]
+            }
+            TraceEventKind::WrongPathEnter { pc } => vec![("pc".into(), int(pc))],
+            TraceEventKind::WrongPathExit { instructions }
+            | TraceEventKind::Squash { instructions } => {
+                vec![("instructions".into(), int(instructions))]
+            }
+            TraceEventKind::ConvergenceHit { distance } => {
+                vec![("distance".into(), int(distance))]
+            }
+            TraceEventKind::WatchdogTrip { pc, limit } => {
+                vec![("pc".into(), int(pc)), ("limit".into(), int(limit))]
+            }
+        }
+    }
+}
+
+/// A timestamped event from one half of the simulator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Timestamp in the source's timebase (cycles for
+    /// [`TraceSource::Timing`], instruction ordinal for
+    /// [`TraceSource::Frontend`]).
+    pub ts: u64,
+    /// Which simulator half emitted it.
+    pub source: TraceSource,
+    /// The typed payload.
+    pub kind: TraceEventKind,
+}
+
+/// A bounded ring buffer of events with a disabled fast path.
+#[derive(Clone, Debug, Default)]
+pub struct EventRing {
+    enabled: bool,
+    capacity: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A disabled ring: [`EventRing::record`] is a single branch, no
+    /// allocation ever happens. This is the `Default`.
+    #[must_use]
+    pub fn disabled() -> EventRing {
+        EventRing::default()
+    }
+
+    /// An enabled ring keeping the most recent `capacity` events
+    /// (`capacity` 0 is coerced to 1).
+    #[must_use]
+    pub fn enabled(capacity: usize) -> EventRing {
+        let capacity = capacity.max(1);
+        EventRing {
+            enabled: true,
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Whether events are being collected.
+    #[inline]
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records the event built by `make` — but only when enabled; the
+    /// closure is never called on the disabled path, so argument
+    /// construction costs nothing when tracing is off.
+    #[inline]
+    pub fn record(&mut self, make: impl FnOnce() -> TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        self.push(make());
+    }
+
+    #[cold]
+    fn push(&mut self, event: TraceEvent) {
+        if self.buf.len() >= self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    /// Events currently buffered (oldest first).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the ring into a `Vec` (oldest first), leaving it empty but
+    /// still enabled.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+/// Exports events as a Chrome `trace_event` JSON document
+/// (`{"traceEvents": [...]}`), loadable in `chrome://tracing` and Perfetto.
+///
+/// Events keep their recorded order; the two [`TraceSource`] timebases map
+/// to separate thread tracks. All values are integers, so the export is
+/// byte-deterministic.
+#[must_use]
+pub fn chrome_trace(events: &[TraceEvent]) -> Value {
+    let entries = events
+        .iter()
+        .map(|e| {
+            Value::Obj(vec![
+                ("name".into(), Value::Str(e.kind.name().into())),
+                ("ph".into(), Value::Str(e.kind.phase().into())),
+                (
+                    "ts".into(),
+                    Value::Int(i64::try_from(e.ts).unwrap_or(i64::MAX)),
+                ),
+                ("pid".into(), Value::Int(0)),
+                ("tid".into(), Value::Int(e.source.tid())),
+                ("args".into(), Value::Obj(e.kind.args())),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("traceEvents".into(), Value::Arr(entries)),
+        ("displayTimeUnit".into(), Value::Str("ns".into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(ts: u64) -> TraceEvent {
+        TraceEvent {
+            ts,
+            source: TraceSource::Timing,
+            kind: TraceEventKind::Squash { instructions: ts },
+        }
+    }
+
+    #[test]
+    fn disabled_ring_never_calls_the_constructor() {
+        let mut ring = EventRing::disabled();
+        let mut called = false;
+        ring.record(|| {
+            called = true;
+            ev(1)
+        });
+        assert!(!called, "disabled ring must not build events");
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_the_newest() {
+        let mut ring = EventRing::enabled(3);
+        for i in 0..10u64 {
+            ring.record(|| ev(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        let ts: Vec<u64> = ring.events().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![7, 8, 9]);
+        let taken = ring.take();
+        assert_eq!(taken.len(), 3);
+        assert!(ring.is_empty());
+        assert!(ring.is_enabled(), "take() keeps the ring recording");
+    }
+
+    #[test]
+    fn chrome_export_parses_back_with_expected_shape() {
+        let events = vec![
+            TraceEvent {
+                ts: 100,
+                source: TraceSource::Timing,
+                kind: TraceEventKind::MispredictDetect { pc: 0x1008 },
+            },
+            TraceEvent {
+                ts: 100,
+                source: TraceSource::Timing,
+                kind: TraceEventKind::WrongPathEnter { pc: 0x2000 },
+            },
+            TraceEvent {
+                ts: 130,
+                source: TraceSource::Timing,
+                kind: TraceEventKind::WrongPathExit { instructions: 12 },
+            },
+            TraceEvent {
+                ts: 7,
+                source: TraceSource::Frontend,
+                kind: TraceEventKind::WatchdogTrip {
+                    pc: 0x3000,
+                    limit: 64,
+                },
+            },
+        ];
+        let text = chrome_trace(&events).to_json();
+        let doc = crate::json::parse(&text).unwrap();
+        let entries = doc.get("traceEvents").and_then(Value::as_arr).unwrap();
+        assert_eq!(entries.len(), 4);
+        for entry in entries {
+            assert!(entry.get("name").and_then(Value::as_str).is_some());
+            assert!(entry.get("ph").and_then(Value::as_str).is_some());
+            assert!(entry.get("ts").and_then(Value::as_int).is_some());
+            assert_eq!(entry.get("pid").and_then(Value::as_int), Some(0));
+            assert!(entry.get("tid").and_then(Value::as_int).is_some());
+        }
+        // The wrong-path episode renders as a B/E duration pair.
+        assert_eq!(entries[1].get("ph").and_then(Value::as_str), Some("B"));
+        assert_eq!(entries[2].get("ph").and_then(Value::as_str), Some("E"));
+        // The frontend event sits on its own track.
+        assert_eq!(entries[3].get("tid").and_then(Value::as_int), Some(1));
+        assert_eq!(
+            entries[3]
+                .get("args")
+                .and_then(|a| a.get("limit"))
+                .and_then(Value::as_int),
+            Some(64)
+        );
+    }
+}
