@@ -49,22 +49,24 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-mod code_cache;
 mod error;
 mod metrics;
-mod mode;
 mod pipeline;
-mod replica;
 mod sim;
-mod wrongpath;
+pub mod technique;
 
-pub use code_cache::{CodeCache, CodeCacheStats};
 pub use error::SimError;
-pub use ffsim_emu::{CancelCause, CancelToken};
+pub use ffsim_emu::{CancelCause, CancelToken, FetchSource};
 pub use ffsim_obs::{CpiStack, ObsConfig, StallClass};
 pub use metrics::{FaultStats, ObsReport, SimResult};
-pub use mode::WrongPathMode;
 pub use pipeline::{InstrTimes, LoadTiming, Pipeline, WindowState};
-pub use replica::{PcCorruption, ReplicaPolicy};
 pub use sim::{run_all_modes, NullObserver, SimConfig, SimObserver, Simulator};
-pub use wrongpath::{reconstruct, recover_addresses, ConvergenceConfig, ConvergenceStats, WpInst};
+pub use technique::code_cache::{CodeCache, CodeCacheStats};
+pub use technique::mode::WrongPathMode;
+pub use technique::replica::{PcCorruption, ReplicaPolicy};
+pub use technique::wrongpath::{
+    reconstruct, recover_addresses, ConvergenceConfig, ConvergenceStats, WpInst,
+};
+pub use technique::{
+    passive_frontend, MispredictContext, TechniqueRegistry, TechniqueStats, WrongPathTechnique,
+};

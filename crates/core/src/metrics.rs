@@ -1,8 +1,8 @@
 //! Simulation results and the paper's error metric.
 
-use crate::code_cache::CodeCacheStats;
-use crate::mode::WrongPathMode;
-use crate::wrongpath::ConvergenceStats;
+use crate::technique::code_cache::CodeCacheStats;
+use crate::technique::mode::WrongPathMode;
+use crate::technique::wrongpath::ConvergenceStats;
 use ffsim_obs::{CpiStack, Log2Hist, TraceEvent};
 use ffsim_uarch::{BranchStats, CacheStats, DramStats, TlbStats};
 use std::time::Duration;
@@ -14,9 +14,10 @@ use std::time::Duration;
 /// identical either way.
 #[derive(Clone, Debug, Default)]
 pub struct ObsReport {
-    /// Buffered trace events: timing-model events (cycle timestamps)
-    /// followed by frontend events (instruction-ordinal timestamps).
-    /// Export with [`ffsim_obs::chrome_trace`].
+    /// Buffered trace events: timing-model events followed by frontend
+    /// events, both on the cycle timebase (frontend events are rebased
+    /// onto their triggering branch's fetch cycle). Export with
+    /// [`ffsim_obs::chrome_trace`].
     pub events: Vec<TraceEvent>,
     /// Events evicted from the bounded rings during the run.
     pub dropped_events: u64,

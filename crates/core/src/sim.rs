@@ -1,20 +1,15 @@
 //! The decoupled functional-first simulator: functional frontend, timing
 //! backend, and the four wrong-path modeling techniques.
 
-use crate::code_cache::CodeCache;
 use crate::error::SimError;
-use crate::metrics::{FaultStats, ObsReport, SimResult};
-use crate::mode::WrongPathMode;
-use crate::pipeline::{LoadTiming, Pipeline};
-use crate::replica::{PcCorruption, ReplicaPolicy};
-use crate::wrongpath::{
-    reconstruct, recover_addresses, ConvergenceConfig, ConvergenceStats, WpInst,
-};
-use ffsim_emu::{
-    CancelCause, CancelToken, DynInst, Emulator, FaultModel, FaultPolicy, InstrQueue, Memory,
-    NoFrontendWrongPath, StreamEntry,
-};
-use ffsim_isa::{Program, INSTR_BYTES};
+use crate::metrics::{ObsReport, SimResult};
+use crate::pipeline::Pipeline;
+use crate::technique::mode::WrongPathMode;
+use crate::technique::replica::PcCorruption;
+use crate::technique::wrongpath::ConvergenceConfig;
+use crate::technique::{MispredictContext, TechniqueRegistry, WrongPathTechnique};
+use ffsim_emu::{CancelToken, DynInst, Emulator, FaultModel, FaultPolicy, FetchSource, Memory};
+use ffsim_isa::Program;
 use ffsim_obs::{EventRing, Log2Hist, ObsConfig, TraceEvent, TraceEventKind, TraceSource};
 use ffsim_uarch::{BranchPredictor, CoreConfig};
 use std::time::Instant;
@@ -161,80 +156,6 @@ impl SimConfig {
     }
 }
 
-/// The functional frontend: a plain runahead queue, or one carrying the
-/// branch-predictor replica that emulates wrong paths (§III-B).
-#[derive(Debug)]
-#[allow(clippy::large_enum_variant)] // exactly one Frontend exists per Simulator
-enum Frontend {
-    Passive(InstrQueue<NoFrontendWrongPath>),
-    Replica(InstrQueue<ReplicaPolicy>),
-}
-
-impl Frontend {
-    fn pop(&mut self) -> Option<StreamEntry> {
-        match self {
-            Frontend::Passive(q) => q.pop(),
-            Frontend::Replica(q) => q.pop(),
-        }
-    }
-
-    fn peek(&mut self, i: usize) -> Option<&StreamEntry> {
-        match self {
-            Frontend::Passive(q) => q.peek(i),
-            Frontend::Replica(q) => q.peek(i),
-        }
-    }
-
-    fn fault(&self) -> Option<ffsim_emu::Fault> {
-        match self {
-            Frontend::Passive(q) => q.fault(),
-            Frontend::Replica(q) => q.fault(),
-        }
-    }
-
-    fn fault_was_wrong_path(&self) -> bool {
-        match self {
-            Frontend::Passive(q) => q.fault_was_wrong_path(),
-            Frontend::Replica(q) => q.fault_was_wrong_path(),
-        }
-    }
-
-    fn fault_stats(&self) -> FaultStats {
-        match self {
-            Frontend::Passive(q) => q.fault_stats(),
-            Frontend::Replica(q) => q.fault_stats(),
-        }
-    }
-
-    fn cancelled(&self) -> Option<CancelCause> {
-        match self {
-            Frontend::Passive(q) => q.cancelled(),
-            Frontend::Replica(q) => q.cancelled(),
-        }
-    }
-
-    fn emulator(&self) -> &Emulator {
-        match self {
-            Frontend::Passive(q) => q.emulator(),
-            Frontend::Replica(q) => q.emulator(),
-        }
-    }
-
-    fn take_trace(&mut self) -> Vec<TraceEvent> {
-        match self {
-            Frontend::Passive(q) => q.take_trace(),
-            Frontend::Replica(q) => q.take_trace(),
-        }
-    }
-
-    fn trace_dropped(&self) -> u64 {
-        match self {
-            Frontend::Passive(q) => q.trace_dropped(),
-            Frontend::Replica(q) => q.trace_dropped(),
-        }
-    }
-}
-
 /// Observes simulation events as they happen — per-retired-instruction
 /// timings, mispredictions, and wrong-path injections. Implement this to
 /// build custom analyses (per-region IPC, pipeline traces, event dumps)
@@ -284,35 +205,51 @@ impl SimObserver for NullObserver {}
 #[derive(Debug)]
 pub struct Simulator {
     cfg: SimConfig,
-    frontend: Frontend,
+    /// The wrong-path modeling strategy driving this run.
+    technique: Box<dyn WrongPathTechnique>,
+    frontend: Box<dyn FetchSource>,
     predictor: BranchPredictor,
     pipeline: Pipeline,
-    code_cache: CodeCache,
-    conv_stats: ConvergenceStats,
-    /// Reusable buffer for peeked future correct-path instructions.
-    future_buf: Vec<DynInst>,
-    /// Reusable buffer for the reconstructed wrong path.
-    wp_buf: Vec<WpInst>,
     /// Timing-model event ring (disabled unless `cfg.obs.enabled`).
     trace: EventRing,
     /// Wrong-path instructions injected per misprediction episode.
     wp_episode_hist: Log2Hist,
-    /// Convergence distances (convergence-exploitation mode only).
-    conv_dist_hist: Log2Hist,
+    /// Timebase unification: maps the instruction ordinal of each branch
+    /// that triggered frontend wrong-path emulation to its fetch cycle, so
+    /// frontend trace events can be rebased onto the cycle axis. Only
+    /// populated when tracing is enabled.
+    seq_fetch: std::collections::HashMap<u64, u64>,
 }
 
 impl Simulator {
-    /// Builds a simulator for `program` with an initial `memory` image.
+    /// Builds a simulator for `program` with an initial `memory` image,
+    /// selecting the built-in technique matching `cfg.mode`.
     ///
     /// # Errors
     ///
     /// [`SimError::InvalidConfig`] for nonsense configuration values and
     /// [`SimError::Emulator`] when the program's entry point is not
     /// executable.
-    pub fn new(
+    pub fn new(program: Program, memory: Memory, cfg: SimConfig) -> Result<Simulator, SimError> {
+        let technique = TechniqueRegistry::builtin()
+            .build_for_mode(cfg.mode, &cfg)
+            .expect("builtin registry covers every WrongPathMode");
+        Simulator::with_technique(program, memory, cfg, technique)
+    }
+
+    /// Builds a simulator driven by an explicit technique — the extension
+    /// point for experimental strategies registered outside the built-in
+    /// set ([`TechniqueRegistry::register`]). `cfg.mode` is only used for
+    /// labeling the result; all behavior comes from `technique`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Simulator::new`].
+    pub fn with_technique(
         program: Program,
         mut memory: Memory,
         cfg: SimConfig,
+        technique: Box<dyn WrongPathTechnique>,
     ) -> Result<Simulator, SimError> {
         cfg.validate()?;
         if cfg.max_memory_pages.is_some() {
@@ -321,88 +258,20 @@ impl Simulator {
         let mut emu = Emulator::with_memory(program, memory)?;
         emu.set_fault_model(cfg.fault_model);
         emu.set_cancel_token(cfg.cancel.clone());
-        let frontend = match cfg.mode {
-            WrongPathMode::WrongPathEmulation => Frontend::Replica(
-                InstrQueue::new(
-                    emu,
-                    ReplicaPolicy::new(cfg.core.branch, cfg.core.wrong_path_budget())
-                        .with_pc_corruption(cfg.wp_pc_corruption),
-                    cfg.core.queue_depth,
-                )
-                .with_fault_policy(cfg.fault_policy)
-                .with_watchdog(cfg.wrong_path_watchdog)
-                .with_trace(cfg.obs.ring()),
-            ),
-            _ => Frontend::Passive(
-                InstrQueue::new(emu, NoFrontendWrongPath, cfg.core.queue_depth)
-                    .with_fault_policy(cfg.fault_policy)
-                    .with_watchdog(cfg.wrong_path_watchdog)
-                    .with_trace(cfg.obs.ring()),
-            ),
-        };
+        let frontend = technique.build_frontend(emu, &cfg);
         let predictor = BranchPredictor::new(cfg.core.branch);
         let pipeline = Pipeline::new(cfg.core.clone());
-        let code_cache = match cfg.code_cache_capacity {
-            Some(cap) => CodeCache::with_capacity(cap),
-            None => CodeCache::unbounded(),
-        };
         let trace = cfg.obs.ring();
         Ok(Simulator {
             cfg,
+            technique,
             frontend,
             predictor,
             pipeline,
-            code_cache,
-            conv_stats: ConvergenceStats::default(),
-            future_buf: Vec::new(),
-            wp_buf: Vec::new(),
             trace,
             wp_episode_hist: Log2Hist::new(),
-            conv_dist_hist: Log2Hist::new(),
+            seq_fetch: std::collections::HashMap::new(),
         })
-    }
-
-    /// Injects a wrong-path instruction sequence into the pipeline.
-    ///
-    /// Fetch of wrong-path instructions continues until the mispredicted
-    /// branch resolves (`resolve`), the sequence ends, or the budget runs
-    /// out; the register scoreboard is snapshotted and restored around the
-    /// injection (the squash). Loads with known addresses access the real
-    /// hierarchy; the rest are modeled as L1 hits (§III-A, §V-C).
-    fn inject_wrong_path(
-        pipeline: &mut Pipeline,
-        wp: &[WpInst],
-        resolve: u64,
-        budget: usize,
-        mut conv_stats: Option<&mut ConvergenceStats>,
-    ) {
-        let snapshot = pipeline.snapshot_regs();
-        let mut window = pipeline.begin_wrong_path();
-        for w in wp.iter().take(budget) {
-            if pipeline.next_fetch_cycle() >= resolve {
-                break;
-            }
-            let timing = if w.instr.is_load() && w.mem.is_some() {
-                LoadTiming::Real
-            } else {
-                LoadTiming::AssumeL1Hit
-            };
-            let _ = pipeline.feed_wrong(&mut window, w.pc, &w.instr, w.mem, timing, resolve);
-            // Table III accounting: only wrong-path memory operations that
-            // actually enter the pipeline count.
-            if let Some(stats) = conv_stats.as_deref_mut() {
-                if w.instr.is_mem() {
-                    stats.wp_mem_ops += 1;
-                    if w.mem.is_some() {
-                        stats.wp_mem_recovered += 1;
-                    }
-                }
-            }
-            if w.instr.is_branch() && w.next_pc != w.pc + INSTR_BYTES {
-                pipeline.break_fetch_group();
-            }
-        }
-        pipeline.restore_regs(snapshot);
     }
 
     /// Runs the simulation to completion (program `halt` or the configured
@@ -432,8 +301,6 @@ impl Simulator {
     /// As for [`Simulator::run`].
     pub fn run_observed(mut self, observer: &mut dyn SimObserver) -> Result<SimResult, SimError> {
         let started = Instant::now();
-        let budget = self.cfg.core.wrong_path_budget();
-        let rob = self.cfg.core.rob_size;
         let warmup = self.cfg.warmup_instructions;
         let cancel = self.cfg.cancel.clone();
         let mut instructions: u64 = 0;
@@ -460,19 +327,21 @@ impl Simulator {
                 // components sum to the measured sample's cycles.
                 self.pipeline.reset_cpi();
                 self.predictor.reset_stats();
-                self.code_cache.reset_stats();
-                self.conv_stats = ConvergenceStats::default();
+                self.technique.reset_stats();
                 self.wp_episode_hist = Log2Hist::new();
-                self.conv_dist_hist = Log2Hist::new();
             }
             let Some(entry) = self.frontend.pop() else {
                 break;
             };
             let inst = entry.inst;
-            if self.cfg.mode.uses_code_cache() {
-                self.code_cache.insert(inst.pc, inst.instr);
-            }
+            self.technique.on_instruction(&inst);
             let times = self.pipeline.feed_correct(inst.pc, &inst.instr, inst.mem);
+            if self.trace.is_enabled() && entry.wrong_path.is_some() {
+                // The frontend stamped this branch's emulation episode with
+                // its instruction ordinal; remember the branch's fetch cycle
+                // so the episode can be rebased onto the cycle axis.
+                self.seq_fetch.insert(inst.seq, times.fetch);
+            }
             instructions += 1;
             observer.on_instruction(&inst, times);
 
@@ -505,85 +374,16 @@ impl Simulator {
             }
 
             let wp_before = self.pipeline.wrong_path_injected();
-            match self.cfg.mode {
-                WrongPathMode::NoWrongPath => {}
-                WrongPathMode::InstructionReconstruction => {
-                    if let Some(start) = res.wrong_path_start {
-                        let wp = reconstruct(&mut self.code_cache, &self.predictor, start, budget);
-                        Self::inject_wrong_path(&mut self.pipeline, &wp, resolve, budget, None);
-                    }
-                }
-                WrongPathMode::ConvergenceExploitation => {
-                    if let Some(start) = res.wrong_path_start {
-                        self.wp_buf =
-                            reconstruct(&mut self.code_cache, &self.predictor, start, budget);
-                        // Peek the future correct path out of the runahead
-                        // queue (§III-C: "take a peek in the future
-                        // correct-path instructions").
-                        self.future_buf.clear();
-                        for i in 0..rob {
-                            match self.frontend.peek(i) {
-                                Some(e) => self.future_buf.push(e.inst),
-                                None => break,
-                            }
-                        }
-                        let convergence_distance = recover_addresses(
-                            &mut self.wp_buf,
-                            &self.future_buf,
-                            &self.cfg.convergence,
-                            &mut self.conv_stats,
-                        );
-                        if self.trace.is_enabled() {
-                            if let Some(distance) = convergence_distance {
-                                self.conv_dist_hist.record(distance as u64);
-                                self.trace.record(|| {
-                                    timing_event(
-                                        resolve,
-                                        TraceEventKind::ConvergenceHit {
-                                            distance: distance as u64,
-                                        },
-                                    )
-                                });
-                            }
-                        }
-                        Self::inject_wrong_path(
-                            &mut self.pipeline,
-                            &self.wp_buf,
-                            resolve,
-                            budget,
-                            Some(&mut self.conv_stats),
-                        );
-                    }
-                }
-                WrongPathMode::WrongPathEmulation => {
-                    // The frontend replica predicted this misprediction and
-                    // emulated the wrong path; both predictors are
-                    // deterministic on the program-order stream, so the
-                    // bundle is present exactly when we mispredict — unless
-                    // the stream ended abnormally (pending abort-policy
-                    // fault or cancellation), in which case the trailing
-                    // entries legitimately carry no bundle.
-                    debug_assert!(
-                        entry.wrong_path.is_some() == res.wrong_path_start.is_some()
-                            || self.frontend.fault().is_some()
-                            || self.frontend.cancelled().is_some(),
-                        "frontend replica desynchronized at pc {:#x}",
-                        inst.pc
-                    );
-                    if let Some(bundle) = &entry.wrong_path {
-                        self.wp_buf.clear();
-                        self.wp_buf
-                            .extend(bundle.insts.iter().map(WpInst::from_dyn));
-                        Self::inject_wrong_path(
-                            &mut self.pipeline,
-                            &self.wp_buf,
-                            resolve,
-                            budget,
-                            None,
-                        );
-                    }
-                }
-            }
+            let mut cx = MispredictContext {
+                entry: &entry,
+                resolve,
+                wrong_path_start: res.wrong_path_start,
+                predictor: &self.predictor,
+                pipeline: &mut self.pipeline,
+                frontend: &mut *self.frontend,
+                trace: &mut self.trace,
+            };
+            self.technique.on_mispredict(&mut cx);
 
             if self.trace.is_enabled() {
                 let injected = self.pipeline.wrong_path_injected() - wp_before;
@@ -616,6 +416,7 @@ impl Simulator {
                     timing_event(resolve, TraceEventKind::MispredictResolve { pc: branch_pc })
                 });
             }
+            self.technique.on_resolve(resolve);
             let resume = resolve + self.cfg.core.redirect_penalty;
             self.trace.record(|| {
                 timing_event(
@@ -645,22 +446,32 @@ impl Simulator {
         }
 
         let obs = if self.cfg.obs.enabled {
-            // Timing-model events first (cycle timestamps), then frontend
-            // events (instruction-ordinal timestamps) — separate tracks in
-            // the Chrome export.
+            // Timing-model events first, then frontend events — separate
+            // tracks in the Chrome export. Frontend events are rebased from
+            // the instruction ordinal of their triggering branch onto that
+            // branch's fetch cycle, so both tracks share one time axis; an
+            // episode whose branch never reached the timing model (e.g.
+            // truncated by `max_instructions`) keeps its ordinal timestamp.
             let mut events = self.trace.take();
             let dropped_events = self.trace.dropped() + self.frontend.trace_dropped();
-            events.extend(self.frontend.take_trace());
+            let mut frontend_events = self.frontend.take_trace();
+            for e in &mut frontend_events {
+                if let Some(&fetch) = self.seq_fetch.get(&e.ts) {
+                    e.ts = fetch;
+                }
+            }
+            events.extend(frontend_events);
             Some(ObsReport {
                 events,
                 dropped_events,
                 wp_episode_len: self.wp_episode_hist,
-                conv_distance: self.conv_dist_hist,
+                conv_distance: self.technique.conv_distance(),
             })
         } else {
             None
         };
 
+        let technique_stats = self.technique.stats();
         let h = self.pipeline.hierarchy();
         Ok(SimResult {
             mode: self.cfg.mode,
@@ -668,8 +479,8 @@ impl Simulator {
             cycles: self.pipeline.cycles().saturating_sub(cycles_base),
             wrong_path_instructions: self.pipeline.wrong_path_injected().saturating_sub(wp_base),
             branch: self.predictor.stats(),
-            convergence: self.conv_stats,
-            code_cache: self.code_cache.stats(),
+            convergence: technique_stats.convergence,
+            code_cache: technique_stats.code_cache,
             l1i: h.l1i().stats(),
             l1d: h.l1d().stats(),
             l2: h.l2().stats(),
@@ -686,10 +497,11 @@ impl Simulator {
     }
 }
 
-/// Convenience: run one program under all four wrong-path modes with the
-/// same core configuration, returning results in [`WrongPathMode::ALL`]
-/// order. The program and memory image are reused via cloning, so all
-/// four runs see identical workloads.
+/// Convenience: run one program under all four built-in wrong-path
+/// techniques with the same core configuration, returning results in
+/// [`WrongPathMode::ALL`] order (the [`TechniqueRegistry::builtin`]
+/// registration order). The program and memory image are reused via
+/// cloning, so all four runs see identical workloads.
 ///
 /// # Errors
 ///
@@ -700,15 +512,21 @@ pub fn run_all_modes(
     core: &CoreConfig,
     max_instructions: Option<u64>,
 ) -> Result<[SimResult; 4], SimError> {
-    let mut results = Vec::with_capacity(WrongPathMode::ALL.len());
-    for mode in WrongPathMode::ALL {
+    let registry = TechniqueRegistry::builtin();
+    let mut results = Vec::with_capacity(registry.len());
+    for (label, mode) in registry.entries() {
         let mut cfg = SimConfig::with_core(core.clone(), mode);
         cfg.max_instructions = max_instructions;
-        results.push(Simulator::new(program.clone(), memory.clone(), cfg)?.run()?);
+        let technique = registry
+            .build(label, &cfg)
+            .expect("iterated entries are buildable");
+        results.push(
+            Simulator::with_technique(program.clone(), memory.clone(), cfg, technique)?.run()?,
+        );
     }
     Ok(results
         .try_into()
-        .expect("exactly four modes in WrongPathMode::ALL"))
+        .expect("exactly four built-in techniques"))
 }
 
 #[cfg(test)]
@@ -1155,6 +973,46 @@ mod tests {
         .run()
         .unwrap();
         assert!(r2.obs.is_none());
+    }
+
+    #[test]
+    fn frontend_trace_events_share_the_cycle_timebase() {
+        // Timebase unification: frontend wrong-path emulation events must
+        // land on the fetch cycle of their triggering branch — the same
+        // cycle the timing model stamps on its MispredictDetect event.
+        let p = simple_loop(100);
+        let mut cfg = tiny(WrongPathMode::WrongPathEmulation);
+        cfg.obs = ObsConfig::enabled();
+        let r = Simulator::new(p, Memory::new(), cfg)
+            .unwrap()
+            .run()
+            .unwrap();
+        let obs = r.obs.expect("enabled run must carry an ObsReport");
+        let detect_cycles: std::collections::HashSet<u64> = obs
+            .events
+            .iter()
+            .filter(|e| {
+                e.source == TraceSource::Timing
+                    && matches!(e.kind, TraceEventKind::MispredictDetect { .. })
+            })
+            .map(|e| e.ts)
+            .collect();
+        let frontend: Vec<&TraceEvent> = obs
+            .events
+            .iter()
+            .filter(|e| e.source == TraceSource::Frontend)
+            .collect();
+        assert!(
+            !frontend.is_empty(),
+            "wpemul episodes must leave frontend events"
+        );
+        for e in &frontend {
+            assert!(
+                detect_cycles.contains(&e.ts),
+                "frontend event at ts {} not on a branch fetch cycle {detect_cycles:?}",
+                e.ts
+            );
+        }
     }
 
     #[test]

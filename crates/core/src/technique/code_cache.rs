@@ -11,7 +11,7 @@
 //! fetch.
 
 use ffsim_isa::{Addr, Instr};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Lookup/insert statistics of the code cache.
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
@@ -27,9 +27,9 @@ pub struct CodeCacheStats {
 /// Decode-information cache indexed by instruction address.
 ///
 /// By default the cache is unbounded — program text is finite, which
-/// mirrors the paper's implementation. A capacity bound (with
-/// pseudo-random replacement) is available for the code-cache-size
-/// ablation study.
+/// mirrors the paper's implementation. A capacity bound (with FIFO
+/// replacement in insertion order, so runs are bit-reproducible) is
+/// available for the code-cache-size ablation study.
 ///
 /// # Examples
 ///
@@ -44,6 +44,9 @@ pub struct CodeCacheStats {
 #[derive(Clone, Debug)]
 pub struct CodeCache {
     entries: HashMap<Addr, Instr>,
+    /// Insertion order of live keys (bounded caches only): the FIFO
+    /// eviction queue. The front is always the oldest live key.
+    order: VecDeque<Addr>,
     capacity: Option<usize>,
     stats: CodeCacheStats,
 }
@@ -54,13 +57,14 @@ impl CodeCache {
     pub fn unbounded() -> CodeCache {
         CodeCache {
             entries: HashMap::new(),
+            order: VecDeque::new(),
             capacity: None,
             stats: CodeCacheStats::default(),
         }
     }
 
-    /// Creates a capacity-bounded code cache with pseudo-random
-    /// replacement (for ablation studies).
+    /// Creates a capacity-bounded code cache with deterministic FIFO
+    /// replacement in insertion order (for ablation studies).
     ///
     /// # Panics
     ///
@@ -70,6 +74,7 @@ impl CodeCache {
         assert!(capacity > 0, "code cache capacity must be positive");
         CodeCache {
             entries: HashMap::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
             capacity: Some(capacity),
             stats: CodeCacheStats::default(),
         }
@@ -101,17 +106,24 @@ impl CodeCache {
     /// Remembers the decode information of a consumed correct-path
     /// instruction.
     pub fn insert(&mut self, pc: Addr, instr: Instr) {
+        if let Some(slot) = self.entries.get_mut(&pc) {
+            *slot = instr;
+            return;
+        }
         if let Some(cap) = self.capacity {
-            if self.entries.len() >= cap && !self.entries.contains_key(&pc) {
-                // Pseudo-random replacement: HashMap iteration order is
-                // effectively arbitrary; evict whatever comes first.
-                if let Some(&victim) = self.entries.keys().next() {
+            if self.entries.len() >= cap {
+                // FIFO replacement: evict the oldest live key, so bounded
+                // runs are deterministic (HashMap iteration order is not).
+                if let Some(victim) = self.order.pop_front() {
                     self.entries.remove(&victim);
                     self.stats.evictions += 1;
                 }
             }
         }
         self.entries.insert(pc, instr);
+        if self.capacity.is_some() {
+            self.order.push_back(pc);
+        }
     }
 
     /// Looks up the remembered instruction at `pc`, counting hit/miss.
@@ -195,6 +207,41 @@ mod tests {
         assert_eq!(cc.len(), 2);
         assert_eq!(cc.stats().evictions, 0);
         assert!(cc.contains(0x1004));
+    }
+
+    #[test]
+    fn eviction_is_fifo_in_insertion_order() {
+        let mut cc = CodeCache::with_capacity(3);
+        for pc in [0x1000u64, 0x1004, 0x1008] {
+            cc.insert(pc, alu(1));
+        }
+        // Re-inserting 0x1000 must not refresh its age: it is still the
+        // oldest and the next victim.
+        cc.insert(0x1000, alu(2));
+        cc.insert(0x2000, alu(3));
+        assert!(!cc.contains(0x1000), "oldest key evicted first");
+        assert!(cc.contains(0x1004));
+        assert!(cc.contains(0x1008));
+        assert!(cc.contains(0x2000));
+        cc.insert(0x2004, alu(4));
+        assert!(!cc.contains(0x1004), "second-oldest evicted next");
+    }
+
+    #[test]
+    fn bounded_inserts_are_reproducible() {
+        // Two caches fed the same sequence end with identical contents —
+        // the determinism the ablations golden relies on.
+        let seq: Vec<u64> = (0..200).map(|i| 0x1000 + (i * 37 % 64) * 4).collect();
+        let mut a = CodeCache::with_capacity(16);
+        let mut b = CodeCache::with_capacity(16);
+        for &pc in &seq {
+            a.insert(pc, alu(1));
+            b.insert(pc, alu(1));
+        }
+        assert_eq!(a.stats().evictions, b.stats().evictions);
+        for &pc in &seq {
+            assert_eq!(a.contains(pc), b.contains(pc), "divergence at {pc:#x}");
+        }
     }
 
     #[test]

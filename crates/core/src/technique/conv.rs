@@ -1,0 +1,134 @@
+//! Convergence exploitation (paper §III-C) — the paper's novel technique.
+
+use crate::pipeline::Pipeline;
+use crate::sim::SimConfig;
+use crate::technique::code_cache::CodeCache;
+use crate::technique::mode::WrongPathMode;
+use crate::technique::wrongpath::{
+    reconstruct, recover_addresses, ConvergenceConfig, ConvergenceStats, WpInst,
+};
+use crate::technique::{
+    inject_wrong_path, passive_frontend, MispredictContext, TechniqueStats, WrongPathTechnique,
+};
+use ffsim_emu::{DynInst, Emulator, FetchSource};
+use ffsim_obs::{Log2Hist, TraceEvent, TraceEventKind, TraceSource};
+
+/// Instruction reconstruction plus memory-address recovery: the future
+/// correct path — visible thanks to functional runahead — is scanned for a
+/// convergence point with the reconstructed wrong path, and addresses of
+/// register-independence-checked operations are copied across.
+#[derive(Debug)]
+pub struct ConvergenceTechnique {
+    code_cache: CodeCache,
+    convergence: ConvergenceConfig,
+    budget: usize,
+    rob: usize,
+    stats: ConvergenceStats,
+    /// Convergence distances (observability histogram).
+    dist_hist: Log2Hist,
+    /// Reusable buffer for peeked future correct-path instructions.
+    future_buf: Vec<DynInst>,
+    /// Reusable buffer for the reconstructed wrong path.
+    wp_buf: Vec<WpInst>,
+}
+
+impl ConvergenceTechnique {
+    /// Creates the technique with the configured convergence tunables,
+    /// code-cache bound, and window sizes.
+    #[must_use]
+    pub fn new(cfg: &SimConfig) -> ConvergenceTechnique {
+        ConvergenceTechnique {
+            code_cache: match cfg.code_cache_capacity {
+                Some(cap) => CodeCache::with_capacity(cap),
+                None => CodeCache::unbounded(),
+            },
+            convergence: cfg.convergence,
+            budget: cfg.core.wrong_path_budget(),
+            rob: cfg.core.rob_size,
+            stats: ConvergenceStats::default(),
+            dist_hist: Log2Hist::new(),
+            future_buf: Vec::new(),
+            wp_buf: Vec::new(),
+        }
+    }
+}
+
+impl WrongPathTechnique for ConvergenceTechnique {
+    fn mode(&self) -> WrongPathMode {
+        WrongPathMode::ConvergenceExploitation
+    }
+
+    fn build_frontend(&self, emu: Emulator, cfg: &SimConfig) -> Box<dyn FetchSource> {
+        passive_frontend(emu, cfg)
+    }
+
+    fn on_instruction(&mut self, inst: &DynInst) {
+        self.code_cache.insert(inst.pc, inst.instr);
+    }
+
+    fn on_mispredict(&mut self, cx: &mut MispredictContext<'_>) {
+        let Some(start) = cx.wrong_path_start else {
+            return;
+        };
+        self.wp_buf = reconstruct(&mut self.code_cache, cx.predictor, start, self.budget);
+        // Peek the future correct path out of the runahead queue (§III-C:
+        // "take a peek in the future correct-path instructions").
+        self.future_buf.clear();
+        for i in 0..self.rob {
+            match cx.frontend.peek(i) {
+                Some(e) => self.future_buf.push(e.inst),
+                None => break,
+            }
+        }
+        let convergence_distance = recover_addresses(
+            &mut self.wp_buf,
+            &self.future_buf,
+            &self.convergence,
+            &mut self.stats,
+        );
+        if cx.trace.is_enabled() {
+            if let Some(distance) = convergence_distance {
+                self.dist_hist.record(distance as u64);
+                let resolve = cx.resolve;
+                cx.trace.record(|| TraceEvent {
+                    ts: resolve,
+                    source: TraceSource::Timing,
+                    kind: TraceEventKind::ConvergenceHit {
+                        distance: distance as u64,
+                    },
+                });
+            }
+        }
+        let wp = std::mem::take(&mut self.wp_buf);
+        let budget = self.budget;
+        self.inject_wrong_path(cx.pipeline, &wp, cx.resolve, budget);
+        self.wp_buf = wp;
+    }
+
+    fn inject_wrong_path(
+        &mut self,
+        pipeline: &mut Pipeline,
+        wp: &[WpInst],
+        resolve: u64,
+        budget: usize,
+    ) {
+        inject_wrong_path(pipeline, wp, resolve, budget, Some(&mut self.stats));
+    }
+
+    fn stats(&self) -> TechniqueStats {
+        TechniqueStats {
+            convergence: self.stats,
+            code_cache: self.code_cache.stats(),
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.code_cache.reset_stats();
+        self.stats = ConvergenceStats::default();
+        self.dist_hist = Log2Hist::new();
+    }
+
+    fn conv_distance(&self) -> Log2Hist {
+        self.dist_hist
+    }
+}

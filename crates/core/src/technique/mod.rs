@@ -1,0 +1,370 @@
+//! The pluggable wrong-path technique layer.
+//!
+//! Each of the paper's four wrong-path modeling configurations (§IV) is a
+//! [`WrongPathTechnique`] implementation that owns its technique-specific
+//! state — the code cache, the convergence scanner, the frontend replica
+//! wiring — and plugs into the [`Simulator`](crate::Simulator) run loop
+//! through a small set of hooks:
+//!
+//! * [`build_frontend`](WrongPathTechnique::build_frontend) — choose the
+//!   functional-frontend wiring (a passive runahead queue, or one carrying
+//!   the branch-predictor replica for §III-B emulation),
+//! * [`on_instruction`](WrongPathTechnique::on_instruction) — observe
+//!   every consumed correct-path instruction (the §III-A code-cache fill),
+//! * [`on_mispredict`](WrongPathTechnique::on_mispredict) — produce and
+//!   inject the wrong path for a detected misprediction,
+//! * [`inject_wrong_path`](WrongPathTechnique::inject_wrong_path) — feed a
+//!   wrong-path sequence into the pipeline (overridable for
+//!   technique-specific accounting),
+//! * [`on_resolve`](WrongPathTechnique::on_resolve) — the squash point,
+//!   after the episode is traced and before fetch redirects,
+//! * [`stats`](WrongPathTechnique::stats) — technique-owned counters
+//!   folded into the run's [`SimResult`](crate::SimResult).
+//!
+//! The [`TechniqueRegistry`] maps technique labels to factories;
+//! [`TechniqueRegistry::builtin`] carries the paper's four, and
+//! experimental techniques register without touching the run loop.
+
+pub mod code_cache;
+mod conv;
+mod instrec;
+pub mod mode;
+mod nowp;
+pub mod replica;
+mod wpemul;
+pub mod wrongpath;
+
+pub use conv::ConvergenceTechnique;
+pub use instrec::ReconstructionTechnique;
+pub use nowp::NoWrongPathTechnique;
+pub use wpemul::EmulationTechnique;
+
+use crate::pipeline::{LoadTiming, Pipeline};
+use crate::sim::SimConfig;
+use crate::technique::code_cache::CodeCacheStats;
+use crate::technique::mode::WrongPathMode;
+use crate::technique::wrongpath::{ConvergenceStats, WpInst};
+use ffsim_emu::{DynInst, Emulator, FetchSource, InstrQueue, NoFrontendWrongPath, StreamEntry};
+use ffsim_isa::{Addr, INSTR_BYTES};
+use ffsim_obs::{EventRing, Log2Hist};
+use ffsim_uarch::BranchPredictor;
+use std::fmt;
+
+/// Everything a technique may touch while handling one misprediction: the
+/// triggering stream entry, the resolution cycle, and mutable access to
+/// the pipeline, frontend, and event ring.
+#[derive(Debug)]
+pub struct MispredictContext<'a> {
+    /// The stream entry carrying the mispredicted branch (and, in
+    /// wrong-path-emulation runs, its emulated wrong-path bundle).
+    pub entry: &'a StreamEntry,
+    /// The cycle the mispredicted branch resolves (executes) at.
+    pub resolve: u64,
+    /// First wrong-path pc, when the predictor could name one.
+    pub wrong_path_start: Option<Addr>,
+    /// The timing model's branch predictor (read-only: speculative
+    /// predictions steer reconstruction without perturbing training).
+    pub predictor: &'a BranchPredictor,
+    /// The timing backend the wrong path is injected into.
+    pub pipeline: &'a mut Pipeline,
+    /// The functional frontend (lookahead peeking, fault state).
+    pub frontend: &'a mut dyn FetchSource,
+    /// The timing-model event ring.
+    pub trace: &'a mut EventRing,
+}
+
+/// Technique-owned statistics folded into [`SimResult`](crate::SimResult).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct TechniqueStats {
+    /// Convergence counters (Table III); zero outside the convergence
+    /// technique.
+    pub convergence: ConvergenceStats,
+    /// Code-cache counters; zero for techniques without a code cache.
+    pub code_cache: CodeCacheStats,
+}
+
+/// One wrong-path modeling strategy (paper §III), owning its state and
+/// driven by the [`Simulator`](crate::Simulator) run loop through hooks.
+///
+/// Hook call order per retired instruction: [`on_instruction`] always;
+/// then, on a detected misprediction, [`on_mispredict`] (which typically
+/// calls [`inject_wrong_path`]) followed by [`on_resolve`] once the
+/// episode has been traced, just before fetch redirects to the correct
+/// path.
+///
+/// [`on_instruction`]: WrongPathTechnique::on_instruction
+/// [`on_mispredict`]: WrongPathTechnique::on_mispredict
+/// [`inject_wrong_path`]: WrongPathTechnique::inject_wrong_path
+/// [`on_resolve`]: WrongPathTechnique::on_resolve
+pub trait WrongPathTechnique: Send + fmt::Debug {
+    /// The mode this technique models (labels, reporting).
+    fn mode(&self) -> WrongPathMode;
+
+    /// Builds the functional frontend this technique consumes. Most
+    /// techniques use [`passive_frontend`]; wrong-path emulation installs
+    /// the branch-predictor replica here.
+    fn build_frontend(&self, emu: Emulator, cfg: &SimConfig) -> Box<dyn FetchSource>;
+
+    /// A correct-path instruction was consumed by the timing model
+    /// (the §III-A code-cache fill point).
+    fn on_instruction(&mut self, inst: &DynInst) {
+        let _ = inst;
+    }
+
+    /// The timing model detected a misprediction; produce and inject the
+    /// wrong path.
+    fn on_mispredict(&mut self, cx: &mut MispredictContext<'_>);
+
+    /// Feeds a wrong-path sequence into the pipeline. The default performs
+    /// the shared §III-A/§V-C injection (snapshot, bounded feed, squash);
+    /// override to add technique-specific accounting.
+    fn inject_wrong_path(
+        &mut self,
+        pipeline: &mut Pipeline,
+        wp: &[WpInst],
+        resolve: u64,
+        budget: usize,
+    ) {
+        inject_wrong_path(pipeline, wp, resolve, budget, None);
+    }
+
+    /// The mispredicted branch resolved (squash point); fetch redirects
+    /// right after this hook returns.
+    fn on_resolve(&mut self, resolve: u64) {
+        let _ = resolve;
+    }
+
+    /// Technique-owned counters for the final result.
+    fn stats(&self) -> TechniqueStats {
+        TechniqueStats::default()
+    }
+
+    /// Resets technique-owned statistics at the warmup boundary (state —
+    /// e.g. code-cache entries — stays warm).
+    fn reset_stats(&mut self) {}
+
+    /// Convergence-distance histogram for the observability report; empty
+    /// outside the convergence technique.
+    fn conv_distance(&self) -> Log2Hist {
+        Log2Hist::new()
+    }
+}
+
+/// Builds the passive runahead frontend used by every technique that does
+/// not emulate wrong paths functionally (nowp, instrec, conv — and any
+/// external technique that reconstructs rather than emulates).
+#[must_use]
+pub fn passive_frontend(emu: Emulator, cfg: &SimConfig) -> Box<dyn FetchSource> {
+    Box::new(
+        InstrQueue::new(emu, NoFrontendWrongPath, cfg.core.queue_depth)
+            .with_fault_policy(cfg.fault_policy)
+            .with_watchdog(cfg.wrong_path_watchdog)
+            .with_trace(cfg.obs.ring()),
+    )
+}
+
+/// Injects a wrong-path instruction sequence into the pipeline.
+///
+/// Fetch of wrong-path instructions continues until the mispredicted
+/// branch resolves (`resolve`), the sequence ends, or the budget runs
+/// out; the register scoreboard is snapshotted and restored around the
+/// injection (the squash). Loads with known addresses access the real
+/// hierarchy; the rest are modeled as L1 hits (§III-A, §V-C).
+///
+/// `conv_stats`, when present, receives the Table III accounting of
+/// wrong-path memory operations that actually entered the pipeline.
+pub fn inject_wrong_path(
+    pipeline: &mut Pipeline,
+    wp: &[WpInst],
+    resolve: u64,
+    budget: usize,
+    mut conv_stats: Option<&mut ConvergenceStats>,
+) {
+    let snapshot = pipeline.snapshot_regs();
+    let mut window = pipeline.begin_wrong_path();
+    for w in wp.iter().take(budget) {
+        if pipeline.next_fetch_cycle() >= resolve {
+            break;
+        }
+        let timing = if w.instr.is_load() && w.mem.is_some() {
+            LoadTiming::Real
+        } else {
+            LoadTiming::AssumeL1Hit
+        };
+        let _ = pipeline.feed_wrong(&mut window, w.pc, &w.instr, w.mem, timing, resolve);
+        // Table III accounting: only wrong-path memory operations that
+        // actually enter the pipeline count.
+        if let Some(stats) = conv_stats.as_deref_mut() {
+            if w.instr.is_mem() {
+                stats.wp_mem_ops += 1;
+                if w.mem.is_some() {
+                    stats.wp_mem_recovered += 1;
+                }
+            }
+        }
+        if w.instr.is_branch() && w.next_pc != w.pc + INSTR_BYTES {
+            pipeline.break_fetch_group();
+        }
+    }
+    pipeline.restore_regs(snapshot);
+}
+
+/// A technique factory: builds a fresh technique for one run's
+/// configuration.
+pub type TechniqueFactory = Box<dyn Fn(&SimConfig) -> Box<dyn WrongPathTechnique> + Send + Sync>;
+
+struct RegistryEntry {
+    label: &'static str,
+    mode: WrongPathMode,
+    factory: TechniqueFactory,
+}
+
+/// A label-indexed registry of wrong-path technique factories.
+///
+/// [`TechniqueRegistry::builtin`] carries the paper's four techniques in
+/// [`WrongPathMode::ALL`] order; experimental techniques are added with
+/// [`TechniqueRegistry::register`] and run through
+/// [`Simulator::with_technique`](crate::Simulator::with_technique) without
+/// touching the core run loop.
+pub struct TechniqueRegistry {
+    entries: Vec<RegistryEntry>,
+}
+
+impl TechniqueRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> TechniqueRegistry {
+        TechniqueRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The four paper techniques, labeled as in the figures (`nowp`,
+    /// `instrec`, `conv`, `wpemul`), in [`WrongPathMode::ALL`] order.
+    #[must_use]
+    pub fn builtin() -> TechniqueRegistry {
+        let mut r = TechniqueRegistry::new();
+        r.register(
+            WrongPathMode::NoWrongPath.label(),
+            WrongPathMode::NoWrongPath,
+            |_cfg| Box::new(NoWrongPathTechnique::new()),
+        );
+        r.register(
+            WrongPathMode::InstructionReconstruction.label(),
+            WrongPathMode::InstructionReconstruction,
+            |cfg| Box::new(ReconstructionTechnique::new(cfg)),
+        );
+        r.register(
+            WrongPathMode::ConvergenceExploitation.label(),
+            WrongPathMode::ConvergenceExploitation,
+            |cfg| Box::new(ConvergenceTechnique::new(cfg)),
+        );
+        r.register(
+            WrongPathMode::WrongPathEmulation.label(),
+            WrongPathMode::WrongPathEmulation,
+            |cfg| Box::new(EmulationTechnique::new(cfg)),
+        );
+        r
+    }
+
+    /// Registers a technique factory under `label`. A duplicate label
+    /// shadows the earlier entry (latest registration wins on build).
+    pub fn register(
+        &mut self,
+        label: &'static str,
+        mode: WrongPathMode,
+        factory: impl Fn(&SimConfig) -> Box<dyn WrongPathTechnique> + Send + Sync + 'static,
+    ) {
+        self.entries.push(RegistryEntry {
+            label,
+            mode,
+            factory: Box::new(factory),
+        });
+    }
+
+    /// Registered `(label, mode)` pairs in registration order.
+    pub fn entries(&self) -> impl Iterator<Item = (&'static str, WrongPathMode)> + '_ {
+        self.entries.iter().map(|e| (e.label, e.mode))
+    }
+
+    /// Number of registered techniques.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Builds the technique registered under `label` for `cfg`.
+    #[must_use]
+    pub fn build(&self, label: &str, cfg: &SimConfig) -> Option<Box<dyn WrongPathTechnique>> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.label == label)
+            .map(|e| (e.factory)(cfg))
+    }
+
+    /// Builds the (latest-registered) technique modeling `mode` for `cfg`.
+    #[must_use]
+    pub fn build_for_mode(
+        &self,
+        mode: WrongPathMode,
+        cfg: &SimConfig,
+    ) -> Option<Box<dyn WrongPathTechnique>> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.mode == mode)
+            .map(|e| (e.factory)(cfg))
+    }
+}
+
+impl Default for TechniqueRegistry {
+    fn default() -> TechniqueRegistry {
+        TechniqueRegistry::builtin()
+    }
+}
+
+impl fmt::Debug for TechniqueRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TechniqueRegistry")
+            .field(
+                "labels",
+                &self.entries.iter().map(|e| e.label).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_covers_all_modes_in_order() {
+        let r = TechniqueRegistry::builtin();
+        let modes: Vec<WrongPathMode> = r.entries().map(|(_, m)| m).collect();
+        assert_eq!(modes, WrongPathMode::ALL.to_vec());
+        let labels: Vec<&str> = r.entries().map(|(l, _)| l).collect();
+        assert_eq!(labels, vec!["nowp", "instrec", "conv", "wpemul"]);
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn build_by_label_and_mode_agree() {
+        let r = TechniqueRegistry::builtin();
+        let cfg = SimConfig::new(WrongPathMode::ConvergenceExploitation);
+        let by_label = r.build("conv", &cfg).expect("conv is builtin");
+        let by_mode = r
+            .build_for_mode(WrongPathMode::ConvergenceExploitation, &cfg)
+            .expect("mode is builtin");
+        assert_eq!(by_label.mode(), by_mode.mode());
+        assert!(r.build("no-such-technique", &cfg).is_none());
+    }
+}

@@ -14,7 +14,7 @@
 //! operations that are register-dependence-free of the non-converged code
 //! ("dirty registers"), to avoid the optimism pitfall of §III-C.
 
-use crate::code_cache::CodeCache;
+use crate::technique::code_cache::CodeCache;
 use ffsim_emu::{DynInst, MemAccess};
 use ffsim_isa::{Addr, Instr, RegSet, INSTR_BYTES};
 use ffsim_uarch::BranchPredictor;

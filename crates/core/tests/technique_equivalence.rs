@@ -1,0 +1,282 @@
+//! Cross-technique equivalence: the extracted [`WrongPathTechnique`]
+//! strategies must behave exactly like the pre-refactor monolithic
+//! dispatch. The oracle below reimplements the old `Simulator::run`
+//! mode switch as one monolithic technique built from the same public
+//! building blocks (`reconstruct`, `recover_addresses`,
+//! `inject_wrong_path`, the replica frontend), and the property drives
+//! both through identical random workloads.
+
+use ffsim_core::technique::inject_wrong_path;
+use ffsim_core::{
+    passive_frontend, reconstruct, recover_addresses, CodeCache, ConvergenceConfig,
+    ConvergenceStats, MispredictContext, ObsConfig, ReplicaPolicy, SimConfig, Simulator,
+    TechniqueStats, WpInst, WrongPathMode, WrongPathTechnique,
+};
+use ffsim_emu::{DynInst, Emulator, FetchSource, InstrQueue, Memory};
+use ffsim_isa::{AluOp, Instr, MemWidth, Program, Reg, INSTR_BYTES};
+use ffsim_uarch::CoreConfig;
+use proptest::prelude::*;
+
+/// The pre-refactor behavior, expressed as a single technique holding the
+/// union of all per-mode state and branching on `mode` at every hook —
+/// exactly the shape `Simulator::run` had before the strategy extraction.
+#[derive(Debug)]
+struct MonolithOracle {
+    mode: WrongPathMode,
+    code_cache: CodeCache,
+    convergence: ConvergenceConfig,
+    budget: usize,
+    rob: usize,
+    conv_stats: ConvergenceStats,
+}
+
+impl MonolithOracle {
+    fn new(cfg: &SimConfig) -> MonolithOracle {
+        MonolithOracle {
+            mode: cfg.mode,
+            code_cache: match cfg.code_cache_capacity {
+                Some(cap) => CodeCache::with_capacity(cap),
+                None => CodeCache::unbounded(),
+            },
+            convergence: cfg.convergence,
+            budget: cfg.core.wrong_path_budget(),
+            rob: cfg.core.rob_size,
+            conv_stats: ConvergenceStats::default(),
+        }
+    }
+}
+
+impl WrongPathTechnique for MonolithOracle {
+    fn mode(&self) -> WrongPathMode {
+        self.mode
+    }
+
+    fn build_frontend(&self, emu: Emulator, cfg: &SimConfig) -> Box<dyn FetchSource> {
+        if self.mode == WrongPathMode::WrongPathEmulation {
+            Box::new(
+                InstrQueue::new(
+                    emu,
+                    ReplicaPolicy::new(cfg.core.branch, cfg.core.wrong_path_budget())
+                        .with_pc_corruption(cfg.wp_pc_corruption),
+                    cfg.core.queue_depth,
+                )
+                .with_fault_policy(cfg.fault_policy)
+                .with_watchdog(cfg.wrong_path_watchdog)
+                .with_trace(cfg.obs.ring()),
+            )
+        } else {
+            passive_frontend(emu, cfg)
+        }
+    }
+
+    fn on_instruction(&mut self, inst: &DynInst) {
+        if self.mode.uses_code_cache() {
+            self.code_cache.insert(inst.pc, inst.instr);
+        }
+    }
+
+    fn on_mispredict(&mut self, cx: &mut MispredictContext<'_>) {
+        if self.mode == WrongPathMode::InstructionReconstruction {
+            if let Some(start) = cx.wrong_path_start {
+                let wp = reconstruct(&mut self.code_cache, cx.predictor, start, self.budget);
+                inject_wrong_path(cx.pipeline, &wp, cx.resolve, self.budget, None);
+            }
+        } else if self.mode == WrongPathMode::ConvergenceExploitation {
+            let Some(start) = cx.wrong_path_start else {
+                return;
+            };
+            let mut wp = reconstruct(&mut self.code_cache, cx.predictor, start, self.budget);
+            let mut future = Vec::new();
+            for i in 0..self.rob {
+                match cx.frontend.peek(i) {
+                    Some(e) => future.push(e.inst),
+                    None => break,
+                }
+            }
+            let _ = recover_addresses(&mut wp, &future, &self.convergence, &mut self.conv_stats);
+            inject_wrong_path(
+                cx.pipeline,
+                &wp,
+                cx.resolve,
+                self.budget,
+                Some(&mut self.conv_stats),
+            );
+        } else if self.mode == WrongPathMode::WrongPathEmulation {
+            if let Some(bundle) = &cx.entry.wrong_path {
+                let wp: Vec<WpInst> = bundle.insts.iter().map(WpInst::from_dyn).collect();
+                inject_wrong_path(cx.pipeline, &wp, cx.resolve, self.budget, None);
+            }
+        }
+        // NoWrongPath: detection only, nothing injected.
+    }
+
+    fn stats(&self) -> TechniqueStats {
+        TechniqueStats {
+            convergence: self.conv_stats,
+            code_cache: self.code_cache.stats(),
+        }
+    }
+
+    fn reset_stats(&mut self) {
+        self.code_cache.reset_stats();
+        self.conv_stats = ConvergenceStats::default();
+    }
+}
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (1u8..29).prop_map(Reg::new)
+}
+
+/// Straight-line bodies with loads/stores off the x30 base set up by the
+/// loop wrapper.
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Alu {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2
+        }),
+        (arb_reg(), 0i64..64).prop_map(|(rd, w)| Instr::Load {
+            rd,
+            base: Reg::new(30),
+            offset: w * 8,
+            width: MemWidth::D,
+            signed: false,
+        }),
+        (arb_reg(), 0i64..64).prop_map(|(src, w)| Instr::Store {
+            src,
+            base: Reg::new(30),
+            offset: w * 8,
+            width: MemWidth::D,
+        }),
+        Just(Instr::Nop),
+    ]
+}
+
+/// `do { body } while (--x31 != 0)`: branchy enough to mispredict on
+/// predictor warmup and on loop exit, so every technique's wrong-path
+/// machinery is exercised.
+fn loop_program(body: &[Instr], trip: i64) -> Program {
+    let base = 0x1000u64;
+    let mut instrs = vec![
+        Instr::LoadImm {
+            rd: Reg::new(31),
+            imm: trip,
+        },
+        Instr::LoadImm {
+            rd: Reg::new(30),
+            imm: 0x10_0000,
+        },
+    ];
+    let loop_start = base + instrs.len() as u64 * INSTR_BYTES;
+    instrs.extend(body.iter().copied());
+    instrs.push(Instr::AluImm {
+        op: AluOp::Add,
+        rd: Reg::new(31),
+        rs1: Reg::new(31),
+        imm: -1,
+    });
+    instrs.push(Instr::Branch {
+        cond: ffsim_isa::BranchCond::Ne,
+        rs1: Reg::new(31),
+        rs2: Reg::ZERO,
+        target: loop_start,
+    });
+    instrs.push(Instr::Halt);
+    Program::new(base, instrs)
+}
+
+proptest! {
+    /// For every mode, the registry-built technique and the monolithic
+    /// oracle produce bit-identical results: same cycles, same injected
+    /// wrong path, same technique-owned counters, same final state.
+    #[test]
+    fn techniques_match_the_pre_refactor_monolith(
+        body in proptest::collection::vec(arb_instr(), 1..32),
+        trip in 1i64..32,
+        bounded_cache in (0u8..2).prop_map(|b| b == 1),
+    ) {
+        let program = loop_program(&body, trip);
+        for mode in WrongPathMode::ALL {
+            let mut cfg = SimConfig::with_core(CoreConfig::tiny_for_tests(), mode);
+            cfg.obs = ObsConfig::disabled();
+            if bounded_cache {
+                cfg.code_cache_capacity = Some(16);
+            }
+            let refactored = Simulator::new(program.clone(), Memory::new(), cfg.clone())
+                .unwrap()
+                .run()
+                .unwrap();
+            let oracle = Simulator::with_technique(
+                program.clone(),
+                Memory::new(),
+                cfg.clone(),
+                Box::new(MonolithOracle::new(&cfg)),
+            )
+            .unwrap()
+            .run()
+            .unwrap();
+
+            prop_assert_eq!(refactored.cycles, oracle.cycles, "{}: cycles diverged", mode);
+            prop_assert_eq!(refactored.instructions, oracle.instructions);
+            prop_assert_eq!(
+                refactored.wrong_path_instructions,
+                oracle.wrong_path_instructions,
+                "{}: wrong-path injection diverged", mode
+            );
+            prop_assert_eq!(
+                refactored.branch.mispredicts(),
+                oracle.branch.mispredicts()
+            );
+            prop_assert_eq!(refactored.convergence, oracle.convergence);
+            prop_assert_eq!(refactored.code_cache, oracle.code_cache);
+            prop_assert_eq!(refactored.state_digest, oracle.state_digest);
+            prop_assert_eq!(refactored.cpi.total(), oracle.cpi.total());
+        }
+    }
+}
+
+/// The same equivalence holds across the warmup boundary, where
+/// `reset_stats` must clear counters without cooling technique state
+/// (code-cache contents survive, statistics do not).
+#[test]
+fn warmup_reset_matches_the_monolith() {
+    let body: Vec<Instr> = (0..8)
+        .map(|i| Instr::Load {
+            rd: Reg::new(1 + (i % 8) as u8),
+            base: Reg::new(30),
+            offset: i * 8,
+            width: MemWidth::D,
+            signed: false,
+        })
+        .collect();
+    let program = loop_program(&body, 24);
+    for mode in WrongPathMode::ALL {
+        let mut cfg = SimConfig::with_core(CoreConfig::tiny_for_tests(), mode);
+        cfg.obs = ObsConfig::disabled();
+        cfg.warmup_instructions = 50;
+        let refactored = Simulator::new(program.clone(), Memory::new(), cfg.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        let oracle = Simulator::with_technique(
+            program.clone(),
+            Memory::new(),
+            cfg.clone(),
+            Box::new(MonolithOracle::new(&cfg)),
+        )
+        .unwrap()
+        .run()
+        .unwrap();
+        assert_eq!(refactored.cycles, oracle.cycles, "{mode}: cycles diverged");
+        assert_eq!(refactored.instructions, oracle.instructions);
+        assert_eq!(
+            refactored.wrong_path_instructions,
+            oracle.wrong_path_instructions
+        );
+        assert_eq!(refactored.convergence, oracle.convergence);
+        assert_eq!(refactored.code_cache, oracle.code_cache);
+        assert_eq!(refactored.state_digest, oracle.state_digest);
+    }
+}

@@ -166,11 +166,15 @@ fn main() -> ExitCode {
         "campaign_smoke: {} resumed, {} executed, cancelled: {}",
         outcome.resumed, outcome.executed, outcome.cancelled
     );
-    // Likewise the wall-clock timing appendix (present only under
-    // FFSIM_OBS telemetry).
+    // Likewise the wall-clock timing and CPI-stack appendices (present
+    // only under FFSIM_OBS telemetry).
     let timing = report::render_timing(&outcome.records);
     if !timing.is_empty() {
         eprint!("{timing}");
+    }
+    let cpi = report::render_cpi(&outcome.records);
+    if !cpi.is_empty() {
+        eprint!("{cpi}");
     }
 
     let text = report::render(&outcome.records);

@@ -184,8 +184,9 @@ impl Campaign {
                                 telemetry.job_abandoned();
                                 return;
                             };
-                            // Timing rides the record only under telemetry:
-                            // manifests written without it stay byte-stable.
+                            // Timing and the CPI stack ride the record only
+                            // under telemetry: manifests written without it
+                            // stay byte-stable.
                             if self.cfg.telemetry.enabled {
                                 record.timing = Some(JobTiming {
                                     queue_wait_ms: millis(dequeued - pool_start),
@@ -195,6 +196,7 @@ impl Campaign {
                                         .as_ref()
                                         .map_or(0, |s| millis(s.wall_time)),
                                 });
+                                record.cpi = record.sim.as_ref().map(|s| s.cpi);
                             }
                             telemetry.job_finished(&record);
                             // The save happens under the records lock: concurrent
@@ -292,6 +294,7 @@ impl Campaign {
                         attempts,
                         summary: Some(JobSummary::of(&result)),
                         timing: None,
+                        cpi: None,
                         sim: Some(result),
                     });
                 }
@@ -328,6 +331,7 @@ impl Campaign {
                         attempts,
                         summary: None,
                         timing: None,
+                        cpi: None,
                         sim: None,
                     });
                 }

@@ -1,7 +1,7 @@
 //! Campaign jobs and their per-attempt records.
 
 use crate::json::Value;
-use ffsim_core::{SimConfig, SimError, SimResult, WrongPathMode};
+use ffsim_core::{CpiStack, SimConfig, SimError, SimResult, WrongPathMode};
 use ffsim_emu::Memory;
 use ffsim_isa::Program;
 use ffsim_uarch::CoreConfig;
@@ -133,12 +133,10 @@ impl Job {
 /// emulation first, then address recovery, then reconstruction).
 #[must_use]
 pub fn ladder_next(mode: WrongPathMode) -> Option<WrongPathMode> {
-    match mode {
-        WrongPathMode::WrongPathEmulation => Some(WrongPathMode::ConvergenceExploitation),
-        WrongPathMode::ConvergenceExploitation => Some(WrongPathMode::InstructionReconstruction),
-        WrongPathMode::InstructionReconstruction => Some(WrongPathMode::NoWrongPath),
-        WrongPathMode::NoWrongPath => None,
-    }
+    // `WrongPathMode::ALL` is ordered from most robust to most capable,
+    // so the ladder is a walk backwards through it.
+    let rung = WrongPathMode::ALL.iter().position(|&m| m == mode)?;
+    rung.checked_sub(1).map(|down| WrongPathMode::ALL[down])
 }
 
 /// Parses a mode from its figure label (`nowp`, `instrec`, `conv`,
@@ -399,6 +397,11 @@ pub struct JobRecord {
     /// Host-side timing breakdown; `Some` only when the campaign ran with
     /// telemetry enabled.
     pub timing: Option<JobTiming>,
+    /// Per-job CPI stack of the successful run; `Some` only when the
+    /// campaign ran with telemetry enabled (`FFSIM_OBS`). Deterministic
+    /// (simulated cycles), but opt-in like `timing` so default manifests
+    /// keep their pre-CPI shape.
+    pub cpi: Option<CpiStack>,
     /// The full in-memory result of the successful run. Not serialized —
     /// a resumed campaign has only the [`JobSummary`].
     pub sim: Option<SimResult>,
@@ -406,8 +409,9 @@ pub struct JobRecord {
 
 impl JobRecord {
     /// Serializes the persistent slice (everything but [`JobRecord::sim`]).
-    /// The `timing` key is emitted only when present, so manifests written
-    /// without telemetry are byte-identical to pre-telemetry ones.
+    /// The `timing` and `cpi` keys are emitted only when present, so
+    /// manifests written without telemetry are byte-identical to ones
+    /// written before those fields existed.
     #[must_use]
     pub fn to_value(&self) -> Value {
         let mut members = vec![
@@ -433,6 +437,9 @@ impl JobRecord {
         if let Some(timing) = self.timing {
             members.push(("timing".into(), timing.to_value()));
         }
+        if let Some(cpi) = self.cpi {
+            members.push(("cpi".into(), cpi.to_value()));
+        }
         Value::Obj(members)
     }
 
@@ -447,6 +454,10 @@ impl JobRecord {
             None | Some(Value::Null) => None,
             Some(v) => Some(JobTiming::from_value(v)?),
         };
+        let cpi = match value.get("cpi") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(CpiStack::from_value(v)?),
+        };
         Some(JobRecord {
             id: value.get("id")?.as_str()?.to_string(),
             requested_mode: mode_from_label(value.get("requested_mode")?.as_str()?)?,
@@ -460,6 +471,7 @@ impl JobRecord {
                 .collect::<Option<Vec<_>>>()?,
             summary,
             timing,
+            cpi,
             sim: None,
         })
     }
@@ -528,6 +540,12 @@ mod tests {
                 run_ms: 345,
                 sim_wall_ms: 330,
             }),
+            cpi: Some({
+                let mut stack = CpiStack::new();
+                stack.add(ffsim_core::StallClass::Base, false, 2000);
+                stack.add(ffsim_core::StallClass::WrongPathFetch, true, 500);
+                stack
+            }),
             sim: None,
         };
         let json = record.to_value().to_json();
@@ -539,6 +557,7 @@ mod tests {
         assert_eq!(parsed.attempts, record.attempts);
         assert_eq!(parsed.summary, record.summary);
         assert_eq!(parsed.timing, record.timing);
+        assert_eq!(parsed.cpi, record.cpi);
     }
 
     #[test]
@@ -551,6 +570,7 @@ mod tests {
             attempts: vec![],
             summary: None,
             timing: None,
+            cpi: None,
             sim: None,
         };
         let json = record.to_value().to_json();
@@ -558,8 +578,13 @@ mod tests {
             !json.contains("timing"),
             "manifests without telemetry must not change shape"
         );
+        assert!(
+            !json.contains("cpi"),
+            "manifests without telemetry must not change shape"
+        );
         let parsed = JobRecord::from_value(&crate::json::parse(&json).unwrap()).unwrap();
         assert_eq!(parsed.timing, None);
+        assert_eq!(parsed.cpi, None);
     }
 
     #[test]
@@ -572,6 +597,7 @@ mod tests {
             attempts: vec![],
             summary: None,
             timing: None,
+            cpi: None,
             sim: None,
         };
         let json = record.to_value().to_json();

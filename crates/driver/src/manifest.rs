@@ -118,6 +118,7 @@ mod tests {
                 state_digest: 0x42,
             }),
             timing: None,
+            cpi: None,
             sim: None,
         }
     }

@@ -5,6 +5,7 @@
 //! scheduling, or resume history.
 
 use crate::job::{AttemptOutcome, JobRecord, JobStatus};
+use ffsim_core::StallClass;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -128,6 +129,66 @@ pub fn render_timing(records: &BTreeMap<String, JobRecord>) -> String {
     out
 }
 
+/// Renders the per-job CPI-stack appendix: one row per job that carries a
+/// [`CpiStack`](ffsim_core::CpiStack) (campaigns run with telemetry
+/// enabled). Memory-bound classes collapse into one `mem_bound` column and
+/// the three window-full classes into `window`, so the table stays
+/// readable; the full breakdown lives in the manifest's `cpi` key.
+/// Returns the empty string when no record has a stack.
+///
+/// Cycle attribution is deterministic, but the appendix is opt-in like
+/// [`render_timing`], so the report artifact [`render`] produces keeps its
+/// pre-CPI byte layout.
+#[must_use]
+pub fn render_cpi(records: &BTreeMap<String, JobRecord>) -> String {
+    let rows: Vec<Vec<String>> = records
+        .values()
+        .filter_map(|r| {
+            r.cpi.map(|cpi| {
+                let mem: u64 = [
+                    StallClass::L1Bound,
+                    StallClass::L2Bound,
+                    StallClass::LlcBound,
+                    StallClass::DramBound,
+                ]
+                .iter()
+                .map(|&c| cpi.get(c))
+                .sum();
+                let window: u64 = [StallClass::RobFull, StallClass::IqFull, StallClass::LsqFull]
+                    .iter()
+                    .map(|&c| cpi.get(c))
+                    .sum();
+                vec![
+                    r.id.clone(),
+                    cpi.total().to_string(),
+                    cpi.get(StallClass::Base).to_string(),
+                    cpi.get(StallClass::FrontendMispredict).to_string(),
+                    cpi.get(StallClass::WrongPathFetch).to_string(),
+                    mem.to_string(),
+                    window.to_string(),
+                ]
+            })
+        })
+        .collect();
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("job cpi stacks (cycles per stall class)\n\n");
+    out.push_str(&table(
+        &[
+            "job",
+            "total",
+            "base",
+            "mispredict",
+            "wp_fetch",
+            "mem_bound",
+            "window",
+        ],
+        &rows,
+    ));
+    out
+}
+
 /// A right-aligned text table (same layout as the bench crate's tables;
 /// duplicated here because the driver sits below the bench crate in the
 /// dependency graph).
@@ -193,6 +254,7 @@ mod tests {
                 state_digest: 0xabc,
             }),
             timing: None,
+            cpi: None,
             sim: None,
         }
     }
@@ -236,6 +298,41 @@ mod tests {
         assert!(
             !text.lines().any(|l| l.trim_start().starts_with('b')),
             "untimed jobs stay out of the table"
+        );
+    }
+
+    #[test]
+    fn cpi_appendix_is_empty_without_telemetry() {
+        let mut records = BTreeMap::new();
+        records.insert("a".to_string(), record("a", 1));
+        assert_eq!(render_cpi(&records), "");
+    }
+
+    #[test]
+    fn cpi_appendix_lists_jobs_with_stacks() {
+        use ffsim_core::CpiStack;
+        let mut stack = CpiStack::new();
+        stack.add(StallClass::Base, false, 900);
+        stack.add(StallClass::WrongPathFetch, true, 40);
+        stack.add(StallClass::L2Bound, false, 25);
+        stack.add(StallClass::DramBound, false, 35);
+        stack.add(StallClass::RobFull, false, 10);
+        let mut rec = record("a", 1);
+        rec.cpi = Some(stack);
+        let mut records = BTreeMap::new();
+        records.insert("a".to_string(), rec);
+        records.insert("b".to_string(), record("b", 1)); // no stack: skipped
+        let text = render_cpi(&records);
+        assert!(text.contains("job cpi stacks"));
+        assert!(text.contains("1010"), "total column");
+        assert!(text.contains("900"), "base column");
+        assert!(
+            text.contains("60"),
+            "memory classes collapse into mem_bound"
+        );
+        assert!(
+            !text.lines().any(|l| l.trim_start().starts_with('b')),
+            "jobs without a stack stay out of the table"
         );
     }
 

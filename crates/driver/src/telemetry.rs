@@ -188,6 +188,7 @@ mod tests {
                 state_digest: 0,
             }),
             timing: None,
+            cpi: None,
             sim: None,
         }
     }

@@ -397,15 +397,24 @@ fn telemetry_records_timing_without_touching_the_report() {
         let timing = record.timing.expect("telemetry run records timing");
         assert!(timing.run_ms >= timing.sim_wall_ms);
         assert_eq!(record.status, JobStatus::Completed);
+        let cpi = record.cpi.expect("telemetry run records a CPI stack");
+        let summary = record.summary.as_ref().expect("completed job has summary");
+        assert_eq!(
+            cpi.total(),
+            summary.cycles,
+            "CPI attribution telescopes to the cycle count"
+        );
     }
     for record in quiet.records.values() {
         assert!(record.timing.is_none(), "telemetry off records no timing");
+        assert!(record.cpi.is_none(), "telemetry off records no CPI stack");
     }
-    // The deterministic report is identical either way: timing and
-    // heartbeats ride stderr and the manifest only.
+    // The deterministic report is identical either way: timing, CPI
+    // stacks, and heartbeats ride stderr and the manifest only.
     assert_eq!(
         ffsim_driver::report::render(&quiet.records),
         ffsim_driver::report::render(&observed.records)
     );
     assert!(!ffsim_driver::report::render_timing(&observed.records).is_empty());
+    assert!(!ffsim_driver::report::render_cpi(&observed.records).is_empty());
 }

@@ -65,7 +65,7 @@ pub use emulator::{BranchOracle, EmuError, Emulator, FollowComputed, StepError};
 pub use exec::{Fault, FaultModel};
 pub use mem::{Memory, MemoryLimitError, PAGE_BYTES};
 pub use queue::{
-    FaultPolicy, FrontendPolicy, InstrQueue, NoFrontendWrongPath, StreamEntry, WrongPathFaultStats,
-    WrongPathRequest,
+    FaultPolicy, FetchSource, FrontendPolicy, InstrQueue, NoFrontendWrongPath, StreamEntry,
+    WrongPathFaultStats, WrongPathRequest,
 };
 pub use state::ArchState;

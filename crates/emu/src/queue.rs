@@ -115,6 +115,75 @@ pub struct StreamEntry {
     pub wrong_path: Option<WrongPathBundle>,
 }
 
+/// The functional frontend as the performance simulator consumes it: a
+/// program-order stream of [`StreamEntry`]s with lookahead peeking, plus
+/// the end-of-stream diagnostics (fault, cancellation, trace) the
+/// simulator reads after the run.
+///
+/// This is the seam between the emu-side view (an [`InstrQueue`] carrying
+/// some [`FrontendPolicy`]) and the core-side wrong-path techniques: a
+/// technique selects its frontend wiring by building the queue/policy pair
+/// it needs and handing it over as a `Box<dyn FetchSource>`, so the
+/// simulator's run loop is independent of the concrete policy type.
+pub trait FetchSource: Send + std::fmt::Debug {
+    /// Pops the next correct-path entry, or `None` at end of stream.
+    fn pop(&mut self) -> Option<StreamEntry>;
+    /// Peeks `index` entries ahead (0 = next to pop) without consuming.
+    fn peek(&mut self, index: usize) -> Option<&StreamEntry>;
+    /// The fault that ended the stream, if any.
+    fn fault(&self) -> Option<Fault>;
+    /// Whether the stream-ending fault occurred on a wrong path.
+    fn fault_was_wrong_path(&self) -> bool;
+    /// Wrong-path squash counters.
+    fn fault_stats(&self) -> WrongPathFaultStats;
+    /// The cancellation cause that ended the stream, if any.
+    fn cancelled(&self) -> Option<CancelCause>;
+    /// The underlying functional emulator (state digests, validation).
+    fn emulator(&self) -> &Emulator;
+    /// Drains the frontend event ring (oldest first).
+    fn take_trace(&mut self) -> Vec<TraceEvent>;
+    /// Events evicted from the frontend event ring because it was full.
+    fn trace_dropped(&self) -> u64;
+}
+
+impl<P: FrontendPolicy + Send + std::fmt::Debug> FetchSource for InstrQueue<P> {
+    fn pop(&mut self) -> Option<StreamEntry> {
+        InstrQueue::pop(self)
+    }
+
+    fn peek(&mut self, index: usize) -> Option<&StreamEntry> {
+        InstrQueue::peek(self, index)
+    }
+
+    fn fault(&self) -> Option<Fault> {
+        InstrQueue::fault(self)
+    }
+
+    fn fault_was_wrong_path(&self) -> bool {
+        InstrQueue::fault_was_wrong_path(self)
+    }
+
+    fn fault_stats(&self) -> WrongPathFaultStats {
+        InstrQueue::fault_stats(self)
+    }
+
+    fn cancelled(&self) -> Option<CancelCause> {
+        InstrQueue::cancelled(self)
+    }
+
+    fn emulator(&self) -> &Emulator {
+        InstrQueue::emulator(self)
+    }
+
+    fn take_trace(&mut self) -> Vec<TraceEvent> {
+        InstrQueue::take_trace(self)
+    }
+
+    fn trace_dropped(&self) -> u64 {
+        InstrQueue::trace_dropped(self)
+    }
+}
+
 /// The functional→performance instruction queue.
 ///
 /// # Examples

@@ -86,6 +86,13 @@ impl StallClass {
         }
     }
 
+    /// Parses the stable snake_case label back into a class (the inverse
+    /// of [`StallClass::label`]); `None` for unknown labels.
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<StallClass> {
+        ALL_CLASSES.iter().copied().find(|c| c.label() == label)
+    }
+
     /// Whether this class attributes cycles to a memory level.
     #[must_use]
     pub fn is_memory_bound(self) -> bool {
@@ -189,6 +196,28 @@ impl CpiStack {
             ),
         ])
     }
+
+    /// Parses the [`CpiStack::to_value`] JSON form back into a stack.
+    /// Unknown component labels and malformed lane arrays are ignored;
+    /// the stored `total` is recomputed from the parsed components.
+    #[must_use]
+    pub fn from_value(v: &Value) -> Option<CpiStack> {
+        let components = v.get("components")?;
+        let Value::Obj(entries) = components else {
+            return None;
+        };
+        let mut stack = CpiStack::new();
+        for (label, lanes) in entries {
+            let Some(class) = StallClass::from_label(label) else {
+                continue;
+            };
+            let Some(arr) = lanes.as_arr() else { continue };
+            let lane = |i: usize| arr.get(i).and_then(Value::as_int).unwrap_or(0).max(0) as u64;
+            stack.add(class, false, lane(0));
+            stack.add(class, true, lane(1));
+        }
+        Some(stack)
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +266,27 @@ mod tests {
         assert_eq!(a.total(), 17);
         a.reset();
         assert_eq!(a.total(), 0);
+    }
+
+    #[test]
+    fn labels_roundtrip_through_from_label() {
+        for &class in &ALL_CLASSES {
+            assert_eq!(StallClass::from_label(class.label()), Some(class));
+        }
+        assert_eq!(StallClass::from_label("no_such_class"), None);
+    }
+
+    #[test]
+    fn json_roundtrips_through_from_value() {
+        let mut stack = CpiStack::new();
+        stack.add(StallClass::Base, false, 90);
+        stack.add(StallClass::WrongPathFetch, true, 12);
+        stack.add(StallClass::DramBound, false, 7);
+        let text = stack.to_value().to_json();
+        let doc = crate::json::parse(&text).unwrap();
+        let back = CpiStack::from_value(&doc).unwrap();
+        assert_eq!(back, stack);
+        assert!(CpiStack::from_value(&Value::Int(3)).is_none());
     }
 
     #[test]

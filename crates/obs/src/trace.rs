@@ -10,9 +10,12 @@
 //!
 //! [`chrome_trace`] exports events in the Chrome `trace_event` JSON format
 //! (load the file in `chrome://tracing` or <https://ui.perfetto.dev>).
-//! Timing-model events use simulated cycles as timestamps; frontend
-//! (functional emulator) events use the emulated instruction ordinal —
-//! they render as separate tracks (`tid` 0 and 1).
+//! Timing-model events use simulated cycles as timestamps. Frontend
+//! (functional emulator) events are *recorded* with the emulated
+//! instruction ordinal of their triggering branch, and the simulator
+//! rebases them onto that branch's fetch cycle when it assembles the final
+//! report — so the two tracks (`tid` 0 and 1) share one cycle axis in the
+//! export.
 
 use crate::json::Value;
 use std::collections::VecDeque;
@@ -22,8 +25,10 @@ use std::collections::VecDeque;
 pub enum TraceSource {
     /// The performance (timing) model; timestamps are simulated cycles.
     Timing,
-    /// The functional frontend; timestamps are emulated-instruction
-    /// ordinals (sequence numbers).
+    /// The functional frontend; timestamps are recorded as
+    /// emulated-instruction ordinals (sequence numbers) and rebased onto
+    /// the triggering branch's fetch cycle in the simulator's final
+    /// report.
     Frontend,
 }
 
@@ -141,8 +146,9 @@ impl TraceEventKind {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TraceEvent {
     /// Timestamp in the source's timebase (cycles for
-    /// [`TraceSource::Timing`], instruction ordinal for
-    /// [`TraceSource::Frontend`]).
+    /// [`TraceSource::Timing`]; for [`TraceSource::Frontend`] the
+    /// instruction ordinal at recording time, rebased to the triggering
+    /// branch's fetch cycle in the simulator's final report).
     pub ts: u64,
     /// Which simulator half emitted it.
     pub source: TraceSource,

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Seam guard for the wrong-path technique layer.
+#
+# Mode-specific behavior belongs in crates/core/src/technique/ — the
+# strategy layer extracted from the old Simulator::run monolith. A match
+# arm on WrongPathMode anywhere else means per-mode dispatch is leaking
+# back into the run loop (or a consumer), defeating the pluggable
+# registry. Comparisons (`mode == WrongPathMode::…`), label lookups, and
+# iteration over WrongPathMode::ALL are all fine; only `=>` match arms
+# are flagged.
+#
+# Run from the repository root; exits non-zero and lists offenders when
+# the seam is violated.
+
+set -u
+
+pattern='WrongPathMode::[A-Za-z]+([[:space:]]*\|[[:space:]]*WrongPathMode::[A-Za-z]+)*[[:space:]]*=>'
+
+offenders=$(grep -rEn "$pattern" crates src examples tests 2>/dev/null \
+    | grep -v '^crates/core/src/technique/' || true)
+
+if [ -n "$offenders" ]; then
+    echo "error: WrongPathMode match arms outside crates/core/src/technique/:" >&2
+    echo "$offenders" >&2
+    echo >&2
+    echo "Mode-specific dispatch belongs in the technique layer." >&2
+    echo "Implement it inside a WrongPathTechnique (or compare modes" >&2
+    echo "with == / iterate WrongPathMode::ALL instead of matching)." >&2
+    exit 1
+fi
+
+echo "technique seam clean: no WrongPathMode match arms outside crates/core/src/technique/"
