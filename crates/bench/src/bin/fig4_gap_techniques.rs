@@ -9,16 +9,34 @@
 //! The 24 simulations (6 kernels × 4 techniques) run as one supervised
 //! campaign: in parallel across the worker pool, each with panic
 //! isolation and a watchdog deadline.
+//!
+//! `--techniques <label,...>` restricts the displayed columns to a subset
+//! of the registered techniques. Full wrong-path emulation is the error
+//! reference, so it always runs even when filtered out of the table.
 
 use ffsim_bench::{
-    expect_sim, gap_suite, mean_abs, render_table, run_supervised, workload_fn,
-    GAP_MAX_INSTRUCTIONS,
+    expect_sim, gap_suite, mean_abs, render_table, run_supervised, techniques_from_args,
+    workload_fn, GAP_MAX_INSTRUCTIONS,
 };
 use ffsim_core::WrongPathMode;
 use ffsim_driver::Job;
 use ffsim_uarch::CoreConfig;
 
 fn main() {
+    let techniques = techniques_from_args().unwrap_or_else(|e| {
+        eprintln!("fig4_gap_techniques: {e}");
+        std::process::exit(2);
+    });
+    let mut run_modes = techniques.clone();
+    if !run_modes.contains(&WrongPathMode::WrongPathEmulation) {
+        run_modes.push(WrongPathMode::WrongPathEmulation);
+    }
+    let report_modes: Vec<WrongPathMode> = techniques
+        .iter()
+        .copied()
+        .filter(|&m| m != WrongPathMode::WrongPathEmulation)
+        .collect();
+
     let core = CoreConfig::golden_cove_like();
     let suite = gap_suite();
 
@@ -26,7 +44,8 @@ fn main() {
         .iter()
         .flat_map(|w| {
             let workload = workload_fn(w);
-            WrongPathMode::ALL.map(|mode| {
+            let core = core.clone();
+            run_modes.iter().map(move |&mode| {
                 Job::new(format!("{}/{mode}", w.name()), mode, workload.clone())
                     .with_core(core.clone())
                     .with_max_instructions(GAP_MAX_INSTRUCTIONS)
@@ -37,37 +56,27 @@ fn main() {
     let records = run_supervised(jobs);
 
     let mut rows = Vec::new();
-    let mut nowp_errs = Vec::new();
-    let mut instrec_errs = Vec::new();
-    let mut conv_errs = Vec::new();
+    let mut errs: Vec<Vec<f64>> = vec![Vec::new(); report_modes.len()];
     println!("FIGURE 4 (left): error per wrong-path technique (GAP)\n");
     for w in &suite {
         let result = |mode: WrongPathMode| expect_sim(&records, &format!("{}/{mode}", w.name()));
         let wpemul = result(WrongPathMode::WrongPathEmulation);
-        let (e0, e1, e2) = (
-            result(WrongPathMode::NoWrongPath).error_vs(wpemul),
-            result(WrongPathMode::InstructionReconstruction).error_vs(wpemul),
-            result(WrongPathMode::ConvergenceExploitation).error_vs(wpemul),
-        );
-        nowp_errs.push(e0);
-        instrec_errs.push(e1);
-        conv_errs.push(e2);
-        rows.push(vec![
-            w.name().to_string(),
-            format!("{e0:+.1}%"),
-            format!("{e1:+.1}%"),
-            format!("{e2:+.1}%"),
-        ]);
+        let mut row = vec![w.name().to_string()];
+        for (i, &mode) in report_modes.iter().enumerate() {
+            let e = result(mode).error_vs(wpemul);
+            errs[i].push(e);
+            row.push(format!("{e:+.1}%"));
+        }
+        rows.push(row);
     }
-    println!(
-        "{}",
-        render_table(&["benchmark", "nowp", "instrec", "conv"], &rows)
-    );
-    println!(
-        "average |error|: nowp {:.1}%  instrec {:.1}%  conv {:.1}%",
-        mean_abs(&nowp_errs),
-        mean_abs(&instrec_errs),
-        mean_abs(&conv_errs)
-    );
+    let mut headers = vec!["benchmark"];
+    headers.extend(report_modes.iter().map(|m| m.label()));
+    println!("{}", render_table(&headers, &rows));
+    let summary: Vec<String> = report_modes
+        .iter()
+        .zip(&errs)
+        .map(|(m, e)| format!("{} {:.1}%", m.label(), mean_abs(e)))
+        .collect();
+    println!("average |error|: {}", summary.join("  "));
     println!("paper: 9.6% -> 9.7% -> 3.8% (conv cuts GAP error ~2.5x; instrec no help)");
 }

@@ -5,66 +5,78 @@
 //! (wpemul, up to 16.2×); branch-miss-heavy GAP slowdowns 3.2×, 4.0×,
 //! and 13.1× (up to 157×). The reconstruction techniques burden only the
 //! performance simulator; emulation burdens the functional simulator.
+//!
+//! `--techniques <label,...>` restricts the slowdown columns to a subset
+//! of the registered techniques. The no-wrong-path model is the
+//! normalization baseline, so it always runs even when filtered out.
 
 use ffsim_bench::{
-    gap_suite, mean, render_table, run_modes, spec_suite, GAP_MAX_INSTRUCTIONS,
-    SPEC_MAX_INSTRUCTIONS,
+    gap_suite, mean, render_table, run_mode, spec_suite, techniques_from_args,
+    GAP_MAX_INSTRUCTIONS, SPEC_MAX_INSTRUCTIONS,
 };
-use ffsim_core::SimResult;
+use ffsim_core::WrongPathMode;
 use ffsim_uarch::CoreConfig;
 use ffsim_workloads::Workload;
 
-fn report(label: &str, workloads: &[&Workload], max_instructions: u64) {
+fn report(label: &str, modes: &[WrongPathMode], workloads: &[&Workload], max_instructions: u64) {
     let core = CoreConfig::golden_cove_like();
     let mut rows = Vec::new();
-    let mut slow = [Vec::new(), Vec::new(), Vec::new()];
-    let mut max_slow = [0.0f64; 3];
+    let mut slow: Vec<Vec<f64>> = vec![Vec::new(); modes.len()];
+    let mut max_slow = vec![0.0f64; modes.len()];
     for w in workloads {
-        let results: [SimResult; 4] = run_modes(w, &core, max_instructions);
-        let nowp = &results[0];
-        let s: Vec<f64> = results[1..].iter().map(|r| r.slowdown_vs(nowp)).collect();
-        for i in 0..3 {
-            slow[i].push(s[i]);
-            max_slow[i] = max_slow[i].max(s[i]);
+        let nowp = run_mode(w, &core, WrongPathMode::NoWrongPath, max_instructions);
+        let mut row = vec![w.name().to_string()];
+        for (i, &mode) in modes.iter().enumerate() {
+            let s = run_mode(w, &core, mode, max_instructions).slowdown_vs(&nowp);
+            slow[i].push(s);
+            max_slow[i] = max_slow[i].max(s);
+            row.push(format!("{s:.2}x"));
         }
-        rows.push(vec![
-            w.name().to_string(),
-            format!("{:.2}x", s[0]),
-            format!("{:.2}x", s[1]),
-            format!("{:.2}x", s[2]),
-            format!("{:.1}ms", nowp.wall_time.as_secs_f64() * 1000.0),
-        ]);
+        row.push(format!("{:.1}ms", nowp.wall_time.as_secs_f64() * 1000.0));
+        rows.push(row);
     }
     println!("--- {label} ---");
-    println!(
-        "{}",
-        render_table(
-            &["benchmark", "instrec", "conv", "wpemul", "nowp time"],
-            &rows
-        )
-    );
-    println!(
-        "average slowdown: instrec {:.2}x (max {:.2}x), conv {:.2}x (max {:.2}x), wpemul {:.2}x (max {:.2}x)\n",
-        mean(&slow[0]),
-        max_slow[0],
-        mean(&slow[1]),
-        max_slow[1],
-        mean(&slow[2]),
-        max_slow[2],
-    );
+    let mut headers = vec!["benchmark"];
+    headers.extend(modes.iter().map(|m| m.label()));
+    headers.push("nowp time");
+    println!("{}", render_table(&headers, &rows));
+    let summary: Vec<String> = modes
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            format!(
+                "{} {:.2}x (max {:.2}x)",
+                m.label(),
+                mean(&slow[i]),
+                max_slow[i]
+            )
+        })
+        .collect();
+    println!("average slowdown: {}\n", summary.join(", "));
 }
 
 fn main() {
+    let techniques = techniques_from_args().unwrap_or_else(|e| {
+        eprintln!("speed_comparison: {e}");
+        std::process::exit(2);
+    });
+    let modes: Vec<WrongPathMode> = techniques
+        .iter()
+        .copied()
+        .filter(|&m| m != WrongPathMode::NoWrongPath)
+        .collect();
+
     println!("SECTION V-B: simulation speed, normalized to the nowp model\n");
     let gap = gap_suite();
     report(
         "GAP (branch-miss heavy)",
+        &modes,
         &gap.iter().collect::<Vec<_>>(),
         GAP_MAX_INSTRUCTIONS,
     );
     let spec = spec_suite();
     let spec_workloads: Vec<&Workload> = spec.iter().map(|k| &k.workload).collect();
-    report("SPEC-like", &spec_workloads, SPEC_MAX_INSTRUCTIONS);
+    report("SPEC-like", &modes, &spec_workloads, SPEC_MAX_INSTRUCTIONS);
     println!("paper: SPEC 1.12x / 1.13x / 2.1x;  GAP 3.2x / 4.0x / 13.1x");
     println!("(absolute host ratios differ — our in-process emulator makes wrong-path");
     println!("emulation far cheaper than Pin checkpoint/inject — but the ordering");

@@ -7,38 +7,52 @@
 //! convergence exploitation, which executes more than emulation: instrec
 //! models every wrong-path memory access as a cache hit, so the wrong
 //! path runs ahead faster during the (identical) branch resolution time.
+//!
+//! `--techniques <label,...>` restricts the table to a subset of the
+//! registered techniques (`nowp` executes no wrong path, so it never has
+//! a column). Only the selected simulations run.
 
-use ffsim_bench::{gap_suite, render_table, run_modes, GAP_MAX_INSTRUCTIONS};
+use ffsim_bench::{gap_suite, render_table, run_mode, techniques_from_args, GAP_MAX_INSTRUCTIONS};
+use ffsim_core::WrongPathMode;
 use ffsim_uarch::CoreConfig;
 
 fn main() {
+    let techniques = techniques_from_args().unwrap_or_else(|e| {
+        eprintln!("table2_wp_fraction: {e}");
+        std::process::exit(2);
+    });
+    let report_modes: Vec<WrongPathMode> = techniques
+        .iter()
+        .copied()
+        .filter(|&m| m != WrongPathMode::NoWrongPath)
+        .collect();
+    // The instrec >= conv >= wpemul ordering is only checkable when all
+    // three wrong-path techniques are in the run.
+    let check_ordering = report_modes.len() == 3;
+
     let core = CoreConfig::golden_cove_like();
     let mut rows = Vec::new();
     println!("TABLE II: wrong-path instructions relative to correct path (GAP)\n");
     let mut orderings_hold = 0;
     let mut total = 0;
     for w in gap_suite() {
-        let [_, instrec, conv, wpemul] = run_modes(&w, &core, GAP_MAX_INSTRUCTIONS);
-        let (fi, fc, fe) = (
-            instrec.wrong_path_fraction(),
-            conv.wrong_path_fraction(),
-            wpemul.wrong_path_fraction(),
-        );
-        if fi >= fc && fc >= fe {
+        let fractions: Vec<f64> = report_modes
+            .iter()
+            .map(|&mode| run_mode(&w, &core, mode, GAP_MAX_INSTRUCTIONS).wrong_path_fraction())
+            .collect();
+        if check_ordering && fractions.windows(2).all(|p| p[0] >= p[1]) {
             orderings_hold += 1;
         }
         total += 1;
-        rows.push(vec![
-            w.name().to_string(),
-            format!("{fi:.0}%"),
-            format!("{fc:.0}%"),
-            format!("{fe:.0}%"),
-        ]);
+        let mut row = vec![w.name().to_string()];
+        row.extend(fractions.iter().map(|f| format!("{f:.0}%")));
+        rows.push(row);
     }
-    println!(
-        "{}",
-        render_table(&["benchmark", "instrec", "conv", "wpemul"], &rows)
-    );
-    println!("instrec >= conv >= wpemul ordering holds on {orderings_hold}/{total} benchmarks");
+    let mut headers = vec!["benchmark"];
+    headers.extend(report_modes.iter().map(|m| m.label()));
+    println!("{}", render_table(&headers, &rows));
+    if check_ordering {
+        println!("instrec >= conv >= wpemul ordering holds on {orderings_hold}/{total} benchmarks");
+    }
     println!("paper: 26-240%, ordering instrec > conv > wpemul, pr lowest");
 }

@@ -22,7 +22,7 @@
 
 #![warn(missing_docs)]
 
-use ffsim_core::{SimConfig, SimResult, Simulator, WrongPathMode};
+use ffsim_core::{SimConfig, SimResult, Simulator, TechniqueRegistry, WrongPathMode};
 use ffsim_driver::{Campaign, CampaignConfig, Job, JobRecord, RetryPolicy, WorkloadFn};
 use ffsim_uarch::CoreConfig;
 use ffsim_workloads::speclike::{all_speclike, SpecKernel};
@@ -54,6 +54,67 @@ pub fn gap_suite() -> Vec<Workload> {
 #[must_use]
 pub fn spec_suite() -> Vec<SpecKernel> {
     all_speclike(1, SPEC_SEED)
+}
+
+/// Parses a `--techniques label[,label...]` specification against the
+/// labels in [`TechniqueRegistry::builtin`]. The result is deduplicated
+/// and normalized to registry order, so experiment output does not depend
+/// on the order labels were typed in.
+///
+/// # Errors
+///
+/// An unknown label (the message lists the registered ones) or an empty
+/// specification.
+pub fn parse_techniques(spec: &str) -> Result<Vec<WrongPathMode>, String> {
+    let registry = TechniqueRegistry::builtin();
+    let mut selected: Vec<WrongPathMode> = Vec::new();
+    for label in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let Some((_, mode)) = registry.entries().find(|(l, _)| *l == label) else {
+            let known: Vec<&str> = registry.entries().map(|(l, _)| l).collect();
+            return Err(format!(
+                "unknown technique `{label}` (registered: {})",
+                known.join(", ")
+            ));
+        };
+        if !selected.contains(&mode) {
+            selected.push(mode);
+        }
+    }
+    if selected.is_empty() {
+        return Err("--techniques needs at least one technique label".into());
+    }
+    Ok(registry
+        .entries()
+        .map(|(_, m)| m)
+        .filter(|m| selected.contains(m))
+        .collect())
+}
+
+/// Parses an experiment binary's command line, supporting the shared
+/// `--techniques <label,...>` filter. No filter means every registered
+/// technique, so default output is unchanged.
+///
+/// # Errors
+///
+/// Unknown flags, a missing value, or any error from
+/// [`parse_techniques`].
+pub fn techniques_from_args() -> Result<Vec<WrongPathMode>, String> {
+    let mut modes: Option<Vec<WrongPathMode>> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--techniques" => {
+                let spec = argv.next().ok_or("--techniques needs a value")?;
+                modes = Some(parse_techniques(&spec)?);
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument: {other} (supported: --techniques <label,...>)"
+                ))
+            }
+        }
+    }
+    Ok(modes.unwrap_or_else(|| WrongPathMode::ALL.to_vec()))
 }
 
 /// Runs one workload under a specific mode.
@@ -248,6 +309,40 @@ mod tests {
         let lines: Vec<&str> = h.lines().collect();
         assert_eq!(lines.len(), 3);
         assert!(lines[1].contains("##"));
+    }
+
+    #[test]
+    fn technique_filter_accepts_registered_labels() {
+        assert_eq!(
+            parse_techniques("nowp,wpemul").unwrap(),
+            vec![
+                WrongPathMode::NoWrongPath,
+                WrongPathMode::WrongPathEmulation
+            ]
+        );
+    }
+
+    #[test]
+    fn technique_filter_normalizes_order_and_dedupes() {
+        assert_eq!(
+            parse_techniques("wpemul, conv ,conv,instrec").unwrap(),
+            vec![
+                WrongPathMode::InstructionReconstruction,
+                WrongPathMode::ConvergenceExploitation,
+                WrongPathMode::WrongPathEmulation
+            ]
+        );
+    }
+
+    #[test]
+    fn technique_filter_rejects_unknown_labels_listing_the_registry() {
+        let err = parse_techniques("nowp,typo").unwrap_err();
+        assert!(err.contains("unknown technique `typo`"), "{err}");
+        for label in ["nowp", "instrec", "conv", "wpemul"] {
+            assert!(err.contains(label), "{err} should list {label}");
+        }
+        assert!(parse_techniques("").is_err(), "empty spec is an error");
+        assert!(parse_techniques(" , ").is_err(), "blank labels only");
     }
 
     #[test]

@@ -177,7 +177,12 @@ fn main() -> ExitCode {
         eprint!("{cpi}");
     }
 
-    let text = report::render(&outcome.records);
+    let mut text = report::render(&outcome.records);
+    if let Some(quarantine) = &outcome.quarantine {
+        // Also on stderr so a watching operator sees it immediately.
+        eprintln!("campaign_smoke: {quarantine}");
+        text.push_str(&report::render_quarantine(quarantine));
+    }
     match &args.report {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &text) {

@@ -15,7 +15,17 @@
 //! `results_speed.txt` contains host wall-clock timings and is skipped
 //! unless `--volatile` is given. `--update` rewrites the committed files
 //! from the regenerated output instead of failing.
+//!
+//! Besides the file diffs, the check asserts the committed **perf
+//! budgets**: the `base` CPI of a canonical loop on the tiny core, per
+//! technique. The committed results files all use the golden-cove core,
+//! so a regression in the tiny core's scheduling (the configuration every
+//! unit test runs on) would otherwise drift silently.
 
+use ffsim_core::{SimConfig, Simulator, StallClass, WrongPathMode};
+use ffsim_emu::Memory;
+use ffsim_isa::{Asm, Program, Reg};
+use ffsim_uarch::CoreConfig;
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 
@@ -82,6 +92,76 @@ const TARGETS: &[Target] = &[
         volatile: true,
     },
 ];
+
+/// Loop trips of the base-CPI budget workload: enough to drown out warmup
+/// so the measured CPI is stable to well under the tolerance.
+const BASE_CPI_TRIPS: i64 = 50_000;
+
+/// Committed tiny-core `base` CPI per technique for the canonical
+/// countdown-div loop (the ROADMAP "obs-driven perf targets" budget).
+/// `base` excludes every stall class, so this moves only when dispatch
+/// width, issue scheduling, or latency tables change — exactly the
+/// regressions the golden-cove results files are too coarse to localize.
+const BASE_CPI_BUDGETS: &[(WrongPathMode, f64)] = &[
+    (WrongPathMode::NoWrongPath, 5.9997),
+    (WrongPathMode::InstructionReconstruction, 5.9997),
+    (WrongPathMode::ConvergenceExploitation, 5.9997),
+    (WrongPathMode::WrongPathEmulation, 5.9997),
+];
+
+/// Absolute tolerance on each base-CPI budget. The simulator is
+/// deterministic, so this only absorbs deliberate small retunings; a real
+/// scheduling regression overshoots it.
+const BASE_CPI_TOLERANCE: f64 = 0.02;
+
+fn base_cpi_workload() -> Result<Program, String> {
+    let (i, c, q) = (Reg::new(1), Reg::new(2), Reg::new(3));
+    let mut a = Asm::new();
+    a.li(i, BASE_CPI_TRIPS);
+    a.li(c, 1_000_003);
+    a.label("loop");
+    a.div(q, c, i);
+    a.addi(i, i, -1);
+    a.bnez(i, "loop");
+    a.halt();
+    a.assemble().map_err(|e| e.to_string())
+}
+
+/// Runs the budget workload on the tiny core under each technique and
+/// compares the measured `base` CPI against the committed budget.
+/// Returns the failure messages (empty means every budget holds).
+fn check_base_cpi() -> Vec<String> {
+    let program = match base_cpi_workload() {
+        Ok(program) => program,
+        Err(e) => return vec![format!("base-cpi workload failed to assemble: {e}")],
+    };
+    let mut failures = Vec::new();
+    for &(mode, expected) in BASE_CPI_BUDGETS {
+        let cfg = SimConfig::with_core(CoreConfig::tiny_for_tests(), mode);
+        let result = Simulator::new(program.clone(), Memory::new(), cfg).and_then(Simulator::run);
+        let result = match result {
+            Ok(result) => result,
+            Err(e) => {
+                failures.push(format!("base-cpi run under {mode} failed: {e}"));
+                continue;
+            }
+        };
+        let measured = result.cpi.get(StallClass::Base) as f64 / result.instructions as f64;
+        if (measured - expected).abs() > BASE_CPI_TOLERANCE {
+            failures.push(format!(
+                "base CPI under {} is {measured:.4}, outside committed {expected:.4} \
+                 ± {BASE_CPI_TOLERANCE} (tiny core, countdown-div)",
+                mode.label()
+            ));
+        } else {
+            eprintln!(
+                "results_check: ok base-cpi {} ({measured:.4})",
+                mode.label()
+            );
+        }
+    }
+    failures
+}
 
 /// Drops cargo stderr chatter that leaked into committed files when they
 /// were captured with `cargo run ... &> file`.
@@ -235,6 +315,14 @@ fn main() -> ExitCode {
             );
             failures += 1;
         }
+    }
+
+    if args.only.is_none() {
+        for failure in check_base_cpi() {
+            eprintln!("results_check: BUDGET {failure}");
+            failures += 1;
+        }
+        checked += 1;
     }
 
     if failures > 0 {

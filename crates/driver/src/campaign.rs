@@ -75,6 +75,10 @@ pub struct CampaignOutcome {
     /// Whether the campaign token fired; unfinished jobs stay absent from
     /// [`CampaignOutcome::records`] and re-run on resume.
     pub cancelled: bool,
+    /// Set when a damaged manifest was quarantined at startup (the
+    /// campaign then re-ran from an empty manifest). `None` on clean
+    /// runs, so reports stay byte-identical when nothing went wrong.
+    pub quarantine: Option<manifest::Quarantine>,
 }
 
 /// A supervised simulation campaign. See the [module docs](self).
@@ -121,9 +125,9 @@ impl Campaign {
             }
         }
 
-        let done = match &self.cfg.manifest_path {
-            Some(path) => manifest::load(path)?,
-            None => BTreeMap::new(),
+        let (done, quarantine) = match &self.cfg.manifest_path {
+            Some(path) => manifest::load_or_quarantine(path).map_err(|e| e.to_string())?,
+            None => (BTreeMap::new(), None),
         };
         let resumed = jobs.iter().filter(|j| done.contains_key(&j.id)).count();
         let queue: VecDeque<Job> = jobs
@@ -207,7 +211,7 @@ impl Campaign {
                             *lock(&executed) += 1;
                             if let Some(path) = &self.cfg.manifest_path {
                                 if let Err(e) = manifest::save(path, &done) {
-                                    lock(&persist_error).get_or_insert(e);
+                                    lock(&persist_error).get_or_insert(e.to_string());
                                     self.cancel.cancel();
                                     return;
                                 }
@@ -240,6 +244,7 @@ impl Campaign {
                 .into_inner()
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
             cancelled: self.cancel.is_cancelled(),
+            quarantine,
         })
     }
 

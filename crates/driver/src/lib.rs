@@ -75,6 +75,7 @@ pub use job::{
     ladder_next, mode_from_label, AttemptOutcome, AttemptRecord, ConfigTweak, Job, JobRecord,
     JobStatus, JobSummary, JobTiming, WorkloadFn,
 };
+pub use manifest::{FaultyIo, ManifestError, ManifestIo, Quarantine, RealIo};
 pub use retry::RetryPolicy;
 pub use telemetry::{Telemetry, TelemetryConfig};
 pub use watchdog::{WatchGuard, Watchdog};

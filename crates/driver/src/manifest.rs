@@ -9,16 +9,111 @@
 //! Serialization is deterministic: records are sorted by job id and
 //! contain no wall-clock values, so the same campaign produces a
 //! byte-identical manifest whatever the worker count or kill timing.
+//!
+//! # Crash consistency
+//!
+//! Atomic rename protects against *our* crashes, but not against
+//! filesystems that reorder data and metadata, partial copies, or stray
+//! editors: the file a resume reads may be torn anyway. Every manifest
+//! therefore ends with a checksum trailer line
+//! (`#checksum fnv1a <16 hex digits>` over everything before it), and
+//! [`load`] classifies what it finds with a typed [`ManifestError`]:
+//! a file cut at *any* byte offset loses trailer bytes and surfaces as
+//! [`ManifestError::Truncated`]; a flipped byte as
+//! [`ManifestError::ChecksumMismatch`]; intact-but-bogus JSON as
+//! [`ManifestError::Malformed`]. [`load_or_quarantine`] turns any of
+//! those into a fresh start: the damaged file is renamed to
+//! `<name>.corrupt` (evidence preserved), the campaign re-runs from an
+//! empty manifest, and the [`Quarantine`] notice is reported instead of
+//! a panic or a silent loss.
+//!
+//! Writes go through the [`ManifestIo`] seam so tests can inject short
+//! writes, failed renames, and out-of-space errors ([`FaultyIo`]) and
+//! prove the previous manifest generation survives each of them.
 
 use crate::job::JobRecord;
 use crate::json::{parse, Value};
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::fmt;
+use std::path::{Path, PathBuf};
 
 /// Current manifest format version; bumped on incompatible layout changes.
 pub const MANIFEST_VERSION: i64 = 1;
 
-/// Serializes `records` (keyed and therefore sorted by job id).
+/// Prefix of the checksum trailer line terminating every manifest.
+const CHECKSUM_PREFIX: &str = "#checksum fnv1a ";
+
+/// Why a manifest could not be used. Everything but [`ManifestError::Io`]
+/// means the file's *contents* are damaged and quarantining applies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ManifestError {
+    /// Reading, writing, or renaming failed at the filesystem level.
+    Io(String),
+    /// The file ends before a complete checksum trailer — a torn or
+    /// short write (every truncation lands here).
+    Truncated(String),
+    /// The trailer is present but disagrees with the body — bit rot or a
+    /// concurrent writer.
+    ChecksumMismatch(String),
+    /// Checksum intact but the JSON body is not a valid manifest.
+    Malformed(String),
+}
+
+impl ManifestError {
+    /// Whether the error describes damaged contents (quarantinable), as
+    /// opposed to an environment failure worth retrying or surfacing.
+    #[must_use]
+    pub fn is_corruption(&self) -> bool {
+        !matches!(self, ManifestError::Io(_))
+    }
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Io(m) => write!(f, "manifest i/o error: {m}"),
+            ManifestError::Truncated(m) => write!(f, "manifest truncated: {m}"),
+            ManifestError::ChecksumMismatch(m) => write!(f, "manifest checksum mismatch: {m}"),
+            ManifestError::Malformed(m) => write!(f, "manifest malformed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+/// What [`load_or_quarantine`] did with a damaged manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Quarantine {
+    /// The typed diagnosis of the damage.
+    pub error: ManifestError,
+    /// Where the damaged file was moved (sibling `.corrupt` path).
+    pub quarantined_to: PathBuf,
+}
+
+impl fmt::Display for Quarantine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}; quarantined to {} and restarted from an empty manifest",
+            self.error,
+            self.quarantined_to.display()
+        )
+    }
+}
+
+/// FNV-1a over the manifest body — stable, dependency-free, and plenty to
+/// catch truncation and bit flips (this is a tripwire, not cryptography).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes `records` (keyed and therefore sorted by job id) as the
+/// JSON body, without the checksum trailer.
 #[must_use]
 pub fn to_json(records: &BTreeMap<String, JobRecord>) -> String {
     Value::Obj(vec![
@@ -31,7 +126,15 @@ pub fn to_json(records: &BTreeMap<String, JobRecord>) -> String {
     .to_json()
 }
 
-/// Parses a manifest document into records keyed by job id.
+/// Serializes `records` as the full on-disk document: JSON body plus the
+/// checksum trailer line.
+#[must_use]
+pub fn to_text(records: &BTreeMap<String, JobRecord>) -> String {
+    let body = to_json(records);
+    format!("{body}{CHECKSUM_PREFIX}{:016x}\n", fnv1a(body.as_bytes()))
+}
+
+/// Parses a manifest JSON body into records keyed by job id.
 ///
 /// # Errors
 ///
@@ -63,34 +166,211 @@ pub fn from_json(text: &str) -> Result<BTreeMap<String, JobRecord>, String> {
     Ok(records)
 }
 
+/// Verifies the checksum trailer and parses the full on-disk document.
+///
+/// # Errors
+///
+/// [`ManifestError::Truncated`] when the trailer is absent or incomplete
+/// (any proper prefix of a valid document lands here),
+/// [`ManifestError::ChecksumMismatch`] when the body hash disagrees, and
+/// [`ManifestError::Malformed`] when the verified body is not a valid
+/// manifest.
+pub fn from_text(text: &str) -> Result<BTreeMap<String, JobRecord>, ManifestError> {
+    let Some(without_final_newline) = text.strip_suffix('\n') else {
+        return Err(ManifestError::Truncated(
+            "file does not end with a newline".into(),
+        ));
+    };
+    let Some(body_len) = without_final_newline.rfind('\n').map(|p| p + 1) else {
+        return Err(ManifestError::Truncated("single-line file".into()));
+    };
+    let trailer = &without_final_newline[body_len..];
+    let Some(hex) = trailer.strip_prefix(CHECKSUM_PREFIX) else {
+        return Err(ManifestError::Truncated(
+            "final line is not a checksum trailer".into(),
+        ));
+    };
+    let expected = u64::from_str_radix(hex, 16)
+        .map_err(|_| ManifestError::Truncated(format!("unparseable checksum `{hex}`")))?;
+    let body = &text[..body_len];
+    let actual = fnv1a(body.as_bytes());
+    if actual != expected {
+        return Err(ManifestError::ChecksumMismatch(format!(
+            "trailer says {expected:016x}, body hashes to {actual:016x}"
+        )));
+    }
+    from_json(body).map_err(ManifestError::Malformed)
+}
+
 /// Loads a manifest from disk; a missing file is an empty manifest.
 ///
 /// # Errors
 ///
-/// I/O failures other than not-found, and any parse error from
-/// [`from_json`].
-pub fn load(path: &Path) -> Result<BTreeMap<String, JobRecord>, String> {
+/// I/O failures other than not-found, and any verification or parse
+/// error from [`from_text`].
+pub fn load(path: &Path) -> Result<BTreeMap<String, JobRecord>, ManifestError> {
     match std::fs::read_to_string(path) {
         Ok(text) => {
-            from_json(&text).map_err(|e| format!("corrupt manifest {}: {e}", path.display()))
+            from_text(&text).map_err(|e| e.with_context(&format!("manifest {}", path.display())))
         }
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(BTreeMap::new()),
-        Err(e) => Err(format!("reading manifest {}: {e}", path.display())),
+        Err(e) => Err(ManifestError::Io(format!(
+            "reading manifest {}: {e}",
+            path.display()
+        ))),
     }
 }
 
-/// Atomically replaces the manifest at `path` (write temp file in the same
-/// directory, then rename): a crash mid-save leaves the previous manifest
-/// intact rather than a truncated one.
+impl ManifestError {
+    /// Prefixes the error message with `context`, keeping the variant.
+    fn with_context(self, context: &str) -> ManifestError {
+        match self {
+            ManifestError::Io(m) => ManifestError::Io(format!("{context}: {m}")),
+            ManifestError::Truncated(m) => ManifestError::Truncated(format!("{context}: {m}")),
+            ManifestError::ChecksumMismatch(m) => {
+                ManifestError::ChecksumMismatch(format!("{context}: {m}"))
+            }
+            ManifestError::Malformed(m) => ManifestError::Malformed(format!("{context}: {m}")),
+        }
+    }
+}
+
+/// Loads a manifest, quarantining a damaged file instead of failing.
+///
+/// A corrupt manifest (truncated, checksum mismatch, malformed) is
+/// renamed to a sibling `<name>.corrupt` file and the campaign starts
+/// from an empty manifest, with the diagnosis returned as a
+/// [`Quarantine`] notice for the report.
 ///
 /// # Errors
 ///
-/// I/O failures writing the temp file or renaming it into place.
-pub fn save(path: &Path, records: &BTreeMap<String, JobRecord>) -> Result<(), String> {
+/// Filesystem-level failures only: unreadable file, or the quarantine
+/// rename itself failing (then the damaged file is left in place).
+pub fn load_or_quarantine(
+    path: &Path,
+) -> Result<(BTreeMap<String, JobRecord>, Option<Quarantine>), ManifestError> {
+    match load(path) {
+        Ok(records) => Ok((records, None)),
+        Err(error) if error.is_corruption() => {
+            let quarantined_to = path.with_extension("corrupt");
+            std::fs::rename(path, &quarantined_to).map_err(|e| {
+                ManifestError::Io(format!(
+                    "quarantining {} to {}: {e}",
+                    path.display(),
+                    quarantined_to.display()
+                ))
+            })?;
+            Ok((
+                BTreeMap::new(),
+                Some(Quarantine {
+                    error,
+                    quarantined_to,
+                }),
+            ))
+        }
+        Err(io) => Err(io),
+    }
+}
+
+/// The filesystem operations [`save_with`] performs, as a seam for fault
+/// injection. Production code uses [`RealIo`].
+pub trait ManifestIo {
+    /// Writes `bytes` to `path`, creating or replacing it.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem failure.
+    fn write(&mut self, path: &Path, bytes: &[u8]) -> std::io::Result<()>;
+
+    /// Atomically renames `from` onto `to`.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem failure.
+    fn rename(&mut self, from: &Path, to: &Path) -> std::io::Result<()>;
+}
+
+/// The real filesystem.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealIo;
+
+impl ManifestIo for RealIo {
+    fn write(&mut self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> std::io::Result<()> {
+        std::fs::rename(from, to)
+    }
+}
+
+/// Fault-injecting [`ManifestIo`]: simulates the failure modes a manifest
+/// save meets in the wild. Each knob fires on every matching call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultyIo {
+    /// Write only this many bytes, then fail — a crash or disk error
+    /// mid-write leaving a torn temp file behind.
+    pub short_write: Option<usize>,
+    /// Report out-of-space without writing anything.
+    pub enospc: bool,
+    /// Fail the install rename (e.g. permissions yanked mid-campaign).
+    pub fail_rename: bool,
+}
+
+impl ManifestIo for FaultyIo {
+    fn write(&mut self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        if self.enospc {
+            return Err(std::io::Error::other("no space left on device (injected)"));
+        }
+        if let Some(n) = self.short_write {
+            std::fs::write(path, &bytes[..n.min(bytes.len())])?;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                format!("short write: {n} of {} bytes (injected)", bytes.len()),
+            ));
+        }
+        std::fs::write(path, bytes)
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> std::io::Result<()> {
+        if self.fail_rename {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::PermissionDenied,
+                "rename refused (injected)",
+            ));
+        }
+        std::fs::rename(from, to)
+    }
+}
+
+/// Atomically replaces the manifest at `path` through `io` (write temp
+/// file in the same directory, then rename): whatever `io` does — crash
+/// mid-write, refuse the rename — the previous manifest generation stays
+/// intact and loadable.
+///
+/// # Errors
+///
+/// [`ManifestError::Io`] for failures writing the temp file or renaming
+/// it into place.
+pub fn save_with(
+    io: &mut dyn ManifestIo,
+    path: &Path,
+    records: &BTreeMap<String, JobRecord>,
+) -> Result<(), ManifestError> {
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, to_json(records))
-        .map_err(|e| format!("writing manifest {}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, path).map_err(|e| format!("installing manifest {}: {e}", path.display()))
+    io.write(&tmp, to_text(records).as_bytes())
+        .map_err(|e| ManifestError::Io(format!("writing manifest {}: {e}", tmp.display())))?;
+    io.rename(&tmp, path)
+        .map_err(|e| ManifestError::Io(format!("installing manifest {}: {e}", path.display())))
+}
+
+/// [`save_with`] on the real filesystem.
+///
+/// # Errors
+///
+/// See [`save_with`].
+pub fn save(path: &Path, records: &BTreeMap<String, JobRecord>) -> Result<(), ManifestError> {
+    save_with(&mut RealIo, path, records)
 }
 
 #[cfg(test)]
@@ -123,15 +403,27 @@ mod tests {
         }
     }
 
+    fn one_record() -> BTreeMap<String, JobRecord> {
+        let mut records = BTreeMap::new();
+        records.insert("a".to_string(), record("a"));
+        records
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ffsim-driver-manifest-{name}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn round_trips_and_sorts_by_id() {
         let mut records = BTreeMap::new();
         // Insertion order here is reversed; serialization must sort.
         records.insert("z".to_string(), record("z"));
         records.insert("a".to_string(), record("a"));
-        let json = to_json(&records);
-        assert!(json.find("\"a\"").unwrap() < json.find("\"z\"").unwrap());
-        let back = from_json(&json).unwrap();
+        let text = to_text(&records);
+        assert!(text.find("\"a\"").unwrap() < text.find("\"z\"").unwrap());
+        let back = from_text(&text).unwrap();
         assert_eq!(back.len(), 2);
         assert_eq!(back["a"].status, JobStatus::Completed);
     }
@@ -153,15 +445,119 @@ mod tests {
 
     #[test]
     fn save_and_load_round_trip() {
-        let dir = std::env::temp_dir().join("ffsim-driver-manifest-rt");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = temp_dir("rt");
         let path = dir.join("manifest.json");
-        let mut records = BTreeMap::new();
-        records.insert("a".to_string(), record("a"));
-        save(&path, &records).unwrap();
+        save(&path, &one_record()).unwrap();
         let back = load(&path).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back["a"].summary.unwrap().state_digest, 0x42);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_is_a_typed_error() {
+        // A half-written (or worse) manifest must never panic and never
+        // parse: any proper prefix loses trailer bytes.
+        let full = to_text(&one_record());
+        for cut in 0..full.len() {
+            let err = from_text(&full[..cut]).expect_err("proper prefix must not parse");
+            assert!(
+                matches!(err, ManifestError::Truncated(_)),
+                "cut at {cut}: expected Truncated, got {err:?}"
+            );
+        }
+        assert!(from_text(&full).is_ok());
+    }
+
+    #[test]
+    fn half_written_file_loads_as_typed_error_not_panic() {
+        let dir = temp_dir("half");
+        let path = dir.join("manifest.json");
+        let full = to_text(&one_record());
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = load(&path).expect_err("half-written manifest must not load");
+        assert!(matches!(err, ManifestError::Truncated(_)), "{err:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flipped_byte_is_a_checksum_mismatch() {
+        let full = to_text(&one_record());
+        // Flip a digit inside the body (the instruction count "10").
+        let corrupted = full.replacen("10", "19", 1);
+        assert_ne!(full, corrupted, "corruption must change the body");
+        let err = from_text(&corrupted).expect_err("bit flip must not parse");
+        assert!(matches!(err, ManifestError::ChecksumMismatch(_)), "{err:?}");
+    }
+
+    #[test]
+    fn valid_checksum_over_garbage_is_malformed() {
+        let body = "{\"version\": 99, \"jobs\": []}\n";
+        let doc = format!("{body}{CHECKSUM_PREFIX}{:016x}\n", fnv1a(body.as_bytes()));
+        let err = from_text(&doc).expect_err("bad version must not parse");
+        assert!(matches!(err, ManifestError::Malformed(_)), "{err:?}");
+    }
+
+    #[test]
+    fn quarantine_moves_the_corrupt_file_and_starts_empty() {
+        let dir = temp_dir("quarantine");
+        let path = dir.join("manifest.json");
+        std::fs::write(&path, "not a manifest at all").unwrap();
+        let (records, notice) = load_or_quarantine(&path).unwrap();
+        assert!(records.is_empty());
+        let notice = notice.expect("corruption must be reported");
+        assert!(matches!(notice.error, ManifestError::Truncated(_)));
+        assert!(notice.quarantined_to.ends_with("manifest.corrupt"));
+        assert!(!path.exists(), "damaged file must be moved away");
+        assert!(notice.quarantined_to.exists(), "evidence must be preserved");
+        // A subsequent load starts clean — the campaign can resume.
+        assert!(load(&path).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn healthy_manifest_is_not_quarantined() {
+        let dir = temp_dir("healthy");
+        let path = dir.join("manifest.json");
+        save(&path, &one_record()).unwrap();
+        let (records, notice) = load_or_quarantine(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert!(notice.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_faults_leave_the_previous_generation_intact() {
+        let dir = temp_dir("faults");
+        let path = dir.join("manifest.json");
+        save(&path, &one_record()).unwrap();
+        let mut bigger = one_record();
+        bigger.insert("b".to_string(), record("b"));
+
+        let faults = [
+            FaultyIo {
+                short_write: Some(17),
+                ..FaultyIo::default()
+            },
+            FaultyIo {
+                enospc: true,
+                ..FaultyIo::default()
+            },
+            FaultyIo {
+                fail_rename: true,
+                ..FaultyIo::default()
+            },
+        ];
+        for mut io in faults {
+            let err = save_with(&mut io, &path, &bigger).expect_err("fault must surface");
+            assert!(matches!(err, ManifestError::Io(_)), "{err:?}");
+            // The previous generation still loads: atomicity held.
+            let back = load(&path).unwrap_or_else(|e| panic!("{io:?}: {e}"));
+            assert_eq!(back.len(), 1, "{io:?} damaged the installed manifest");
+        }
+        // And once the faults clear, the save goes through.
+        save(&path, &bigger).unwrap();
+        assert_eq!(load(&path).unwrap().len(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

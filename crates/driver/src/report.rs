@@ -5,9 +5,18 @@
 //! scheduling, or resume history.
 
 use crate::job::{AttemptOutcome, JobRecord, JobStatus};
+use crate::manifest::Quarantine;
 use ffsim_core::StallClass;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Renders the manifest-quarantine banner. Appended to the report only
+/// when a damaged manifest was actually quarantined, so clean runs stay
+/// byte-identical to their golden copies.
+#[must_use]
+pub fn render_quarantine(quarantine: &Quarantine) -> String {
+    format!("\nmanifest recovery\n\n  {quarantine}\n")
+}
 
 /// Renders the campaign report: a summary table (one row per job, sorted
 /// by id) followed by the attempt history of every job that needed more

@@ -342,6 +342,61 @@ fn resume_skips_recorded_jobs_and_runs_only_the_rest() {
 }
 
 #[test]
+fn corrupt_manifest_is_quarantined_and_the_campaign_completes() {
+    let path = tmp_path("corrupt-recovery");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(path.with_extension("corrupt")).ok();
+    let cfg = CampaignConfig {
+        manifest_path: Some(path.clone()),
+        ..fast_config()
+    };
+
+    // First run populates a healthy manifest; then damage it by cutting
+    // the file mid-body, as a torn write would.
+    let first = Campaign::new(cfg.clone())
+        .run(vec![tiny_job(
+            "a",
+            WrongPathMode::ConvergenceExploitation,
+            countdown_div,
+        )])
+        .expect("first campaign runs");
+    assert_eq!(first.executed, 1);
+    assert!(first.quarantine.is_none());
+    let healthy = std::fs::read_to_string(&path).expect("manifest written");
+    std::fs::write(&path, &healthy[..healthy.len() / 2]).expect("truncate manifest");
+
+    // The resumed campaign must not panic and must not trust the torn
+    // file: it quarantines, re-runs everything, and completes.
+    let second = Campaign::new(cfg.clone())
+        .run(vec![
+            tiny_job("a", WrongPathMode::ConvergenceExploitation, countdown_div),
+            tiny_job("b", WrongPathMode::NoWrongPath, countdown_div),
+        ])
+        .expect("corrupt manifest must not abort the campaign");
+    assert_eq!(second.resumed, 0, "torn records must not be trusted");
+    assert_eq!(second.executed, 2);
+    let quarantine = second.quarantine.expect("quarantine notice surfaced");
+    assert!(
+        matches!(quarantine.error, ffsim_driver::ManifestError::Truncated(_)),
+        "{:?}",
+        quarantine.error
+    );
+    assert!(quarantine.quarantined_to.exists(), "evidence preserved");
+
+    // Third run resumes from the rewritten manifest as if nothing
+    // happened.
+    let third = Campaign::new(cfg)
+        .run(vec![
+            tiny_job("a", WrongPathMode::ConvergenceExploitation, countdown_div),
+            tiny_job("b", WrongPathMode::NoWrongPath, countdown_div),
+        ])
+        .expect("third campaign runs");
+    assert_eq!(third.resumed, 2);
+    assert_eq!(third.executed, 0);
+    assert!(third.quarantine.is_none());
+}
+
+#[test]
 fn cancelling_the_campaign_stops_promptly_and_leaves_work_unrecorded() {
     let campaign = Campaign::new(CampaignConfig {
         default_timeout: None, // only campaign cancellation can stop the hang

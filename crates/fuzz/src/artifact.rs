@@ -1,0 +1,436 @@
+//! `.fsm` repro artifacts: a textual, diffable program format.
+//!
+//! A divergence found by the fuzzer is only useful if it can be re-run
+//! after the generator's weights change, so shrunk repros are written in
+//! a format independent of any seed: the assembler syntax the
+//! disassembler already prints (`add x3, x1, x2`, `sd x1, 8(x28)`,
+//! `beq x1, x2, 0x10010`, ...), one instruction per line, preceded by
+//! `base`/`entry` headers. `#`-lines are comments; [`from_text`] parses
+//! exactly what [`to_text`] emits, and round-trips bit-identically.
+
+use ffsim_isa::{Addr, AluOp, BranchCond, FReg, FpCmpOp, FpOp, Instr, MemWidth, Program, Reg};
+use std::path::Path;
+
+/// Renders `program` as a `.fsm` document.
+#[must_use]
+pub fn to_text(program: &Program) -> String {
+    let mut out = String::from("# ffsim program v1\n");
+    out.push_str(&format!("base {:#x}\n", program.base()));
+    out.push_str(&format!("entry {:#x}\n", program.entry()));
+    for (_, instr) in program.iter() {
+        out.push_str(&format!("{instr}\n"));
+    }
+    out
+}
+
+/// Parses a `.fsm` document back into a [`Program`].
+///
+/// # Errors
+///
+/// A message naming the offending line.
+pub fn from_text(text: &str) -> Result<Program, String> {
+    let mut base: Option<Addr> = None;
+    let mut entry: Option<Addr> = None;
+    let mut instrs = Vec::new();
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: {line}", n + 1);
+        if let Some(v) = line.strip_prefix("base ") {
+            base = Some(parse_int(v.trim()).map_err(|_| err("bad base address"))? as Addr);
+        } else if let Some(v) = line.strip_prefix("entry ") {
+            entry = Some(parse_int(v.trim()).map_err(|_| err("bad entry address"))? as Addr);
+        } else {
+            instrs.push(parse_instr(line).map_err(|e| err(&e))?);
+        }
+    }
+    let base = base.ok_or("missing base header")?;
+    if instrs.is_empty() {
+        return Err("no instructions".to_string());
+    }
+    let entry = entry.unwrap_or(base);
+    if !base.is_multiple_of(4) {
+        return Err(format!("base {base:#x} is not 4-byte aligned"));
+    }
+    let end = base + 4 * instrs.len() as Addr;
+    if entry < base || entry >= end || !entry.is_multiple_of(4) {
+        return Err(format!("entry {entry:#x} outside program text"));
+    }
+    Ok(Program::with_entry(base, entry, instrs))
+}
+
+/// Saves `program` to `path` in `.fsm` form.
+///
+/// # Errors
+///
+/// Any I/O failure writing the file.
+pub fn save(path: &Path, program: &Program) -> Result<(), String> {
+    std::fs::write(path, to_text(program)).map_err(|e| format!("writing {}: {e}", path.display()))
+}
+
+/// Loads a `.fsm` program from `path`.
+///
+/// # Errors
+///
+/// I/O failures or any parse error from [`from_text`].
+pub fn load(path: &Path) -> Result<Program, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    from_text(&text)
+}
+
+/// Paths produced by [`write_repro`].
+#[derive(Clone, Debug)]
+pub struct ReproPaths {
+    /// The `.fsm` program artifact.
+    pub fsm: std::path::PathBuf,
+    /// The regression-test stub referencing it.
+    pub test_stub: std::path::PathBuf,
+}
+
+/// Writes a shrunk repro as a reusable `.fsm` artifact plus a regression
+/// test stub. `note` (typically the divergence description) is embedded
+/// as header comments so the artifact is self-describing.
+///
+/// # Errors
+///
+/// Any I/O failure creating `dir` or writing the two files.
+pub fn write_repro(
+    dir: &Path,
+    name: &str,
+    program: &Program,
+    note: &str,
+) -> Result<ReproPaths, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let fsm = dir.join(format!("{name}.fsm"));
+    let mut doc = String::new();
+    for line in note.lines() {
+        doc.push_str(&format!("# {line}\n"));
+    }
+    doc.push_str(&to_text(program));
+    std::fs::write(&fsm, doc).map_err(|e| format!("writing {}: {e}", fsm.display()))?;
+
+    let test_stub = dir.join(format!("{name}_test.rs"));
+    let stub = format!(
+        "//! Regression stub for `{name}.fsm`. Once the divergence is fixed,\n\
+         //! move this file into `crates/fuzz/tests/` (with the `.fsm` next to\n\
+         //! it) so the repro guards against regressions.\n\
+         \n\
+         #[test]\n\
+         fn {name}_stays_divergence_free() {{\n\
+         \x20   let program = ffsim_fuzz::artifact::from_text(include_str!(\"{name}.fsm\"))\n\
+         \x20       .expect(\"repro artifact parses\");\n\
+         \x20   ffsim_fuzz::Oracle::builtin()\n\
+         \x20       .check(&program)\n\
+         \x20       .expect(\"techniques agree on the repro\");\n\
+         }}\n"
+    );
+    std::fs::write(&test_stub, stub)
+        .map_err(|e| format!("writing {}: {e}", test_stub.display()))?;
+    Ok(ReproPaths { fsm, test_stub })
+}
+
+fn parse_int(s: &str) -> Result<i64, ()> {
+    let (neg, s) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = s.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16).map_err(|_| ())?
+    } else {
+        s.parse::<i64>().map_err(|_| ())?
+    };
+    Ok(if neg { -v } else { v })
+}
+
+fn parse_reg(s: &str) -> Result<Reg, String> {
+    let idx = s
+        .strip_prefix('x')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| (n as usize) < ffsim_isa::NUM_INT_REGS)
+        .ok_or(format!("bad integer register {s}"))?;
+    Ok(Reg::new(idx))
+}
+
+fn parse_freg(s: &str) -> Result<FReg, String> {
+    let idx = s
+        .strip_prefix('f')
+        .and_then(|n| n.parse::<u8>().ok())
+        .filter(|&n| (n as usize) < ffsim_isa::NUM_FP_REGS)
+        .ok_or(format!("bad fp register {s}"))?;
+    Ok(FReg::new(idx))
+}
+
+/// Splits `offset(base)` into its parts.
+fn parse_mem_operand(s: &str) -> Result<(i64, &str), String> {
+    let open = s.find('(').ok_or(format!("bad memory operand {s}"))?;
+    let close = s
+        .strip_suffix(')')
+        .ok_or(format!("bad memory operand {s}"))?;
+    let offset = parse_int(&s[..open]).map_err(|_| format!("bad offset in {s}"))?;
+    Ok((offset, &close[open + 1..]))
+}
+
+fn alu_op(name: &str) -> Option<AluOp> {
+    Some(match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "slt" => AluOp::Slt,
+        "sltu" => AluOp::Sltu,
+        "mul" => AluOp::Mul,
+        "div" => AluOp::Div,
+        "rem" => AluOp::Rem,
+        _ => return None,
+    })
+}
+
+/// Parses one disassembly line into an [`Instr`].
+fn parse_instr(line: &str) -> Result<Instr, String> {
+    let (mnemonic, rest) = line.split_once(' ').unwrap_or((line, ""));
+    let ops: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let want = |n: usize| -> Result<(), String> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{mnemonic} expects {n} operands"))
+        }
+    };
+
+    if let Some(op) = alu_op(mnemonic) {
+        want(3)?;
+        return Ok(Instr::Alu {
+            op,
+            rd: parse_reg(ops[0])?,
+            rs1: parse_reg(ops[1])?,
+            rs2: parse_reg(ops[2])?,
+        });
+    }
+    if let Some(op) = mnemonic.strip_suffix('i').and_then(alu_op) {
+        want(3)?;
+        return Ok(Instr::AluImm {
+            op,
+            rd: parse_reg(ops[0])?,
+            rs1: parse_reg(ops[1])?,
+            imm: parse_int(ops[2]).map_err(|_| format!("bad immediate {}", ops[2]))?,
+        });
+    }
+
+    let load = |width, signed| -> Result<Instr, String> {
+        want(2)?;
+        let (offset, base) = parse_mem_operand(ops[1])?;
+        Ok(Instr::Load {
+            rd: parse_reg(ops[0])?,
+            base: parse_reg(base)?,
+            offset,
+            width,
+            signed,
+        })
+    };
+    let store = |width| -> Result<Instr, String> {
+        want(2)?;
+        let (offset, base) = parse_mem_operand(ops[1])?;
+        Ok(Instr::Store {
+            src: parse_reg(ops[0])?,
+            base: parse_reg(base)?,
+            offset,
+            width,
+        })
+    };
+    let fp_alu = |op| -> Result<Instr, String> {
+        want(3)?;
+        Ok(Instr::FpAlu {
+            op,
+            fd: parse_freg(ops[0])?,
+            fs1: parse_freg(ops[1])?,
+            fs2: parse_freg(ops[2])?,
+        })
+    };
+    let fp_cmp = |op| -> Result<Instr, String> {
+        want(3)?;
+        Ok(Instr::FpCmp {
+            op,
+            rd: parse_reg(ops[0])?,
+            fs1: parse_freg(ops[1])?,
+            fs2: parse_freg(ops[2])?,
+        })
+    };
+    let branch = |cond| -> Result<Instr, String> {
+        want(3)?;
+        Ok(Instr::Branch {
+            cond,
+            rs1: parse_reg(ops[0])?,
+            rs2: parse_reg(ops[1])?,
+            target: parse_int(ops[2]).map_err(|_| format!("bad target {}", ops[2]))? as Addr,
+        })
+    };
+
+    match mnemonic {
+        "li" => {
+            want(2)?;
+            Ok(Instr::LoadImm {
+                rd: parse_reg(ops[0])?,
+                imm: parse_int(ops[1]).map_err(|_| format!("bad immediate {}", ops[1]))?,
+            })
+        }
+        "lb" => load(MemWidth::B, true),
+        "lbu" => load(MemWidth::B, false),
+        "lh" => load(MemWidth::H, true),
+        "lhu" => load(MemWidth::H, false),
+        "lw" => load(MemWidth::W, true),
+        "lwu" => load(MemWidth::W, false),
+        // `ld` always sign-extends nothing (full width); Display prints
+        // it for both signedness flags, so parse as signed.
+        "ld" => load(MemWidth::D, true),
+        "sb" => store(MemWidth::B),
+        "sh" => store(MemWidth::H),
+        "sw" => store(MemWidth::W),
+        "sd" => store(MemWidth::D),
+        "fadd" => fp_alu(FpOp::Add),
+        "fsub" => fp_alu(FpOp::Sub),
+        "fmul" => fp_alu(FpOp::Mul),
+        "fdiv" => fp_alu(FpOp::Div),
+        "fmin" => fp_alu(FpOp::Min),
+        "fmax" => fp_alu(FpOp::Max),
+        "fld" => {
+            want(2)?;
+            let (offset, base) = parse_mem_operand(ops[1])?;
+            Ok(Instr::FpLoad {
+                fd: parse_freg(ops[0])?,
+                base: parse_reg(base)?,
+                offset,
+            })
+        }
+        "fsd" => {
+            want(2)?;
+            let (offset, base) = parse_mem_operand(ops[1])?;
+            Ok(Instr::FpStore {
+                fs: parse_freg(ops[0])?,
+                base: parse_reg(base)?,
+                offset,
+            })
+        }
+        "feq" => fp_cmp(FpCmpOp::Eq),
+        "flt" => fp_cmp(FpCmpOp::Lt),
+        "fle" => fp_cmp(FpCmpOp::Le),
+        "fcvt.d.l" => {
+            want(2)?;
+            Ok(Instr::IntToFp {
+                fd: parse_freg(ops[0])?,
+                rs: parse_reg(ops[1])?,
+            })
+        }
+        "fcvt.l.d" => {
+            want(2)?;
+            Ok(Instr::FpToInt {
+                rd: parse_reg(ops[0])?,
+                fs: parse_freg(ops[1])?,
+            })
+        }
+        "beq" => branch(BranchCond::Eq),
+        "bne" => branch(BranchCond::Ne),
+        "blt" => branch(BranchCond::Lt),
+        "bge" => branch(BranchCond::Ge),
+        "bltu" => branch(BranchCond::Ltu),
+        "bgeu" => branch(BranchCond::Geu),
+        "jal" => {
+            want(2)?;
+            Ok(Instr::Jal {
+                rd: parse_reg(ops[0])?,
+                target: parse_int(ops[1]).map_err(|_| format!("bad target {}", ops[1]))? as Addr,
+            })
+        }
+        "jalr" => {
+            want(2)?;
+            let (offset, base) = parse_mem_operand(ops[1])?;
+            Ok(Instr::Jalr {
+                rd: parse_reg(ops[0])?,
+                base: parse_reg(base)?,
+                offset,
+            })
+        }
+        "nop" => Ok(Instr::Nop),
+        "halt" => Ok(Instr::Halt),
+        other => Err(format!("unknown mnemonic {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn generated_programs_round_trip() {
+        for seed in 0..60 {
+            let p = generate(seed);
+            let text = to_text(&p);
+            let back = from_text(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            // `ld` loses its (meaningless) signedness flag; normalize it
+            // before comparison.
+            let norm = |p: &Program| {
+                p.iter()
+                    .map(|(_, i)| match *i {
+                        Instr::Load {
+                            rd,
+                            base,
+                            offset,
+                            width: MemWidth::D,
+                            ..
+                        } => Instr::Load {
+                            rd,
+                            base,
+                            offset,
+                            width: MemWidth::D,
+                            signed: true,
+                        },
+                        other => other,
+                    })
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(norm(&p), norm(&back), "seed {seed}");
+            assert_eq!(p.base(), back.base());
+            assert_eq!(p.entry(), back.entry());
+            // And the text itself is a fixpoint.
+            assert_eq!(text, to_text(&back), "seed {seed}: text not a fixpoint");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_text("").is_err());
+        assert!(from_text("base 0x1000\n").is_err());
+        assert!(from_text("base 0x1000\nbogus x1, x2\n").is_err());
+        assert!(from_text("base 0x1001\nnop\n").is_err());
+        assert!(from_text("base 0x1000\nentry 0x2000\nnop\n").is_err());
+        assert!(from_text("nop\n").is_err(), "missing base header");
+    }
+
+    #[test]
+    fn handwritten_document_parses() {
+        let text = "\
+# a tiny diamond
+base 0x10000
+entry 0x10000
+li x1, 5
+beq x1, x0, 0x10010
+addi x1, x1, -1
+jal x0, 0x10010
+halt
+";
+        let p = from_text(text).expect("parses");
+        assert_eq!(p.len(), 5);
+        assert!(matches!(p.instr_at(0x10010), Some(Instr::Halt)));
+    }
+}

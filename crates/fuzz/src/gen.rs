@@ -1,0 +1,547 @@
+//! Seeded, fully deterministic random program generation.
+//!
+//! Programs are generated *structurally*, not instruction-by-instruction:
+//! the generator emits a preamble that seeds registers and a small shared
+//! data window, then a body built from nestable shapes — straight-line
+//! compute, forward diamonds (the convergence technique's bread and
+//! butter), counter-controlled loops, and immediate-loaded indirect jumps.
+//! Every backward edge is guarded by a dedicated loop-counter register
+//! that the loop body cannot write, so **every generated program
+//! terminates** on the correct path; wrong paths may still run wild,
+//! which is exactly what the differential oracle wants to stress.
+//!
+//! Memory traffic is biased toward a 256-byte aliasing window addressed
+//! off a reserved base register, both with static offsets and with
+//! data-dependent (masked) offsets, so wrong-path stores and loads
+//! frequently alias correct-path locations.
+
+use ffsim_isa::{
+    Addr, AluOp, BranchCond, FReg, FpCmpOp, FpOp, Instr, MemWidth, Program, Reg, DEFAULT_TEXT_BASE,
+    INSTR_BYTES,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Registers the generator may freely overwrite with computed values.
+const DATA_REGS: [u8; 9] = [3, 4, 5, 6, 7, 12, 13, 14, 15];
+/// Loop-counter registers: written only by their own loop's `li`/`addi`.
+const COUNTER_REGS: [u8; 4] = [8, 9, 10, 11];
+/// Holds the data-window base address for the whole program.
+const BASE_REG: u8 = 28;
+/// Scratch register for computed (data-dependent) addresses.
+const ADDR_REG: u8 = 29;
+/// Target register for immediate-loaded indirect jumps.
+const JUMP_REG: u8 = 30;
+/// FP registers in play.
+const FP_REGS: [u8; 4] = [0, 1, 2, 3];
+
+/// Base address of the shared data window all memory traffic aliases in.
+pub const DATA_BASE: Addr = 0x2000_0000;
+/// Size of the aliasing window in bytes (offsets stay inside it).
+pub const DATA_WINDOW: u64 = 256;
+
+/// Tunable knobs for program generation.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Rough instruction budget for the program body (the final program
+    /// adds a preamble and epilogue on top).
+    pub body_budget: usize,
+    /// Maximum nesting depth of diamonds and loops.
+    pub max_depth: usize,
+    /// Maximum trip count of a generated loop.
+    pub max_trips: i64,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            body_budget: 48,
+            max_depth: 3,
+            max_trips: 5,
+        }
+    }
+}
+
+/// A deterministic program generator; one instance per seed.
+#[derive(Debug)]
+pub struct ProgramGen {
+    rng: StdRng,
+    cfg: GenConfig,
+    /// Instructions emitted so far; branch/jump targets are patched in
+    /// [`ProgramGen::finish`] from the fixup list.
+    out: Vec<Instr>,
+    /// `(instruction index, target index)` pairs to patch.
+    fixups: Vec<(usize, usize)>,
+    /// Loop counters currently guarding an enclosing loop.
+    busy_counters: Vec<u8>,
+}
+
+impl ProgramGen {
+    /// Creates a generator for `seed` with default knobs.
+    #[must_use]
+    pub fn new(seed: u64) -> ProgramGen {
+        ProgramGen::with_config(seed, GenConfig::default())
+    }
+
+    /// Creates a generator for `seed` with explicit knobs.
+    #[must_use]
+    pub fn with_config(seed: u64, cfg: GenConfig) -> ProgramGen {
+        ProgramGen {
+            rng: StdRng::seed_from_u64(seed),
+            cfg,
+            out: Vec::new(),
+            fixups: Vec::new(),
+            busy_counters: Vec::new(),
+        }
+    }
+
+    /// Generates one complete program.
+    #[must_use]
+    pub fn generate(mut self) -> Program {
+        self.preamble();
+        let budget = self.cfg.body_budget;
+        self.seq(budget, self.cfg.max_depth);
+        self.out.push(Instr::Halt);
+        self.finish()
+    }
+
+    /// Seeds the base register, the data registers, a few window words,
+    /// and the FP registers, so the body starts from varied state.
+    fn preamble(&mut self) {
+        self.out.push(Instr::LoadImm {
+            rd: Reg::new(BASE_REG),
+            imm: DATA_BASE as i64,
+        });
+        for &r in &DATA_REGS {
+            // A mix of small, zero, negative and large magnitudes keeps
+            // branch conditions and divides interesting.
+            let imm = match self.rng.gen_range(0u32..5) {
+                0 => 0,
+                1 => self.rng.gen_range(-8i64..8),
+                2 => self.rng.gen_range(0i64..64),
+                3 => -self.rng.gen_range(1i64..1 << 20),
+                _ => self.rng.gen_range(0i64..1 << 32),
+            };
+            self.out.push(Instr::LoadImm {
+                rd: Reg::new(r),
+                imm,
+            });
+        }
+        for k in 0..4u64 {
+            let src = self.data_reg();
+            self.out.push(Instr::Store {
+                src,
+                base: Reg::new(BASE_REG),
+                offset: (k * 8) as i64,
+                width: MemWidth::D,
+            });
+        }
+        for &f in &FP_REGS {
+            let rs = self.data_reg();
+            self.out.push(Instr::IntToFp {
+                fd: FReg::new(f),
+                rs,
+            });
+        }
+    }
+
+    /// Emits roughly `budget` instructions of nested shapes.
+    fn seq(&mut self, budget: usize, depth: usize) {
+        let mut left = budget;
+        while left > 0 {
+            let spent = match self.rng.gen_range(0u32..10) {
+                0 | 1 if depth > 0 && left >= 6 => self.diamond(left, depth),
+                2 if depth > 0 && left >= 8 => self.loop_shape(left, depth),
+                3 if left >= 2 => self.indirect_jump(),
+                _ => self.straight_line(),
+            };
+            left = left.saturating_sub(spent.max(1));
+        }
+    }
+
+    /// One straight-line instruction (compute or memory), biased toward
+    /// the aliasing window.
+    fn straight_line(&mut self) -> usize {
+        let instr = match self.rng.gen_range(0u32..12) {
+            0..=2 => {
+                let op = self.alu_op();
+                let (rd, rs1, rs2) = (self.data_reg(), self.data_reg(), self.data_reg());
+                Instr::Alu { op, rd, rs1, rs2 }
+            }
+            3..=4 => {
+                let op = self.alu_op();
+                // Shift amounts must stay modest to keep values varied.
+                let imm = if matches!(op, AluOp::Sll | AluOp::Srl | AluOp::Sra) {
+                    self.rng.gen_range(0i64..8)
+                } else {
+                    self.rng.gen_range(-64i64..64)
+                };
+                let (rd, rs1) = (self.data_reg(), self.data_reg());
+                Instr::AluImm { op, rd, rs1, imm }
+            }
+            5..=6 => {
+                let (width, signed) = self.mem_width();
+                let rd = self.data_reg();
+                let offset = self.window_offset(width);
+                Instr::Load {
+                    rd,
+                    base: Reg::new(BASE_REG),
+                    offset,
+                    width,
+                    signed,
+                }
+            }
+            7..=8 => {
+                let (width, _) = self.mem_width();
+                let src = self.data_reg();
+                let offset = self.window_offset(width);
+                Instr::Store {
+                    src,
+                    base: Reg::new(BASE_REG),
+                    offset,
+                    width,
+                }
+            }
+            9 => return self.computed_access(),
+            10 => {
+                let op = match self.rng.gen_range(0u32..6) {
+                    0 => FpOp::Add,
+                    1 => FpOp::Sub,
+                    2 => FpOp::Mul,
+                    3 => FpOp::Div,
+                    4 => FpOp::Min,
+                    _ => FpOp::Max,
+                };
+                let (fd, fs1, fs2) = (self.fp_reg(), self.fp_reg(), self.fp_reg());
+                Instr::FpAlu { op, fd, fs1, fs2 }
+            }
+            _ => match self.rng.gen_range(0u32..5) {
+                0 => {
+                    let fd = self.fp_reg();
+                    let offset = self.window_offset(MemWidth::D);
+                    Instr::FpLoad {
+                        fd,
+                        base: Reg::new(BASE_REG),
+                        offset,
+                    }
+                }
+                1 => {
+                    let fs = self.fp_reg();
+                    let offset = self.window_offset(MemWidth::D);
+                    Instr::FpStore {
+                        fs,
+                        base: Reg::new(BASE_REG),
+                        offset,
+                    }
+                }
+                2 => {
+                    let op = match self.rng.gen_range(0u32..3) {
+                        0 => FpCmpOp::Eq,
+                        1 => FpCmpOp::Lt,
+                        _ => FpCmpOp::Le,
+                    };
+                    let rd = self.data_reg();
+                    let (fs1, fs2) = (self.fp_reg(), self.fp_reg());
+                    Instr::FpCmp { op, rd, fs1, fs2 }
+                }
+                3 => {
+                    let fd = self.fp_reg();
+                    let rs = self.data_reg();
+                    Instr::IntToFp { fd, rs }
+                }
+                _ => {
+                    let rd = self.data_reg();
+                    let fs = self.fp_reg();
+                    Instr::FpToInt { rd, fs }
+                }
+            },
+        };
+        self.out.push(instr);
+        1
+    }
+
+    /// A data-dependent access: mask a data register into the window,
+    /// add the base, and load or store through the computed address.
+    /// This is the aliasing workhorse — the offset depends on values a
+    /// wrong path computes differently.
+    fn computed_access(&mut self) -> usize {
+        let v = self.data_reg();
+        self.out.push(Instr::AluImm {
+            op: AluOp::And,
+            rd: Reg::new(ADDR_REG),
+            rs1: v,
+            imm: (DATA_WINDOW - 8) as i64 & !7,
+        });
+        self.out.push(Instr::Alu {
+            op: AluOp::Add,
+            rd: Reg::new(ADDR_REG),
+            rs1: Reg::new(ADDR_REG),
+            rs2: Reg::new(BASE_REG),
+        });
+        let load = self.rng.gen_bool(0.5);
+        let r = self.data_reg();
+        self.out.push(if load {
+            Instr::Load {
+                rd: r,
+                base: Reg::new(ADDR_REG),
+                offset: 0,
+                width: MemWidth::D,
+                signed: true,
+            }
+        } else {
+            Instr::Store {
+                src: r,
+                base: Reg::new(ADDR_REG),
+                offset: 0,
+                width: MemWidth::D,
+            }
+        });
+        3
+    }
+
+    /// A forward diamond: `branch else; then-side; jal merge; else-side;
+    /// merge`. Both sides reconverge — the convergence technique's target
+    /// shape — and the data-dependent condition keeps the predictor
+    /// guessing.
+    fn diamond(&mut self, budget: usize, depth: usize) -> usize {
+        let side = ((budget - 3) / 2).min(12);
+        let branch_at = self.out.len();
+        self.out.push(Instr::Nop); // patched to the conditional branch
+        self.seq(side.max(1), depth - 1);
+        let jal_at = self.out.len();
+        self.out.push(Instr::Nop); // patched to `jal merge`
+        let else_target = self.out.len();
+        self.seq(side.max(1), depth - 1);
+        let merge = self.out.len();
+        // An empty merge target is fine: the next shape (or halt) follows.
+        let cond = self.branch_cond();
+        let rs1 = self.data_reg();
+        let rs2 = if self.rng.gen_bool(0.4) {
+            Reg::ZERO
+        } else {
+            self.data_reg()
+        };
+        self.out[branch_at] = Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            target: 0,
+        };
+        self.fixups.push((branch_at, else_target));
+        self.out[jal_at] = Instr::Jal {
+            rd: Reg::ZERO,
+            target: 0,
+        };
+        self.fixups.push((jal_at, merge));
+        self.out.len() - branch_at
+    }
+
+    /// A counter-controlled loop. The counter register is reserved for
+    /// the loop's extent, so nested shapes cannot clobber it and the
+    /// backward branch always terminates.
+    fn loop_shape(&mut self, budget: usize, depth: usize) -> usize {
+        let Some(&counter) = COUNTER_REGS
+            .iter()
+            .find(|r| !self.busy_counters.contains(r))
+        else {
+            return self.straight_line();
+        };
+        self.busy_counters.push(counter);
+        let trips = self.rng.gen_range(1i64..self.cfg.max_trips + 1);
+        let start = self.out.len();
+        self.out.push(Instr::LoadImm {
+            rd: Reg::new(counter),
+            imm: trips,
+        });
+        let top = self.out.len();
+        let body = ((budget - 3) / (trips.max(1) as usize)).clamp(1, 10);
+        self.seq(body, depth - 1);
+        self.out.push(Instr::AluImm {
+            op: AluOp::Add,
+            rd: Reg::new(counter),
+            rs1: Reg::new(counter),
+            imm: -1,
+        });
+        let branch_at = self.out.len();
+        self.out.push(Instr::Branch {
+            cond: BranchCond::Ne,
+            rs1: Reg::new(counter),
+            rs2: Reg::ZERO,
+            target: 0,
+        });
+        self.fixups.push((branch_at, top));
+        self.busy_counters.pop();
+        self.out.len() - start
+    }
+
+    /// An indirect jump through an immediate-loaded register: always
+    /// forward (to the instruction after the pair), so it terminates, but
+    /// it exercises the indirect predictor and — on the wrong path —
+    /// stale `JUMP_REG` values that leave the text image entirely.
+    fn indirect_jump(&mut self) -> usize {
+        let li_at = self.out.len();
+        self.out.push(Instr::Nop); // patched to `li JUMP_REG, target`
+        let rd = if self.rng.gen_bool(0.25) {
+            Reg::RA
+        } else {
+            Reg::ZERO
+        };
+        self.out.push(Instr::Jalr {
+            rd,
+            base: Reg::new(JUMP_REG),
+            offset: 0,
+        });
+        let target = self.out.len();
+        self.out[li_at] = Instr::LoadImm {
+            rd: Reg::new(JUMP_REG),
+            imm: 0, // patched below via fixups (address of `target`)
+        };
+        self.fixups.push((li_at, target));
+        2
+    }
+
+    /// Patches index-based targets into absolute addresses and assembles
+    /// the final program.
+    fn finish(mut self) -> Program {
+        let base = DEFAULT_TEXT_BASE;
+        let addr_of = |idx: usize| base + idx as Addr * INSTR_BYTES;
+        for &(at, target_idx) in &self.fixups {
+            let target = addr_of(target_idx.min(self.out.len() - 1));
+            match &mut self.out[at] {
+                Instr::Branch { target: t, .. } | Instr::Jal { target: t, .. } => *t = target,
+                Instr::LoadImm { imm, .. } => *imm = target as i64,
+                other => unreachable!("fixup on non-control instruction {other}"),
+            }
+        }
+        Program::new(base, self.out)
+    }
+
+    fn data_reg(&mut self) -> Reg {
+        Reg::new(DATA_REGS[self.rng.gen_range(0usize..DATA_REGS.len())])
+    }
+
+    fn fp_reg(&mut self) -> FReg {
+        FReg::new(FP_REGS[self.rng.gen_range(0usize..FP_REGS.len())])
+    }
+
+    fn alu_op(&mut self) -> AluOp {
+        match self.rng.gen_range(0u32..13) {
+            0 => AluOp::Add,
+            1 => AluOp::Sub,
+            2 => AluOp::And,
+            3 => AluOp::Or,
+            4 => AluOp::Xor,
+            5 => AluOp::Sll,
+            6 => AluOp::Srl,
+            7 => AluOp::Sra,
+            8 => AluOp::Slt,
+            9 => AluOp::Sltu,
+            10 => AluOp::Mul,
+            11 => AluOp::Div,
+            _ => AluOp::Rem,
+        }
+    }
+
+    fn branch_cond(&mut self) -> BranchCond {
+        match self.rng.gen_range(0u32..6) {
+            0 => BranchCond::Eq,
+            1 => BranchCond::Ne,
+            2 => BranchCond::Lt,
+            3 => BranchCond::Ge,
+            4 => BranchCond::Ltu,
+            _ => BranchCond::Geu,
+        }
+    }
+
+    fn mem_width(&mut self) -> (MemWidth, bool) {
+        let width = match self.rng.gen_range(0u32..4) {
+            0 => MemWidth::B,
+            1 => MemWidth::H,
+            2 => MemWidth::W,
+            _ => MemWidth::D,
+        };
+        (width, self.rng.gen_bool(0.5))
+    }
+
+    /// A width-aligned offset inside the data window.
+    fn window_offset(&mut self, width: MemWidth) -> i64 {
+        let step = width.bytes();
+        (self.rng.gen_range(0u64..DATA_WINDOW / step) * step) as i64
+    }
+}
+
+/// Generates the program for `seed` with default knobs (the fuzzing
+/// entry point: program `i` of a campaign uses `seed_for(base_seed, i)`).
+#[must_use]
+pub fn generate(seed: u64) -> Program {
+    ProgramGen::new(seed).generate()
+}
+
+/// Derives the per-program seed from a campaign seed and program index
+/// (SplitMix-style mixing so neighboring indices decorrelate).
+#[must_use]
+pub fn seed_for(campaign_seed: u64, index: u64) -> u64 {
+    let mut z = campaign_seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ffsim_emu::Emulator;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        for seed in 0..20 {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a, b, "seed {seed} must reproduce byte-identically");
+        }
+        assert_ne!(generate(1), generate(2));
+    }
+
+    #[test]
+    fn programs_terminate_functionally() {
+        // The structural termination guarantee, checked empirically: every
+        // generated program halts within a generous step bound.
+        for seed in 0..200 {
+            let p = generate(seed);
+            let mut emu = Emulator::new(p).expect("entry is executable");
+            let steps = emu
+                .run_to_halt(1_000_000)
+                .unwrap_or_else(|e| panic!("seed {seed}: functional fault {e:?}"));
+            assert!(emu.is_halted(), "seed {seed} did not halt in {steps} steps");
+        }
+    }
+
+    #[test]
+    fn programs_are_branch_dense() {
+        let mut branches = 0usize;
+        let mut mems = 0usize;
+        let mut total = 0usize;
+        for seed in 0..50 {
+            let p = generate(seed);
+            total += p.len();
+            branches += p.iter().filter(|(_, i)| i.is_branch()).count();
+            mems += p.iter().filter(|(_, i)| i.is_mem()).count();
+        }
+        let bf = branches as f64 / total as f64;
+        let mf = mems as f64 / total as f64;
+        assert!(bf > 0.08, "branch fraction {bf:.3} too low for fuzzing");
+        assert!(mf > 0.15, "memory fraction {mf:.3} too low for aliasing");
+    }
+
+    #[test]
+    fn all_targets_resolve_inside_the_image() {
+        for seed in 0..100 {
+            let p = generate(seed);
+            for (pc, i) in p.iter() {
+                if let Some(t) = i.direct_target() {
+                    assert!(p.contains(t), "seed {seed}: {pc:#x} targets {t:#x}");
+                }
+            }
+        }
+    }
+}

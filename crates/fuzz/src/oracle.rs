@@ -1,0 +1,384 @@
+//! The cross-technique differential oracle.
+//!
+//! The paper's central claim is that the four wrong-path techniques are
+//! *timing* techniques: they may disagree on cycles, but the correct-path
+//! architectural outcome — retired instruction count, final state digest,
+//! and any typed error — must be bit-identical across them. The oracle
+//! runs one program through every technique in a [`TechniqueRegistry`]
+//! and reports the first disagreement as a [`Divergence`].
+//!
+//! Each program is checked under several *variants* that exercise the
+//! fault-injection knobs from the robustness layer (trapping fault
+//! models under the squash policy, wrong-path pc corruption, a tight
+//! wrong-path watchdog): faults on a wrong path are squashed, so the
+//! post-squash architectural state must still agree everywhere.
+//!
+//! Two further cross-checks ride along:
+//! - when the program runs to `halt`, the baseline digest must equal a
+//!   pure functional execution of the same program (no timing model at
+//!   all), and
+//! - wrong-path emulation's checkpoint/restore must be exact: at every
+//!   branch, the emulator digest after a squashed wrong-path episode
+//!   must equal the digest before the redirect.
+
+use ffsim_core::{SimConfig, Simulator, TechniqueRegistry};
+use ffsim_emu::{Emulator, FaultPolicy, FollowComputed, Memory};
+use ffsim_isa::{Instr, Program, INSTR_BYTES};
+use ffsim_uarch::CoreConfig;
+use std::fmt;
+
+/// Fault-injection variants every program is checked under. All of them
+/// keep the squash policy: wrong-path faults must be absorbed, so the
+/// cross-technique agreement contract is unchanged.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Variant {
+    /// Default permissive configuration.
+    Baseline,
+    /// Trapping fault model (divide-by-zero, address limit) with the
+    /// squash policy: wrong paths fault and are squashed; a correct-path
+    /// fault is a typed error all techniques must agree on.
+    TrapFaults,
+    /// Deterministic wrong-path start-pc corruption (wpemul-only knob;
+    /// other techniques ignore it, and state must still agree).
+    PcCorruption,
+    /// A tight wrong-path watchdog: episodes are cut short early.
+    TightWatchdog,
+}
+
+impl Variant {
+    /// All variants, in checking order.
+    pub const ALL: [Variant; 4] = [
+        Variant::Baseline,
+        Variant::TrapFaults,
+        Variant::PcCorruption,
+        Variant::TightWatchdog,
+    ];
+
+    /// Stable label used in reports and artifacts.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::Baseline => "baseline",
+            Variant::TrapFaults => "trap-faults",
+            Variant::PcCorruption => "pc-corruption",
+            Variant::TightWatchdog => "tight-watchdog",
+        }
+    }
+
+    /// Applies the variant's knobs to a run configuration.
+    pub fn apply(self, cfg: &mut SimConfig) {
+        match self {
+            Variant::Baseline => {}
+            Variant::TrapFaults => {
+                cfg.fault_model.trap_div_zero = true;
+                cfg.fault_policy = FaultPolicy::SquashWrongPath;
+            }
+            Variant::PcCorruption => {
+                cfg.wp_pc_corruption = Some(ffsim_core::PcCorruption {
+                    every_nth: 3,
+                    xor_mask: 0x40,
+                });
+            }
+            Variant::TightWatchdog => {
+                cfg.wrong_path_watchdog = Some(24);
+            }
+        }
+    }
+}
+
+/// What one technique produced for one (program, variant) pair. Timing
+/// (cycles) is deliberately absent: techniques may differ there.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// The run finished; architectural observables.
+    Completed {
+        /// Retired correct-path instructions.
+        instructions: u64,
+        /// Final architectural state digest (registers + memory).
+        state_digest: u64,
+    },
+    /// The run ended with a typed error (display form).
+    Failed(String),
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Completed {
+                instructions,
+                state_digest,
+            } => write!(
+                f,
+                "ok: {instructions} instructions, digest {state_digest:#018x}"
+            ),
+            RunOutcome::Failed(e) => write!(f, "error: {e}"),
+        }
+    }
+}
+
+/// A cross-technique disagreement: the smoking gun the fuzzer hunts for.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// The fault-injection variant the disagreement appeared under.
+    pub variant: &'static str,
+    /// Technique the baseline outcome came from (first registry entry).
+    pub baseline_label: String,
+    /// The baseline outcome.
+    pub baseline: RunOutcome,
+    /// The disagreeing technique.
+    pub label: String,
+    /// What it produced instead.
+    pub outcome: RunOutcome,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} disagrees with {}: {} vs {}",
+            self.variant, self.label, self.baseline_label, self.outcome, self.baseline
+        )
+    }
+}
+
+/// What the oracle observed for a divergence-free program.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OracleReport {
+    /// The program ran to `halt` (vs. the instruction cap) at baseline.
+    pub ran_to_halt: bool,
+    /// Any variant produced a typed (correct-path) error.
+    pub faulted: bool,
+    /// Simulations executed (techniques × variants).
+    pub runs: u32,
+}
+
+/// The differential oracle. Holds the registry under test and the shared
+/// run parameters.
+pub struct Oracle {
+    registry: TechniqueRegistry,
+    core: CoreConfig,
+    /// Correct-path instruction cap per run — a safety net for runaway
+    /// programs; generated programs terminate well below it.
+    pub max_instructions: u64,
+    /// Variants to check; defaults to [`Variant::ALL`].
+    pub variants: Vec<Variant>,
+}
+
+impl fmt::Debug for Oracle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Oracle")
+            .field("registry", &self.registry)
+            .field("max_instructions", &self.max_instructions)
+            .field("variants", &self.variants)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Oracle {
+    /// An oracle over the built-in techniques on the tiny test core.
+    #[must_use]
+    pub fn builtin() -> Oracle {
+        Oracle::with_registry(TechniqueRegistry::builtin())
+    }
+
+    /// An oracle over an explicit registry (the hook broken-technique
+    /// tests use: register a fifth technique and watch it get caught).
+    #[must_use]
+    pub fn with_registry(registry: TechniqueRegistry) -> Oracle {
+        Oracle {
+            registry,
+            core: CoreConfig::tiny_for_tests(),
+            max_instructions: 100_000,
+            variants: Variant::ALL.to_vec(),
+        }
+    }
+
+    /// The registry under test.
+    #[must_use]
+    pub fn registry(&self) -> &TechniqueRegistry {
+        &self.registry
+    }
+
+    /// Runs `program` through every registered technique under every
+    /// variant and cross-checks the architectural outcomes.
+    ///
+    /// # Errors
+    ///
+    /// The first [`Divergence`] found.
+    pub fn check(&self, program: &Program) -> Result<OracleReport, Divergence> {
+        let mut report = OracleReport::default();
+        for &variant in &self.variants {
+            let mut baseline: Option<(String, RunOutcome)> = None;
+            for (label, mode) in self.registry.entries() {
+                let mut cfg = SimConfig::with_core(self.core.clone(), mode);
+                cfg.max_instructions = Some(self.max_instructions);
+                variant.apply(&mut cfg);
+                let outcome = self.run_one(program, label, cfg);
+                report.runs += 1;
+                if matches!(outcome, RunOutcome::Failed(_)) {
+                    report.faulted = true;
+                }
+                match &baseline {
+                    None => {
+                        if variant == Variant::Baseline {
+                            if let RunOutcome::Completed { instructions, .. } = outcome {
+                                report.ran_to_halt = instructions < self.max_instructions;
+                            }
+                        }
+                        baseline = Some((label.to_string(), outcome));
+                    }
+                    Some((base_label, base)) => {
+                        if outcome != *base {
+                            return Err(Divergence {
+                                variant: variant.label(),
+                                baseline_label: base_label.clone(),
+                                baseline: base.clone(),
+                                label: label.to_string(),
+                                outcome,
+                            });
+                        }
+                    }
+                }
+            }
+            // Functional reference: a program that ran to halt must leave
+            // the same architectural state as a run with no timing model
+            // at all (only meaningful without injected fault models).
+            if variant == Variant::Baseline && report.ran_to_halt {
+                if let Some((base_label, RunOutcome::Completed { state_digest, .. })) = &baseline {
+                    let reference = functional_digest(program, self.max_instructions);
+                    if let Some(reference) = reference {
+                        if reference != *state_digest {
+                            return Err(Divergence {
+                                variant: "functional-reference",
+                                baseline_label: "functional".to_string(),
+                                baseline: RunOutcome::Completed {
+                                    instructions: 0,
+                                    state_digest: reference,
+                                },
+                                label: base_label.clone(),
+                                outcome: RunOutcome::Completed {
+                                    instructions: 0,
+                                    state_digest: *state_digest,
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    fn run_one(&self, program: &Program, label: &str, cfg: SimConfig) -> RunOutcome {
+        let technique = self
+            .registry
+            .build(label, &cfg)
+            .expect("iterated registry entries are buildable");
+        let run = Simulator::with_technique(program.clone(), Memory::new(), cfg, technique)
+            .and_then(Simulator::run);
+        match run {
+            Ok(r) => RunOutcome::Completed {
+                instructions: r.instructions,
+                state_digest: r.state_digest,
+            },
+            Err(e) => RunOutcome::Failed(e.to_string()),
+        }
+    }
+}
+
+/// Digest of a pure functional execution (no timing model), or `None`
+/// when the program does not halt within `max_steps` (then the simulator
+/// runs were truncated and their runahead digests are not comparable).
+fn functional_digest(program: &Program, max_steps: u64) -> Option<u64> {
+    let mut emu = Emulator::with_memory(program.clone(), Memory::new()).ok()?;
+    emu.run_to_halt(max_steps).ok()?;
+    emu.is_halted().then(|| emu.digest())
+}
+
+/// Checks wrong-path emulation's checkpoint/restore exactness on the
+/// functional emulator directly: at every conditional branch along the
+/// correct path, emulate the *not-taken* path as a squashed wrong-path
+/// episode and require the state digest after the squash to equal the
+/// digest before the redirect. Consecutive branches exercise
+/// back-to-back episodes (nested-misprediction checkpoint reuse).
+///
+/// # Errors
+///
+/// A description of the first digest mismatch.
+pub fn check_restore_exactness(program: &Program, budget: usize) -> Result<u64, String> {
+    let mut emu = Emulator::with_memory(program.clone(), Memory::new())
+        .map_err(|e| format!("program entry not executable: {e:?}"))?;
+    let mut episodes = 0u64;
+    for _ in 0..1_000_000u64 {
+        if emu.is_halted() {
+            return Ok(episodes);
+        }
+        let inst = match emu.step() {
+            Ok(inst) => inst,
+            Err(e) => return Err(format!("correct-path fault during walk: {e:?}")),
+        };
+        let Some(outcome) = inst.branch else { continue };
+        if !matches!(inst.instr, Instr::Branch { .. }) {
+            continue;
+        }
+        // The wrong path starts wherever the branch did NOT go.
+        let wrong_start = if outcome.taken {
+            inst.pc + INSTR_BYTES
+        } else {
+            inst.instr
+                .direct_target()
+                .expect("conditional branches are direct")
+        };
+        let before = emu.digest();
+        let _ =
+            emu.emulate_wrong_path_bounded(wrong_start, budget, Some(4096), &mut FollowComputed);
+        let after = emu.digest();
+        if before != after {
+            return Err(format!(
+                "checkpoint/restore leak at branch {:#x}: digest {before:#018x} -> {after:#018x}",
+                inst.pc
+            ));
+        }
+        episodes += 1;
+    }
+    Err("program did not halt within the walk bound".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn builtin_techniques_agree_on_generated_programs() {
+        let oracle = Oracle::builtin();
+        for seed in 0..12 {
+            let p = generate(seed);
+            let report = oracle
+                .check(&p)
+                .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
+            assert_eq!(report.runs, 16, "4 techniques x 4 variants");
+        }
+    }
+
+    #[test]
+    fn restore_exactness_holds_on_generated_programs() {
+        for seed in 0..25 {
+            let p = generate(seed);
+            let episodes =
+                check_restore_exactness(&p, 64).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            // Generated programs are branch-dense; most seeds have many
+            // episodes, every seed has at least a handful.
+            assert!(episodes > 0, "seed {seed}: no branches walked");
+        }
+    }
+
+    #[test]
+    fn variant_labels_are_stable() {
+        let labels: Vec<&str> = Variant::ALL.iter().map(|v| v.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["baseline", "trap-faults", "pc-corruption", "tight-watchdog"]
+        );
+    }
+}

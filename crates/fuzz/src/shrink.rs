@@ -1,0 +1,268 @@
+//! Divergence shrinking: minimize a failing program to a small repro.
+//!
+//! Given a program and a predicate that reports whether the failure still
+//! reproduces, the shrinker runs three deterministic passes to a fixpoint:
+//!
+//! 1. **Truncation** — binary-search the shortest prefix (suffix replaced
+//!    by `halt`) that still fails.
+//! 2. **Nop-out delta-debugging** — replace chunks of instructions with
+//!    `nop`, halving the chunk size down to single instructions. Addresses
+//!    stay fixed, so no branch retargeting is needed and every candidate
+//!    is trivially well formed.
+//! 3. **Compaction** — delete the accumulated `nop`s, remapping branch and
+//!    jump targets past the removed slots. Compaction is only kept if the
+//!    predicate still fails on the compacted program (an indirect jump may
+//!    encode a code address in a plain `li`, which compaction cannot see).
+//!
+//! Every pass re-validates candidates through the caller's predicate, so
+//! the result is always a genuine repro — at worst the original program.
+
+use ffsim_isa::{Addr, Instr, Program, INSTR_BYTES};
+
+/// Upper bound on shrink rounds; each round is itself a fixpoint pass, so
+/// this is a safety net rather than a tuning knob.
+const MAX_ROUNDS: usize = 8;
+
+/// Minimizes `program` while `fails` keeps returning `true`.
+///
+/// `fails` must be deterministic: it is consulted many times and the
+/// shrinker assumes a candidate that failed once fails always.
+pub fn shrink(program: &Program, mut fails: impl FnMut(&Program) -> bool) -> Program {
+    let mut best = program.clone();
+    if !fails(&best) {
+        // Not a repro at all; nothing to do.
+        return best;
+    }
+    for _ in 0..MAX_ROUNDS {
+        let before = (best.len(), count_nops(&best));
+        best = truncate_pass(best, &mut fails);
+        best = nop_out_pass(best, &mut fails);
+        if let Some(compacted) = compact(&best) {
+            if fails(&compacted) {
+                best = compacted;
+            }
+        }
+        if (best.len(), count_nops(&best)) == before {
+            break;
+        }
+    }
+    best
+}
+
+fn count_nops(p: &Program) -> usize {
+    p.iter().filter(|(_, i)| matches!(i, Instr::Nop)).count()
+}
+
+fn instrs_of(p: &Program) -> Vec<Instr> {
+    p.iter().map(|(_, i)| *i).collect()
+}
+
+/// Binary-searches the shortest failing prefix, replacing the cut suffix
+/// with a single `halt`.
+fn truncate_pass(program: Program, fails: &mut impl FnMut(&Program) -> bool) -> Program {
+    let instrs = instrs_of(&program);
+    let make = |keep: usize| -> Program {
+        let mut v: Vec<Instr> = instrs[..keep].to_vec();
+        v.push(Instr::Halt);
+        Program::new(program.base(), v)
+    };
+    // Invariant: `make(hi)` fails (hi = full length reproduces by
+    // construction), `make(lo)` does not (or lo has not been probed yet).
+    let (mut lo, mut hi) = (0usize, instrs.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let candidate = make(mid);
+        if fails(&candidate) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    if hi < instrs.len() {
+        make(hi)
+    } else {
+        program
+    }
+}
+
+/// ddmin-style pass replacing chunks with `nop`; the last instruction
+/// (the terminating `halt`) is never touched.
+fn nop_out_pass(program: Program, fails: &mut impl FnMut(&Program) -> bool) -> Program {
+    let mut instrs = instrs_of(&program);
+    if instrs.len() < 2 {
+        return program;
+    }
+    let editable = instrs.len() - 1;
+    let mut chunk = editable.div_ceil(2).max(1);
+    loop {
+        let mut start = 0;
+        while start < editable {
+            let end = (start + chunk).min(editable);
+            let saved: Vec<Instr> = instrs[start..end].to_vec();
+            if saved.iter().any(|i| !matches!(i, Instr::Nop)) {
+                for slot in &mut instrs[start..end] {
+                    *slot = Instr::Nop;
+                }
+                let candidate = Program::new(program.base(), instrs.clone());
+                if !fails(&candidate) {
+                    instrs[start..end].copy_from_slice(&saved);
+                }
+            }
+            start = end;
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = chunk.div_ceil(2);
+    }
+    Program::new(program.base(), instrs)
+}
+
+/// Deletes `nop`s and remaps direct branch/jump targets. Returns `None`
+/// when there is nothing to delete or a target would escape the image
+/// (a branch aimed exactly at a trailing run of removed `nop`s).
+fn compact(program: &Program) -> Option<Program> {
+    let instrs = instrs_of(program);
+    let keep: Vec<bool> = instrs.iter().map(|i| !matches!(i, Instr::Nop)).collect();
+    if keep.iter().all(|&k| k) {
+        return None;
+    }
+    // new_index[i] = index of the first kept instruction at or after i.
+    let mut new_index = vec![0usize; instrs.len() + 1];
+    let mut next = keep.iter().filter(|&&k| k).count();
+    new_index[instrs.len()] = next;
+    for i in (0..instrs.len()).rev() {
+        if keep[i] {
+            next -= 1;
+        }
+        new_index[i] = next;
+    }
+    let kept_total = new_index[instrs.len()];
+    let base = program.base();
+    let remap = |target: Addr| -> Option<Addr> {
+        let idx = ((target - base) / INSTR_BYTES) as usize;
+        let new = *new_index.get(idx)?;
+        (new < kept_total).then(|| base + new as Addr * INSTR_BYTES)
+    };
+    let mut out = Vec::with_capacity(kept_total);
+    for (i, instr) in instrs.iter().enumerate() {
+        if !keep[i] {
+            continue;
+        }
+        out.push(match *instr {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                target: remap(target)?,
+            },
+            Instr::Jal { rd, target } => Instr::Jal {
+                rd,
+                target: remap(target)?,
+            },
+            other => other,
+        });
+    }
+    Some(Program::new(base, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use ffsim_isa::DEFAULT_TEXT_BASE;
+
+    /// A predicate that fails iff the program still contains a `div`
+    /// instruction — a stand-in for "the divergence reproduces".
+    fn has_div(p: &Program) -> bool {
+        p.iter().any(|(_, i)| {
+            matches!(
+                i,
+                Instr::Alu {
+                    op: ffsim_isa::AluOp::Div,
+                    ..
+                } | Instr::AluImm {
+                    op: ffsim_isa::AluOp::Div,
+                    ..
+                }
+            )
+        })
+    }
+
+    #[test]
+    fn shrinks_to_the_failing_instruction() {
+        // Find a generated program containing a div and shrink it; the
+        // minimum is div + halt.
+        for seed in 0..200 {
+            let p = generate(seed);
+            if !has_div(&p) {
+                continue;
+            }
+            let small = shrink(&p, has_div);
+            assert!(has_div(&small), "seed {seed}: shrink lost the repro");
+            assert!(
+                small.len() <= 2,
+                "seed {seed}: expected <=2 instructions, got {}",
+                small.len()
+            );
+            return;
+        }
+        panic!("no generated program contained a div in 200 seeds");
+    }
+
+    #[test]
+    fn non_repro_is_returned_unchanged() {
+        let p = generate(7);
+        let out = shrink(&p, |_| false);
+        assert_eq!(instrs_of(&p), instrs_of(&out));
+    }
+
+    #[test]
+    fn compaction_remaps_branch_targets() {
+        use ffsim_isa::{BranchCond, Reg};
+        let z = Reg::new(0);
+        // 0: branch -> 3 (over two nops), 1: nop, 2: nop, 3: halt
+        let p = Program::new(
+            DEFAULT_TEXT_BASE,
+            vec![
+                Instr::Branch {
+                    cond: BranchCond::Eq,
+                    rs1: z,
+                    rs2: z,
+                    target: DEFAULT_TEXT_BASE + 12,
+                },
+                Instr::Nop,
+                Instr::Nop,
+                Instr::Halt,
+            ],
+        );
+        let c = compact(&p).expect("has nops to delete");
+        assert_eq!(c.len(), 2);
+        match c.instr_at(DEFAULT_TEXT_BASE) {
+            Some(Instr::Branch { target, .. }) => {
+                assert_eq!(*target, DEFAULT_TEXT_BASE + INSTR_BYTES);
+            }
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shrink_preserves_termination_on_generated_programs() {
+        use ffsim_emu::Emulator;
+        // Shrinking under an instruction-count predicate must still yield
+        // programs that halt (the truncation pass appends halts).
+        let p = generate(11);
+        // The smallest program still satisfying `len > 4` has exactly 5
+        // instructions; the shrinker must find it and keep it runnable.
+        let small = shrink(&p, |c| c.len() > 4);
+        assert_eq!(small.len(), 5);
+        let mut emu = Emulator::new(small).expect("shrunk program loads");
+        emu.run_to_halt(100_000).expect("shrunk program runs");
+        assert!(emu.is_halted());
+    }
+}

@@ -1,0 +1,60 @@
+//! Property: wrong-path emulation's checkpoint/restore is *exact* under
+//! back-to-back episodes. At every conditional branch along the correct
+//! path the test runs two wrong-path excursions in a row — the second
+//! from a corrupted start pc, with no correct-path step in between,
+//! mimicking a nested misprediction resolving into another redirect —
+//! and requires the architectural digest to be untouched after each
+//! squash. A final run-to-halt then cross-checks that the excursions
+//! left no residue the digest might have missed.
+
+use ffsim_emu::{Emulator, FollowComputed, Memory};
+use ffsim_fuzz::gen;
+use ffsim_isa::{Instr, INSTR_BYTES};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn back_to_back_squashes_restore_the_digest(
+        seed in 0u64..512,
+        budget in 1usize..64,
+        mask in prop_oneof![Just(0u64), Just(0x40u64), Just(0x104u64), Just(0xffff_f000u64)],
+    ) {
+        let program = gen::generate(seed);
+        let mut emu = Emulator::with_memory(program.clone(), Memory::new())
+            .expect("generated entry is executable");
+        let mut episodes = 0u64;
+        while !emu.is_halted() {
+            let inst = emu.step().expect("generated programs do not fault");
+            let Some(outcome) = inst.branch else { continue };
+            if !matches!(inst.instr, Instr::Branch { .. }) {
+                continue;
+            }
+            let wrong_start = if outcome.taken {
+                inst.pc + INSTR_BYTES
+            } else {
+                inst.instr.direct_target().expect("conditional branches are direct")
+            };
+            // First episode: the not-taken path.
+            let before = emu.digest();
+            let _ = emu.emulate_wrong_path_bounded(
+                wrong_start, budget, Some(4096), &mut FollowComputed);
+            prop_assert_eq!(before, emu.digest(),
+                "first squash leaked state at branch {:#x}", inst.pc);
+            // Second episode immediately after, from a corrupted pc —
+            // back-to-back checkpoint reuse with no step in between.
+            let _ = emu.emulate_wrong_path_bounded(
+                wrong_start ^ mask, budget, Some(4096), &mut FollowComputed);
+            prop_assert_eq!(before, emu.digest(),
+                "second squash leaked state at branch {:#x}", inst.pc);
+            episodes += 2;
+        }
+        prop_assert!(episodes > 0, "generated programs are branch-dense");
+
+        // No residue: the walked-and-squashed emulator must agree with a
+        // clean functional run of the same program.
+        let mut clean = Emulator::with_memory(program, Memory::new())
+            .expect("generated entry is executable");
+        clean.run_to_halt(1_000_000).expect("clean run halts");
+        prop_assert_eq!(emu.digest(), clean.digest());
+    }
+}
