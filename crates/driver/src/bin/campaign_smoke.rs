@@ -8,8 +8,14 @@
 //! `crates/driver/golden/campaign_smoke.txt`.
 //!
 //! ```text
-//! campaign_smoke --manifest /tmp/m.json --report /tmp/report.txt [--workers N]
+//! campaign_smoke --manifest /tmp/m.json --report /tmp/report.txt \
+//!     [--workers N] [--shards N] [--cache-dir PATH]
 //! ```
+//!
+//! With `--shards N` the manifest splits into `N` crash-consistent shard
+//! files; with `--cache-dir` results are served from (and committed to) a
+//! content-addressed cache. Neither flag changes the report bytes on a
+//! clean run.
 
 use ffsim_core::WrongPathMode;
 use ffsim_driver::{report, Campaign, CampaignConfig, Job, WorkloadFn};
@@ -107,12 +113,16 @@ fn jobs() -> Vec<Job> {
 
 struct Args {
     workers: usize,
+    shards: Option<usize>,
+    cache_dir: Option<PathBuf>,
     manifest: PathBuf,
     report: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut workers = 0;
+    let mut shards = None;
+    let mut cache_dir = None;
     let mut manifest = None;
     let mut report = None;
     let mut argv = std::env::args().skip(1);
@@ -124,6 +134,14 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--workers: {e}"))?;
             }
+            "--shards" => {
+                shards = Some(
+                    value("--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?,
+                );
+            }
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value("--cache-dir")?)),
             "--manifest" => manifest = Some(PathBuf::from(value("--manifest")?)),
             "--report" => report = Some(PathBuf::from(value("--report")?)),
             other => return Err(format!("unknown argument: {other}")),
@@ -131,6 +149,8 @@ fn parse_args() -> Result<Args, String> {
     }
     Ok(Args {
         workers,
+        shards,
+        cache_dir,
         manifest: manifest.ok_or("--manifest is required")?,
         report,
     })
@@ -141,15 +161,21 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(e) => {
             eprintln!("campaign_smoke: {e}");
-            eprintln!("usage: campaign_smoke --manifest PATH [--report PATH] [--workers N]");
+            eprintln!(
+                "usage: campaign_smoke --manifest PATH [--report PATH] \
+                 [--workers N] [--shards N] [--cache-dir PATH]"
+            );
             return ExitCode::FAILURE;
         }
     };
 
+    let cache_enabled = args.cache_dir.is_some();
     let campaign = Campaign::new(CampaignConfig {
         workers: args.workers,
         default_timeout: Some(Duration::from_secs(120)),
         manifest_path: Some(args.manifest),
+        shards: args.shards,
+        cache_dir: args.cache_dir,
         ..CampaignConfig::default()
     });
     let outcome = match campaign.run(jobs()) {
@@ -166,6 +192,12 @@ fn main() -> ExitCode {
         "campaign_smoke: {} resumed, {} executed, cancelled: {}",
         outcome.resumed, outcome.executed, outcome.cancelled
     );
+    if cache_enabled {
+        eprintln!(
+            "campaign_smoke: cache: {} hits, {} misses",
+            outcome.cache_hits, outcome.cache_misses
+        );
+    }
     // Likewise the wall-clock timing and CPI-stack appendices (present
     // only under FFSIM_OBS telemetry).
     let timing = report::render_timing(&outcome.records);
@@ -176,13 +208,19 @@ fn main() -> ExitCode {
     if !cpi.is_empty() {
         eprint!("{cpi}");
     }
+    // Cache provenance depends on what earlier campaigns populated, so it
+    // is an stderr appendix too, never part of the report artifact.
+    let cached = report::render_cache(&outcome.records);
+    if !cached.is_empty() {
+        eprint!("{cached}");
+    }
 
     let mut text = report::render(&outcome.records);
-    if let Some(quarantine) = &outcome.quarantine {
+    for quarantine in &outcome.quarantines {
         // Also on stderr so a watching operator sees it immediately.
         eprintln!("campaign_smoke: {quarantine}");
-        text.push_str(&report::render_quarantine(quarantine));
     }
+    text.push_str(&report::render_quarantines(&outcome.quarantines));
     match &args.report {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &text) {

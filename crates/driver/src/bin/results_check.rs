@@ -23,10 +23,11 @@
 //! unit test runs on) would otherwise drift silently.
 
 use ffsim_core::{SimConfig, Simulator, StallClass, WrongPathMode};
+use ffsim_driver::{json, mode_from_label};
 use ffsim_emu::Memory;
 use ffsim_isa::{Asm, Program, Reg};
 use ffsim_uarch::CoreConfig;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
 /// A committed results file and the bench binary that regenerates it.
@@ -161,6 +162,165 @@ fn check_base_cpi() -> Vec<String> {
         }
     }
     failures
+}
+
+/// The committed speed-benchmark JSON artifact (`--only` key
+/// `bench_speed`). Its wall-clock numbers are volatile, so the default
+/// check validates the committed file's *schema*; `--volatile`
+/// regenerates it and also compares the structure (suites, benchmarks,
+/// technique labels) against the committed copy.
+const BENCH_SPEED_FILE: &str = "BENCH_speed.json";
+
+/// One suite's shape: its name, benchmark names, and technique labels.
+type SuiteShape = (String, Vec<String>, Vec<String>);
+
+/// Schema-validates a `BENCH_speed.json` document and returns its shape:
+/// per suite, the benchmark names and the technique labels measured.
+fn bench_speed_shape(doc: &json::Value) -> Result<Vec<SuiteShape>, String> {
+    if doc.get("version").and_then(json::Value::as_int) != Some(1) {
+        return Err("version must be 1".into());
+    }
+    let suites = doc
+        .get("suites")
+        .and_then(json::Value::as_arr)
+        .ok_or("missing suites array")?;
+    if suites.is_empty() {
+        return Err("suites must be non-empty".into());
+    }
+    let mut shape = Vec::new();
+    for suite in suites {
+        let name = suite
+            .get("suite")
+            .and_then(json::Value::as_str)
+            .ok_or("suite missing name")?
+            .to_string();
+        let benchmarks = suite
+            .get("benchmarks")
+            .and_then(json::Value::as_arr)
+            .ok_or_else(|| format!("suite {name}: missing benchmarks"))?;
+        if benchmarks.is_empty() {
+            return Err(format!("suite {name}: benchmarks must be non-empty"));
+        }
+        let mut bench_names = Vec::new();
+        let mut techniques: Vec<String> = Vec::new();
+        for bench in benchmarks {
+            let bench_name = bench
+                .get("benchmark")
+                .and_then(json::Value::as_str)
+                .ok_or_else(|| format!("suite {name}: benchmark missing name"))?;
+            bench_names.push(bench_name.to_string());
+            if bench.get("nowp_us").and_then(json::Value::as_int) <= Some(0) {
+                return Err(format!("{name}/{bench_name}: nowp_us must be positive"));
+            }
+            let slowdowns = bench
+                .get("slowdowns")
+                .and_then(json::Value::as_arr)
+                .ok_or_else(|| format!("{name}/{bench_name}: missing slowdowns"))?;
+            if slowdowns.is_empty() {
+                return Err(format!("{name}/{bench_name}: slowdowns must be non-empty"));
+            }
+            let mut labels = Vec::new();
+            for s in slowdowns {
+                let label = s
+                    .get("technique")
+                    .and_then(json::Value::as_str)
+                    .ok_or_else(|| format!("{name}/{bench_name}: slowdown missing technique"))?;
+                if mode_from_label(label).is_none() {
+                    return Err(format!("{name}/{bench_name}: unknown technique `{label}`"));
+                }
+                labels.push(label.to_string());
+                if s.get("slowdown_x100").and_then(json::Value::as_int) <= Some(0) {
+                    return Err(format!(
+                        "{name}/{bench_name}/{label}: slowdown_x100 must be positive"
+                    ));
+                }
+            }
+            if techniques.is_empty() {
+                techniques = labels;
+            } else if techniques != labels {
+                return Err(format!(
+                    "{name}/{bench_name}: technique columns differ within the suite"
+                ));
+            }
+        }
+        let summary = suite
+            .get("summary")
+            .and_then(json::Value::as_arr)
+            .ok_or_else(|| format!("suite {name}: missing summary"))?;
+        if summary.len() != techniques.len() {
+            return Err(format!("suite {name}: summary/technique count mismatch"));
+        }
+        shape.push((name, bench_names, techniques));
+    }
+    Ok(shape)
+}
+
+/// Checks the committed `BENCH_speed.json`. Returns failure messages.
+fn check_bench_speed(args: &Args, bin_dir: &Path) -> Vec<String> {
+    let path = args.repo_root.join(BENCH_SPEED_FILE);
+    let regenerate = args.volatile || args.update;
+
+    let regenerated = if regenerate {
+        let tmp = std::env::temp_dir().join(format!("BENCH_speed.{}.json", std::process::id()));
+        let status = Command::new(bin_dir.join("speed_comparison"))
+            .arg("--json")
+            .arg(&tmp)
+            .output();
+        let text = match status {
+            Ok(out) if out.status.success() => match std::fs::read_to_string(&tmp) {
+                Ok(text) => text,
+                Err(e) => return vec![format!("{BENCH_SPEED_FILE}: reading regenerated: {e}")],
+            },
+            Ok(out) => return vec![format!("speed_comparison exited with {}", out.status)],
+            Err(e) => {
+                return vec![format!(
+                    "running speed_comparison ({e}); build the bench bins first: \
+                     cargo build --release -p ffsim-bench"
+                )]
+            }
+        };
+        std::fs::remove_file(&tmp).ok();
+        Some(text)
+    } else {
+        None
+    };
+
+    if args.update {
+        let text = regenerated.expect("regenerated when updating");
+        return match std::fs::write(&path, text) {
+            Ok(()) => {
+                eprintln!("results_check: updated {BENCH_SPEED_FILE}");
+                Vec::new()
+            }
+            Err(e) => vec![format!("writing {}: {e}", path.display())],
+        };
+    }
+
+    let committed = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => return vec![format!("reading {}: {e}", path.display())],
+    };
+    let committed_shape = match json::parse(&committed).and_then(|doc| bench_speed_shape(&doc)) {
+        Ok(shape) => shape,
+        Err(e) => return vec![format!("{BENCH_SPEED_FILE}: {e}")],
+    };
+    if let Some(text) = regenerated {
+        let shape = match json::parse(&text).and_then(|doc| bench_speed_shape(&doc)) {
+            Ok(shape) => shape,
+            Err(e) => return vec![format!("{BENCH_SPEED_FILE} (regenerated): {e}")],
+        };
+        if shape != committed_shape {
+            return vec![format!(
+                "{BENCH_SPEED_FILE}: structure drifted — committed {committed_shape:?} \
+                 vs regenerated {shape:?} (values are volatile and not compared; \
+                 run with --update to rewrite)"
+            )];
+        }
+        eprintln!("results_check: ok {BENCH_SPEED_FILE} (schema + structure)");
+    } else {
+        eprintln!("results_check: ok {BENCH_SPEED_FILE} (schema)");
+    }
+    Vec::new()
 }
 
 /// Drops cargo stderr chatter that leaked into committed files when they
@@ -313,6 +473,17 @@ fn main() -> ExitCode {
                 target.file,
                 first_difference(&committed, &regenerated)
             );
+            failures += 1;
+        }
+    }
+
+    if args.only.is_none() || args.only.as_deref() == Some("bench_speed") {
+        let speed_failures = check_bench_speed(&args, &bin_dir);
+        if speed_failures.is_empty() {
+            checked += 1;
+        }
+        for failure in speed_failures {
+            eprintln!("results_check: BENCH {failure}");
             failures += 1;
         }
     }

@@ -16,27 +16,74 @@
 //!   walk down the fidelity ladder (`wpemul → conv → instrec → nowp`),
 //!   recording every rung, instead of failing the campaign.
 //!
-//! Completed jobs are persisted to a JSON manifest after each finish, so a
-//! killed campaign resumes by re-running only the jobs without a record.
+//! Completed jobs are persisted after each finish — to a single JSON
+//! manifest, or (with [`CampaignConfig::shards`]) to one crash-consistent
+//! shard file per worker with its own lock, merged deterministically at
+//! report time — so a killed campaign resumes by re-running only the jobs
+//! without a record. With a [`CampaignConfig::cache_dir`], results are
+//! additionally committed to a content-addressed cache keyed by
+//! (workload digest, config digest): a later campaign that schedules the
+//! same point serves it from the cache without simulating.
 
+use crate::cache::{self, CacheKey, CacheStore, Lookup};
 use crate::job::{
     ladder_next, AttemptOutcome, AttemptRecord, Job, JobRecord, JobStatus, JobSummary, JobTiming,
 };
-use crate::manifest;
+use crate::manifest::{ManifestIo, Quarantine, RealIo};
 use crate::retry::RetryPolicy;
+use crate::shard::{validate_worker_count, ManifestStore, ShardLayout};
 use crate::telemetry::{Telemetry, TelemetryConfig};
 use crate::watchdog::Watchdog;
 use ffsim_core::{CancelToken, SimConfig, SimError, Simulator};
 use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// A cloneable, campaign-wide [`ManifestIo`]: every shard save and cache
+/// write goes through it, so tests inject faults ([`FaultyIo`]
+/// (crate::FaultyIo), scripted failures) into a *running* campaign and
+/// prove no committed result is ever lost. Defaults to the real
+/// filesystem.
+#[derive(Clone)]
+pub struct SharedIo(Arc<Mutex<dyn ManifestIo + Send>>);
+
+impl SharedIo {
+    /// Wraps an [`ManifestIo`] implementation for campaign-wide use.
+    #[must_use]
+    pub fn new(io: impl ManifestIo + Send + 'static) -> SharedIo {
+        SharedIo(Arc::new(Mutex::new(io)))
+    }
+
+    /// Runs `f` with exclusive access to the underlying io.
+    fn with<R>(&self, f: impl FnOnce(&mut dyn ManifestIo) -> R) -> R {
+        let mut guard = self
+            .0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut *guard)
+    }
+}
+
+impl fmt::Debug for SharedIo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SharedIo(..)")
+    }
+}
+
+impl Default for SharedIo {
+    fn default() -> SharedIo {
+        SharedIo::new(RealIo)
+    }
+}
 
 /// Campaign-wide supervision settings.
 #[derive(Clone, Debug)]
 pub struct CampaignConfig {
-    /// Worker threads (`0` = one per available CPU).
+    /// Worker threads (`0` = one per available CPU; at most
+    /// [`MAX_WORKERS`](crate::shard::MAX_WORKERS)).
     pub workers: usize,
     /// Retry policy applied to every job that does not override it.
     pub retry: RetryPolicy,
@@ -45,6 +92,17 @@ pub struct CampaignConfig {
     pub default_timeout: Option<Duration>,
     /// Manifest location (`None` = in-memory campaign, no resume).
     pub manifest_path: Option<PathBuf>,
+    /// Manifest sharding: `None` keeps the legacy single file at
+    /// [`manifest_path`](CampaignConfig::manifest_path); `Some(n)` splits
+    /// it into `n` independently crash-consistent shard files (requires a
+    /// manifest path; `1..=MAX_SHARDS`, validated at run start).
+    pub shards: Option<usize>,
+    /// Content-addressed result cache directory (`None` = no cache).
+    pub cache_dir: Option<PathBuf>,
+    /// The filesystem seam used for every shard save and cache write.
+    /// Production campaigns keep the default real filesystem; tests
+    /// inject faults.
+    pub io: SharedIo,
     /// Live telemetry: stderr heartbeats and per-job timing records.
     /// Defaults to the `FFSIM_OBS` environment switch (off unless set).
     pub telemetry: TelemetryConfig,
@@ -57,8 +115,33 @@ impl Default for CampaignConfig {
             retry: RetryPolicy::default(),
             default_timeout: Some(Duration::from_secs(300)),
             manifest_path: None,
+            shards: None,
+            cache_dir: None,
+            io: SharedIo::default(),
             telemetry: TelemetryConfig::from_env(),
         }
+    }
+}
+
+impl CampaignConfig {
+    /// Validates the worker and shard counts, and their interaction,
+    /// before any job runs.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] for a zero or absurd shard count, an
+    /// absurd worker count, or sharding without a manifest path.
+    pub fn validate(&self) -> Result<(), SimError> {
+        validate_worker_count(self.workers)?;
+        if let Some(shards) = self.shards {
+            crate::shard::validate_shard_count(shards)?;
+            if self.manifest_path.is_none() {
+                return Err(SimError::InvalidConfig(
+                    "manifest sharding requires a manifest path".into(),
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -66,19 +149,29 @@ impl Default for CampaignConfig {
 #[derive(Clone, Debug)]
 pub struct CampaignOutcome {
     /// Records for every job with a terminal status — freshly executed
-    /// ones plus any loaded from the manifest.
+    /// ones plus any loaded from the manifest, merged deterministically
+    /// across shards (id-sorted, independent of worker count and
+    /// scheduling).
     pub records: BTreeMap<String, JobRecord>,
     /// Jobs skipped because the manifest already had their record.
     pub resumed: usize,
-    /// Jobs executed to a terminal status by this invocation.
+    /// Jobs executed to a terminal status by this invocation (cache hits
+    /// included).
     pub executed: usize,
+    /// Jobs served from the content-addressed result cache without
+    /// simulating.
+    pub cache_hits: usize,
+    /// Jobs that probed the cache and missed (includes evicted-corrupt
+    /// entries, which are recomputed).
+    pub cache_misses: usize,
     /// Whether the campaign token fired; unfinished jobs stay absent from
     /// [`CampaignOutcome::records`] and re-run on resume.
     pub cancelled: bool,
-    /// Set when a damaged manifest was quarantined at startup (the
-    /// campaign then re-ran from an empty manifest). `None` on clean
-    /// runs, so reports stay byte-identical when nothing went wrong.
-    pub quarantine: Option<manifest::Quarantine>,
+    /// One notice per manifest (or shard) that was damaged and
+    /// quarantined at startup; only the quarantined shard's jobs re-ran.
+    /// Empty on clean runs, so reports stay byte-identical when nothing
+    /// went wrong.
+    pub quarantines: Vec<Quarantine>,
 }
 
 /// A supervised simulation campaign. See the [module docs](self).
@@ -114,10 +207,12 @@ impl Campaign {
     ///
     /// # Errors
     ///
-    /// Duplicate job ids, a corrupt or unreadable manifest, or a manifest
-    /// persist failure mid-campaign (the campaign stops at the first one —
-    /// continuing would silently lose resume coverage).
+    /// An invalid worker/shard configuration, duplicate job ids, an
+    /// unreadable manifest, or a manifest persist failure mid-campaign
+    /// (the campaign stops at the first one — continuing would silently
+    /// lose resume coverage).
     pub fn run(&self, jobs: Vec<Job>) -> Result<CampaignOutcome, String> {
+        self.cfg.validate().map_err(|e| e.to_string())?;
         let mut seen = std::collections::HashSet::new();
         for job in &jobs {
             if !seen.insert(job.id.clone()) {
@@ -125,20 +220,28 @@ impl Campaign {
             }
         }
 
-        let (done, quarantine) = match &self.cfg.manifest_path {
-            Some(path) => manifest::load_or_quarantine(path).map_err(|e| e.to_string())?,
-            None => (BTreeMap::new(), None),
+        let mut store = match (&self.cfg.manifest_path, self.cfg.shards) {
+            (None, _) => ManifestStore::in_memory(),
+            (Some(path), None) => ManifestStore::single(path.clone()),
+            (Some(path), Some(shards)) => ManifestStore::sharded(
+                ShardLayout::new(path.clone(), shards).map_err(|e| e.to_string())?,
+            ),
         };
-        let resumed = jobs.iter().filter(|j| done.contains_key(&j.id)).count();
+        let quarantines = store.load().map_err(|e| e.to_string())?;
+        let cache = self.cfg.cache_dir.clone().map(CacheStore::new);
+
+        let resumed = jobs.iter().filter(|j| store.contains(&j.id)).count();
         let queue: VecDeque<Job> = jobs
             .into_iter()
-            .filter(|j| !done.contains_key(&j.id))
+            .filter(|j| !store.contains(&j.id))
             .collect();
 
         let watchdog = Watchdog::spawn(self.cancel.clone());
         let queue = Mutex::new(queue);
-        let done = Mutex::new(done);
+        let store = &store;
         let executed = Mutex::new(0usize);
+        let cache_hits = Mutex::new(0usize);
+        let cache_misses = Mutex::new(0usize);
         let persist_error: Mutex<Option<String>> = Mutex::new(None);
 
         let workers = if self.cfg.workers == 0 {
@@ -181,7 +284,13 @@ impl Campaign {
                             };
                             let dequeued = Instant::now();
                             telemetry.job_started();
-                            let record = self.run_job(&job, &watchdog, &telemetry);
+                            let record = self.run_job(
+                                &job,
+                                &watchdog,
+                                &telemetry,
+                                cache.as_ref(),
+                                (&cache_hits, &cache_misses),
+                            );
                             let Some(mut record) = record else {
                                 // Campaign cancelled mid-job: leave it without
                                 // a record so a resumed campaign re-runs it.
@@ -203,18 +312,15 @@ impl Campaign {
                                 record.cpi = record.sim.as_ref().map(|s| s.cpi);
                             }
                             telemetry.job_finished(&record);
-                            // The save happens under the records lock: concurrent
-                            // saves would race on the shared temp file, and an
-                            // older snapshot must never overwrite a newer one.
-                            let mut done = lock(&done);
-                            done.insert(record.id.clone(), record);
+                            // The store serializes committers per shard and
+                            // snapshots under that shard's lock, so an older
+                            // shard generation never overwrites a newer one.
+                            let committed = self.cfg.io.with(|io| store.commit(io, record));
                             *lock(&executed) += 1;
-                            if let Some(path) = &self.cfg.manifest_path {
-                                if let Err(e) = manifest::save(path, &done) {
-                                    lock(&persist_error).get_or_insert(e.to_string());
-                                    self.cancel.cancel();
-                                    return;
-                                }
+                            if let Err(e) = committed {
+                                lock(&persist_error).get_or_insert(e.to_string());
+                                self.cancel.cancel();
+                                return;
                             }
                         }
                     })
@@ -236,27 +342,97 @@ impl Campaign {
             return Err(e);
         }
         Ok(CampaignOutcome {
-            records: done
-                .into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            records: store.merged(),
             resumed,
-            executed: executed
-                .into_inner()
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            executed: into_count(executed),
+            cache_hits: into_count(cache_hits),
+            cache_misses: into_count(cache_misses),
             cancelled: self.cancel.is_cancelled(),
-            quarantine,
+            quarantines,
         })
     }
 
-    /// Runs one job through retries and the degradation ladder. Returns
-    /// `None` only when the campaign was cancelled mid-job (the job is
-    /// then deliberately unrecorded).
-    fn run_job(&self, job: &Job, watchdog: &Watchdog, telemetry: &Telemetry) -> Option<JobRecord> {
+    /// The effective attempts-per-rung bound for `job`.
+    fn effective_attempts(&self, job: &Job) -> u32 {
+        job.max_attempts
+            .unwrap_or(self.cfg.retry.max_attempts)
+            .max(1)
+    }
+
+    /// The content address of `job`: builds the workload once (pristine
+    /// state, exactly as an attempt would) and digests it together with
+    /// the fully tweaked config and the job's supervision fingerprint.
+    /// `None` when the workload builder fails — the normal attempt path
+    /// will then record the same failure.
+    fn cache_key(&self, job: &Job) -> Option<CacheKey> {
+        let (program, memory) = (job.workload)().ok()?;
+        let mut cfg = SimConfig::with_core(job.core.clone(), job.mode);
+        cfg.max_instructions = job.max_instructions;
+        if let Some(tweak) = &job.tweak {
+            tweak(&mut cfg);
+        }
+        Some(CacheKey {
+            workload: cache::workload_digest(&program, &memory),
+            config: cache::config_digest(&cfg, self.effective_attempts(job), job.degrade),
+        })
+    }
+
+    /// Runs one job through the result cache, retries, and the
+    /// degradation ladder. Returns `None` only when the campaign was
+    /// cancelled mid-job (the job is then deliberately unrecorded).
+    fn run_job(
+        &self,
+        job: &Job,
+        watchdog: &Watchdog,
+        telemetry: &Telemetry,
+        cache: Option<&CacheStore>,
+        (hits, misses): (&Mutex<usize>, &Mutex<usize>),
+    ) -> Option<JobRecord> {
+        let key = match cache.map(|store| self.cache_key(job).map(|k| (k, store.lookup(k)))) {
+            Some(Some((_, Lookup::Hit(record)))) => {
+                *lock(hits) += 1;
+                return Some(cache::rekey(*record, &job.id));
+            }
+            Some(Some((key, Lookup::Miss))) => {
+                *lock(misses) += 1;
+                Some(key)
+            }
+            Some(Some((key, Lookup::Evicted(error)))) => {
+                eprintln!("campaign: evicted corrupt cache entry: {error}");
+                *lock(misses) += 1;
+                Some(key)
+            }
+            // No cache, or the workload builder failed (the attempt path
+            // records that failure; such jobs are never cached).
+            Some(None) | None => None,
+        };
+        let record = self.execute_job(job, watchdog, telemetry)?;
+        // Commit deterministic results to the cache *before* the shard
+        // commit: once a record is durable in its shard, an identical
+        // campaign must find it in the cache (a crash between the two
+        // writes re-runs the job and re-caches it; the reverse order
+        // would leave committed-but-uncached jobs that silently miss).
+        if let (Some(store), Some(key)) = (cache, key) {
+            if CacheStore::cacheable(&record) {
+                if let Err(e) = self.cfg.io.with(|io| store.store_with(io, key, &record)) {
+                    // A failed cache write loses an optimization, never a
+                    // result: the record still commits to its shard.
+                    eprintln!("campaign: cache write failed: {e}");
+                }
+            }
+        }
+        Some(record)
+    }
+
+    /// Runs one job's attempts (no cache involvement).
+    fn execute_job(
+        &self,
+        job: &Job,
+        watchdog: &Watchdog,
+        telemetry: &Telemetry,
+    ) -> Option<JobRecord> {
         let retry = RetryPolicy {
-            max_attempts: job
-                .max_attempts
-                .unwrap_or(self.cfg.retry.max_attempts)
-                .max(1),
+            max_attempts: self.effective_attempts(job),
             ..self.cfg.retry
         };
         let timeout = job.timeout.or(self.cfg.default_timeout);
@@ -300,6 +476,7 @@ impl Campaign {
                         summary: Some(JobSummary::of(&result)),
                         timing: None,
                         cpi: None,
+                        cached: false,
                         sim: Some(result),
                     });
                 }
@@ -337,6 +514,7 @@ impl Campaign {
                         summary: None,
                         timing: None,
                         cpi: None,
+                        cached: false,
                         sim: None,
                     });
                 }
@@ -347,6 +525,12 @@ impl Campaign {
 
 fn millis(d: Duration) -> u64 {
     u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
+fn into_count(mutex: Mutex<usize>) -> usize {
+    mutex
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {

@@ -402,6 +402,12 @@ pub struct JobRecord {
     /// (simulated cycles), but opt-in like `timing` so default manifests
     /// keep their pre-CPI shape.
     pub cpi: Option<CpiStack>,
+    /// Whether this record was served from the content-addressed result
+    /// cache instead of a fresh simulation. Serialized (as
+    /// `"cached": true`) only when set, so campaigns without a cache
+    /// keep their pre-cache manifest shape. The deterministic report
+    /// ignores it; the cache appendix lists it.
+    pub cached: bool,
     /// The full in-memory result of the successful run. Not serialized —
     /// a resumed campaign has only the [`JobSummary`].
     pub sim: Option<SimResult>,
@@ -440,6 +446,9 @@ impl JobRecord {
         if let Some(cpi) = self.cpi {
             members.push(("cpi".into(), cpi.to_value()));
         }
+        if self.cached {
+            members.push(("cached".into(), Value::Bool(true)));
+        }
         Value::Obj(members)
     }
 
@@ -458,6 +467,7 @@ impl JobRecord {
             None | Some(Value::Null) => None,
             Some(v) => Some(CpiStack::from_value(v)?),
         };
+        let cached = matches!(value.get("cached"), Some(Value::Bool(true)));
         Some(JobRecord {
             id: value.get("id")?.as_str()?.to_string(),
             requested_mode: mode_from_label(value.get("requested_mode")?.as_str()?)?,
@@ -472,6 +482,7 @@ impl JobRecord {
             summary,
             timing,
             cpi,
+            cached,
             sim: None,
         })
     }
@@ -546,6 +557,7 @@ mod tests {
                 stack.add(ffsim_core::StallClass::WrongPathFetch, true, 500);
                 stack
             }),
+            cached: false,
             sim: None,
         };
         let json = record.to_value().to_json();
@@ -571,6 +583,7 @@ mod tests {
             summary: None,
             timing: None,
             cpi: None,
+            cached: false,
             sim: None,
         };
         let json = record.to_value().to_json();
@@ -598,6 +611,7 @@ mod tests {
             summary: None,
             timing: None,
             cpi: None,
+            cached: false,
             sim: None,
         };
         let json = record.to_value().to_json();

@@ -19,7 +19,14 @@
 //!   persistently fail under full wrong-path emulation retry under
 //!   progressively simpler techniques (`wpemul → conv → instrec → nowp`),
 //!   with every rung recorded,
-//! - an incrementally persisted JSON **manifest** for crash-safe resume,
+//! - an incrementally persisted JSON **manifest** for crash-safe resume —
+//!   optionally **sharded** into one crash-consistent file per worker
+//!   ([`ManifestStore`]), merged deterministically at report time, where
+//!   losing one shard quarantines and re-runs only that shard's jobs,
+//! - a **content-addressed result cache** ([`CacheStore`]) keyed by
+//!   (workload digest, config digest): identical campaign points are
+//!   served from the cache without simulating, and corrupt entries are
+//!   evicted and recomputed, never served,
 //! - byte-**deterministic** reports and manifests, independent of worker
 //!   count and scheduling.
 //!
@@ -60,15 +67,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cache;
 mod campaign;
 mod job;
 pub mod manifest;
 pub mod report;
 mod retry;
+pub mod shard;
 mod telemetry;
 mod watchdog;
 
-pub use campaign::{Campaign, CampaignConfig, CampaignOutcome};
+pub use cache::{CacheKey, CacheStore, Lookup};
+pub use campaign::{Campaign, CampaignConfig, CampaignOutcome, SharedIo};
 pub use ffsim_core::{CancelCause, CancelToken};
 pub use ffsim_obs::json;
 pub use job::{
@@ -77,5 +87,9 @@ pub use job::{
 };
 pub use manifest::{FaultyIo, ManifestError, ManifestIo, Quarantine, RealIo};
 pub use retry::RetryPolicy;
+pub use shard::{
+    validate_shard_count, validate_worker_count, ManifestStore, ShardLayout, MAX_SHARDS,
+    MAX_WORKERS,
+};
 pub use telemetry::{Telemetry, TelemetryConfig};
 pub use watchdog::{WatchGuard, Watchdog};

@@ -103,13 +103,61 @@ impl fmt::Display for Quarantine {
 
 /// FNV-1a over the manifest body — stable, dependency-free, and plenty to
 /// catch truncation and bit flips (this is a tripwire, not cryptography).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// Shared with shard assignment and the result cache, which need the same
+/// stable hash for job ids and content digests.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// Appends the checksum trailer to a serialized document body. The body
+/// must end with a newline (every serializer here emits one); [`unseal`]
+/// verifies and strips the trailer again. This is the crash-consistency
+/// primitive shared by the campaign manifest, its shards, and the result
+/// cache: any file that does not round-trip through `seal`/`unseal` is
+/// treated as damaged, never trusted.
+#[must_use]
+pub fn seal(body: &str) -> String {
+    format!("{body}{CHECKSUM_PREFIX}{:016x}\n", fnv1a(body.as_bytes()))
+}
+
+/// Verifies the checksum trailer of a sealed document and returns the
+/// body.
+///
+/// # Errors
+///
+/// [`ManifestError::Truncated`] when the trailer is absent or incomplete
+/// (any proper prefix of a sealed document lands here) and
+/// [`ManifestError::ChecksumMismatch`] when the body hash disagrees.
+pub fn unseal(text: &str) -> Result<&str, ManifestError> {
+    let Some(without_final_newline) = text.strip_suffix('\n') else {
+        return Err(ManifestError::Truncated(
+            "file does not end with a newline".into(),
+        ));
+    };
+    let Some(body_len) = without_final_newline.rfind('\n').map(|p| p + 1) else {
+        return Err(ManifestError::Truncated("single-line file".into()));
+    };
+    let trailer = &without_final_newline[body_len..];
+    let Some(hex) = trailer.strip_prefix(CHECKSUM_PREFIX) else {
+        return Err(ManifestError::Truncated(
+            "final line is not a checksum trailer".into(),
+        ));
+    };
+    let expected = u64::from_str_radix(hex, 16)
+        .map_err(|_| ManifestError::Truncated(format!("unparseable checksum `{hex}`")))?;
+    let body = &text[..body_len];
+    let actual = fnv1a(body.as_bytes());
+    if actual != expected {
+        return Err(ManifestError::ChecksumMismatch(format!(
+            "trailer says {expected:016x}, body hashes to {actual:016x}"
+        )));
+    }
+    Ok(body)
 }
 
 /// Serializes `records` (keyed and therefore sorted by job id) as the
@@ -130,8 +178,7 @@ pub fn to_json(records: &BTreeMap<String, JobRecord>) -> String {
 /// checksum trailer line.
 #[must_use]
 pub fn to_text(records: &BTreeMap<String, JobRecord>) -> String {
-    let body = to_json(records);
-    format!("{body}{CHECKSUM_PREFIX}{:016x}\n", fnv1a(body.as_bytes()))
+    seal(&to_json(records))
 }
 
 /// Parses a manifest JSON body into records keyed by job id.
@@ -176,30 +223,7 @@ pub fn from_json(text: &str) -> Result<BTreeMap<String, JobRecord>, String> {
 /// [`ManifestError::Malformed`] when the verified body is not a valid
 /// manifest.
 pub fn from_text(text: &str) -> Result<BTreeMap<String, JobRecord>, ManifestError> {
-    let Some(without_final_newline) = text.strip_suffix('\n') else {
-        return Err(ManifestError::Truncated(
-            "file does not end with a newline".into(),
-        ));
-    };
-    let Some(body_len) = without_final_newline.rfind('\n').map(|p| p + 1) else {
-        return Err(ManifestError::Truncated("single-line file".into()));
-    };
-    let trailer = &without_final_newline[body_len..];
-    let Some(hex) = trailer.strip_prefix(CHECKSUM_PREFIX) else {
-        return Err(ManifestError::Truncated(
-            "final line is not a checksum trailer".into(),
-        ));
-    };
-    let expected = u64::from_str_radix(hex, 16)
-        .map_err(|_| ManifestError::Truncated(format!("unparseable checksum `{hex}`")))?;
-    let body = &text[..body_len];
-    let actual = fnv1a(body.as_bytes());
-    if actual != expected {
-        return Err(ManifestError::ChecksumMismatch(format!(
-            "trailer says {expected:016x}, body hashes to {actual:016x}"
-        )));
-    }
-    from_json(body).map_err(ManifestError::Malformed)
+    from_json(unseal(text)?).map_err(ManifestError::Malformed)
 }
 
 /// Loads a manifest from disk; a missing file is an empty manifest.
@@ -223,7 +247,7 @@ pub fn load(path: &Path) -> Result<BTreeMap<String, JobRecord>, ManifestError> {
 
 impl ManifestError {
     /// Prefixes the error message with `context`, keeping the variant.
-    fn with_context(self, context: &str) -> ManifestError {
+    pub(crate) fn with_context(self, context: &str) -> ManifestError {
         match self {
             ManifestError::Io(m) => ManifestError::Io(format!("{context}: {m}")),
             ManifestError::Truncated(m) => ManifestError::Truncated(format!("{context}: {m}")),
@@ -399,6 +423,7 @@ mod tests {
             }),
             timing: None,
             cpi: None,
+            cached: false,
             sim: None,
         }
     }

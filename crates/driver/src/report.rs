@@ -10,12 +10,35 @@ use ffsim_core::StallClass;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Renders the manifest-quarantine banner. Appended to the report only
-/// when a damaged manifest was actually quarantined, so clean runs stay
-/// byte-identical to their golden copies.
+/// Renders the manifest-quarantine banner: one line per damaged manifest
+/// or shard. Empty (so clean runs stay byte-identical to their golden
+/// copies) when nothing was quarantined.
 #[must_use]
-pub fn render_quarantine(quarantine: &Quarantine) -> String {
-    format!("\nmanifest recovery\n\n  {quarantine}\n")
+pub fn render_quarantines(quarantines: &[Quarantine]) -> String {
+    if quarantines.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("\nmanifest recovery\n\n");
+    for quarantine in quarantines {
+        let _ = writeln!(out, "  {quarantine}");
+    }
+    out
+}
+
+/// Renders the cache appendix: one line per job served from the
+/// content-addressed result cache. Empty when no job was, so uncached
+/// campaigns render byte-identically to their pre-cache goldens.
+#[must_use]
+pub fn render_cache(records: &BTreeMap<String, JobRecord>) -> String {
+    let cached: Vec<&JobRecord> = records.values().filter(|r| r.cached).collect();
+    if cached.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("\nresult cache\n\n");
+    for record in cached {
+        let _ = writeln!(out, "  {}: served from cache", record.id);
+    }
+    out
 }
 
 /// Renders the campaign report: a summary table (one row per job, sorted
@@ -264,6 +287,7 @@ mod tests {
             }),
             timing: None,
             cpi: None,
+            cached: false,
             sim: None,
         }
     }

@@ -1,0 +1,500 @@
+//! Sharded campaign manifests: one crash-consistent file per shard.
+//!
+//! A single-manifest campaign serializes every checkpoint through one
+//! JSON file under one lock — a single point of both contention and
+//! corruption. Sharding splits the manifest into `n` independent files,
+//! each with its own lock, its own checksum trailer, and its own
+//! quarantine path. Jobs are assigned to shards by a stable FNV-1a hash
+//! of the job id, so the assignment is a property of the campaign, not of
+//! which worker happened to execute the job: a resumed campaign looks for
+//! a job's record in exactly the shard where an earlier run would have
+//! committed it.
+//!
+//! # The shard-loss degradation ladder
+//!
+//! Loading a sharded manifest degrades per shard, mirroring the
+//! `wpemul → conv → instrec → nowp` ladder at the simulation layer:
+//!
+//! 1. **healthy** — the shard verifies its checksum trailer and loads;
+//! 2. **corrupt** (truncated, checksum mismatch, malformed) — *only that
+//!    shard* is quarantined to a `.corrupt` sibling and its jobs re-run;
+//!    every other shard's records survive untouched;
+//! 3. **missing** — the shard contributes nothing and its jobs re-run.
+//!
+//! A campaign therefore never loses more than one shard's uncommitted
+//! jobs to any single-file failure.
+//!
+//! # Merge
+//!
+//! The merged view is deterministic: records are unioned shard by shard
+//! in ascending shard order into an id-sorted map. Job ids are unique
+//! within a campaign and hash to exactly one shard, so collisions can
+//! only come from hand-edited files; the lowest shard index wins,
+//! deterministically.
+//!
+//! Shard files embed both their index and the campaign's shard count
+//! (`<stem>.shard-<k>-of-<n>.<ext>`): resuming with a different shard
+//! count reads none of the old shards (jobs re-run, nothing is
+//! mis-assigned), and each shard quarantines to its own distinct
+//! `.corrupt` path.
+
+use crate::job::JobRecord;
+use crate::manifest::{self, ManifestError, ManifestIo, Quarantine};
+use ffsim_core::SimError;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Upper bound on the shard count. One shard per worker is the intended
+/// shape; anything past this is a configuration typo, not a plan.
+pub const MAX_SHARDS: usize = 4096;
+
+/// Upper bound on the worker count (`0` still means one per CPU).
+pub const MAX_WORKERS: usize = 4096;
+
+/// Validates a campaign shard count at configuration time.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] for `0` (a manifest with no shards can
+/// record nothing) and for counts above [`MAX_SHARDS`].
+pub fn validate_shard_count(shards: usize) -> Result<(), SimError> {
+    if shards == 0 {
+        return Err(SimError::InvalidConfig(
+            "shard count must be at least 1".into(),
+        ));
+    }
+    if shards > MAX_SHARDS {
+        return Err(SimError::InvalidConfig(format!(
+            "shard count {shards} exceeds the maximum of {MAX_SHARDS}"
+        )));
+    }
+    Ok(())
+}
+
+/// Validates a campaign worker count at configuration time (`0` is the
+/// documented "one per CPU" default and stays valid).
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] for counts above [`MAX_WORKERS`].
+pub fn validate_worker_count(workers: usize) -> Result<(), SimError> {
+    if workers > MAX_WORKERS {
+        return Err(SimError::InvalidConfig(format!(
+            "worker count {workers} exceeds the maximum of {MAX_WORKERS}"
+        )));
+    }
+    Ok(())
+}
+
+/// Where a sharded campaign's manifest files live: a base path plus a
+/// validated shard count. See the [module docs](self) for the naming
+/// scheme and assignment function.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardLayout {
+    base: PathBuf,
+    shards: usize,
+}
+
+impl ShardLayout {
+    /// A layout of `shards` files derived from `base` (the path a
+    /// single-manifest campaign would have used).
+    ///
+    /// # Errors
+    ///
+    /// See [`validate_shard_count`].
+    pub fn new(base: PathBuf, shards: usize) -> Result<ShardLayout, SimError> {
+        validate_shard_count(shards)?;
+        Ok(ShardLayout { base, shards })
+    }
+
+    /// The shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard a job commits to: a stable hash of the id, independent
+    /// of worker assignment, scheduling, and resume history.
+    #[must_use]
+    pub fn shard_of(&self, job_id: &str) -> usize {
+        (manifest::fnv1a(job_id.as_bytes()) % self.shards as u64) as usize
+    }
+
+    /// The on-disk path of shard `index`. The `shard-<k>-of-<n>` tag is
+    /// inserted *before* the extension so each shard's quarantine file
+    /// (`.corrupt`, derived via `with_extension`) is distinct.
+    ///
+    /// # Panics
+    ///
+    /// `index` must be below the shard count.
+    #[must_use]
+    pub fn path(&self, index: usize) -> PathBuf {
+        assert!(index < self.shards, "shard {index} of {}", self.shards);
+        let stem = self
+            .base
+            .file_stem()
+            .map_or_else(|| "manifest".into(), |s| s.to_string_lossy().into_owned());
+        let ext = self
+            .base
+            .extension()
+            .map_or_else(|| "json".into(), |e| e.to_string_lossy().into_owned());
+        self.base
+            .with_file_name(format!("{stem}.shard-{index}-of-{}.{ext}", self.shards))
+    }
+}
+
+/// One shard's in-memory records plus its backing file (absent for
+/// in-memory campaigns).
+#[derive(Debug)]
+struct Slot {
+    path: Option<PathBuf>,
+    records: Mutex<BTreeMap<String, JobRecord>>,
+}
+
+impl Slot {
+    fn new(path: Option<PathBuf>) -> Slot {
+        Slot {
+            path,
+            records: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+/// The campaign's record store: in-memory, a single legacy manifest, or a
+/// sharded layout — one interface over all three, so the campaign runner
+/// is agnostic to how (and whether) records persist.
+#[derive(Debug)]
+pub struct ManifestStore {
+    slots: Vec<Slot>,
+    layout: Option<ShardLayout>,
+}
+
+impl ManifestStore {
+    /// A store that never touches disk (campaigns without a manifest).
+    #[must_use]
+    pub fn in_memory() -> ManifestStore {
+        ManifestStore {
+            slots: vec![Slot::new(None)],
+            layout: None,
+        }
+    }
+
+    /// The legacy single-file store: every record in one manifest at
+    /// `path`, byte-identical to pre-sharding campaigns.
+    #[must_use]
+    pub fn single(path: PathBuf) -> ManifestStore {
+        ManifestStore {
+            slots: vec![Slot::new(Some(path))],
+            layout: None,
+        }
+    }
+
+    /// A sharded store over `layout`.
+    #[must_use]
+    pub fn sharded(layout: ShardLayout) -> ManifestStore {
+        ManifestStore {
+            slots: (0..layout.shards())
+                .map(|k| Slot::new(Some(layout.path(k))))
+                .collect(),
+            layout: Some(layout),
+        }
+    }
+
+    /// The slot a job id commits to.
+    fn slot_of(&self, job_id: &str) -> &Slot {
+        let index = self
+            .layout
+            .as_ref()
+            .map_or(0, |layout| layout.shard_of(job_id));
+        &self.slots[index]
+    }
+
+    /// Loads every shard from disk, walking the shard-loss degradation
+    /// ladder per shard (healthy → quarantined → missing; see the
+    /// [module docs](self)). Returns one [`Quarantine`] notice per
+    /// damaged shard, in shard order.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem-level failures only (unreadable file, failed
+    /// quarantine rename); damaged *contents* degrade instead of
+    /// failing.
+    pub fn load(&mut self) -> Result<Vec<Quarantine>, ManifestError> {
+        let mut quarantines = Vec::new();
+        for slot in &mut self.slots {
+            let Some(path) = &slot.path else { continue };
+            let (records, quarantine) = manifest::load_or_quarantine(path)?;
+            *lock(&slot.records) = records;
+            quarantines.extend(quarantine);
+        }
+        Ok(quarantines)
+    }
+
+    /// Whether a record for `job_id` is already committed.
+    #[must_use]
+    pub fn contains(&self, job_id: &str) -> bool {
+        lock(&self.slot_of(job_id).records).contains_key(job_id)
+    }
+
+    /// Commits one record: inserts it into its shard and atomically
+    /// rewrites that shard's file through `io`. Only the owning shard is
+    /// locked and only its file is rewritten, so commits to different
+    /// shards scale independently and a torn write can damage at most
+    /// one shard's latest generation — which the loader then quarantines
+    /// without touching the others.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Io`] from the shard save; the in-memory insert
+    /// is rolled back so a failed commit leaves memory and disk agreed.
+    pub fn commit(&self, io: &mut dyn ManifestIo, record: JobRecord) -> Result<(), ManifestError> {
+        let slot = self.slot_of(&record.id);
+        let id = record.id.clone();
+        let mut records = lock(&slot.records);
+        let previous = records.insert(id.clone(), record);
+        if let Some(path) = &slot.path {
+            if let Err(e) = manifest::save_with(io, path, &records) {
+                // Roll back: the record is not durable, so a resumed
+                // campaign must re-run it; memory must agree.
+                match previous {
+                    Some(old) => records.insert(id, old),
+                    None => records.remove(&id),
+                };
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// The deterministic merged view: shards unioned in ascending shard
+    /// order into an id-sorted map (first shard wins on the impossible
+    /// duplicate).
+    #[must_use]
+    pub fn merged(&self) -> BTreeMap<String, JobRecord> {
+        let mut merged = BTreeMap::new();
+        for slot in &self.slots {
+            for (id, record) in lock(&slot.records).iter() {
+                merged.entry(id.clone()).or_insert_with(|| record.clone());
+            }
+        }
+        merged
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobStatus, JobSummary};
+    use crate::manifest::{FaultyIo, RealIo};
+    use ffsim_core::WrongPathMode;
+
+    fn record(id: &str) -> JobRecord {
+        JobRecord {
+            id: id.into(),
+            requested_mode: WrongPathMode::NoWrongPath,
+            final_mode: WrongPathMode::NoWrongPath,
+            status: JobStatus::Completed,
+            attempts: vec![],
+            summary: Some(JobSummary {
+                instructions: 1,
+                cycles: 2,
+                wrong_path_instructions: 0,
+                state_digest: 7,
+            }),
+            timing: None,
+            cpi: None,
+            cached: false,
+            sim: None,
+        }
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ffsim-driver-shard-{name}"));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn shard_count_boundaries_are_invalid_config() {
+        // Zero shards: nothing could ever be recorded.
+        assert!(matches!(
+            validate_shard_count(0),
+            Err(SimError::InvalidConfig(_))
+        ));
+        // One shard is the degenerate-but-legal case.
+        assert!(validate_shard_count(1).is_ok());
+        // The maximum is inclusive...
+        assert!(validate_shard_count(MAX_SHARDS).is_ok());
+        // ...and one past it is a typo, not a plan.
+        assert!(matches!(
+            validate_shard_count(MAX_SHARDS + 1),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn worker_count_boundaries_are_invalid_config() {
+        assert!(validate_worker_count(0).is_ok(), "0 means one per CPU");
+        assert!(validate_worker_count(MAX_WORKERS).is_ok());
+        assert!(matches!(
+            validate_worker_count(MAX_WORKERS + 1),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn layout_paths_are_distinct_and_quarantine_safely() {
+        let layout = ShardLayout::new(PathBuf::from("/tmp/c/m.json"), 3).unwrap();
+        let paths: Vec<PathBuf> = (0..3).map(|k| layout.path(k)).collect();
+        assert_eq!(paths[0], PathBuf::from("/tmp/c/m.shard-0-of-3.json"));
+        // Quarantine paths (`.corrupt` via with_extension) must not
+        // collide across shards.
+        let corrupt: std::collections::HashSet<PathBuf> =
+            paths.iter().map(|p| p.with_extension("corrupt")).collect();
+        assert_eq!(corrupt.len(), 3, "quarantine paths collide: {corrupt:?}");
+    }
+
+    #[test]
+    fn assignment_is_stable_and_in_range() {
+        let layout = ShardLayout::new(PathBuf::from("m.json"), 5).unwrap();
+        for id in ["a", "bfs/wpemul", "countdown-div/conv", ""] {
+            let shard = layout.shard_of(id);
+            assert!(shard < 5);
+            assert_eq!(shard, layout.shard_of(id), "assignment must be stable");
+        }
+    }
+
+    #[test]
+    fn sharded_store_round_trips_and_merges_deterministically() {
+        let dir = temp_dir("roundtrip");
+        let layout = ShardLayout::new(dir.join("m.json"), 4).unwrap();
+        let store = ManifestStore::sharded(layout.clone());
+        let ids = ["a", "b", "c", "d", "e", "f", "g", "h"];
+        for id in ids {
+            store.commit(&mut RealIo, record(id)).unwrap();
+        }
+        let merged = store.merged();
+        assert_eq!(merged.len(), ids.len());
+
+        // A fresh store over the same layout loads the same merged view.
+        let mut resumed = ManifestStore::sharded(layout.clone());
+        assert!(resumed.load().unwrap().is_empty());
+        let remerged = resumed.merged();
+        assert_eq!(remerged.len(), ids.len());
+        for id in ids {
+            assert!(resumed.contains(id), "{id} lost across resume");
+            // And the record lives in exactly the shard the hash names.
+            let shard_path = layout.path(layout.shard_of(id));
+            let text = std::fs::read_to_string(&shard_path).unwrap();
+            assert!(text.contains(&format!("\"{id}\"")), "{id} not in its shard");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_shard_quarantines_alone() {
+        let dir = temp_dir("one-corrupt");
+        let layout = ShardLayout::new(dir.join("m.json"), 4).unwrap();
+        let store = ManifestStore::sharded(layout.clone());
+        let ids = ["a", "b", "c", "d", "e", "f", "g", "h"];
+        for id in ids {
+            store.commit(&mut RealIo, record(id)).unwrap();
+        }
+        // Truncate exactly one shard mid-body.
+        let victim = layout.path(1);
+        let text = std::fs::read_to_string(&victim).unwrap();
+        std::fs::write(&victim, &text[..text.len() / 2]).unwrap();
+
+        let mut resumed = ManifestStore::sharded(layout.clone());
+        let quarantines = resumed.load().unwrap();
+        assert_eq!(quarantines.len(), 1, "only the damaged shard degrades");
+        assert!(matches!(quarantines[0].error, ManifestError::Truncated(_)));
+        assert!(quarantines[0].quarantined_to.exists());
+        assert!(!victim.exists(), "damaged shard moved aside");
+
+        // Exactly the victim shard's records are gone; every other
+        // record survived.
+        let lost: Vec<&str> = ids
+            .iter()
+            .copied()
+            .filter(|id| layout.shard_of(id) == 1)
+            .collect();
+        assert!(!lost.is_empty(), "test needs at least one id in shard 1");
+        for id in ids {
+            assert_eq!(
+                resumed.contains(id),
+                !lost.contains(&id),
+                "{id}: wrong survival"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_shard_degrades_to_empty() {
+        let dir = temp_dir("missing");
+        let layout = ShardLayout::new(dir.join("m.json"), 3).unwrap();
+        let store = ManifestStore::sharded(layout.clone());
+        for id in ["a", "b", "c", "d", "e"] {
+            store.commit(&mut RealIo, record(id)).unwrap();
+        }
+        std::fs::remove_file(layout.path(0)).unwrap();
+        let mut resumed = ManifestStore::sharded(layout);
+        // A missing shard is not corruption: no quarantine, no error.
+        assert!(resumed.load().unwrap().is_empty());
+        assert!(resumed.merged().len() < 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_commit_rolls_back_and_previous_generation_survives() {
+        let dir = temp_dir("faulty-commit");
+        let layout = ShardLayout::new(dir.join("m.json"), 2).unwrap();
+        let store = ManifestStore::sharded(layout.clone());
+        store.commit(&mut RealIo, record("a")).unwrap();
+        store.commit(&mut RealIo, record("b")).unwrap();
+
+        let faults = [
+            FaultyIo {
+                short_write: Some(9),
+                ..FaultyIo::default()
+            },
+            FaultyIo {
+                enospc: true,
+                ..FaultyIo::default()
+            },
+            FaultyIo {
+                fail_rename: true,
+                ..FaultyIo::default()
+            },
+        ];
+        for mut io in faults {
+            let err = store
+                .commit(&mut io, record("late"))
+                .expect_err("fault must surface");
+            assert!(matches!(err, ManifestError::Io(_)), "{err:?}");
+            // Memory rolled back: the record is not durable.
+            assert!(!store.contains("late"), "{io:?}: phantom commit");
+            // And every shard on disk still loads its previous
+            // generation intact.
+            let mut reloaded = ManifestStore::sharded(layout.clone());
+            assert!(
+                reloaded.load().unwrap().is_empty(),
+                "{io:?} corrupted a shard"
+            );
+            assert!(reloaded.contains("a") && reloaded.contains("b"));
+        }
+        // Once the fault clears, the commit goes through.
+        store.commit(&mut RealIo, record("late")).unwrap();
+        assert!(store.contains("late"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

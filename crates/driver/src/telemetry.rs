@@ -189,6 +189,7 @@ mod tests {
             }),
             timing: None,
             cpi: None,
+            cached: false,
             sim: None,
         }
     }

@@ -79,6 +79,7 @@ fn fast_config() -> CampaignConfig {
         default_timeout: Some(Duration::from_secs(60)),
         manifest_path: None,
         telemetry: ffsim_driver::TelemetryConfig::default(),
+        ..CampaignConfig::default()
     }
 }
 
@@ -361,7 +362,7 @@ fn corrupt_manifest_is_quarantined_and_the_campaign_completes() {
         )])
         .expect("first campaign runs");
     assert_eq!(first.executed, 1);
-    assert!(first.quarantine.is_none());
+    assert!(first.quarantines.is_empty());
     let healthy = std::fs::read_to_string(&path).expect("manifest written");
     std::fs::write(&path, &healthy[..healthy.len() / 2]).expect("truncate manifest");
 
@@ -375,7 +376,12 @@ fn corrupt_manifest_is_quarantined_and_the_campaign_completes() {
         .expect("corrupt manifest must not abort the campaign");
     assert_eq!(second.resumed, 0, "torn records must not be trusted");
     assert_eq!(second.executed, 2);
-    let quarantine = second.quarantine.expect("quarantine notice surfaced");
+    let [quarantine] = &second.quarantines[..] else {
+        panic!(
+            "expected exactly one quarantine notice: {:?}",
+            second.quarantines
+        );
+    };
     assert!(
         matches!(quarantine.error, ffsim_driver::ManifestError::Truncated(_)),
         "{:?}",
@@ -393,7 +399,7 @@ fn corrupt_manifest_is_quarantined_and_the_campaign_completes() {
         .expect("third campaign runs");
     assert_eq!(third.resumed, 2);
     assert_eq!(third.executed, 0);
-    assert!(third.quarantine.is_none());
+    assert!(third.quarantines.is_empty());
 }
 
 #[test]

@@ -8,9 +8,14 @@
 //!
 //! Exit status: 0 when divergence-free, 1 when any program diverged (the
 //! shrunk repro is printed and, with `--artifact-dir`, written to disk).
+//!
+//! With `--corpus DIR`, the permanent regression corpus at `DIR` is
+//! replayed through the oracle *before* fuzzing — old divergences must
+//! stay fixed — and any newly shrunk divergence is added to it
+//! (content-addressed, so re-finding a known program changes nothing).
 
 use ffsim_fuzz::oracle::check_restore_exactness;
-use ffsim_fuzz::{artifact, gen, shrink, Oracle};
+use ffsim_fuzz::{artifact, corpus, gen, shrink, Oracle};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -18,6 +23,7 @@ struct Args {
     seed: u64,
     budget: u64,
     artifact_dir: Option<PathBuf>,
+    corpus: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -25,6 +31,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 0xf5,
         budget: 200,
         artifact_dir: None,
+        corpus: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -43,8 +50,12 @@ fn parse_args() -> Result<Args, String> {
                 args.budget = v.parse().map_err(|_| format!("bad --budget {v}"))?;
             }
             "--artifact-dir" => args.artifact_dir = Some(PathBuf::from(value("--artifact-dir")?)),
+            "--corpus" => args.corpus = Some(PathBuf::from(value("--corpus")?)),
             "--help" | "-h" => {
-                println!("usage: fuzz_smoke [--seed N|0xN] [--budget N] [--artifact-dir DIR]");
+                println!(
+                    "usage: fuzz_smoke [--seed N|0xN] [--budget N] [--artifact-dir DIR] \
+                     [--corpus DIR]"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other}")),
@@ -72,6 +83,36 @@ fn main() -> ExitCode {
         oracle.registry().len(),
         oracle.variants.len()
     );
+
+    // Replay the permanent corpus first: a fuzzing run that re-breaks an
+    // old repro should say so before burning budget on new programs.
+    if let Some(dir) = &args.corpus {
+        let entries = match corpus::entries(dir) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("fuzz_smoke: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for path in &entries {
+            let program = match artifact::load(path) {
+                Ok(program) => program,
+                Err(e) => {
+                    println!("CORPUS PARSE FAILURE: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(divergence) = oracle.check(&program) {
+                println!("CORPUS REGRESSION at {}:", path.display());
+                println!("  {divergence}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!(
+            "fuzz_smoke: corpus: {} entries replayed, 0 regressions",
+            entries.len()
+        );
+    }
 
     let (mut halted, mut truncated, mut episodes, mut runs) = (0u64, 0u64, 0u64, 0u64);
     for index in 0..args.budget {
@@ -102,6 +143,13 @@ fn main() -> ExitCode {
                             println!("wrote {}", paths.test_stub.display());
                         }
                         Err(e) => eprintln!("fuzz_smoke: writing artifacts: {e}"),
+                    }
+                }
+                if let Some(dir) = &args.corpus {
+                    match corpus::write_entry(dir, &repro, &divergence.to_string()) {
+                        Ok(Some(path)) => println!("corpus: added {}", path.display()),
+                        Ok(None) => println!("corpus: repro already present"),
+                        Err(e) => eprintln!("fuzz_smoke: writing corpus entry: {e}"),
                     }
                 }
                 return ExitCode::FAILURE;

@@ -26,12 +26,17 @@
 //!   minimizes a divergent program, and a textual `.fsm` format that
 //!   persists the repro independent of generator seeds, together with a
 //!   regression-test stub.
+//! - [`corpus`] — a content-addressed permanent regression corpus
+//!   (`corpus/` at the repository root): shrunk repros accumulate there,
+//!   are replayed by every `fuzz_smoke --corpus` run and by the test
+//!   suite, and never duplicate.
 //!
-//! The `fuzz_smoke` binary wires these together behind `--seed` and
-//! `--budget` flags; its output is byte-identical across runs for a
-//! fixed seed, so CI can diff it.
+//! The `fuzz_smoke` binary wires these together behind `--seed`,
+//! `--budget`, and `--corpus` flags; its output is byte-identical across
+//! runs for a fixed seed and corpus, so CI can diff it.
 
 pub mod artifact;
+pub mod corpus;
 pub mod gen;
 pub mod oracle;
 pub mod shrink;

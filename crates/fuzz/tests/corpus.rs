@@ -1,0 +1,47 @@
+//! Replays the repository's permanent regression corpus (`corpus/` at
+//! the repo root) through the full differential oracle. Every entry is a
+//! program that once exposed — or guards against — a divergence between
+//! the wrong-path techniques; they must stay divergence-free forever.
+
+use ffsim_fuzz::oracle::check_restore_exactness;
+use ffsim_fuzz::{artifact, corpus, Oracle};
+use std::path::PathBuf;
+
+fn repo_corpus() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../corpus")
+}
+
+#[test]
+fn repo_corpus_stays_divergence_free() {
+    let entries = corpus::entries(&repo_corpus()).expect("corpus readable");
+    assert!(
+        !entries.is_empty(),
+        "the committed corpus must not be empty (expected at {})",
+        repo_corpus().display()
+    );
+    let oracle = Oracle::builtin();
+    for path in &entries {
+        let program = artifact::load(path)
+            .unwrap_or_else(|e| panic!("{}: corpus entry must parse: {e}", path.display()));
+        oracle
+            .check(&program)
+            .unwrap_or_else(|d| panic!("{}: corpus regression: {d}", path.display()));
+        check_restore_exactness(&program, 64)
+            .unwrap_or_else(|e| panic!("{}: restore mismatch: {e}", path.display()));
+    }
+}
+
+#[test]
+fn repo_corpus_names_are_content_addresses() {
+    for path in corpus::entries(&repo_corpus()).expect("corpus readable") {
+        let program = artifact::load(&path).expect("corpus entry parses");
+        let expected = corpus::entry_name(&program);
+        let actual = path.file_name().expect("file name").to_string_lossy();
+        assert_eq!(
+            actual,
+            expected,
+            "{}: entry renamed or edited without re-addressing",
+            path.display()
+        );
+    }
+}
