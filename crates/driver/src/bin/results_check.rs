@@ -92,6 +92,13 @@ const TARGETS: &[Target] = &[
         file: "results_speed.txt",
         volatile: true,
     },
+    // Built by `-p ffsim-driver`, not ffsim-bench: the durable queue's
+    // two-campaign demo report (no arguments = throwaway queue dir).
+    Target {
+        bin: "queue_smoke",
+        file: "results_queue_smoke.txt",
+        volatile: false,
+    },
 ];
 
 /// Loop trips of the base-CPI budget workload: enough to drown out warmup

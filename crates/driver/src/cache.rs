@@ -67,7 +67,7 @@ pub fn workload_digest(program: &Program, memory: &Memory) -> u64 {
         let _ = writeln!(text, "{instr}");
     }
     let _ = writeln!(text, "memory {:016x}", memory.digest());
-    manifest::fnv1a(text.as_bytes())
+    crate::fnv::fnv1a(text.as_bytes())
 }
 
 /// Digest of the deterministic configuration knobs plus the job's
@@ -92,7 +92,7 @@ pub fn config_digest(cfg: &SimConfig, max_attempts: u32, degrade: bool) -> u64 {
     );
     // `wp_pc_corruption` folded separately so older digests of the
     // common None case stay aligned with the field list above.
-    manifest::fnv1a(format!("{text}|{:?}", cfg.wp_pc_corruption).as_bytes())
+    crate::fnv::fnv1a(format!("{text}|{:?}", cfg.wp_pc_corruption).as_bytes())
 }
 
 /// What a cache probe found.

@@ -32,14 +32,14 @@ use crate::job::{
 use crate::manifest::{ManifestIo, Quarantine, RealIo};
 use crate::retry::RetryPolicy;
 use crate::shard::{validate_worker_count, ManifestStore, ShardLayout};
-use crate::telemetry::{Telemetry, TelemetryConfig};
+use crate::telemetry::{Heartbeat, Telemetry, TelemetryConfig};
 use crate::watchdog::Watchdog;
 use ffsim_core::{CancelToken, SimConfig, SimError, Simulator};
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// A cloneable, campaign-wide [`ManifestIo`]: every shard save and cache
@@ -58,7 +58,7 @@ impl SharedIo {
     }
 
     /// Runs `f` with exclusive access to the underlying io.
-    fn with<R>(&self, f: impl FnOnce(&mut dyn ManifestIo) -> R) -> R {
+    pub(crate) fn with<R>(&self, f: impl FnOnce(&mut dyn ManifestIo) -> R) -> R {
         let mut guard = self
             .0
             .lock()
@@ -250,28 +250,16 @@ impl Campaign {
             self.cfg.workers
         };
 
-        let telemetry = Telemetry::new(lock(&queue).len());
+        let telemetry = Arc::new(Telemetry::new(lock(&queue).len()));
         let pool_start = Instant::now();
-        let hb_stop = Mutex::new(false);
-        let hb_cv = Condvar::new();
+        let heartbeat = self
+            .cfg
+            .telemetry
+            .enabled
+            .then(|| Heartbeat::spawn(Arc::clone(&telemetry), self.cfg.telemetry.heartbeat));
 
         std::thread::scope(|scope| {
-            let heartbeat = self.cfg.telemetry.enabled.then(|| {
-                scope.spawn(|| {
-                    let mut stopped = lock(&hb_stop);
-                    loop {
-                        let (guard, _) = hb_cv
-                            .wait_timeout(stopped, self.cfg.telemetry.heartbeat)
-                            .unwrap_or_else(std::sync::PoisonError::into_inner);
-                        stopped = guard;
-                        if *stopped {
-                            return;
-                        }
-                        eprintln!("{}", telemetry.heartbeat_line());
-                    }
-                })
-            });
-
+            let telemetry = &telemetry;
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
@@ -287,7 +275,7 @@ impl Campaign {
                             let record = self.run_job(
                                 &job,
                                 &watchdog,
-                                &telemetry,
+                                telemetry,
                                 cache.as_ref(),
                                 (&cache_hits, &cache_misses),
                             );
@@ -329,13 +317,13 @@ impl Campaign {
             for handle in handles {
                 let _ = handle.join();
             }
-            if let Some(heartbeat) = heartbeat {
-                *lock(&hb_stop) = true;
-                hb_cv.notify_all();
-                eprintln!("{}", telemetry.heartbeat_line());
-                let _ = heartbeat.join();
-            }
         });
+        // Stopped after the workers join: the final heartbeat (flushed by
+        // the thread itself, never lost to the condvar timeout race)
+        // reports the settled counters.
+        if let Some(heartbeat) = heartbeat {
+            heartbeat.stop();
+        }
         drop(watchdog);
 
         if let Some(e) = lock(&persist_error).take() {
@@ -352,31 +340,6 @@ impl Campaign {
         })
     }
 
-    /// The effective attempts-per-rung bound for `job`.
-    fn effective_attempts(&self, job: &Job) -> u32 {
-        job.max_attempts
-            .unwrap_or(self.cfg.retry.max_attempts)
-            .max(1)
-    }
-
-    /// The content address of `job`: builds the workload once (pristine
-    /// state, exactly as an attempt would) and digests it together with
-    /// the fully tweaked config and the job's supervision fingerprint.
-    /// `None` when the workload builder fails — the normal attempt path
-    /// will then record the same failure.
-    fn cache_key(&self, job: &Job) -> Option<CacheKey> {
-        let (program, memory) = (job.workload)().ok()?;
-        let mut cfg = SimConfig::with_core(job.core.clone(), job.mode);
-        cfg.max_instructions = job.max_instructions;
-        if let Some(tweak) = &job.tweak {
-            tweak(&mut cfg);
-        }
-        Some(CacheKey {
-            workload: cache::workload_digest(&program, &memory),
-            config: cache::config_digest(&cfg, self.effective_attempts(job), job.degrade),
-        })
-    }
-
     /// Runs one job through the result cache, retries, and the
     /// degradation ladder. Returns `None` only when the campaign was
     /// cancelled mid-job (the job is then deliberately unrecorded).
@@ -388,69 +351,151 @@ impl Campaign {
         cache: Option<&CacheStore>,
         (hits, misses): (&Mutex<usize>, &Mutex<usize>),
     ) -> Option<JobRecord> {
-        let key = match cache.map(|store| self.cache_key(job).map(|k| (k, store.lookup(k)))) {
-            Some(Some((_, Lookup::Hit(record)))) => {
+        let key = match probe_cache(cache, job, &self.cfg.retry) {
+            Probe::Hit(record) => {
                 *lock(hits) += 1;
                 return Some(cache::rekey(*record, &job.id));
             }
-            Some(Some((key, Lookup::Miss))) => {
-                *lock(misses) += 1;
-                Some(key)
-            }
-            Some(Some((key, Lookup::Evicted(error)))) => {
-                eprintln!("campaign: evicted corrupt cache entry: {error}");
-                *lock(misses) += 1;
-                Some(key)
-            }
-            // No cache, or the workload builder failed (the attempt path
-            // records that failure; such jobs are never cached).
-            Some(None) | None => None,
-        };
-        let record = self.execute_job(job, watchdog, telemetry)?;
-        // Commit deterministic results to the cache *before* the shard
-        // commit: once a record is durable in its shard, an identical
-        // campaign must find it in the cache (a crash between the two
-        // writes re-runs the job and re-caches it; the reverse order
-        // would leave committed-but-uncached jobs that silently miss).
-        if let (Some(store), Some(key)) = (cache, key) {
-            if CacheStore::cacheable(&record) {
-                if let Err(e) = self.cfg.io.with(|io| store.store_with(io, key, &record)) {
-                    // A failed cache write loses an optimization, never a
-                    // result: the record still commits to its shard.
-                    eprintln!("campaign: cache write failed: {e}");
+            Probe::Miss(key) => {
+                if key.is_some() {
+                    *lock(misses) += 1;
                 }
+                key
             }
-        }
+        };
+        let executor = Executor {
+            retry: self.cfg.retry,
+            default_timeout: self.cfg.default_timeout,
+            stop: self.cancel.clone(),
+            watchdog,
+            telemetry,
+        };
+        let record = executor.execute_job(job, None)?;
+        store_cache(&self.cfg.io, cache, key, &record);
         Some(record)
     }
+}
 
-    /// Runs one job's attempts (no cache involvement).
-    fn execute_job(
+/// The effective attempts-per-rung bound for `job` under `retry`.
+pub(crate) fn effective_attempts(job: &Job, retry: &RetryPolicy) -> u32 {
+    job.max_attempts.unwrap_or(retry.max_attempts).max(1)
+}
+
+/// The content address of `job`: builds the workload once (pristine state,
+/// exactly as an attempt would) and digests it together with the fully
+/// tweaked config and the job's supervision fingerprint. `None` when the
+/// workload builder fails — the normal attempt path will then record the
+/// same failure.
+pub(crate) fn job_cache_key(job: &Job, retry: &RetryPolicy) -> Option<CacheKey> {
+    let (program, memory) = (job.workload)().ok()?;
+    let mut cfg = SimConfig::with_core(job.core.clone(), job.mode);
+    cfg.max_instructions = job.max_instructions;
+    if let Some(tweak) = &job.tweak {
+        tweak(&mut cfg);
+    }
+    Some(CacheKey {
+        workload: cache::workload_digest(&program, &memory),
+        config: cache::config_digest(&cfg, effective_attempts(job, retry), job.degrade),
+    })
+}
+
+/// What [`probe_cache`] found for a job.
+pub(crate) enum Probe {
+    /// A verified cache entry, ready to re-key onto the job id.
+    Hit(Box<JobRecord>),
+    /// No usable entry; the key to store the fresh result under, or
+    /// `None` when there is no cache (or the workload builder failed, in
+    /// which case the attempt path records that failure uncached).
+    Miss(Option<CacheKey>),
+}
+
+/// Probes the result cache for `job`; evicted-corrupt entries count as
+/// misses and are reported to stderr. Shared by the campaign worker loop
+/// and the queue drain so both serve identical points from the cache.
+pub(crate) fn probe_cache(cache: Option<&CacheStore>, job: &Job, retry: &RetryPolicy) -> Probe {
+    match cache.map(|store| job_cache_key(job, retry).map(|k| (k, store.lookup(k)))) {
+        Some(Some((_, Lookup::Hit(record)))) => Probe::Hit(record),
+        Some(Some((key, Lookup::Miss))) => Probe::Miss(Some(key)),
+        Some(Some((key, Lookup::Evicted(error)))) => {
+            eprintln!("campaign: evicted corrupt cache entry: {error}");
+            Probe::Miss(Some(key))
+        }
+        Some(None) | None => Probe::Miss(None),
+    }
+}
+
+/// Commits a deterministic result to the cache *before* the shard commit:
+/// once a record is durable in its shard, an identical campaign must find
+/// it in the cache (a crash between the two writes re-runs the job and
+/// re-caches it; the reverse order would leave committed-but-uncached jobs
+/// that silently miss). A failed cache write loses an optimization, never
+/// a result.
+pub(crate) fn store_cache(
+    io: &SharedIo,
+    cache: Option<&CacheStore>,
+    key: Option<CacheKey>,
+    record: &JobRecord,
+) {
+    if let (Some(store), Some(key)) = (cache, key) {
+        if CacheStore::cacheable(record) {
+            if let Err(e) = io.with(|io| store.store_with(io, key, record)) {
+                eprintln!("campaign: cache write failed: {e}");
+            }
+        }
+    }
+}
+
+/// The per-job execution engine shared by [`Campaign`] workers and the
+/// queue drain: retries with backoff, the degradation ladder, watchdog
+/// deadlines, and panic isolation — everything between "a worker picked
+/// this job" and "this job has a terminal record".
+pub(crate) struct Executor<'a> {
+    /// Retry policy for jobs that do not override `max_attempts`.
+    pub retry: RetryPolicy,
+    /// Per-attempt deadline for jobs without their own.
+    pub default_timeout: Option<Duration>,
+    /// The campaign/service-wide stop token: firing it abandons the job
+    /// without a record.
+    pub stop: CancelToken,
+    /// The shared deadline watchdog.
+    pub watchdog: &'a Watchdog,
+    /// Progress counters.
+    pub telemetry: &'a Telemetry,
+}
+
+impl Executor<'_> {
+    /// Runs one job's attempts (no cache involvement). Returns `None`
+    /// when the stop token fired (job abandoned, re-run on resume) or
+    /// when `job_token` fired mid-attempt (queue preemption or lease
+    /// takeback: the job is re-enqueued by the caller, and the
+    /// interrupted attempt burns no retry budget).
+    pub(crate) fn execute_job(
         &self,
         job: &Job,
-        watchdog: &Watchdog,
-        telemetry: &Telemetry,
+        job_token: Option<&CancelToken>,
     ) -> Option<JobRecord> {
         let retry = RetryPolicy {
-            max_attempts: self.effective_attempts(job),
-            ..self.cfg.retry
+            max_attempts: effective_attempts(job, &self.retry),
+            ..self.retry
         };
-        let timeout = job.timeout.or(self.cfg.default_timeout);
+        let timeout = job.timeout.or(self.default_timeout);
         let mut attempts: Vec<AttemptRecord> = Vec::new();
         let mut mode = job.mode;
+        let taken_back =
+            || self.stop.is_cancelled() || job_token.is_some_and(CancelToken::is_cancelled);
 
         loop {
             for rung_attempt in 1..=retry.max_attempts {
-                if self.cancel.is_cancelled() {
+                if taken_back() {
                     return None;
                 }
                 let token = CancelToken::new();
                 let deadline = timeout.map(|t| Instant::now() + t);
-                let guard = watchdog.guard(&token, deadline);
+                let guard = self.watchdog.guard_linked(&token, deadline, job_token);
                 let (outcome, result) = run_attempt(job, mode, &token);
                 drop(guard);
 
-                if matches!(outcome, AttemptOutcome::Cancelled) && self.cancel.is_cancelled() {
+                if matches!(outcome, AttemptOutcome::Cancelled) && taken_back() {
                     return None;
                 }
 
@@ -482,7 +527,7 @@ impl Campaign {
                 }
                 let retrying = rung_attempt < retry.max_attempts;
                 if retrying {
-                    telemetry.attempt_retried();
+                    self.telemetry.attempt_retried();
                 }
                 let backoff = if retrying {
                     retry.backoff(&job.id, rung_attempt)
@@ -495,13 +540,13 @@ impl Campaign {
                     outcome,
                     backoff_ms: backoff.as_millis() as u64,
                 });
-                if retrying && !backoff.is_zero() && !self.cancel.is_cancelled() {
+                if retrying && !backoff.is_zero() && !taken_back() {
                     std::thread::sleep(backoff);
                 }
             }
             match ladder_next(mode).filter(|_| job.degrade) {
                 Some(next) => {
-                    telemetry.attempt_retried();
+                    self.telemetry.attempt_retried();
                     mode = next;
                 }
                 None => {
@@ -567,7 +612,7 @@ fn run_attempt(
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -69,8 +69,10 @@
 
 pub mod cache;
 mod campaign;
+pub mod fnv;
 mod job;
 pub mod manifest;
+pub mod queue;
 pub mod report;
 mod retry;
 pub mod shard;
@@ -86,10 +88,14 @@ pub use job::{
     JobStatus, JobSummary, JobTiming, WorkloadFn,
 };
 pub use manifest::{FaultyIo, ManifestError, ManifestIo, Quarantine, RealIo};
+pub use queue::{
+    CampaignSpec, DefaultRunner, DrainOutcome, Enqueued, JobQueue, JobRunner, PoisonJob,
+    QueueConfig, QueueError, QueueStats, Recovery, RunContext, QUEUE_VERSION,
+};
 pub use retry::RetryPolicy;
 pub use shard::{
     validate_shard_count, validate_worker_count, ManifestStore, ShardLayout, MAX_SHARDS,
     MAX_WORKERS,
 };
-pub use telemetry::{Telemetry, TelemetryConfig};
+pub use telemetry::{Heartbeat, QueueGauges, Telemetry, TelemetryConfig};
 pub use watchdog::{WatchGuard, Watchdog};

@@ -31,6 +31,7 @@
 //! writes, failed renames, and out-of-space errors ([`FaultyIo`]) and
 //! prove the previous manifest generation survives each of them.
 
+use crate::fnv::fnv1a;
 use crate::job::JobRecord;
 use crate::json::{parse, Value};
 use std::collections::BTreeMap;
@@ -40,8 +41,9 @@ use std::path::{Path, PathBuf};
 /// Current manifest format version; bumped on incompatible layout changes.
 pub const MANIFEST_VERSION: i64 = 1;
 
-/// Prefix of the checksum trailer line terminating every manifest.
-const CHECKSUM_PREFIX: &str = "#checksum fnv1a ";
+/// Prefix of the checksum trailer line terminating every manifest (and
+/// every queue-journal record, which reuses the same seal discipline).
+pub(crate) const CHECKSUM_PREFIX: &str = "#checksum fnv1a ";
 
 /// Why a manifest could not be used. Everything but [`ManifestError::Io`]
 /// means the file's *contents* are damaged and quarantining applies.
@@ -99,19 +101,6 @@ impl fmt::Display for Quarantine {
             self.quarantined_to.display()
         )
     }
-}
-
-/// FNV-1a over the manifest body — stable, dependency-free, and plenty to
-/// catch truncation and bit flips (this is a tripwire, not cryptography).
-/// Shared with shard assignment and the result cache, which need the same
-/// stable hash for job ids and content digests.
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// Appends the checksum trailer to a serialized document body. The body
@@ -276,24 +265,77 @@ pub fn load_or_quarantine(
     match load(path) {
         Ok(records) => Ok((records, None)),
         Err(error) if error.is_corruption() => {
-            let quarantined_to = path.with_extension("corrupt");
-            std::fs::rename(path, &quarantined_to).map_err(|e| {
-                ManifestError::Io(format!(
-                    "quarantining {} to {}: {e}",
-                    path.display(),
-                    quarantined_to.display()
-                ))
-            })?;
-            Ok((
-                BTreeMap::new(),
-                Some(Quarantine {
-                    error,
-                    quarantined_to,
-                }),
-            ))
+            Ok((BTreeMap::new(), Some(quarantine_file(path, error)?)))
         }
         Err(io) => Err(io),
     }
+}
+
+/// Moves a damaged file to its sibling `<name>.corrupt` path, preserving
+/// the evidence, and returns the [`Quarantine`] notice. Shared by the
+/// campaign manifest, its shards, and the queue journal/snapshot — every
+/// durable artifact quarantines the same way.
+///
+/// # Errors
+///
+/// [`ManifestError::Io`] when the rename itself fails (the damaged file is
+/// then left in place).
+pub(crate) fn quarantine_file(
+    path: &Path,
+    error: ManifestError,
+) -> Result<Quarantine, ManifestError> {
+    let quarantined_to = path.with_extension("corrupt");
+    std::fs::rename(path, &quarantined_to).map_err(|e| {
+        ManifestError::Io(format!(
+            "quarantining {} to {}: {e}",
+            path.display(),
+            quarantined_to.display()
+        ))
+    })?;
+    Ok(Quarantine {
+        error,
+        quarantined_to,
+    })
+}
+
+/// Reads a checksum-sealed document and returns its verified body, or
+/// `None` for a missing file (an empty artifact, not an error).
+///
+/// # Errors
+///
+/// [`ManifestError::Io`] for filesystem failures other than not-found, and
+/// the [`unseal`] verification errors for damaged contents.
+pub(crate) fn read_sealed(path: &Path) -> Result<Option<String>, ManifestError> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => unseal(&text)
+            .map(|body| Some(body.to_string()))
+            .map_err(|e| e.with_context(&format!("sealed file {}", path.display()))),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(ManifestError::Io(format!(
+            "reading {}: {e}",
+            path.display()
+        ))),
+    }
+}
+
+/// Atomically installs a checksum-sealed document at `path` through `io`
+/// (temp file + rename, like [`save_with`]): the previous generation stays
+/// intact whatever `io` does. `body` must end with a newline.
+///
+/// # Errors
+///
+/// [`ManifestError::Io`] for failures writing the temp file or renaming it
+/// into place.
+pub(crate) fn save_sealed_with(
+    io: &mut dyn ManifestIo,
+    path: &Path,
+    body: &str,
+) -> Result<(), ManifestError> {
+    let tmp = path.with_extension("tmp");
+    io.write(&tmp, seal(body).as_bytes())
+        .map_err(|e| ManifestError::Io(format!("writing {}: {e}", tmp.display())))?;
+    io.rename(&tmp, path)
+        .map_err(|e| ManifestError::Io(format!("installing {}: {e}", path.display())))
 }
 
 /// The filesystem operations [`save_with`] performs, as a seam for fault
@@ -312,6 +354,23 @@ pub trait ManifestIo {
     ///
     /// Any underlying filesystem failure.
     fn rename(&mut self, from: &Path, to: &Path) -> std::io::Result<()>;
+
+    /// Appends `bytes` to `path`, creating the file if absent. Used by the
+    /// queue journal; unlike [`ManifestIo::write`] this is *not* atomic —
+    /// a crash mid-append leaves a torn tail, which journal replay is
+    /// designed to drop.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying filesystem failure.
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(bytes)
+    }
 }
 
 /// The real filesystem.
@@ -365,6 +424,21 @@ impl ManifestIo for FaultyIo {
         }
         std::fs::rename(from, to)
     }
+
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        if self.enospc {
+            return Err(std::io::Error::other("no space left on device (injected)"));
+        }
+        if let Some(n) = self.short_write {
+            // A torn append: only a prefix of the record reaches the disk.
+            RealIo.append(path, &bytes[..n.min(bytes.len())])?;
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                format!("short append: {n} of {} bytes (injected)", bytes.len()),
+            ));
+        }
+        RealIo.append(path, bytes)
+    }
 }
 
 /// Atomically replaces the manifest at `path` through `io` (write temp
@@ -381,11 +455,7 @@ pub fn save_with(
     path: &Path,
     records: &BTreeMap<String, JobRecord>,
 ) -> Result<(), ManifestError> {
-    let tmp = path.with_extension("tmp");
-    io.write(&tmp, to_text(records).as_bytes())
-        .map_err(|e| ManifestError::Io(format!("writing manifest {}: {e}", tmp.display())))?;
-    io.rename(&tmp, path)
-        .map_err(|e| ManifestError::Io(format!("installing manifest {}: {e}", path.display())))
+    save_sealed_with(io, path, &to_json(records))
 }
 
 /// [`save_with`] on the real filesystem.

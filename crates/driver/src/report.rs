@@ -6,7 +6,9 @@
 
 use crate::job::{AttemptOutcome, JobRecord, JobStatus};
 use crate::manifest::Quarantine;
+use crate::queue::PoisonJob;
 use ffsim_core::StallClass;
+use ffsim_obs::hist::Log2Hist;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -38,6 +40,60 @@ pub fn render_cache(records: &BTreeMap<String, JobRecord>) -> String {
     for record in cached {
         let _ = writeln!(out, "  {}: served from cache", record.id);
     }
+    out
+}
+
+/// Renders the poison-job appendix: one line per job the durable queue
+/// quarantined after repeated identical failures, id-sorted. Empty when
+/// nothing was quarantined, so healthy campaigns keep their byte layout.
+///
+/// Unlike the timing appendices this section IS part of the
+/// deterministic report artifact: which jobs poisoned, how often, and
+/// with what error is a property of the enqueue sequence, not of
+/// scheduling.
+#[must_use]
+pub fn render_poison(poison: &[PoisonJob]) -> String {
+    if poison.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("\npoison jobs (quarantined by the queue)\n\n");
+    for job in poison {
+        let _ = writeln!(
+            out,
+            "  {} [{}]: {} identical failures, last: {}",
+            job.id, job.campaign, job.failures, job.error
+        );
+    }
+    out
+}
+
+/// Renders the per-campaign queue-wait appendix: one row per campaign
+/// with the distribution of enqueue-to-lease waits in milliseconds.
+/// Returns the empty string when no job was leased.
+///
+/// Wall-clock waits vary run to run, so like [`render_timing`] this
+/// table is for stderr and interactive use only — never for the
+/// deterministic report artifact.
+#[must_use]
+pub fn render_queue_waits(waits: &BTreeMap<String, Log2Hist>) -> String {
+    let rows: Vec<Vec<String>> = waits
+        .iter()
+        .filter(|(_, h)| h.count() > 0)
+        .map(|(campaign, h)| {
+            vec![
+                campaign.clone(),
+                h.count().to_string(),
+                h.min().map_or_else(|| "-".into(), |v| v.to_string()),
+                format!("{:.1}", h.mean()),
+                h.max().map_or_else(|| "-".into(), |v| v.to_string()),
+            ]
+        })
+        .collect();
+    if rows.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("queue waits per campaign (host wall clock, ms)\n\n");
+    out.push_str(&table(&["campaign", "leases", "min", "mean", "max"], &rows));
     out
 }
 
@@ -367,6 +423,43 @@ mod tests {
             !text.lines().any(|l| l.trim_start().starts_with('b')),
             "jobs without a stack stay out of the table"
         );
+    }
+
+    #[test]
+    fn poison_appendix_is_empty_when_nothing_poisoned() {
+        assert_eq!(render_poison(&[]), "");
+    }
+
+    #[test]
+    fn poison_appendix_lists_quarantined_jobs() {
+        let poison = vec![PoisonJob {
+            id: "b/crash".into(),
+            campaign: "b".into(),
+            failures: 3,
+            error: "panic: boom".into(),
+        }];
+        let text = render_poison(&poison);
+        assert!(text.contains("poison jobs"));
+        assert!(text.contains("b/crash [b]: 3 identical failures, last: panic: boom"));
+        assert_eq!(text, render_poison(&poison), "deterministic");
+    }
+
+    #[test]
+    fn queue_wait_appendix_is_empty_without_leases() {
+        assert_eq!(render_queue_waits(&BTreeMap::new()), "");
+    }
+
+    #[test]
+    fn queue_wait_appendix_lists_campaigns() {
+        let mut hist = Log2Hist::new();
+        hist.record(2);
+        hist.record(10);
+        let mut waits = BTreeMap::new();
+        waits.insert("alpha".to_string(), hist);
+        let text = render_queue_waits(&waits);
+        assert!(text.contains("queue waits per campaign"));
+        assert!(text.contains("alpha"));
+        assert!(text.contains('2'), "count and min columns");
     }
 
     #[test]

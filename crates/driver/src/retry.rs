@@ -1,6 +1,7 @@
 //! Retry policy: bounded attempts with exponential backoff and
 //! deterministic jitter.
 
+use crate::fnv::Fnv1a;
 use std::time::Duration;
 
 /// How many times a job is attempted per degradation rung, and how long the
@@ -47,19 +48,14 @@ impl RetryPolicy {
         let raw_ms = base_ms.saturating_mul(1u64 << exp).min(cap_ms);
         // Deterministic jitter in [-25%, +25%]: scale by (3/4 + h/2) where
         // h in [0, 1) comes from an FNV-1a hash of (job_id, attempt).
-        let h = fnv1a(job_id, attempt) % 1000;
+        let h = Fnv1a::new()
+            .update(job_id.as_bytes())
+            .update(&attempt.to_le_bytes())
+            .finish()
+            % 1000;
         let jittered = raw_ms * (750 + h / 2) / 1000;
         Duration::from_millis(jittered.max(1))
     }
-}
-
-fn fnv1a(job_id: &str, attempt: u32) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for byte in job_id.bytes().chain(attempt.to_le_bytes()) {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
 }
 
 #[cfg(test)]

@@ -118,7 +118,7 @@ impl ShardLayout {
     /// of worker assignment, scheduling, and resume history.
     #[must_use]
     pub fn shard_of(&self, job_id: &str) -> usize {
-        (manifest::fnv1a(job_id.as_bytes()) % self.shards as u64) as usize
+        (crate::fnv::fnv1a(job_id.as_bytes()) % self.shards as u64) as usize
     }
 
     /// The on-disk path of shard `index`. The `shard-<k>-of-<n>` tag is

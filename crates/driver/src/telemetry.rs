@@ -17,7 +17,11 @@
 use crate::job::{JobRecord, JobStatus};
 use ffsim_core::WrongPathMode;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// The `u64` sentinel for "no value" in [`QueueGauges`] age fields.
+const NO_AGE: u64 = u64::MAX;
 
 /// Campaign telemetry settings.
 #[derive(Clone, Debug)]
@@ -69,6 +73,9 @@ pub struct Telemetry {
     degraded: [AtomicUsize; 4],
     /// Correct-path instructions simulated by finished jobs (MIPS).
     instructions: AtomicU64,
+    /// Queue gauges appended to the heartbeat line when the counters
+    /// belong to a queue drain rather than a plain campaign.
+    queue: Option<Arc<QueueGauges>>,
 }
 
 impl Telemetry {
@@ -84,6 +91,17 @@ impl Telemetry {
             retries: AtomicUsize::new(0),
             degraded: [const { AtomicUsize::new(0) }; 4],
             instructions: AtomicU64::new(0),
+            queue: None,
+        }
+    }
+
+    /// [`Telemetry::new`] plus queue gauges: every heartbeat line also
+    /// reports queue depth, outstanding leases, and wait ages.
+    #[must_use]
+    pub fn with_queue(total: usize, gauges: Arc<QueueGauges>) -> Telemetry {
+        Telemetry {
+            queue: Some(gauges),
+            ..Telemetry::new(total)
         }
     }
 
@@ -161,7 +179,154 @@ impl Telemetry {
             line.push_str(&format!(", degraded to {}", degraded.join(" ")));
         }
         line.push_str(&format!(" | {mips:.2} MIPS | {:.0}s", secs));
+        if let Some(queue) = &self.queue {
+            line.push_str(&format!(" | {}", queue.render()));
+        }
         line
+    }
+}
+
+/// Live queue gauges rendered into the heartbeat line during a queue
+/// drain. The queue refreshes them under its own lock on every lifecycle
+/// edge (enqueue, lease, commit, re-enqueue, reap); like the campaign
+/// counters they are progress indication, not an audit log — the journal
+/// is the source of truth.
+#[derive(Debug, Default)]
+pub struct QueueGauges {
+    depth: AtomicUsize,
+    leased: AtomicUsize,
+    /// Age of the oldest outstanding lease, in milliseconds as of the last
+    /// refresh ([`NO_AGE`] = no lease outstanding).
+    oldest_lease_ms: AtomicU64,
+    /// Longest wait among currently pending jobs, in milliseconds as of
+    /// the last refresh ([`NO_AGE`] = nothing pending).
+    longest_wait_ms: AtomicU64,
+}
+
+impl QueueGauges {
+    /// Fresh gauges (empty queue, no leases).
+    #[must_use]
+    pub fn new() -> Arc<QueueGauges> {
+        Arc::new(QueueGauges {
+            oldest_lease_ms: AtomicU64::new(NO_AGE),
+            longest_wait_ms: AtomicU64::new(NO_AGE),
+            ..QueueGauges::default()
+        })
+    }
+
+    /// Replaces the snapshot: pending depth, outstanding leases, age of
+    /// the oldest lease, and the longest pending wait.
+    pub fn set(
+        &self,
+        depth: usize,
+        leased: usize,
+        oldest_lease: Option<Duration>,
+        longest_wait: Option<Duration>,
+    ) {
+        self.depth.store(depth, Ordering::Relaxed);
+        self.leased.store(leased, Ordering::Relaxed);
+        self.oldest_lease_ms
+            .store(age_ms(oldest_lease), Ordering::Relaxed);
+        self.longest_wait_ms
+            .store(age_ms(longest_wait), Ordering::Relaxed);
+    }
+
+    /// The heartbeat-line fragment for the current snapshot.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "queue: {} pending, {} leased",
+            self.depth.load(Ordering::Relaxed),
+            self.leased.load(Ordering::Relaxed)
+        );
+        let lease = self.oldest_lease_ms.load(Ordering::Relaxed);
+        if lease != NO_AGE {
+            s.push_str(&format!(", oldest lease {:.1}s", lease as f64 / 1000.0));
+        }
+        let wait = self.longest_wait_ms.load(Ordering::Relaxed);
+        if wait != NO_AGE {
+            s.push_str(&format!(", longest wait {:.1}s", wait as f64 / 1000.0));
+        }
+        s
+    }
+}
+
+fn age_ms(age: Option<Duration>) -> u64 {
+    age.map_or(NO_AGE, |d| {
+        u64::try_from(d.as_millis()).unwrap_or(NO_AGE - 1)
+    })
+}
+
+/// The heartbeat thread: renders [`Telemetry::heartbeat_line`] to stderr
+/// every period, and — unlike the previous inline loop, which raced the
+/// condvar timeout and occasionally lost the last line — always flushes
+/// one final heartbeat from inside the thread on cooperative shutdown,
+/// after the stop flag is set. [`Heartbeat::stop`] (or drop) signals the
+/// flag and joins, so by the time it returns the final line covering every
+/// settled counter is on stderr.
+#[derive(Debug)]
+pub struct Heartbeat {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Spawns the heartbeat thread.
+    #[must_use]
+    pub fn spawn(telemetry: Arc<Telemetry>, period: Duration) -> Heartbeat {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("campaign-heartbeat".into())
+            .spawn(move || {
+                let (flag, cv) = &*thread_stop;
+                let mut stopped = flag
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                loop {
+                    if *stopped {
+                        // The final flush: counters have settled (stop is
+                        // signalled after the workers join), so this line
+                        // reports the campaign's true end state.
+                        eprintln!("{}", telemetry.heartbeat_line());
+                        return;
+                    }
+                    let (guard, timeout) = cv
+                        .wait_timeout(stopped, period)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    stopped = guard;
+                    if timeout.timed_out() && !*stopped {
+                        eprintln!("{}", telemetry.heartbeat_line());
+                    }
+                }
+            })
+            .expect("spawning the heartbeat thread cannot fail outside resource exhaustion");
+        Heartbeat {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    /// Signals shutdown and waits for the final heartbeat to be flushed.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let (flag, cv) = &*self.stop;
+        *flag
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
+        cv.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -223,6 +388,47 @@ mod tests {
             "campaign: 3/3 done, 0 running, 1 retries, 1 failed, \
              degraded to conv=1 | 1.50 MIPS | 2s"
         );
+    }
+
+    #[test]
+    fn queue_gauges_render_into_the_heartbeat_line() {
+        let gauges = QueueGauges::new();
+        gauges.set(
+            3,
+            2,
+            Some(Duration::from_millis(1200)),
+            Some(Duration::from_millis(300)),
+        );
+        let t = Telemetry::with_queue(5, gauges);
+        let line = t.line_at(Duration::from_secs(1));
+        assert_eq!(
+            line,
+            "campaign: 0/5 done, 0 running, 0 retries, 0 failed | 0.00 MIPS | 1s \
+             | queue: 3 pending, 2 leased, oldest lease 1.2s, longest wait 0.3s"
+        );
+    }
+
+    #[test]
+    fn idle_queue_gauges_omit_the_age_fields() {
+        let gauges = QueueGauges::new();
+        gauges.set(0, 0, None, None);
+        assert_eq!(gauges.render(), "queue: 0 pending, 0 leased");
+    }
+
+    #[test]
+    fn heartbeat_stop_joins_after_the_final_flush() {
+        // The final heartbeat is printed by the thread itself before it
+        // exits; stop() returning proves the thread observed the flag and
+        // flushed (the old inline loop could exit without the last line).
+        let t = Arc::new(Telemetry::new(1));
+        let hb = Heartbeat::spawn(Arc::clone(&t), Duration::from_secs(3600));
+        t.job_started();
+        t.job_finished(&record(
+            JobStatus::Completed,
+            WrongPathMode::WrongPathEmulation,
+            1,
+        ));
+        hb.stop();
     }
 
     #[test]

@@ -17,6 +17,10 @@ struct Entry {
     id: u64,
     token: CancelToken,
     deadline: Option<Instant>,
+    /// An additional cancellation source scoped to this attempt: the
+    /// queue's per-job preemption/lease token. When it fires, the
+    /// attempt's token is cancelled just like a campaign-wide stop.
+    parent: Option<CancelToken>,
 }
 
 struct Shared {
@@ -98,9 +102,22 @@ impl Watchdog {
     /// attempt finishes.
     #[must_use]
     pub fn guard(&self, token: &CancelToken, deadline: Option<Instant>) -> WatchGuard {
-        // A campaign cancelled before registration must still reach this
-        // attempt's token: the poll loop only sees live entries.
-        if self.campaign_token.is_cancelled() {
+        self.guard_linked(token, deadline, None)
+    }
+
+    /// [`Watchdog::guard`] with an extra per-job `parent` token: when the
+    /// parent fires (queue preemption, lease takeback), the attempt's
+    /// token is cancelled just as promptly as for a campaign-wide stop.
+    #[must_use]
+    pub fn guard_linked(
+        &self,
+        token: &CancelToken,
+        deadline: Option<Instant>,
+        parent: Option<&CancelToken>,
+    ) -> WatchGuard {
+        // A campaign (or parent) cancelled before registration must still
+        // reach this attempt's token: the poll loop only sees live entries.
+        if self.campaign_token.is_cancelled() || parent.is_some_and(CancelToken::is_cancelled) {
             token.cancel();
         }
         let mut state = lock_ignoring_poison(&self.shared.entries);
@@ -110,6 +127,7 @@ impl Watchdog {
             id,
             token: token.clone(),
             deadline,
+            parent: parent.cloned(),
         });
         self.shared.wake.notify_one();
         WatchGuard {
@@ -141,7 +159,7 @@ fn watch_loop(shared: &Shared, campaign: &CancelToken) {
         let now = Instant::now();
         let campaign_fired = campaign.is_cancelled();
         for entry in &state.entries {
-            if campaign_fired {
+            if campaign_fired || entry.parent.as_ref().is_some_and(CancelToken::is_cancelled) {
                 entry.token.cancel();
             }
             if entry.deadline.is_some_and(|d| now >= d) {
@@ -205,6 +223,30 @@ mod tests {
         while token.cause().is_none() && start.elapsed() < Duration::from_secs(2) {
             std::thread::sleep(Duration::from_millis(1));
         }
+        assert_eq!(token.cause(), Some(CancelCause::Cancelled));
+    }
+
+    #[test]
+    fn parent_token_cancellation_reaches_the_attempt() {
+        let watchdog = Watchdog::spawn(CancelToken::new());
+        let parent = CancelToken::new();
+        let token = CancelToken::new();
+        let _guard = watchdog.guard_linked(&token, None, Some(&parent));
+        parent.cancel();
+        let start = Instant::now();
+        while token.cause().is_none() && start.elapsed() < Duration::from_secs(2) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(token.cause(), Some(CancelCause::Cancelled));
+    }
+
+    #[test]
+    fn pre_cancelled_parent_cancels_at_registration() {
+        let watchdog = Watchdog::spawn(CancelToken::new());
+        let parent = CancelToken::new();
+        parent.cancel();
+        let token = CancelToken::new();
+        let _guard = watchdog.guard_linked(&token, None, Some(&parent));
         assert_eq!(token.cause(), Some(CancelCause::Cancelled));
     }
 

@@ -1,0 +1,572 @@
+//! End-to-end tests for the durable campaign job queue: journaled
+//! crash-consistent ingest, lease edges (deadline zero, expiry racing
+//! commit, dangling-lease reclaim), poison-job quarantine, weighted fair
+//! scheduling, priority preemption, saturation backpressure, and
+//! byte-identical reports across kill/resume and journal damage.
+
+use ffsim_core::{CancelToken, WrongPathMode};
+use ffsim_driver::{
+    report, CampaignSpec, Enqueued, Job, JobQueue, JobRecord, JobRunner, QueueConfig, QueueError,
+    RetryPolicy, RunContext, TelemetryConfig, WorkloadFn,
+};
+use ffsim_emu::Memory;
+use ffsim_isa::{Asm, Program, Reg};
+use ffsim_uarch::CoreConfig;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const TRIPS: i64 = 500;
+
+fn countdown(trips: i64) -> Result<Program, ffsim_core::SimError> {
+    let i = Reg::new(1);
+    let mut a = Asm::new();
+    a.li(i, trips);
+    a.label("loop");
+    a.addi(i, i, -1);
+    a.bnez(i, "loop");
+    a.halt();
+    Ok(a.assemble()?)
+}
+
+fn workload(trips: i64) -> WorkloadFn {
+    Arc::new(move || Ok((countdown(trips)?, Memory::new())))
+}
+
+fn job(id: &str, trips: i64) -> Job {
+    Job::new(id, WrongPathMode::WrongPathEmulation, workload(trips))
+        .with_core(CoreConfig::tiny_for_tests())
+}
+
+/// Two campaigns × two jobs each: the standard fixture most tests use.
+fn standard_jobs() -> Vec<(&'static str, Job)> {
+    vec![
+        ("alpha", job("alpha/fast", TRIPS / 2)),
+        ("alpha", job("alpha/slow", TRIPS)),
+        ("beta", job("beta/fast", TRIPS / 2)),
+        ("beta", job("beta/slow", TRIPS)),
+    ]
+}
+
+fn qcfg(dir: &Path) -> QueueConfig {
+    QueueConfig {
+        workers: 1,
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        },
+        default_timeout: Some(Duration::from_secs(60)),
+        telemetry: TelemetryConfig::default(),
+        ..QueueConfig::new(dir)
+    }
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create test dir");
+    dir
+}
+
+fn open_with_standard_jobs(cfg: QueueConfig) -> JobQueue {
+    let queue = JobQueue::open(cfg).expect("queue opens");
+    queue
+        .register(&CampaignSpec::new("alpha"))
+        .expect("register");
+    queue
+        .register(&CampaignSpec::new("beta"))
+        .expect("register");
+    for (campaign, j) in standard_jobs() {
+        assert_eq!(
+            queue.enqueue(campaign, j).expect("enqueue"),
+            Enqueued::Accepted
+        );
+    }
+    queue
+}
+
+/// The reference report: the same four jobs drained with no
+/// interruptions, crashes, or preemption.
+fn reference_report(name: &str) -> String {
+    let dir = tmp_dir(name);
+    let queue = open_with_standard_jobs(qcfg(&dir));
+    let outcome = queue.drain().expect("drain");
+    assert_eq!(outcome.records.len(), 4);
+    report::render(&outcome.records)
+}
+
+// ---------------------------------------------------------------------
+// Plumbing and validation.
+// ---------------------------------------------------------------------
+
+#[test]
+fn unknown_campaign_and_duplicates_are_typed_errors() {
+    let dir = tmp_dir("queue_validation");
+    let queue = JobQueue::open(qcfg(&dir)).expect("open");
+    assert!(matches!(
+        queue.enqueue("nope", job("nope/x", 10)),
+        Err(QueueError::UnknownCampaign(_))
+    ));
+    queue.register(&CampaignSpec::new("a")).expect("register");
+    queue.enqueue("a", job("a/x", 10)).expect("first enqueue");
+    assert!(matches!(
+        queue.enqueue("a", job("a/x", 10)),
+        Err(QueueError::DuplicateJob(_))
+    ));
+    assert!(matches!(
+        queue.register(&CampaignSpec::new("w").with_weight(0)),
+        Err(QueueError::InvalidConfig(_))
+    ));
+}
+
+#[test]
+fn saturation_is_backpressure_not_corruption() {
+    let dir = tmp_dir("queue_saturated");
+    let cfg = QueueConfig {
+        capacity: 2,
+        ..qcfg(&dir)
+    };
+    let queue = JobQueue::open(cfg).expect("open");
+    queue.register(&CampaignSpec::new("a")).expect("register");
+    queue.enqueue("a", job("a/1", 10)).expect("fits");
+    queue.enqueue("a", job("a/2", 10)).expect("fits");
+    assert_eq!(
+        queue.enqueue("a", job("a/3", 10)),
+        Err(QueueError::Saturated { capacity: 2 })
+    );
+    // Draining frees capacity.
+    queue.drain().expect("drain");
+    assert_eq!(
+        queue.enqueue("a", job("a/3", 10)).expect("fits now"),
+        Enqueued::Accepted
+    );
+}
+
+// ---------------------------------------------------------------------
+// Lease edges.
+// ---------------------------------------------------------------------
+
+/// A zero lease deadline means every lease is immediately reclaimable —
+/// but with a single worker nothing reaps mid-run, so every job still
+/// completes exactly once.
+#[test]
+fn lease_deadline_zero_completes_with_a_single_worker() {
+    let dir = tmp_dir("queue_lease_zero");
+    let cfg = QueueConfig {
+        lease: Duration::ZERO,
+        ..qcfg(&dir)
+    };
+    let queue = open_with_standard_jobs(cfg);
+    let outcome = queue.drain().expect("drain");
+    assert_eq!(outcome.records.len(), 4);
+    assert_eq!(outcome.executed, 4);
+    assert!(outcome.poison.is_empty());
+}
+
+/// Counts executions and forces the lease to expire at the exact moment
+/// the record is ready: commit must win and the job must not re-run.
+struct ExpireAtCommit<'q> {
+    queue: &'q JobQueue,
+    runs: AtomicUsize,
+}
+
+impl JobRunner for ExpireAtCommit<'_> {
+    fn run(&self, ctx: &RunContext<'_>, job: &Job, takeback: &CancelToken) -> Option<JobRecord> {
+        self.runs.fetch_add(1, Ordering::SeqCst);
+        let record = ctx.execute(job, takeback);
+        // The lease deadline is zero, so this marks *this* job's lease
+        // as expired (and fires its take-back token) just before the
+        // worker commits the finished record.
+        self.queue.reap_expired();
+        record
+    }
+}
+
+#[test]
+fn commit_wins_over_a_lease_expiring_at_commit_time() {
+    let dir = tmp_dir("queue_commit_wins");
+    let cfg = QueueConfig {
+        lease: Duration::ZERO,
+        ..qcfg(&dir)
+    };
+    let queue = open_with_standard_jobs(cfg);
+    let runner = ExpireAtCommit {
+        queue: &queue,
+        runs: AtomicUsize::new(0),
+    };
+    let outcome = queue.drain_with(&runner).expect("drain");
+    assert_eq!(outcome.records.len(), 4);
+    assert_eq!(
+        runner.runs.load(Ordering::SeqCst),
+        4,
+        "no job may execute twice when its commit races the expiry"
+    );
+    assert_eq!(outcome.executed, 4);
+    assert_eq!(outcome.cache_hits, 0);
+    assert_eq!(
+        outcome.lease_expiries, 0,
+        "an expiry that lost to the commit is not an expiry"
+    );
+    assert!(outcome.poison.is_empty());
+}
+
+/// Panics identically on one job until the queue quarantines it.
+struct PoisonPill;
+
+impl JobRunner for PoisonPill {
+    fn run(&self, ctx: &RunContext<'_>, job: &Job, takeback: &CancelToken) -> Option<JobRecord> {
+        assert!(job.id != "beta/slow", "boom");
+        ctx.execute(job, takeback)
+    }
+}
+
+#[test]
+fn repeated_identical_panics_quarantine_the_job_as_poison() {
+    let dir = tmp_dir("queue_poison");
+    let cfg = QueueConfig {
+        max_lease_failures: 2,
+        ..qcfg(&dir)
+    };
+    let queue = open_with_standard_jobs(cfg);
+    let outcome = queue.drain_with(&PoisonPill).expect("drain");
+    assert_eq!(outcome.records.len(), 3, "the poison job never commits");
+    assert_eq!(outcome.poison.len(), 1);
+    let poison = &outcome.poison[0];
+    assert_eq!(poison.id, "beta/slow");
+    assert_eq!(poison.campaign, "beta");
+    assert_eq!(poison.failures, 2);
+    assert_eq!(poison.error, "panic: boom");
+
+    let appendix = report::render_poison(&outcome.poison);
+    assert!(appendix.contains("beta/slow [beta]: 2 identical failures, last: panic: boom"));
+
+    // The quarantine is durable: a fresh open refuses to re-run it.
+    drop(queue);
+    let queue = JobQueue::open(QueueConfig {
+        max_lease_failures: 2,
+        ..qcfg(&dir)
+    })
+    .expect("reopen");
+    queue
+        .register(&CampaignSpec::new("beta"))
+        .expect("register");
+    assert_eq!(
+        queue
+            .enqueue("beta", job("beta/slow", TRIPS))
+            .expect("enqueue"),
+        Enqueued::Poisoned
+    );
+}
+
+// ---------------------------------------------------------------------
+// Crash, damage, and resume.
+// ---------------------------------------------------------------------
+
+/// Simulates kill -9 mid-drain: when the trigger job starts, the service
+/// stop token fires and the runner abandons the job, leaving its lease
+/// journaled and dangling.
+struct KillAt<'q> {
+    queue: &'q JobQueue,
+    trigger: &'static str,
+}
+
+impl JobRunner for KillAt<'_> {
+    fn run(&self, ctx: &RunContext<'_>, job: &Job, takeback: &CancelToken) -> Option<JobRecord> {
+        if job.id == self.trigger {
+            self.queue.cancel_token().cancel();
+            return None;
+        }
+        ctx.execute(job, takeback)
+    }
+}
+
+#[test]
+fn killed_and_resumed_drain_yields_a_byte_identical_report() {
+    let reference = reference_report("queue_reference");
+    let dir = tmp_dir("queue_kill_resume");
+    let queue = open_with_standard_jobs(qcfg(&dir));
+    let runner = KillAt {
+        queue: &queue,
+        trigger: "beta/fast",
+    };
+    let outcome = queue.drain_with(&runner).expect("interrupted drain");
+    assert!(outcome.cancelled);
+    assert!(outcome.records.len() < 4, "the kill landed mid-drain");
+    drop(queue);
+
+    // A new process: reopen, re-register, re-enqueue the same sequence.
+    let queue = JobQueue::open(qcfg(&dir)).expect("reopen");
+    assert_eq!(
+        queue.recovery().re_leased,
+        1,
+        "the dangling lease is reclaimed with its budget intact"
+    );
+    queue
+        .register(&CampaignSpec::new("alpha"))
+        .expect("register");
+    queue
+        .register(&CampaignSpec::new("beta"))
+        .expect("register");
+    let mut accepted = 0;
+    for (campaign, j) in standard_jobs() {
+        match queue.enqueue(campaign, j).expect("enqueue") {
+            Enqueued::Accepted => accepted += 1,
+            Enqueued::AlreadyComplete => {}
+            Enqueued::Poisoned => panic!("nothing was poisoned"),
+        }
+    }
+    assert!(accepted >= 1, "the killed job must re-run");
+    let outcome = queue.drain().expect("resumed drain");
+    assert_eq!(outcome.records.len(), 4);
+    assert_eq!(report::render(&outcome.records), reference);
+}
+
+#[test]
+fn torn_journal_tail_is_dropped_and_resume_is_byte_identical() {
+    let reference = reference_report("queue_reference_torn");
+    let dir = tmp_dir("queue_torn_tail");
+    let queue = open_with_standard_jobs(qcfg(&dir));
+    let outcome = queue.drain().expect("drain");
+    let report_before = report::render(&outcome.records);
+    assert_eq!(report_before, reference);
+    drop(queue);
+
+    // A crash mid-append leaves a half-written record at the tail.
+    let journal = dir.join("queue.journal");
+    let mut bytes = std::fs::read(&journal).expect("journal exists");
+    bytes.extend_from_slice(b"{\n  \"record\": \"leased\",\n  \"job\": \"al");
+    std::fs::write(&journal, &bytes).expect("tear the tail");
+
+    let queue = JobQueue::open(qcfg(&dir)).expect("reopen");
+    assert!(queue.recovery().torn_tail_dropped);
+    assert!(queue.recovery().quarantines.is_empty());
+    queue
+        .register(&CampaignSpec::new("alpha"))
+        .expect("register");
+    queue
+        .register(&CampaignSpec::new("beta"))
+        .expect("register");
+    for (campaign, j) in standard_jobs() {
+        assert_eq!(
+            queue.enqueue(campaign, j).expect("enqueue"),
+            Enqueued::AlreadyComplete,
+            "every result is still durable"
+        );
+    }
+    let outcome = queue.drain().expect("no-op drain");
+    assert_eq!(outcome.executed, 0);
+    assert_eq!(report::render(&outcome.records), reference);
+}
+
+#[test]
+fn mid_journal_corruption_quarantines_but_results_survive() {
+    let reference = reference_report("queue_reference_corrupt");
+    let dir = tmp_dir("queue_corrupt");
+    let queue = open_with_standard_jobs(qcfg(&dir));
+    queue.drain().expect("drain");
+    drop(queue);
+
+    // Flip bytes inside the FIRST record: damage before the tail is
+    // corruption, not a torn append.
+    let journal = dir.join("queue.journal");
+    let text = std::fs::read_to_string(&journal).expect("journal exists");
+    let damaged = text.replacen("alpha", "XXXXX", 1);
+    assert_ne!(damaged, text);
+    std::fs::write(&journal, &damaged).expect("damage the journal");
+
+    let queue = JobQueue::open(qcfg(&dir)).expect("reopen");
+    assert_eq!(
+        queue.recovery().quarantines.len(),
+        1,
+        "the journal is quarantined as evidence"
+    );
+    assert!(dir.join("queue.corrupt").exists());
+    queue
+        .register(&CampaignSpec::new("alpha"))
+        .expect("register");
+    queue
+        .register(&CampaignSpec::new("beta"))
+        .expect("register");
+    for (campaign, j) in standard_jobs() {
+        assert_eq!(
+            queue.enqueue(campaign, j).expect("enqueue"),
+            Enqueued::AlreadyComplete,
+            "results live in the shards, not the journal"
+        );
+    }
+    let outcome = queue.drain().expect("drain");
+    assert_eq!(outcome.executed, 0);
+    assert_eq!(report::render(&outcome.records), reference);
+}
+
+#[test]
+fn compaction_snapshots_fold_the_journal_and_preserve_resume() {
+    let reference = reference_report("queue_reference_compact");
+    let dir = tmp_dir("queue_compact");
+    let cfg = QueueConfig {
+        compact_every: 3,
+        ..qcfg(&dir)
+    };
+    let queue = open_with_standard_jobs(cfg.clone());
+    queue.drain().expect("drain");
+    assert!(
+        dir.join("queue.snapshot").exists(),
+        "4 jobs × 3 records crosses the compaction threshold"
+    );
+    drop(queue);
+
+    let queue = JobQueue::open(cfg).expect("reopen replays snapshot + tail");
+    queue
+        .register(&CampaignSpec::new("alpha"))
+        .expect("register");
+    queue
+        .register(&CampaignSpec::new("beta"))
+        .expect("register");
+    for (campaign, j) in standard_jobs() {
+        assert_eq!(
+            queue.enqueue(campaign, j).expect("enqueue"),
+            Enqueued::AlreadyComplete
+        );
+    }
+    let outcome = queue.drain().expect("drain");
+    assert_eq!(outcome.executed, 0);
+    assert_eq!(report::render(&outcome.records), reference);
+}
+
+#[test]
+fn identical_points_resume_from_the_cache_across_queue_lives() {
+    let dir_a = tmp_dir("queue_cache_a");
+    let dir_b = tmp_dir("queue_cache_b");
+    let cache = tmp_dir("queue_cache_store");
+    let cfg = |dir: &Path| QueueConfig {
+        cache_dir: Some(cache.clone()),
+        ..qcfg(dir)
+    };
+    let first = open_with_standard_jobs(cfg(&dir_a)).drain().expect("drain");
+    // alpha/fast and beta/fast (and the two slow jobs) are identical
+    // campaign points, so the content-addressed cache dedups them even
+    // within the first run: 2 misses simulate, 2 hits are re-keyed.
+    assert_eq!(first.cache_hits, 2);
+    assert_eq!(first.cache_misses, 2);
+
+    // A brand-new queue directory, same campaign points: everything is
+    // served from the content-addressed cache without simulating.
+    let second = open_with_standard_jobs(cfg(&dir_b)).drain().expect("drain");
+    assert_eq!(second.cache_hits, 4);
+    assert_eq!(second.executed, 4);
+    // The summary table ignores the `cached` provenance flag, so the
+    // cache-served run renders byte-identically.
+    assert_eq!(
+        report::render(&first.records),
+        report::render(&second.records)
+    );
+}
+
+// ---------------------------------------------------------------------
+// Scheduling: fairness and preemption.
+// ---------------------------------------------------------------------
+
+/// Logs the execution order, then delegates to the real engine.
+struct OrderLog {
+    order: Mutex<Vec<String>>,
+}
+
+impl JobRunner for OrderLog {
+    fn run(&self, ctx: &RunContext<'_>, job: &Job, takeback: &CancelToken) -> Option<JobRecord> {
+        self.order.lock().expect("order log").push(job.id.clone());
+        ctx.execute(job, takeback)
+    }
+}
+
+#[test]
+fn deficit_round_robin_shares_workers_by_weight_deterministically() {
+    let dir = tmp_dir("queue_drr");
+    let queue = JobQueue::open(qcfg(&dir)).expect("open");
+    queue
+        .register(&CampaignSpec::new("a").with_weight(2))
+        .expect("register");
+    queue
+        .register(&CampaignSpec::new("b").with_weight(1))
+        .expect("register");
+    for i in 1..=4 {
+        queue
+            .enqueue("a", job(&format!("a/{i}"), 10))
+            .expect("enqueue");
+        queue
+            .enqueue("b", job(&format!("b/{i}"), 10))
+            .expect("enqueue");
+    }
+    let runner = OrderLog {
+        order: Mutex::new(Vec::new()),
+    };
+    let outcome = queue.drain_with(&runner).expect("drain");
+    assert_eq!(outcome.records.len(), 8);
+    let order = runner.order.into_inner().expect("order log");
+    assert_eq!(
+        order,
+        ["a/1", "a/2", "b/1", "a/3", "a/4", "b/2", "b/3", "b/4"],
+        "weight 2:1 serves two of `a` per one of `b`, ties by campaign id"
+    );
+}
+
+/// While the first low-priority job runs, enqueues a high-priority job
+/// and waits for its own take-back: the preemption path end to end.
+struct PreemptProbe<'q> {
+    queue: &'q JobQueue,
+    fired: AtomicBool,
+    order: Mutex<Vec<String>>,
+}
+
+impl JobRunner for PreemptProbe<'_> {
+    fn run(&self, ctx: &RunContext<'_>, job: &Job, takeback: &CancelToken) -> Option<JobRecord> {
+        self.order.lock().expect("order log").push(job.id.clone());
+        if job.id.starts_with("low/") && !self.fired.swap(true, Ordering::SeqCst) {
+            self.queue
+                .enqueue("high", super_job())
+                .expect("priority enqueue");
+            // The enqueue outranks this running job with no idle worker:
+            // the queue must take this lease back via the token.
+            while !takeback.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            return None;
+        }
+        ctx.execute(job, takeback)
+    }
+}
+
+fn super_job() -> Job {
+    job("high/urgent", 10)
+}
+
+#[test]
+fn a_high_priority_enqueue_preempts_without_failing_the_victim() {
+    let dir = tmp_dir("queue_preempt");
+    let queue = JobQueue::open(qcfg(&dir)).expect("open");
+    queue.register(&CampaignSpec::new("low")).expect("register");
+    queue
+        .register(&CampaignSpec::new("high").with_priority(5))
+        .expect("register");
+    queue.enqueue("low", job("low/1", 10)).expect("enqueue");
+    queue.enqueue("low", job("low/2", 10)).expect("enqueue");
+    let runner = PreemptProbe {
+        queue: &queue,
+        fired: AtomicBool::new(false),
+        order: Mutex::new(Vec::new()),
+    };
+    let outcome = queue.drain_with(&runner).expect("drain");
+    assert_eq!(outcome.records.len(), 3);
+    assert_eq!(outcome.preempted, 1);
+    assert!(
+        outcome.poison.is_empty(),
+        "preemption never burns the victim's budget"
+    );
+    let order = runner.order.into_inner().expect("order log");
+    assert_eq!(
+        order,
+        ["low/1", "high/urgent", "low/1", "low/2"],
+        "the victim re-runs right after the preemptor, front of its FIFO"
+    );
+}
