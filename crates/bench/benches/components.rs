@@ -9,7 +9,7 @@ use ffsim_core::{
 };
 use ffsim_emu::{Emulator, FollowComputed, InstrQueue, NoFrontendWrongPath};
 use ffsim_isa::{Asm, BranchCond, Instr, Reg};
-use ffsim_obs::{ObsConfig, TraceEvent, TraceEventKind, TraceSource};
+use ffsim_obs::{MetricsRegistry, ObsConfig, Phase, TraceEvent, TraceEventKind, TraceSource};
 use ffsim_uarch::{BranchPredictor, Cache, CoreConfig, PathKind, Tlb};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -221,11 +221,73 @@ fn tracing_overhead_guard(_c: &mut Criterion) {
     );
 }
 
+/// Disabled-path guard for the unified metrics registry and the phase
+/// profiler: one disabled `MetricsRegistry::inc` plus one disabled
+/// `ProfHandle` enter/exit pair per instruction in the pipeline hot loop
+/// must cost at most ~3% — each is a single predictable branch, the same
+/// observer-effect discipline the trace ring guard above enforces.
+fn profiler_overhead_guard(_c: &mut Criterion) {
+    const REPS: usize = 9;
+    const BUDGET: f64 = 1.03;
+
+    let program = loop_program(10_000);
+    let mut emu = Emulator::new(program).unwrap();
+    let mut trace = Vec::new();
+    while let Ok(inst) = emu.step() {
+        trace.push((inst.pc, inst.instr, inst.mem));
+    }
+
+    let run_once = |with_obs: bool| -> Duration {
+        // Black-boxed constructors so the compiler cannot prove the
+        // registry and handle disabled and fold their fast paths away.
+        let mut registry = black_box(MetricsRegistry::disabled());
+        let retired = registry.counter("bench_retired_total").unwrap();
+        let prof = black_box(ObsConfig::disabled()).prof_handle();
+        let mut p = Pipeline::new(CoreConfig::tiny_for_tests());
+        let start = Instant::now();
+        for (pc, instr, mem) in &trace {
+            if with_obs {
+                prof.enter(Phase::TimingPipeline);
+                registry.inc(retired, 1);
+                p.feed_correct(*pc, instr, *mem);
+                prof.exit();
+            } else {
+                p.feed_correct(*pc, instr, *mem);
+            }
+        }
+        let elapsed = start.elapsed();
+        black_box((p.cycles(), registry.counter_value(retired)));
+        elapsed
+    };
+
+    run_once(false);
+    run_once(true);
+    let (mut without, mut with) = (Duration::MAX, Duration::MAX);
+    for _ in 0..REPS {
+        without = without.min(run_once(false));
+        with = with.min(run_once(true));
+    }
+    let ratio = with.as_secs_f64() / without.as_secs_f64();
+    eprintln!(
+        "profiler_overhead_guard: {} instructions, without {:?}, with disabled registry+profiler {:?}, ratio {ratio:.4}",
+        trace.len(),
+        without,
+        with
+    );
+    assert!(
+        ratio <= BUDGET,
+        "disabled registry+profiler cost {:.1}% on the pipeline hot loop (budget {:.0}%)",
+        (ratio - 1.0) * 100.0,
+        (BUDGET - 1.0) * 100.0
+    );
+}
+
 criterion_group!(
     benches,
     emulator_step_rate,
     cache_rate,
     wrongpath_rate,
-    tracing_overhead_guard
+    tracing_overhead_guard,
+    profiler_overhead_guard
 );
 criterion_main!(benches);

@@ -57,7 +57,7 @@ pub mod technique;
 
 pub use error::SimError;
 pub use ffsim_emu::{CancelCause, CancelToken, FetchSource};
-pub use ffsim_obs::{CpiStack, ObsConfig, StallClass};
+pub use ffsim_obs::{CpiStack, ObsConfig, Phase, PhaseProfiler, StallClass};
 pub use metrics::{FaultStats, ObsReport, SimResult};
 pub use pipeline::{InstrTimes, LoadTiming, Pipeline, WindowState};
 pub use sim::{run_all_modes, NullObserver, SimConfig, SimObserver, Simulator};

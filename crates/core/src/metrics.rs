@@ -3,15 +3,16 @@
 use crate::technique::code_cache::CodeCacheStats;
 use crate::technique::mode::WrongPathMode;
 use crate::technique::wrongpath::ConvergenceStats;
-use ffsim_obs::{CpiStack, Log2Hist, TraceEvent};
+use ffsim_obs::{CpiStack, Log2Hist, PhaseProfiler, TraceEvent};
 use ffsim_uarch::{BranchStats, CacheStats, DramStats, TlbStats};
 use std::time::Duration;
 
-/// Observability artifacts collected during a run when
-/// [`ObsConfig::enabled`](ffsim_obs::ObsConfig) is set: the event trace
-/// and the wrong-path shape histograms. `None` on a disabled run — the
-/// observer-effect invariant guarantees every other [`SimResult`] field is
-/// identical either way.
+/// Observability artifacts collected during a run when the
+/// [`ObsConfig`](ffsim_obs::ObsConfig) enables tracing and/or profiling:
+/// the event trace, the wrong-path shape histograms, and the host-phase
+/// profile. `None` on a fully disabled run — the observer-effect
+/// invariant guarantees every other [`SimResult`] field is identical
+/// either way.
 #[derive(Clone, Debug, Default)]
 pub struct ObsReport {
     /// Buffered trace events: timing-model events followed by frontend
@@ -27,6 +28,12 @@ pub struct ObsReport {
     /// Instructions scanned before the wrong path converged with the
     /// future correct path (convergence-exploitation mode only).
     pub conv_distance: Log2Hist,
+    /// Host-phase wall-time attribution for the run (enabled when
+    /// [`ObsConfig::profile`](ffsim_obs::ObsConfig) is set; an inert
+    /// disabled profiler otherwise). Phases cover the emulator, handoff,
+    /// timing pipeline and technique hooks; see
+    /// [`ffsim_obs::prof::Phase`].
+    pub profile: PhaseProfiler,
 }
 
 /// Wrong-path fault-handling counters (squashes, watchdog trips, wild

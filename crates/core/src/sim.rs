@@ -10,7 +10,9 @@ use crate::technique::wrongpath::ConvergenceConfig;
 use crate::technique::{MispredictContext, TechniqueRegistry, WrongPathTechnique};
 use ffsim_emu::{CancelToken, DynInst, Emulator, FaultModel, FaultPolicy, FetchSource, Memory};
 use ffsim_isa::Program;
-use ffsim_obs::{EventRing, Log2Hist, ObsConfig, TraceEvent, TraceEventKind, TraceSource};
+use ffsim_obs::{
+    EventRing, Log2Hist, ObsConfig, Phase, ProfHandle, TraceEvent, TraceEventKind, TraceSource,
+};
 use ffsim_uarch::{BranchPredictor, CoreConfig};
 use std::time::Instant;
 
@@ -212,6 +214,10 @@ pub struct Simulator {
     pipeline: Pipeline,
     /// Timing-model event ring (disabled unless `cfg.obs.enabled`).
     trace: EventRing,
+    /// Host-phase profiler handle, shared with the frontend so emulator
+    /// scopes nest under the run loop's (disabled unless
+    /// `cfg.obs.profile`).
+    prof: ProfHandle,
     /// Wrong-path instructions injected per misprediction episode.
     wp_episode_hist: Log2Hist,
     /// Timebase unification: maps the instruction ordinal of each branch
@@ -258,10 +264,13 @@ impl Simulator {
         let mut emu = Emulator::with_memory(program, memory)?;
         emu.set_fault_model(cfg.fault_model);
         emu.set_cancel_token(cfg.cancel.clone());
-        let frontend = technique.build_frontend(emu, &cfg);
+        let mut frontend = technique.build_frontend(emu, &cfg);
         let predictor = BranchPredictor::new(cfg.core.branch);
         let pipeline = Pipeline::new(cfg.core.clone());
         let trace = cfg.obs.ring();
+        let prof = cfg.obs.prof_handle();
+        prof.set_hook_label(cfg.mode.label());
+        frontend.install_profiler(prof.clone());
         Ok(Simulator {
             cfg,
             technique,
@@ -269,6 +278,7 @@ impl Simulator {
             predictor,
             pipeline,
             trace,
+            prof,
             wp_episode_hist: Log2Hist::new(),
             seq_fetch: std::collections::HashMap::new(),
         })
@@ -301,6 +311,13 @@ impl Simulator {
     /// As for [`Simulator::run`].
     pub fn run_observed(mut self, observer: &mut dyn SimObserver) -> Result<SimResult, SimError> {
         let started = Instant::now();
+        self.prof.start();
+        // The timing pipeline is the run loop's *self time*: one scope
+        // spans the whole loop, and the fetch / technique-hook / emulator
+        // scopes nest inside it, so per-iteration bookkeeping between the
+        // child scopes is attributed (to the pipeline) rather than lost —
+        // that glue is what would otherwise break the telescoping floor.
+        self.prof.enter(Phase::TimingPipeline);
         let warmup = self.cfg.warmup_instructions;
         let cancel = self.cfg.cancel.clone();
         let mut instructions: u64 = 0;
@@ -330,11 +347,16 @@ impl Simulator {
                 self.technique.reset_stats();
                 self.wp_episode_hist = Log2Hist::new();
             }
-            let Some(entry) = self.frontend.pop() else {
+            self.prof.enter(Phase::FrontendFetch);
+            let popped = self.frontend.pop();
+            self.prof.exit();
+            let Some(entry) = popped else {
                 break;
             };
             let inst = entry.inst;
+            self.prof.enter(Phase::TechniqueHook);
             self.technique.on_instruction(&inst);
+            self.prof.exit();
             let times = self.pipeline.feed_correct(inst.pc, &inst.instr, inst.mem);
             if self.trace.is_enabled() && entry.wrong_path.is_some() {
                 // The frontend stamped this branch's emulation episode with
@@ -374,6 +396,7 @@ impl Simulator {
             }
 
             let wp_before = self.pipeline.wrong_path_injected();
+            self.prof.enter(Phase::TechniqueHook);
             let mut cx = MispredictContext {
                 entry: &entry,
                 resolve,
@@ -384,6 +407,7 @@ impl Simulator {
                 trace: &mut self.trace,
             };
             self.technique.on_mispredict(&mut cx);
+            self.prof.exit();
 
             if self.trace.is_enabled() {
                 let injected = self.pipeline.wrong_path_injected() - wp_before;
@@ -445,13 +469,17 @@ impl Simulator {
             });
         }
 
-        let obs = if self.cfg.obs.enabled {
+        self.prof.exit();
+        self.prof.finish();
+        let obs = if self.cfg.obs.any() {
             // Timing-model events first, then frontend events — separate
             // tracks in the Chrome export. Frontend events are rebased from
             // the instruction ordinal of their triggering branch onto that
             // branch's fetch cycle, so both tracks share one time axis; an
             // episode whose branch never reached the timing model (e.g.
             // truncated by `max_instructions`) keeps its ordinal timestamp.
+            // In profile-only mode the rings are disabled and the event
+            // vector stays empty.
             let mut events = self.trace.take();
             let dropped_events = self.trace.dropped() + self.frontend.trace_dropped();
             let mut frontend_events = self.frontend.take_trace();
@@ -466,6 +494,7 @@ impl Simulator {
                 dropped_events,
                 wp_episode_len: self.wp_episode_hist,
                 conv_distance: self.technique.conv_distance(),
+                profile: self.prof.snapshot(),
             })
         } else {
             None

@@ -268,17 +268,31 @@ proptest! {
         for mode in WrongPathMode::ALL {
             let mut off = SimConfig::with_core(CoreConfig::tiny_for_tests(), mode);
             off.obs = ObsConfig::disabled();
-            let mut on = off.clone();
-            on.obs = ObsConfig::enabled();
-            let quiet = Simulator::new(program.clone(), Memory::new(), off).unwrap().run().unwrap();
-            let observed = Simulator::new(program.clone(), Memory::new(), on).unwrap().run().unwrap();
-            prop_assert_eq!(quiet.cycles, observed.cycles, "{}: cycles must not move", mode);
-            prop_assert_eq!(quiet.instructions, observed.instructions);
-            prop_assert_eq!(quiet.wrong_path_instructions, observed.wrong_path_instructions);
-            prop_assert_eq!(quiet.state_digest, observed.state_digest);
-            prop_assert_eq!(quiet.cpi.total(), observed.cpi.total());
+            let quiet = Simulator::new(program.clone(), Memory::new(), off.clone()).unwrap().run().unwrap();
+            // Full tracing and profiling-only must both leave the simulated
+            // outcome untouched — the phase profiler perturbs wall time,
+            // never simulated state.
+            for obs in [ObsConfig::enabled(), ObsConfig::profiled()] {
+                let tracing = obs.enabled;
+                let mut on = off.clone();
+                on.obs = obs;
+                let observed = Simulator::new(program.clone(), Memory::new(), on).unwrap().run().unwrap();
+                prop_assert_eq!(quiet.cycles, observed.cycles, "{}: cycles must not move", mode);
+                prop_assert_eq!(quiet.instructions, observed.instructions);
+                prop_assert_eq!(quiet.wrong_path_instructions, observed.wrong_path_instructions);
+                prop_assert_eq!(quiet.state_digest, observed.state_digest);
+                prop_assert_eq!(quiet.cpi.total(), observed.cpi.total());
+                let report = observed.obs.as_ref().expect("observed run must produce a report");
+                prop_assert!(report.profile.is_enabled(), "profiling is on in both configs");
+                prop_assert!(
+                    report.profile.phase_agg(ffsim_core::Phase::TimingPipeline).count > 0,
+                    "the run loop must record its pipeline scope"
+                );
+                if !tracing {
+                    prop_assert!(report.events.is_empty(), "profile-only mode buffers no events");
+                }
+            }
             prop_assert!(quiet.obs.is_none(), "disabled run must not allocate a report");
-            prop_assert!(observed.obs.is_some(), "enabled run must produce a report");
         }
     }
 

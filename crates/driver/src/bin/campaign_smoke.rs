@@ -214,6 +214,14 @@ fn main() -> ExitCode {
     if !cached.is_empty() {
         eprint!("{cached}");
     }
+    // Host-phase attribution for the driver's own work (cache verify,
+    // shard commits) — stderr only, like every wall-clock appendix.
+    if let Some((_, prof)) = ffsim_driver::hostobs::snapshot() {
+        let profile = report::render_profile(&prof);
+        if !profile.is_empty() {
+            eprint!("\n{profile}");
+        }
+    }
 
     let mut text = report::render(&outcome.records);
     for quarantine in &outcome.quarantines {

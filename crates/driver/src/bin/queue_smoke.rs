@@ -344,6 +344,24 @@ fn main() -> ExitCode {
     if !timing.is_empty() {
         eprint!("{timing}");
     }
+    // Host-phase attribution for the queue's own machinery (journal
+    // appends, compactions, cache io, shard commits) plus the metric
+    // counters behind it — stderr only, like every wall-clock appendix.
+    if let Some((metrics, prof)) = ffsim_driver::hostobs::snapshot() {
+        let profile = report::render_profile(&prof);
+        if !profile.is_empty() {
+            eprint!("\n{profile}");
+        }
+        if let Some(appends) = metrics.counter_by_name("queue_journal_appends_total") {
+            eprintln!(
+                "queue_smoke: {appends} journal appends, {} compactions, {} leases",
+                metrics
+                    .counter_by_name("queue_compactions_total")
+                    .unwrap_or(0),
+                metrics.counter_by_name("queue_leases_total").unwrap_or(0)
+            );
+        }
+    }
 
     if outcome.cancelled {
         if args.kill_after.is_some() {

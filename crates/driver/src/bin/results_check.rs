@@ -9,12 +9,18 @@
 //! before comparison.
 //!
 //! ```text
-//! results_check [--only NAME] [--volatile] [--update] [--repo-root PATH]
+//! results_check [--only NAME] [--volatile] [--update]
+//!               [--speed-tolerance PCT] [--repo-root PATH]
 //! ```
 //!
 //! `results_speed.txt` contains host wall-clock timings and is skipped
 //! unless `--volatile` is given. `--update` rewrites the committed files
 //! from the regenerated output instead of failing.
+//!
+//! `--only bench_speed` doubles as the **speed regression gate**: it
+//! re-measures the benchmark suite and fails when any per-technique mean
+//! slowdown exceeds the committed `BENCH_speed.json` value by more than
+//! `--speed-tolerance` percent (default 100).
 //!
 //! Besides the file diffs, the check asserts the committed **perf
 //! budgets**: the `base` CPI of a canonical loop on the tiny core, per
@@ -91,6 +97,14 @@ const TARGETS: &[Target] = &[
         bin: "speed_comparison",
         file: "results_speed.txt",
         volatile: true,
+    },
+    // Phase-attribution scope counts: stdout carries only counters that
+    // are a pure function of the simulated instruction stream (wall-clock
+    // attribution goes to stderr), so the file is golden-checkable.
+    Target {
+        bin: "perf_attrib",
+        file: "results_profile.txt",
+        volatile: false,
     },
     // Built by `-p ffsim-driver`, not ffsim-bench: the durable queue's
     // two-campaign demo report (no arguments = throwaway queue dir).
@@ -262,10 +276,86 @@ fn bench_speed_shape(doc: &json::Value) -> Result<Vec<SuiteShape>, String> {
     Ok(shape)
 }
 
+/// Per-suite, per-technique mean slowdown (×100) from a
+/// `BENCH_speed.json` summary.
+type SpeedSummary = Vec<(String, String, i64)>;
+
+/// Extracts the summary means a regression is judged against.
+fn speed_summary(doc: &json::Value) -> Result<SpeedSummary, String> {
+    let suites = doc
+        .get("suites")
+        .and_then(json::Value::as_arr)
+        .ok_or("missing suites array")?;
+    let mut out = Vec::new();
+    for suite in suites {
+        let name = suite
+            .get("suite")
+            .and_then(json::Value::as_str)
+            .ok_or("suite missing name")?;
+        let summary = suite
+            .get("summary")
+            .and_then(json::Value::as_arr)
+            .ok_or_else(|| format!("suite {name}: missing summary"))?;
+        for entry in summary {
+            let technique = entry
+                .get("technique")
+                .and_then(json::Value::as_str)
+                .ok_or_else(|| format!("suite {name}: summary entry missing technique"))?;
+            let mean = entry
+                .get("mean_slowdown_x100")
+                .and_then(json::Value::as_int)
+                .ok_or_else(|| format!("suite {name}/{technique}: missing mean_slowdown_x100"))?;
+            out.push((name.to_string(), technique.to_string(), mean));
+        }
+    }
+    Ok(out)
+}
+
+/// The regression gate: each regenerated per-technique mean slowdown may
+/// exceed its committed value by at most `tolerance_pct` percent.
+/// Improvements never fail (re-commit with `--update` to tighten the
+/// baseline); only a slower-than-committed drift beyond the tolerance
+/// does. Returns the failure messages.
+fn speed_regressions(
+    committed: &SpeedSummary,
+    regenerated: &SpeedSummary,
+    tolerance_pct: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (suite, technique, old) in committed {
+        let found = regenerated
+            .iter()
+            .find(|(s, t, _)| s == suite && t == technique);
+        let Some((_, _, new)) = found else {
+            failures.push(format!(
+                "{suite}/{technique}: missing from regenerated summary"
+            ));
+            continue;
+        };
+        if *old <= 0 {
+            continue;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let drift_pct = (*new - *old) as f64 * 100.0 / *old as f64;
+        if drift_pct > tolerance_pct {
+            failures.push(format!(
+                "{suite}/{technique}: mean slowdown regressed {:.2}x -> {:.2}x \
+                 (+{drift_pct:.0}%, tolerance {tolerance_pct:.0}%)",
+                *old as f64 / 100.0,
+                *new as f64 / 100.0,
+            ));
+        }
+    }
+    failures
+}
+
 /// Checks the committed `BENCH_speed.json`. Returns failure messages.
 fn check_bench_speed(args: &Args, bin_dir: &Path) -> Vec<String> {
     let path = args.repo_root.join(BENCH_SPEED_FILE);
-    let regenerate = args.volatile || args.update;
+    // `--only bench_speed` is the CI regression gate: it re-measures and
+    // compares against the committed means, not just the schema. The full
+    // default sweep stays schema-only unless `--volatile` opts in.
+    let regenerate = args.volatile || args.update || args.only.as_deref() == Some("bench_speed");
 
     let regenerated = if regenerate {
         let tmp = std::env::temp_dir().join(format!("BENCH_speed.{}.json", std::process::id()));
@@ -307,23 +397,42 @@ fn check_bench_speed(args: &Args, bin_dir: &Path) -> Vec<String> {
         Ok(text) => text,
         Err(e) => return vec![format!("reading {}: {e}", path.display())],
     };
-    let committed_shape = match json::parse(&committed).and_then(|doc| bench_speed_shape(&doc)) {
+    let committed_doc = match json::parse(&committed) {
+        Ok(doc) => doc,
+        Err(e) => return vec![format!("{BENCH_SPEED_FILE}: {e}")],
+    };
+    let committed_shape = match bench_speed_shape(&committed_doc) {
         Ok(shape) => shape,
         Err(e) => return vec![format!("{BENCH_SPEED_FILE}: {e}")],
     };
     if let Some(text) = regenerated {
-        let shape = match json::parse(&text).and_then(|doc| bench_speed_shape(&doc)) {
+        let doc = match json::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => return vec![format!("{BENCH_SPEED_FILE} (regenerated): {e}")],
+        };
+        let shape = match bench_speed_shape(&doc) {
             Ok(shape) => shape,
             Err(e) => return vec![format!("{BENCH_SPEED_FILE} (regenerated): {e}")],
         };
         if shape != committed_shape {
             return vec![format!(
                 "{BENCH_SPEED_FILE}: structure drifted — committed {committed_shape:?} \
-                 vs regenerated {shape:?} (values are volatile and not compared; \
+                 vs regenerated {shape:?} (exact values are volatile; \
                  run with --update to rewrite)"
             )];
         }
-        eprintln!("results_check: ok {BENCH_SPEED_FILE} (schema + structure)");
+        let gate = match (speed_summary(&committed_doc), speed_summary(&doc)) {
+            (Ok(old), Ok(new)) => speed_regressions(&old, &new, args.speed_tolerance),
+            (Err(e), _) | (_, Err(e)) => vec![format!("summary: {e}")],
+        };
+        if !gate.is_empty() {
+            return gate;
+        }
+        eprintln!(
+            "results_check: ok {BENCH_SPEED_FILE} (schema + structure + \
+             means within {:.0}% of committed)",
+            args.speed_tolerance
+        );
     } else {
         eprintln!("results_check: ok {BENCH_SPEED_FILE} (schema)");
     }
@@ -364,10 +473,16 @@ fn first_difference(expected: &str, actual: &str) -> String {
     )
 }
 
+/// Default `--speed-tolerance`: generous enough that shared-runner noise
+/// never trips the gate (slowdown *ratios* are already host-normalized),
+/// tight enough that an order-of-magnitude technique regression fails.
+const SPEED_TOLERANCE_DEFAULT: f64 = 100.0;
+
 struct Args {
     only: Option<String>,
     volatile: bool,
     update: bool,
+    speed_tolerance: f64,
     repo_root: PathBuf,
 }
 
@@ -377,6 +492,7 @@ fn parse_args() -> Result<Args, String> {
         only: None,
         volatile: false,
         update: false,
+        speed_tolerance: SPEED_TOLERANCE_DEFAULT,
         repo_root: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
     };
     let mut argv = std::env::args().skip(1);
@@ -385,6 +501,13 @@ fn parse_args() -> Result<Args, String> {
             "--only" => args.only = Some(argv.next().ok_or("--only needs a value")?),
             "--volatile" => args.volatile = true,
             "--update" => args.update = true,
+            "--speed-tolerance" => {
+                args.speed_tolerance = argv
+                    .next()
+                    .ok_or("--speed-tolerance needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--speed-tolerance: {e}"))?;
+            }
             "--repo-root" => {
                 args.repo_root = PathBuf::from(argv.next().ok_or("--repo-root needs a value")?);
             }
@@ -509,5 +632,65 @@ fn main() -> ExitCode {
     } else {
         eprintln!("results_check: all {checked} checked files match");
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(entries: &[(&str, &str, i64)]) -> SpeedSummary {
+        entries
+            .iter()
+            .map(|&(s, t, v)| (s.to_string(), t.to_string(), v))
+            .collect()
+    }
+
+    #[test]
+    fn gate_fails_when_a_mean_slowdown_regresses_beyond_tolerance() {
+        // Committed wpemul mean 4.00x; the re-measured run says 9.00x —
+        // a +125% drift against a 100% tolerance must fail the gate.
+        let committed = summary(&[("GAP", "conv", 368), ("GAP", "wpemul", 400)]);
+        let regressed = summary(&[("GAP", "conv", 380), ("GAP", "wpemul", 900)]);
+        let failures = speed_regressions(&committed, &regressed, 100.0);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(
+            failures[0].contains("GAP/wpemul") && failures[0].contains("4.00x -> 9.00x"),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_on_improvements() {
+        let committed = summary(&[("GAP", "conv", 368), ("SPEC-like", "wpemul", 500)]);
+        // +50% drift on one, a large improvement on the other: both pass.
+        let regenerated = summary(&[("GAP", "conv", 552), ("SPEC-like", "wpemul", 120)]);
+        assert!(speed_regressions(&committed, &regenerated, 100.0).is_empty());
+        // The same drift fails once the tolerance is tightened under it.
+        assert_eq!(speed_regressions(&committed, &regenerated, 40.0).len(), 1);
+    }
+
+    #[test]
+    fn gate_fails_when_a_technique_vanishes_from_the_summary() {
+        let committed = summary(&[("GAP", "conv", 368)]);
+        let failures = speed_regressions(&committed, &summary(&[]), 100.0);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("missing"), "{failures:?}");
+    }
+
+    #[test]
+    fn speed_summary_extracts_per_suite_technique_means() {
+        let doc = json::parse(
+            r#"{"suites":[{"suite":"GAP","summary":[
+                {"technique":"conv","mean_slowdown_x100":368,"max_slowdown_x100":627}
+            ]}]}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            speed_summary(&doc).unwrap(),
+            summary(&[("GAP", "conv", 368)])
+        );
+        let bad = json::parse(r#"{"suites":[{"suite":"GAP"}]}"#).unwrap();
+        assert!(speed_summary(&bad).unwrap_err().contains("missing summary"));
     }
 }

@@ -144,6 +144,10 @@ impl CacheStore {
     /// (evicted) and reported — it is never served.
     #[must_use]
     pub fn lookup(&self, key: CacheKey) -> Lookup {
+        crate::hostobs::scope(ffsim_obs::Phase::CacheIo, || self.lookup_inner(key))
+    }
+
+    fn lookup_inner(&self, key: CacheKey) -> Lookup {
         let path = self.entry_path(key);
         let text = match std::fs::read_to_string(&path) {
             Ok(text) => text,
@@ -153,10 +157,14 @@ impl CacheStore {
             Err(_) => return Lookup::Miss,
         };
         match parse_entry(&text, key) {
-            Ok(record) => Lookup::Hit(Box::new(record)),
+            Ok(record) => {
+                crate::hostobs::inc("cache_verified_hits_total");
+                Lookup::Hit(Box::new(record))
+            }
             Err(error) => {
                 // Evict: a corrupt entry must never be served, and
                 // leaving it would re-diagnose it on every probe.
+                crate::hostobs::inc("cache_evictions_total");
                 std::fs::remove_file(&path).ok();
                 Lookup::Evicted(error.with_context(&format!("cache {}", path.display())))
             }
@@ -175,6 +183,18 @@ impl CacheStore {
     /// optimization, not a lost result: the record is still committed to
     /// its manifest shard.
     pub fn store_with(
+        &self,
+        io: &mut dyn ManifestIo,
+        key: CacheKey,
+        record: &JobRecord,
+    ) -> Result<(), ManifestError> {
+        crate::hostobs::inc("cache_stores_total");
+        crate::hostobs::scope(ffsim_obs::Phase::CacheIo, || {
+            self.store_inner(io, key, record)
+        })
+    }
+
+    fn store_inner(
         &self,
         io: &mut dyn ManifestIo,
         key: CacheKey,

@@ -32,7 +32,7 @@ use crate::job::{
 use crate::manifest::{ManifestIo, Quarantine, RealIo};
 use crate::retry::RetryPolicy;
 use crate::shard::{validate_worker_count, ManifestStore, ShardLayout};
-use crate::telemetry::{Heartbeat, Telemetry, TelemetryConfig};
+use crate::telemetry::{Heartbeat, QueueGauges, Telemetry, TelemetryConfig};
 use crate::watchdog::Watchdog;
 use ffsim_core::{CancelToken, SimConfig, SimError, Simulator};
 use std::collections::{BTreeMap, VecDeque};
@@ -250,7 +250,21 @@ impl Campaign {
             self.cfg.workers
         };
 
-        let telemetry = Arc::new(Telemetry::new(lock(&queue).len()));
+        // Under telemetry the heartbeat line also carries live gauges for
+        // the in-memory work queue: pending depth and jobs currently held
+        // by workers (the campaign analogue of the durable queue's lease
+        // count). Without telemetry the gauges are never created, so the
+        // hot path stays untouched.
+        let gauges = self.cfg.telemetry.enabled.then(QueueGauges::new);
+        let held = std::sync::atomic::AtomicUsize::new(0);
+        let total = lock(&queue).len();
+        let telemetry = Arc::new(match &gauges {
+            Some(g) => Telemetry::with_queue(total, Arc::clone(g)),
+            None => Telemetry::new(total),
+        });
+        if let Some(g) = &gauges {
+            g.set(total, 0, None, None);
+        }
         let pool_start = Instant::now();
         let heartbeat = self
             .cfg
@@ -258,8 +272,19 @@ impl Campaign {
             .enabled
             .then(|| Heartbeat::spawn(Arc::clone(&telemetry), self.cfg.telemetry.heartbeat));
 
+        let refresh_gauges = || {
+            if let Some(g) = &gauges {
+                g.set(
+                    lock(&queue).len(),
+                    held.load(std::sync::atomic::Ordering::Relaxed),
+                    None,
+                    None,
+                );
+            }
+        };
         std::thread::scope(|scope| {
             let telemetry = &telemetry;
+            let refresh_gauges = &refresh_gauges;
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
@@ -270,6 +295,8 @@ impl Campaign {
                             let Some(job) = lock(&queue).pop_front() else {
                                 return;
                             };
+                            held.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            refresh_gauges();
                             let dequeued = Instant::now();
                             telemetry.job_started();
                             let record = self.run_job(
@@ -283,6 +310,8 @@ impl Campaign {
                                 // Campaign cancelled mid-job: leave it without
                                 // a record so a resumed campaign re-runs it.
                                 telemetry.job_abandoned();
+                                held.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+                                refresh_gauges();
                                 return;
                             };
                             // Timing and the CPI stack ride the record only
@@ -300,6 +329,8 @@ impl Campaign {
                                 record.cpi = record.sim.as_ref().map(|s| s.cpi);
                             }
                             telemetry.job_finished(&record);
+                            held.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+                            refresh_gauges();
                             // The store serializes committers per shard and
                             // snapshots under that shard's lock, so an older
                             // shard generation never overwrites a newer one.

@@ -70,6 +70,7 @@
 pub mod cache;
 mod campaign;
 pub mod fnv;
+pub mod hostobs;
 mod job;
 pub mod manifest;
 pub mod queue;

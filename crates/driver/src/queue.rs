@@ -67,6 +67,7 @@
 
 use crate::cache::{self, CacheStore};
 use crate::campaign::{self, Executor, Probe, SharedIo};
+use crate::hostobs;
 use crate::job::{AttemptOutcome, Job, JobRecord, JobStatus};
 use crate::json::{parse, Value};
 use crate::manifest::{self, ManifestError, Quarantine};
@@ -76,6 +77,7 @@ use crate::telemetry::{Heartbeat, QueueGauges, Telemetry, TelemetryConfig};
 use crate::watchdog::Watchdog;
 use ffsim_core::{CancelToken, SimError};
 use ffsim_obs::hist::Log2Hist;
+use ffsim_obs::Phase;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -1127,6 +1129,7 @@ impl JobQueue {
             let state = inner.campaigns.get_mut(cid).expect("candidate exists");
             if state.deficit == 0 {
                 state.deficit = state.weight;
+                hostobs::inc("queue_drr_rounds_total");
                 continue;
             }
             state.deficit -= 1;
@@ -1166,6 +1169,7 @@ impl JobQueue {
         let job = entry.payload.clone().expect("leasing requires a payload");
         let campaign = entry.campaign.clone();
         let priority = entry.priority;
+        hostobs::inc("queue_leases_total");
         if let Some(enqueued_at) = entry.enqueued_at {
             let wait_ms =
                 u64::try_from(now.duration_since(enqueued_at).as_millis()).unwrap_or(u64::MAX);
@@ -1174,6 +1178,7 @@ impl JobQueue {
                 .entry(campaign.clone())
                 .or_default()
                 .record(wait_ms);
+            hostobs::observe("queue_lease_wait_ms", wait_ms);
         }
         let token = CancelToken::new();
         inner.running.insert(
@@ -1400,12 +1405,15 @@ impl JobQueue {
         body: Vec<(String, Value)>,
     ) -> Result<(), QueueError> {
         let text = sealed_record(inner.gen, body);
-        self.cfg
-            .io
-            .with(|io| io.append(&self.journal_path, text.as_bytes()))
-            .map_err(|e| {
-                ManifestError::Io(format!("appending to {}: {e}", self.journal_path.display()))
-            })?;
+        hostobs::inc("queue_journal_appends_total");
+        hostobs::scope(Phase::QueueJournal, || {
+            self.cfg
+                .io
+                .with(|io| io.append(&self.journal_path, text.as_bytes()))
+        })
+        .map_err(|e| {
+            ManifestError::Io(format!("appending to {}: {e}", self.journal_path.display()))
+        })?;
         inner.records_since_compact += 1;
         Ok(())
     }
@@ -1429,27 +1437,30 @@ impl JobQueue {
     /// journal. Generation-stamped so a crash between the two steps
     /// replays nothing twice.
     fn compact_locked(&self, inner: &mut Inner) -> Result<(), QueueError> {
-        inner.gen += 1;
-        let body = snapshot_body(inner.gen, &inner.jobs);
-        let installed = self
-            .cfg
-            .io
-            .with(|io| manifest::save_sealed_with(io, &self.snapshot_path, &body));
-        if let Err(e) = installed {
-            inner.gen -= 1; // nothing durable changed; stay on the old one
-            return Err(e.into());
-        }
-        self.cfg
-            .io
-            .with(|io| io.write(&self.journal_path, b""))
-            .map_err(|e| {
-                ManifestError::Io(format!(
-                    "truncating {} after compaction: {e}",
-                    self.journal_path.display()
-                ))
-            })?;
-        inner.records_since_compact = 0;
-        Ok(())
+        hostobs::inc("queue_compactions_total");
+        hostobs::timed(Phase::QueueJournal, "queue_compaction_ns", || {
+            inner.gen += 1;
+            let body = snapshot_body(inner.gen, &inner.jobs);
+            let installed = self
+                .cfg
+                .io
+                .with(|io| manifest::save_sealed_with(io, &self.snapshot_path, &body));
+            if let Err(e) = installed {
+                inner.gen -= 1; // nothing durable changed; stay on the old one
+                return Err(e.into());
+            }
+            self.cfg
+                .io
+                .with(|io| io.write(&self.journal_path, b""))
+                .map_err(|e| {
+                    ManifestError::Io(format!(
+                        "truncating {} after compaction: {e}",
+                        self.journal_path.display()
+                    ))
+                })?;
+            inner.records_since_compact = 0;
+            Ok(())
+        })
     }
 
     fn refresh_gauges(&self, inner: &mut Inner, now: Instant) {
@@ -1470,6 +1481,8 @@ impl JobQueue {
             .map(|at| now.saturating_duration_since(at))
             .max();
         self.gauges.set(depth, leased, oldest_lease, longest_wait);
+        hostobs::set_gauge("queue_depth", i64::try_from(depth).unwrap_or(i64::MAX));
+        hostobs::set_gauge("queue_leased", i64::try_from(leased).unwrap_or(i64::MAX));
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {

@@ -9,6 +9,7 @@ use crate::manifest::Quarantine;
 use crate::queue::PoisonJob;
 use ffsim_core::StallClass;
 use ffsim_obs::hist::Log2Hist;
+use ffsim_obs::{Phase, PhaseProfiler};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -76,6 +77,7 @@ pub fn render_poison(poison: &[PoisonJob]) -> String {
 /// deterministic report artifact.
 #[must_use]
 pub fn render_queue_waits(waits: &BTreeMap<String, Log2Hist>) -> String {
+    let pct = |p: Option<u64>| -> String { p.map_or_else(|| "-".into(), |v| v.to_string()) };
     let rows: Vec<Vec<String>> = waits
         .iter()
         .filter(|(_, h)| h.count() > 0)
@@ -85,6 +87,9 @@ pub fn render_queue_waits(waits: &BTreeMap<String, Log2Hist>) -> String {
                 h.count().to_string(),
                 h.min().map_or_else(|| "-".into(), |v| v.to_string()),
                 format!("{:.1}", h.mean()),
+                pct(h.p50()),
+                pct(h.p90()),
+                pct(h.p99()),
                 h.max().map_or_else(|| "-".into(), |v| v.to_string()),
             ]
         })
@@ -93,7 +98,62 @@ pub fn render_queue_waits(waits: &BTreeMap<String, Log2Hist>) -> String {
         return String::new();
     }
     let mut out = String::from("queue waits per campaign (host wall clock, ms)\n\n");
-    out.push_str(&table(&["campaign", "leases", "min", "mean", "max"], &rows));
+    out.push_str(&table(
+        &[
+            "campaign", "leases", "min", "mean", "p50", "p90", "p99", "max",
+        ],
+        &rows,
+    ));
+    out
+}
+
+/// Renders the host-phase profile appendix: one row per phase with
+/// attributed time, sorted hottest-first, plus the telescoping summary
+/// (wall time, attributed share). Returns the empty string when nothing
+/// was attributed (profiling off, or an inert profiler).
+///
+/// Host time varies run to run, so like [`render_timing`] this appendix
+/// is for stderr and interactive use only — never for the deterministic
+/// report artifact.
+#[must_use]
+pub fn render_profile(prof: &PhaseProfiler) -> String {
+    let mut phases: Vec<(String, &ffsim_obs::PhaseAgg)> = Phase::ALL
+        .iter()
+        .map(|&p| (prof.phase_label(p), prof.phase_agg(p)))
+        .filter(|(_, agg)| agg.count > 0)
+        .collect();
+    if phases.is_empty() {
+        return String::new();
+    }
+    phases.sort_by(|(la, a), (lb, b)| b.total_ns.cmp(&a.total_ns).then_with(|| la.cmp(lb)));
+    let attributed = prof.attributed_ns().max(1);
+    let rows: Vec<Vec<String>> = phases
+        .iter()
+        .map(|(label, agg)| {
+            vec![
+                label.clone(),
+                agg.count.to_string(),
+                format!("{:.2}", agg.total_ns as f64 / 1e6),
+                format!("{:.1}", agg.total_ns as f64 * 100.0 / attributed as f64),
+                agg.hist.p50().map_or_else(|| "-".into(), |v| v.to_string()),
+                agg.hist.p99().map_or_else(|| "-".into(), |v| v.to_string()),
+            ]
+        })
+        .collect();
+    let mut out = String::from("host phase profile\n\n");
+    out.push_str(&table(
+        &["phase", "scopes", "total_ms", "share%", "p50_ns", "p99_ns"],
+        &rows,
+    ));
+    if prof.wall_ns() > 0 {
+        let _ = writeln!(
+            out,
+            "\nwall {:.2} ms, attributed {:.2} ms ({}‰ telescoped)",
+            prof.wall_ns() as f64 / 1e6,
+            prof.attributed_ns() as f64 / 1e6,
+            prof.coverage_permille()
+        );
+    }
     out
 }
 
@@ -460,6 +520,33 @@ mod tests {
         assert!(text.contains("queue waits per campaign"));
         assert!(text.contains("alpha"));
         assert!(text.contains('2'), "count and min columns");
+        assert!(text.contains("p50") && text.contains("p90") && text.contains("p99"));
+        // The percentile columns reuse the Log2Hist helpers verbatim.
+        assert!(text.contains(&hist.p50().unwrap().to_string()));
+        assert!(text.contains(&hist.p99().unwrap().to_string()));
+    }
+
+    #[test]
+    fn profile_appendix_is_empty_without_scopes() {
+        assert_eq!(render_profile(&PhaseProfiler::disabled()), "");
+        assert_eq!(render_profile(&PhaseProfiler::enabled()), "");
+    }
+
+    #[test]
+    fn profile_appendix_sorts_hottest_phase_first() {
+        let mut prof = PhaseProfiler::enabled();
+        prof.record_scope_ns(Phase::CacheIo, 1_000_000);
+        prof.record_scope_ns(Phase::QueueJournal, 5_000_000);
+        prof.record_scope_ns(Phase::QueueJournal, 5_000_000);
+        prof.add_wall_ns(11_000_000);
+        let text = render_profile(&prof);
+        assert!(text.contains("host phase profile"));
+        assert!(
+            text.find("queue_journal").unwrap() < text.find("cache_io").unwrap(),
+            "hottest phase renders first"
+        );
+        assert!(text.contains("10.00"), "queue_journal total_ms");
+        assert!(text.contains("1000‰"), "11ms wall, 11ms attributed");
     }
 
     #[test]

@@ -249,22 +249,25 @@ impl ManifestStore {
     /// [`ManifestError::Io`] from the shard save; the in-memory insert
     /// is rolled back so a failed commit leaves memory and disk agreed.
     pub fn commit(&self, io: &mut dyn ManifestIo, record: JobRecord) -> Result<(), ManifestError> {
-        let slot = self.slot_of(&record.id);
-        let id = record.id.clone();
-        let mut records = lock(&slot.records);
-        let previous = records.insert(id.clone(), record);
-        if let Some(path) = &slot.path {
-            if let Err(e) = manifest::save_with(io, path, &records) {
-                // Roll back: the record is not durable, so a resumed
-                // campaign must re-run it; memory must agree.
-                match previous {
-                    Some(old) => records.insert(id, old),
-                    None => records.remove(&id),
-                };
-                return Err(e);
+        crate::hostobs::inc("manifest_commits_total");
+        crate::hostobs::scope(ffsim_obs::Phase::ManifestIo, || {
+            let slot = self.slot_of(&record.id);
+            let id = record.id.clone();
+            let mut records = lock(&slot.records);
+            let previous = records.insert(id.clone(), record);
+            if let Some(path) = &slot.path {
+                if let Err(e) = manifest::save_with(io, path, &records) {
+                    // Roll back: the record is not durable, so a resumed
+                    // campaign must re-run it; memory must agree.
+                    match previous {
+                        Some(old) => records.insert(id, old),
+                        None => records.remove(&id),
+                    };
+                    return Err(e);
+                }
             }
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     /// The deterministic merged view: shards unioned in ascending shard

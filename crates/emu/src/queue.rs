@@ -22,7 +22,7 @@ use crate::dyninst::{DynInst, WrongPathBundle, WrongPathStop};
 use crate::emulator::{BranchOracle, Emulator, StepError};
 use crate::exec::Fault;
 use ffsim_isa::Addr;
-use ffsim_obs::{EventRing, TraceEvent, TraceEventKind, TraceSource};
+use ffsim_obs::{EventRing, Phase, ProfHandle, TraceEvent, TraceEventKind, TraceSource};
 use std::collections::VecDeque;
 
 /// What to do when a fault (or watchdog trip) occurs during *wrong-path*
@@ -144,6 +144,13 @@ pub trait FetchSource: Send + std::fmt::Debug {
     fn take_trace(&mut self) -> Vec<TraceEvent>;
     /// Events evicted from the frontend event ring because it was full.
     fn trace_dropped(&self) -> u64;
+    /// Installs the simulator's shared phase profiler so functional-side
+    /// work (`emu_exec`, `emu_handoff`) is attributed on the same nesting
+    /// stack as the timing loop's scopes. The default ignores the handle:
+    /// a source that does not profile simply contributes no phases.
+    fn install_profiler(&mut self, prof: ProfHandle) {
+        let _ = prof;
+    }
 }
 
 impl<P: FrontendPolicy + Send + std::fmt::Debug> FetchSource for InstrQueue<P> {
@@ -182,6 +189,10 @@ impl<P: FrontendPolicy + Send + std::fmt::Debug> FetchSource for InstrQueue<P> {
     fn trace_dropped(&self) -> u64 {
         InstrQueue::trace_dropped(self)
     }
+
+    fn install_profiler(&mut self, prof: ProfHandle) {
+        InstrQueue::set_profiler(self, prof);
+    }
 }
 
 /// The functional→performance instruction queue.
@@ -216,6 +227,7 @@ pub struct InstrQueue<P> {
     wp_stats: WrongPathFaultStats,
     cancelled: Option<CancelCause>,
     trace: EventRing,
+    prof: ProfHandle,
 }
 
 impl<P: FrontendPolicy> InstrQueue<P> {
@@ -241,6 +253,7 @@ impl<P: FrontendPolicy> InstrQueue<P> {
             wp_stats: WrongPathFaultStats::default(),
             cancelled: None,
             trace: EventRing::disabled(),
+            prof: ProfHandle::disabled(),
         }
     }
 
@@ -269,6 +282,15 @@ impl<P: FrontendPolicy> InstrQueue<P> {
         self
     }
 
+    /// Installs a shared phase profiler attributing functional-side work:
+    /// raw emulator stepping (correct and wrong path) as
+    /// [`Phase::EmuExec`], the surrounding refill/handoff bookkeeping as
+    /// [`Phase::EmuHandoff`]. A disabled handle (the default) costs one
+    /// branch per refill.
+    pub fn set_profiler(&mut self, prof: ProfHandle) {
+        self.prof = prof;
+    }
+
     /// Drains the frontend event ring (oldest first).
     pub fn take_trace(&mut self) -> Vec<TraceEvent> {
         self.trace.take()
@@ -281,17 +303,27 @@ impl<P: FrontendPolicy> InstrQueue<P> {
     }
 
     fn refill_to(&mut self, want: usize) {
+        if self.buf.len() >= want || self.ended {
+            return;
+        }
+        self.prof.enter(Phase::EmuHandoff);
         while self.buf.len() < want && !self.ended {
-            match self.emu.step() {
+            self.prof.enter(Phase::EmuExec);
+            let stepped = self.emu.step();
+            self.prof.exit();
+            match stepped {
                 Ok(inst) => {
                     let req = self.policy.on_instruction(&inst);
                     let mut wrong_path = req.map(|req| {
-                        self.emu.emulate_wrong_path_bounded(
+                        self.prof.enter(Phase::EmuExec);
+                        let bundle = self.emu.emulate_wrong_path_bounded(
                             req.start,
                             req.max_insts,
                             self.watchdog,
                             &mut self.policy,
-                        )
+                        );
+                        self.prof.exit();
+                        bundle
                     });
                     if let Some(bundle) = &wrong_path {
                         if let WrongPathStop::Cancelled(cause) = bundle.stop {
@@ -372,6 +404,7 @@ impl<P: FrontendPolicy> InstrQueue<P> {
                 }
             }
         }
+        self.prof.exit();
     }
 
     /// The fault a bundle's stop reason corresponds to, if any.

@@ -144,6 +144,24 @@ impl Log2Hist {
         Some(self.max)
     }
 
+    /// Median ([`percentile`](Log2Hist::percentile) at 50).
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile ([`percentile`](Log2Hist::percentile) at 90).
+    #[must_use]
+    pub fn p90(&self) -> Option<u64> {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile ([`percentile`](Log2Hist::percentile) at 99).
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(99.0)
+    }
+
     /// Iterates the non-empty buckets as `(lo, hi, count)`.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
         self.counts
@@ -249,6 +267,29 @@ mod tests {
         assert_eq!(one.percentile(1.0), Some(100));
         assert_eq!(one.percentile(99.0), Some(100));
         assert_eq!(Log2Hist::new().percentile(50.0), None);
+    }
+
+    #[test]
+    fn percentile_helpers_match_known_answers() {
+        // 90 samples of 10 ([8,15]), 9 of 100 ([64,127]), 1 of 5000
+        // ([4096,8191], clamped to the observed max).
+        let mut h = Log2Hist::new();
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..9 {
+            h.record(100);
+        }
+        h.record(5000);
+        assert_eq!(h.p50(), h.percentile(50.0));
+        assert_eq!(h.p50(), Some(15));
+        assert_eq!(h.p90(), Some(15)); // rank 90 is the last of the 10s
+        assert_eq!(h.p99(), Some(127)); // rank 99 is the last of the 100s
+        assert_eq!(h.percentile(100.0), Some(5000));
+        let empty = Log2Hist::new();
+        assert_eq!(empty.p50(), None);
+        assert_eq!(empty.p90(), None);
+        assert_eq!(empty.p99(), None);
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //!   distances.
 //! - [`json`] — the deterministic, integer-only JSON reader/writer all
 //!   exports (and the campaign manifest) are built on.
+//! - [`metrics`] — a unified registry of named counters, gauges and
+//!   histograms ([`MetricsRegistry`]) with Prometheus-text and JSON
+//!   snapshots.
+//! - [`prof`] — a scoped host-phase profiler ([`PhaseProfiler`]) that
+//!   attributes wall time to a fixed phase taxonomy with a telescoping
+//!   invariant.
 //!
 //! Everything here is designed for a hard observer-effect invariant: with
 //! observability disabled (the default), simulation results are bit-for-
@@ -26,10 +32,14 @@
 pub mod cpi;
 pub mod hist;
 pub mod json;
+pub mod metrics;
+pub mod prof;
 pub mod trace;
 
 pub use cpi::{CpiStack, StallClass, ALL_CLASSES};
 pub use hist::{Log2Hist, NUM_BUCKETS};
+pub use metrics::{CounterId, GaugeId, HistId, MetricKind, MetricsError, MetricsRegistry};
+pub use prof::{Phase, PhaseAgg, PhaseProfiler, ProfHandle, PHASE_COUNT, TELESCOPE_FLOOR_PERMILLE};
 pub use trace::{chrome_trace, EventRing, TraceEvent, TraceEventKind, TraceSource};
 
 /// Environment variable that switches observability on (`1`, `true`,
@@ -56,6 +66,11 @@ pub struct ObsConfig {
     pub enabled: bool,
     /// Event-ring capacity (most recent events kept).
     pub trace_capacity: usize,
+    /// Host-phase profiling switch: when true, the simulator attributes
+    /// wall time to the [`prof::Phase`] taxonomy. Independent of
+    /// `enabled` so attribution runs don't pay for event tracing, but
+    /// [`from_env`](ObsConfig::from_env) switches both together.
+    pub profile: bool,
 }
 
 impl Default for ObsConfig {
@@ -63,6 +78,7 @@ impl Default for ObsConfig {
         ObsConfig {
             enabled: false,
             trace_capacity: DEFAULT_TRACE_CAPACITY,
+            profile: false,
         }
     }
 }
@@ -74,13 +90,32 @@ impl ObsConfig {
         ObsConfig::default()
     }
 
-    /// Enabled configuration with the default ring capacity.
+    /// Enabled configuration with the default ring capacity (profiling
+    /// included).
     #[must_use]
     pub fn enabled() -> ObsConfig {
         ObsConfig {
             enabled: true,
+            profile: true,
             ..ObsConfig::default()
         }
+    }
+
+    /// Profiling-only configuration: phase attribution without event
+    /// tracing (what `perf_attrib` runs under).
+    #[must_use]
+    pub fn profiled() -> ObsConfig {
+        ObsConfig {
+            profile: true,
+            ..ObsConfig::default()
+        }
+    }
+
+    /// Whether any observability output is requested (tracing or
+    /// profiling).
+    #[must_use]
+    pub fn any(&self) -> bool {
+        self.enabled || self.profile
     }
 
     /// Reads the [`ENV_VAR`] opt-in: enabled iff `FFSIM_OBS` is set to a
@@ -101,6 +136,26 @@ impl ObsConfig {
             EventRing::enabled(self.trace_capacity)
         } else {
             EventRing::disabled()
+        }
+    }
+
+    /// Builds the phase profiler this configuration calls for.
+    #[must_use]
+    pub fn profiler(&self) -> PhaseProfiler {
+        if self.profile {
+            PhaseProfiler::enabled()
+        } else {
+            PhaseProfiler::disabled()
+        }
+    }
+
+    /// Builds the shareable profiler handle this configuration calls for.
+    #[must_use]
+    pub fn prof_handle(&self) -> ProfHandle {
+        if self.profile {
+            ProfHandle::enabled()
+        } else {
+            ProfHandle::disabled()
         }
     }
 }

@@ -1,0 +1,528 @@
+//! A unified registry of named counters, gauges and [`Log2Hist`]s.
+//!
+//! The registry follows the same observer-effect discipline as
+//! [`EventRing`](crate::trace::EventRing): a disabled registry costs a
+//! single predictable branch per update, and the closure-based variants
+//! ([`inc_with`](MetricsRegistry::inc_with),
+//! [`observe_with`](MetricsRegistry::observe_with)) skip the value
+//! computation entirely when disabled.
+//!
+//! Metric handles ([`CounterId`], [`GaugeId`], [`HistId`]) are plain
+//! indices obtained at registration time, so hot-path updates never hash
+//! or compare names. Registration is get-or-register per kind; reusing a
+//! name across kinds is a [`MetricsError::KindMismatch`].
+//!
+//! Snapshots come out two ways, both deterministic:
+//! [`render_prometheus`](MetricsRegistry::render_prometheus) for the
+//! Prometheus text exposition, and
+//! [`to_value`](MetricsRegistry::to_value) for the integer-only JSON
+//! dialect in [`crate::json`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::hist::Log2Hist;
+use crate::json::Value;
+
+/// Handle to a registered counter (monotonically increasing `u64`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge (a settable `i64`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram ([`Log2Hist`] of `u64` samples).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HistId(usize);
+
+/// The kind of a registered metric.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MetricKind {
+    /// Monotonically increasing counter.
+    Counter,
+    /// Point-in-time gauge.
+    Gauge,
+    /// Log2 histogram of samples.
+    Hist,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Hist => "histogram",
+        }
+    }
+}
+
+/// Registration failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MetricsError {
+    /// The name is not a valid metric name
+    /// (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    InvalidName(String),
+    /// The name is already registered under a different kind.
+    KindMismatch {
+        /// The offending metric name.
+        name: String,
+        /// The kind it is already registered as.
+        registered: MetricKind,
+        /// The kind the caller asked for.
+        requested: MetricKind,
+    },
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::InvalidName(name) => {
+                write!(
+                    f,
+                    "invalid metric name {name:?} (want [a-zA-Z_:][a-zA-Z0-9_:]*)"
+                )
+            }
+            MetricsError::KindMismatch {
+                name,
+                registered,
+                requested,
+            } => write!(
+                f,
+                "metric {name:?} already registered as a {}, requested as a {}",
+                registered.as_str(),
+                requested.as_str()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// A unified registry of named counters, gauges and histograms with a
+/// zero-cost disabled fast path.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, i64)>,
+    hists: Vec<(String, Log2Hist)>,
+    index: BTreeMap<String, (MetricKind, usize)>,
+}
+
+impl MetricsRegistry {
+    /// A disabled registry: registrations succeed (handles stay valid if
+    /// the registry is later swapped for an enabled one built the same
+    /// way), but every update is a no-op behind one branch.
+    #[must_use]
+    pub fn disabled() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// An enabled registry.
+    #[must_use]
+    pub fn enabled() -> MetricsRegistry {
+        MetricsRegistry {
+            enabled: true,
+            ..MetricsRegistry::default()
+        }
+    }
+
+    /// Whether updates are recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn register(
+        &mut self,
+        name: &str,
+        kind: MetricKind,
+        len: usize,
+    ) -> Result<Option<usize>, MetricsError> {
+        if let Some(&(registered, slot)) = self.index.get(name) {
+            if registered == kind {
+                return Ok(Some(slot));
+            }
+            return Err(MetricsError::KindMismatch {
+                name: name.to_string(),
+                registered,
+                requested: kind,
+            });
+        }
+        if !valid_name(name) {
+            return Err(MetricsError::InvalidName(name.to_string()));
+        }
+        self.index.insert(name.to_string(), (kind, len));
+        Ok(None)
+    }
+
+    /// Registers (or finds) a counter by name.
+    ///
+    /// # Errors
+    ///
+    /// [`MetricsError::InvalidName`] for malformed names and
+    /// [`MetricsError::KindMismatch`] when the name is taken by a gauge
+    /// or histogram.
+    pub fn counter(&mut self, name: &str) -> Result<CounterId, MetricsError> {
+        if let Some(slot) = self.register(name, MetricKind::Counter, self.counters.len())? {
+            return Ok(CounterId(slot));
+        }
+        self.counters.push((name.to_string(), 0));
+        Ok(CounterId(self.counters.len() - 1))
+    }
+
+    /// Registers (or finds) a gauge by name.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`counter`](MetricsRegistry::counter).
+    pub fn gauge(&mut self, name: &str) -> Result<GaugeId, MetricsError> {
+        if let Some(slot) = self.register(name, MetricKind::Gauge, self.gauges.len())? {
+            return Ok(GaugeId(slot));
+        }
+        self.gauges.push((name.to_string(), 0));
+        Ok(GaugeId(self.gauges.len() - 1))
+    }
+
+    /// Registers (or finds) a histogram by name.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`counter`](MetricsRegistry::counter).
+    pub fn hist(&mut self, name: &str) -> Result<HistId, MetricsError> {
+        if let Some(slot) = self.register(name, MetricKind::Hist, self.hists.len())? {
+            return Ok(HistId(slot));
+        }
+        self.hists.push((name.to_string(), Log2Hist::new()));
+        Ok(HistId(self.hists.len() - 1))
+    }
+
+    /// Adds `delta` to a counter. One branch when disabled.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.bump(id, delta);
+    }
+
+    /// Adds a lazily computed delta to a counter: the closure runs only
+    /// when the registry is enabled.
+    #[inline]
+    pub fn inc_with(&mut self, id: CounterId, make: impl FnOnce() -> u64) {
+        if !self.enabled {
+            return;
+        }
+        self.bump(id, make());
+    }
+
+    #[cold]
+    fn bump(&mut self, id: CounterId, delta: u64) {
+        self.counters[id.0].1 = self.counters[id.0].1.saturating_add(delta);
+    }
+
+    /// Sets a gauge. One branch when disabled.
+    #[inline]
+    pub fn set(&mut self, id: GaugeId, value: i64) {
+        if !self.enabled {
+            return;
+        }
+        self.store(id, value);
+    }
+
+    #[cold]
+    fn store(&mut self, id: GaugeId, value: i64) {
+        self.gauges[id.0].1 = value;
+    }
+
+    /// Records a histogram sample. One branch when disabled.
+    #[inline]
+    pub fn observe(&mut self, id: HistId, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.sample(id, value);
+    }
+
+    /// Records a lazily computed sample: the closure runs only when the
+    /// registry is enabled.
+    #[inline]
+    pub fn observe_with(&mut self, id: HistId, make: impl FnOnce() -> u64) {
+        if !self.enabled {
+            return;
+        }
+        self.sample(id, make());
+    }
+
+    #[cold]
+    fn sample(&mut self, id: HistId, value: u64) {
+        self.hists[id.0].1.record(value);
+    }
+
+    /// Current counter value.
+    #[must_use]
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].1
+    }
+
+    /// Current gauge value.
+    #[must_use]
+    pub fn gauge_value(&self, id: GaugeId) -> i64 {
+        self.gauges[id.0].1
+    }
+
+    /// The histogram behind a handle.
+    #[must_use]
+    pub fn hist_value(&self, id: HistId) -> &Log2Hist {
+        &self.hists[id.0].1
+    }
+
+    /// Looks a counter's value up by name (`None` when unregistered).
+    #[must_use]
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        match self.index.get(name) {
+            Some(&(MetricKind::Counter, slot)) => Some(self.counters[slot].1),
+            _ => None,
+        }
+    }
+
+    /// Folds another registry's state into this one: counters add,
+    /// histograms merge, gauges take the other registry's value (a gauge
+    /// is a point-in-time reading, so last write wins).
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            if let Ok(id) = self.counter(name) {
+                self.counters[id.0].1 = self.counters[id.0].1.saturating_add(*v);
+            }
+        }
+        for (name, v) in &other.gauges {
+            if let Ok(id) = self.gauge(name) {
+                self.gauges[id.0].1 = *v;
+            }
+        }
+        for (name, h) in &other.hists {
+            if let Ok(id) = self.hist(name) {
+                self.hists[id.0].1.merge(h);
+            }
+        }
+    }
+
+    /// Prometheus text exposition (version 0.0.4): one `# TYPE` line per
+    /// metric, names in sorted order, histograms as cumulative
+    /// `_bucket{le="..."}` series plus `_sum` and `_count`. Fully
+    /// deterministic for a given registry state.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, &(kind, slot)) in &self.index {
+            let _ = writeln!(out, "# TYPE {name} {}", kind.as_str());
+            match kind {
+                MetricKind::Counter => {
+                    let _ = writeln!(out, "{name} {}", self.counters[slot].1);
+                }
+                MetricKind::Gauge => {
+                    let _ = writeln!(out, "{name} {}", self.gauges[slot].1);
+                }
+                MetricKind::Hist => {
+                    let h = &self.hists[slot].1;
+                    let mut cum = 0u64;
+                    for (_, hi, c) in h.buckets() {
+                        cum += c;
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{hi}\"}} {cum}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count());
+                    let _ = writeln!(out, "{name}_sum {}", h.sum());
+                    let _ = writeln!(out, "{name}_count {}", h.count());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deterministic JSON snapshot through [`crate::json`]: sorted
+    /// `counters` / `gauges` objects and `hists` in their
+    /// [`Log2Hist::to_value`] form.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut hists = Vec::new();
+        for (name, &(kind, slot)) in &self.index {
+            match kind {
+                MetricKind::Counter => counters.push((
+                    name.clone(),
+                    Value::Int(i64::try_from(self.counters[slot].1).unwrap_or(i64::MAX)),
+                )),
+                MetricKind::Gauge => gauges.push((name.clone(), Value::Int(self.gauges[slot].1))),
+                MetricKind::Hist => hists.push((name.clone(), self.hists[slot].1.to_value())),
+            }
+        }
+        Value::Obj(vec![
+            ("counters".into(), Value::Obj(counters)),
+            ("gauges".into(), Value::Obj(gauges)),
+            ("hists".into(), Value::Obj(hists)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut reg = MetricsRegistry::disabled();
+        let c = reg.counter("ffsim_steps_total").unwrap();
+        let g = reg.gauge("ffsim_depth").unwrap();
+        let h = reg.hist("ffsim_wait_ns").unwrap();
+        reg.inc(c, 5);
+        reg.inc_with(c, || panic!("closure must not run when disabled"));
+        reg.set(g, 9);
+        reg.observe(h, 100);
+        reg.observe_with(h, || panic!("closure must not run when disabled"));
+        assert_eq!(reg.counter_value(c), 0);
+        assert_eq!(reg.gauge_value(g), 0);
+        assert_eq!(reg.hist_value(h).count(), 0);
+    }
+
+    #[test]
+    fn enabled_registry_records_and_reads_back() {
+        let mut reg = MetricsRegistry::enabled();
+        let c = reg.counter("c_total").unwrap();
+        let g = reg.gauge("g").unwrap();
+        let h = reg.hist("h_ns").unwrap();
+        reg.inc(c, 2);
+        reg.inc_with(c, || 3);
+        reg.set(g, -7);
+        reg.observe(h, 10);
+        reg.observe_with(h, || 1000);
+        assert_eq!(reg.counter_value(c), 5);
+        assert_eq!(reg.counter_by_name("c_total"), Some(5));
+        assert_eq!(reg.gauge_value(g), -7);
+        assert_eq!(reg.hist_value(h).count(), 2);
+        assert_eq!(reg.hist_value(h).sum(), 1010);
+    }
+
+    #[test]
+    fn registration_is_get_or_register_per_kind() {
+        let mut reg = MetricsRegistry::enabled();
+        let a = reg.counter("dup").unwrap();
+        let b = reg.counter("dup").unwrap();
+        assert_eq!(a, b);
+        reg.inc(a, 1);
+        reg.inc(b, 1);
+        assert_eq!(reg.counter_value(a), 2);
+    }
+
+    #[test]
+    fn kind_collisions_are_errors() {
+        let mut reg = MetricsRegistry::enabled();
+        reg.counter("name").unwrap();
+        let err = reg.gauge("name").unwrap_err();
+        assert_eq!(
+            err,
+            MetricsError::KindMismatch {
+                name: "name".into(),
+                registered: MetricKind::Counter,
+                requested: MetricKind::Gauge,
+            }
+        );
+        let err = reg.hist("name").unwrap_err();
+        assert!(matches!(err, MetricsError::KindMismatch { .. }));
+        assert!(err.to_string().contains("already registered as a counter"));
+    }
+
+    #[test]
+    fn invalid_names_are_rejected() {
+        let mut reg = MetricsRegistry::enabled();
+        for bad in ["", "9lead", "has space", "dash-ed", "unicodé"] {
+            assert_eq!(
+                reg.counter(bad).unwrap_err(),
+                MetricsError::InvalidName(bad.into()),
+                "{bad:?} should be rejected"
+            );
+        }
+        for good in ["a", "_x", ":ns", "ffsim_queue_depth", "A9_z:"] {
+            assert!(reg.counter(good).is_ok(), "{good:?} should be accepted");
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_format() {
+        let mut reg = MetricsRegistry::enabled();
+        let c = reg.counter("zz_total").unwrap();
+        let g = reg.gauge("aa_depth").unwrap();
+        let h = reg.hist("mm_ns").unwrap();
+        reg.inc(c, 3);
+        reg.set(g, 4);
+        reg.observe(h, 1); // bucket [1,1]
+        reg.observe(h, 10); // bucket [8,15]
+        reg.observe(h, 12); // bucket [8,15]
+        let text = reg.render_prometheus();
+        // Sorted by name: aa_depth, mm_ns, zz_total.
+        let expected = "\
+# TYPE aa_depth gauge
+aa_depth 4
+# TYPE mm_ns histogram
+mm_ns_bucket{le=\"1\"} 1
+mm_ns_bucket{le=\"15\"} 3
+mm_ns_bucket{le=\"+Inf\"} 3
+mm_ns_sum 23
+mm_ns_count 3
+# TYPE zz_total counter
+zz_total 3
+";
+        assert_eq!(text, expected);
+        // Deterministic.
+        assert_eq!(text, reg.render_prometheus());
+    }
+
+    #[test]
+    fn json_snapshot_parses_and_is_sorted() {
+        let mut reg = MetricsRegistry::enabled();
+        let b = reg.counter("b_total").unwrap();
+        reg.counter("a_total").unwrap();
+        reg.inc(b, 7);
+        let doc = crate::json::parse(&reg.to_value().to_json()).unwrap();
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(counters.get("b_total").and_then(Value::as_int), Some(7));
+        assert_eq!(counters.get("a_total").and_then(Value::as_int), Some(0));
+        match counters {
+            Value::Obj(members) => {
+                assert_eq!(members[0].0, "a_total", "keys sorted");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn absorb_merges_counters_and_hists() {
+        let mut a = MetricsRegistry::enabled();
+        let mut b = MetricsRegistry::enabled();
+        let ca = a.counter("n_total").unwrap();
+        let cb = b.counter("n_total").unwrap();
+        let hb = b.hist("h_ns").unwrap();
+        let gb = b.gauge("depth").unwrap();
+        a.inc(ca, 1);
+        b.inc(cb, 2);
+        b.observe(hb, 8);
+        b.set(gb, 5);
+        a.absorb(&b);
+        assert_eq!(a.counter_by_name("n_total"), Some(3));
+        let h = a.hist("h_ns").unwrap();
+        assert_eq!(a.hist_value(h).count(), 1);
+        let g = a.gauge("depth").unwrap();
+        assert_eq!(a.gauge_value(g), 5);
+    }
+}
