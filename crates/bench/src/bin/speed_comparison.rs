@@ -143,11 +143,13 @@ fn suite_json(modes: &[WrongPathMode], result: &SuiteResult) -> Value {
 
 struct Args {
     modes: Vec<WrongPathMode>,
+    benchmarks: Option<Vec<String>>,
     json: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut modes: Option<Vec<WrongPathMode>> = None;
+    let mut benchmarks = None;
     let mut json = None;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -156,18 +158,48 @@ fn parse_args() -> Result<Args, String> {
                 let spec = argv.next().ok_or("--techniques needs a value")?;
                 modes = Some(parse_techniques(&spec)?);
             }
+            "--benchmarks" => {
+                let spec = argv.next().ok_or("--benchmarks needs a value")?;
+                let names: Vec<String> = spec
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if names.is_empty() {
+                    return Err("--benchmarks needs at least one name".into());
+                }
+                benchmarks = Some(names);
+            }
             "--json" => json = Some(PathBuf::from(argv.next().ok_or("--json needs a value")?)),
             other => {
                 return Err(format!(
-                    "unknown argument: {other} (supported: --techniques <label,...>, --json PATH)"
+                    "unknown argument: {other} (supported: --techniques <label,...>, \
+                     --benchmarks <name,...>, --json PATH)"
                 ))
             }
         }
     }
     Ok(Args {
         modes: modes.unwrap_or_else(|| WrongPathMode::ALL.to_vec()),
+        benchmarks,
         json,
     })
+}
+
+/// Applies the `--benchmarks` filter, erroring on names that match nothing
+/// in either suite (catches typos before a long measurement run).
+fn filter_workloads<'a>(
+    workloads: Vec<&'a Workload>,
+    filter: Option<&[String]>,
+) -> Vec<&'a Workload> {
+    match filter {
+        None => workloads,
+        Some(names) => workloads
+            .into_iter()
+            .filter(|w| names.iter().any(|n| n == w.name()))
+            .collect(),
+    }
 }
 
 fn main() {
@@ -183,16 +215,25 @@ fn main() {
         .collect();
 
     println!("SECTION V-B: simulation speed, normalized to the nowp model\n");
+    let filter = args.benchmarks.as_deref();
     let gap = gap_suite();
-    let gap_result = measure(
-        &modes,
-        &gap.iter().collect::<Vec<_>>(),
-        GAP_MAX_INSTRUCTIONS,
-        "GAP",
-    );
-    report("GAP (branch-miss heavy)", &modes, &gap_result);
+    let gap_workloads = filter_workloads(gap.iter().collect(), filter);
     let spec = spec_suite();
-    let spec_workloads: Vec<&Workload> = spec.iter().map(|k| &k.workload).collect();
+    let spec_workloads = filter_workloads(spec.iter().map(|k| &k.workload).collect(), filter);
+    if let Some(names) = filter {
+        let known = |n: &String| {
+            gap_workloads
+                .iter()
+                .chain(&spec_workloads)
+                .any(|w| w.name() == *n)
+        };
+        if let Some(bad) = names.iter().find(|n| !known(n)) {
+            eprintln!("speed_comparison: unknown benchmark: {bad}");
+            std::process::exit(2);
+        }
+    }
+    let gap_result = measure(&modes, &gap_workloads, GAP_MAX_INSTRUCTIONS, "GAP");
+    report("GAP (branch-miss heavy)", &modes, &gap_result);
     let spec_result = measure(&modes, &spec_workloads, SPEC_MAX_INSTRUCTIONS, "SPEC-like");
     report("SPEC-like", &modes, &spec_result);
     println!("paper: SPEC 1.12x / 1.13x / 2.1x;  GAP 3.2x / 4.0x / 13.1x");

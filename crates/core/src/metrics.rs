@@ -57,6 +57,9 @@ pub struct SimResult {
     pub convergence: ConvergenceStats,
     /// Code-cache statistics (non-zero only in reconstruction modes).
     pub code_cache: CodeCacheStats,
+    /// Emulator basic-block cache statistics (non-zero only when the
+    /// frontend emulates wrong paths, i.e. wrong-path-emulation mode).
+    pub block_cache: ffsim_emu::BlockCacheStats,
     /// L1 instruction cache statistics.
     pub l1i: CacheStats,
     /// L1 data cache statistics.
@@ -177,6 +180,7 @@ mod tests {
             branch: BranchStats::default(),
             convergence: ConvergenceStats::default(),
             code_cache: CodeCacheStats::default(),
+            block_cache: ffsim_emu::BlockCacheStats::default(),
             l1i: CacheStats::default(),
             l1d: CacheStats::default(),
             l2: CacheStats::default(),

@@ -109,6 +109,18 @@ pub struct WindowState {
     sq: VecDeque<u64>,
 }
 
+impl WindowState {
+    /// Field-wise `clone_from`: the derived `Clone` allocates four fresh
+    /// collections, and this runs once per injection episode. The std
+    /// `clone_from` impls reuse the destination's allocations.
+    fn copy_from(&mut self, src: &WindowState) {
+        self.rob.clone_from(&src.rob);
+        self.iq.clone_from(&src.iq);
+        self.lq.clone_from(&src.lq);
+        self.sq.clone_from(&src.sq);
+    }
+}
+
 /// The core timing model. See the module-level documentation for the
 /// modeling approach.
 #[derive(Debug)]
@@ -149,6 +161,9 @@ pub struct Pipeline {
     // retire (charged to the WrongPathFetch lane at recovery).
     wp_fetch_pending: u64,
     last_wp_fetch_cycle: u64,
+    // Retired scratch window recycled across injection episodes so
+    // `begin_wrong_path` is allocation-free in steady state.
+    wp_spare: Option<WindowState>,
 }
 
 impl Pipeline {
@@ -178,6 +193,7 @@ impl Pipeline {
             redirect_pending: false,
             wp_fetch_pending: 0,
             last_wp_fetch_cycle: u64::MAX,
+            wp_spare: None,
         }
     }
 
@@ -564,8 +580,17 @@ impl Pipeline {
     /// entries against the genuinely in-flight instructions, but their
     /// bookkeeping is discarded with this scratch state at the flush.
     #[must_use]
-    pub fn begin_wrong_path(&self) -> WindowState {
-        self.window.clone()
+    pub fn begin_wrong_path(&mut self) -> WindowState {
+        let mut scratch = self.wp_spare.take().unwrap_or_default();
+        scratch.copy_from(&self.window);
+        scratch
+    }
+
+    /// Ends a wrong-path injection episode, recycling the scratch window's
+    /// allocations for the next one. Purely a host-speed device — dropping
+    /// the scratch instead is equally correct, just slower.
+    pub fn end_wrong_path(&mut self, scratch: WindowState) {
+        self.wp_spare = Some(scratch);
     }
 
     /// Injects one wrong-path instruction that will be flushed when the

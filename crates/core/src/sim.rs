@@ -35,6 +35,13 @@ pub struct SimConfig {
     /// Stop after this many *measured* correct-path instructions
     /// (`None` = run to `halt`).
     pub max_instructions: Option<u64>,
+    /// How many entries the run loop pulls from the frontend per batched
+    /// [`FetchSource::fill`] call. Any positive value produces the
+    /// identical simulation (batching is a pure host-speed knob; the
+    /// final batch is clamped to the remaining instruction budget);
+    /// [`SimConfig::DEFAULT_HANDOFF_BATCH`] is chosen by the
+    /// `handoff_batch` Criterion bench. Must be non-zero.
+    pub handoff_batch: usize,
     /// Simulate this many instructions before measurement starts: caches,
     /// TLBs and predictors stay warm, but every statistic (including
     /// cycles and IPC) is reset at the boundary. This mirrors the paper's
@@ -81,6 +88,12 @@ impl SimConfig {
     /// window (ROB + frontend), far below a hang.
     pub const DEFAULT_WATCHDOG: u64 = 65_536;
 
+    /// Default frontend→timing handoff batch size. 64 sits on the flat
+    /// part of the batch-size curve (see the `handoff` bench): large
+    /// enough to amortize the per-batch seam crossing, small enough that
+    /// the reusable buffer stays cache-resident.
+    pub const DEFAULT_HANDOFF_BATCH: usize = 64;
+
     /// A run of `mode` on the default Golden Cove–like core.
     #[must_use]
     pub fn new(mode: WrongPathMode) -> SimConfig {
@@ -94,6 +107,7 @@ impl SimConfig {
             core,
             mode,
             max_instructions: None,
+            handoff_batch: SimConfig::DEFAULT_HANDOFF_BATCH,
             warmup_instructions: 0,
             code_cache_capacity: None,
             convergence: ConvergenceConfig::default(),
@@ -117,6 +131,11 @@ impl SimConfig {
         if self.core.queue_depth == 0 {
             return Err(SimError::InvalidConfig(
                 "core.queue_depth must be non-zero".into(),
+            ));
+        }
+        if self.handoff_batch == 0 {
+            return Err(SimError::InvalidConfig(
+                "handoff_batch must be non-zero".into(),
             ));
         }
         // Zero-sized window structures would make the dispatch-stage
@@ -220,11 +239,14 @@ pub struct Simulator {
     prof: ProfHandle,
     /// Wrong-path instructions injected per misprediction episode.
     wp_episode_hist: Log2Hist,
-    /// Timebase unification: maps the instruction ordinal of each branch
-    /// that triggered frontend wrong-path emulation to its fetch cycle, so
-    /// frontend trace events can be rebased onto the cycle axis. Only
+    /// Timebase unification, SoA form: for each branch that triggered
+    /// frontend wrong-path emulation, its instruction ordinal
+    /// (`wp_seq[i]`, strictly increasing in retire order) and fetch cycle
+    /// (`wp_fetch[i]`), so frontend trace events can be rebased onto the
+    /// cycle axis with a binary search instead of a hash map. Only
     /// populated when tracing is enabled.
-    seq_fetch: std::collections::HashMap<u64, u64>,
+    wp_seq: Vec<u64>,
+    wp_fetch: Vec<u64>,
 }
 
 impl Simulator {
@@ -280,7 +302,8 @@ impl Simulator {
             trace,
             prof,
             wp_episode_hist: Log2Hist::new(),
-            seq_fetch: std::collections::HashMap::new(),
+            wp_seq: Vec::new(),
+            wp_fetch: Vec::new(),
         })
     }
 
@@ -325,132 +348,164 @@ impl Simulator {
         let mut cycles_base: u64 = 0;
         let mut wp_base: u64 = 0;
         let mut warmed = warmup == 0;
+        // The hot loop consumes the frontend in batched runs: one
+        // `fill` call delivers up to `handoff_batch` entries into this
+        // reusable buffer, and the per-entry processing below works on
+        // plain slice indices. The final batch is clamped to the
+        // remaining instruction budget, so the frontend produces exactly
+        // as many entries as `handoff_batch = 1` would — batching can
+        // never change the simulated stream or the final state digest.
+        let batch_cap = self.cfg.handoff_batch;
+        let mut batch = ffsim_emu::StreamBuf::with_capacity(batch_cap);
 
-        while self
-            .cfg
-            .max_instructions
-            .is_none_or(|max| instructions < warmup + max)
-        {
-            // Cancellation point: one relaxed load per retired instruction.
-            if let Some(cause) = cancel.as_ref().and_then(CancelToken::cause) {
-                return Err(cause.into());
-            }
-            if !warmed && instructions >= warmup {
-                warmed = true;
-                cycles_base = self.pipeline.cycles();
-                wp_base = self.pipeline.wrong_path_injected();
-                self.pipeline.reset_hierarchy_stats();
-                // The CPI stack re-anchors at the boundary so its
-                // components sum to the measured sample's cycles.
-                self.pipeline.reset_cpi();
-                self.predictor.reset_stats();
-                self.technique.reset_stats();
-                self.wp_episode_hist = Log2Hist::new();
-            }
-            self.prof.enter(Phase::FrontendFetch);
-            let popped = self.frontend.pop();
-            self.prof.exit();
-            let Some(entry) = popped else {
+        'run: loop {
+            let headroom = match self.cfg.max_instructions {
+                Some(max) => (warmup + max).saturating_sub(instructions),
+                None => u64::MAX,
+            };
+            if headroom == 0 {
                 break;
-            };
-            let inst = entry.inst;
-            self.prof.enter(Phase::TechniqueHook);
-            self.technique.on_instruction(&inst);
-            self.prof.exit();
-            let times = self.pipeline.feed_correct(inst.pc, &inst.instr, inst.mem);
-            if self.trace.is_enabled() && entry.wrong_path.is_some() {
-                // The frontend stamped this branch's emulation episode with
-                // its instruction ordinal; remember the branch's fetch cycle
-                // so the episode can be rebased onto the cycle axis.
-                self.seq_fetch.insert(inst.seq, times.fetch);
             }
-            instructions += 1;
-            observer.on_instruction(&inst, times);
+            let want = usize::try_from(headroom).map_or(batch_cap, |h| batch_cap.min(h));
+            batch.clear();
+            self.prof.enter(Phase::FrontendFetch);
+            let filled = self.frontend.fill(&mut batch, want);
+            self.prof.exit();
+            if filled == 0 {
+                break;
+            }
+            for idx in 0..filled {
+                // Cancellation point: one relaxed load per retired
+                // instruction.
+                if let Some(cause) = cancel.as_ref().and_then(CancelToken::cause) {
+                    return Err(cause.into());
+                }
+                if !warmed && instructions >= warmup {
+                    warmed = true;
+                    cycles_base = self.pipeline.cycles();
+                    wp_base = self.pipeline.wrong_path_injected();
+                    self.pipeline.reset_hierarchy_stats();
+                    // The CPI stack re-anchors at the boundary so its
+                    // components sum to the measured sample's cycles.
+                    self.pipeline.reset_cpi();
+                    self.predictor.reset_stats();
+                    self.technique.reset_stats();
+                    self.wp_episode_hist = Log2Hist::new();
+                }
+                let entries = batch.entries();
+                let entry = &entries[idx];
+                // The unconsumed tail of this batch: already-delivered
+                // future correct-path entries a technique may peek before
+                // falling through to the frontend's own runahead buffer.
+                let lookahead = &entries[idx + 1..];
+                let inst = entry.inst;
+                self.prof.enter(Phase::TechniqueHook);
+                self.technique.on_instruction(&inst);
+                self.prof.exit();
+                let times = self.pipeline.feed_correct(inst.pc, &inst.instr, inst.mem);
+                if self.trace.is_enabled() && entry.wrong_path.is_some() {
+                    // The frontend stamped this branch's emulation episode
+                    // with its instruction ordinal; remember the branch's
+                    // fetch cycle (ordinals arrive strictly increasing, so
+                    // the rebase below can binary-search) so the episode
+                    // can be rebased onto the cycle axis.
+                    self.wp_seq.push(inst.seq);
+                    self.wp_fetch.push(times.fetch);
+                }
+                instructions += 1;
+                observer.on_instruction(&inst, times);
 
-            let Some(outcome) = inst.branch else {
-                continue;
-            };
-            let res = self
-                .predictor
-                .observe(inst.pc, &inst.instr, outcome.taken, outcome.next_pc);
-            if !res.mispredicted {
-                if outcome.taken {
+                let Some(outcome) = inst.branch else {
+                    continue;
+                };
+                let res =
+                    self.predictor
+                        .observe(inst.pc, &inst.instr, outcome.taken, outcome.next_pc);
+                if !res.mispredicted {
+                    if outcome.taken {
+                        self.pipeline.break_fetch_group();
+                    }
+                    continue;
+                }
+
+                // Misprediction: the branch resolves when it executes.
+                let resolve = times.complete;
+                observer.on_mispredict(inst.pc, resolve);
+                let branch_pc = inst.pc;
+                self.trace.record(|| {
+                    timing_event(
+                        times.fetch,
+                        TraceEventKind::MispredictDetect { pc: branch_pc },
+                    )
+                });
+                if res.prediction.taken {
+                    // Fetch had redirected to the (wrongly) predicted target.
                     self.pipeline.break_fetch_group();
                 }
-                continue;
-            }
 
-            // Misprediction: the branch resolves when it executes.
-            let resolve = times.complete;
-            observer.on_mispredict(inst.pc, resolve);
-            let branch_pc = inst.pc;
-            self.trace.record(|| {
-                timing_event(
-                    times.fetch,
-                    TraceEventKind::MispredictDetect { pc: branch_pc },
-                )
-            });
-            if res.prediction.taken {
-                // Fetch had redirected to the (wrongly) predicted target.
-                self.pipeline.break_fetch_group();
-            }
+                let wp_before = self.pipeline.wrong_path_injected();
+                self.prof.enter(Phase::TechniqueHook);
+                let mut cx = MispredictContext {
+                    entry,
+                    resolve,
+                    wrong_path_start: res.wrong_path_start,
+                    lookahead,
+                    peek_cap: self.cfg.core.queue_depth,
+                    predictor: &self.predictor,
+                    pipeline: &mut self.pipeline,
+                    frontend: &mut *self.frontend,
+                    trace: &mut self.trace,
+                };
+                self.technique.on_mispredict(&mut cx);
+                self.prof.exit();
 
-            let wp_before = self.pipeline.wrong_path_injected();
-            self.prof.enter(Phase::TechniqueHook);
-            let mut cx = MispredictContext {
-                entry: &entry,
-                resolve,
-                wrong_path_start: res.wrong_path_start,
-                predictor: &self.predictor,
-                pipeline: &mut self.pipeline,
-                frontend: &mut *self.frontend,
-                trace: &mut self.trace,
-            };
-            self.technique.on_mispredict(&mut cx);
-            self.prof.exit();
-
-            if self.trace.is_enabled() {
-                let injected = self.pipeline.wrong_path_injected() - wp_before;
-                self.wp_episode_hist.record(injected);
-                if injected > 0 {
-                    // The wrong-path episode spans branch fetch to
-                    // resolution, rendered as a B/E duration pair.
-                    let start = res.wrong_path_start.unwrap_or(branch_pc);
-                    self.trace.record(|| {
-                        timing_event(times.fetch, TraceEventKind::WrongPathEnter { pc: start })
-                    });
+                if self.trace.is_enabled() {
+                    let injected = self.pipeline.wrong_path_injected() - wp_before;
+                    self.wp_episode_hist.record(injected);
+                    if injected > 0 {
+                        // The wrong-path episode spans branch fetch to
+                        // resolution, rendered as a B/E duration pair.
+                        let start = res.wrong_path_start.unwrap_or(branch_pc);
+                        self.trace.record(|| {
+                            timing_event(times.fetch, TraceEventKind::WrongPathEnter { pc: start })
+                        });
+                        self.trace.record(|| {
+                            timing_event(
+                                resolve,
+                                TraceEventKind::WrongPathExit {
+                                    instructions: injected,
+                                },
+                            )
+                        });
+                    }
                     self.trace.record(|| {
                         timing_event(
                             resolve,
-                            TraceEventKind::WrongPathExit {
+                            TraceEventKind::Squash {
                                 instructions: injected,
                             },
                         )
                     });
+                    self.trace.record(|| {
+                        timing_event(resolve, TraceEventKind::MispredictResolve { pc: branch_pc })
+                    });
                 }
+                self.technique.on_resolve(resolve);
+                let resume = resolve + self.cfg.core.redirect_penalty;
                 self.trace.record(|| {
                     timing_event(
-                        resolve,
-                        TraceEventKind::Squash {
-                            instructions: injected,
+                        resume,
+                        TraceEventKind::FetchRedirect {
+                            resume_cycle: resume,
                         },
                     )
                 });
-                self.trace.record(|| {
-                    timing_event(resolve, TraceEventKind::MispredictResolve { pc: branch_pc })
-                });
+                self.pipeline.redirect(resume);
             }
-            self.technique.on_resolve(resolve);
-            let resume = resolve + self.cfg.core.redirect_penalty;
-            self.trace.record(|| {
-                timing_event(
-                    resume,
-                    TraceEventKind::FetchRedirect {
-                        resume_cycle: resume,
-                    },
-                )
-            });
-            self.pipeline.redirect(resume);
+            if self.cfg.max_instructions.is_none() && filled < want {
+                // Unbounded run: a short batch means the stream ended.
+                break 'run;
+            }
         }
 
         if let Some(cause) = self.frontend.cancelled() {
@@ -484,8 +539,8 @@ impl Simulator {
             let dropped_events = self.trace.dropped() + self.frontend.trace_dropped();
             let mut frontend_events = self.frontend.take_trace();
             for e in &mut frontend_events {
-                if let Some(&fetch) = self.seq_fetch.get(&e.ts) {
-                    e.ts = fetch;
+                if let Ok(i) = self.wp_seq.binary_search(&e.ts) {
+                    e.ts = self.wp_fetch[i];
                 }
             }
             events.extend(frontend_events);
@@ -510,6 +565,7 @@ impl Simulator {
             branch: self.predictor.stats(),
             convergence: technique_stats.convergence,
             code_cache: technique_stats.code_cache,
+            block_cache: self.frontend.emulator().block_cache_stats(),
             l1i: h.l1i().stats(),
             l1d: h.l1d().stats(),
             l2: h.l2().stats(),
@@ -532,9 +588,16 @@ impl Simulator {
 /// registration order). The program and memory image are reused via
 /// cloning, so all four runs see identical workloads.
 ///
+/// The four runs are independent (each gets its own emulator, predictor
+/// and pipeline), so they execute on separate threads; results are
+/// collected in registration order, which keeps the output — and the
+/// choice of which error is reported — deterministic regardless of which
+/// thread finishes first.
+///
 /// # Errors
 ///
-/// The first [`SimError`] any of the four runs produces.
+/// The first [`SimError`] (in registration order) any of the runs
+/// produces.
 pub fn run_all_modes(
     program: &Program,
     memory: &Memory,
@@ -542,20 +605,32 @@ pub fn run_all_modes(
     max_instructions: Option<u64>,
 ) -> Result<[SimResult; 4], SimError> {
     let registry = TechniqueRegistry::builtin();
-    let mut results = Vec::with_capacity(registry.len());
-    for (label, mode) in registry.entries() {
-        let mut cfg = SimConfig::with_core(core.clone(), mode);
-        cfg.max_instructions = max_instructions;
-        let technique = registry
-            .build(label, &cfg)
-            .expect("iterated entries are buildable");
-        results.push(
-            Simulator::with_technique(program.clone(), memory.clone(), cfg, technique)?.run()?,
-        );
+    let results: Vec<Result<SimResult, SimError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = registry
+            .entries()
+            .map(|(label, mode)| {
+                let registry = &registry;
+                s.spawn(move || {
+                    let mut cfg = SimConfig::with_core(core.clone(), mode);
+                    cfg.max_instructions = max_instructions;
+                    let technique = registry
+                        .build(label, &cfg)
+                        .expect("iterated entries are buildable");
+                    Simulator::with_technique(program.clone(), memory.clone(), cfg, technique)?
+                        .run()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(results.len());
+    for result in results {
+        out.push(result?);
     }
-    Ok(results
-        .try_into()
-        .expect("exactly four built-in techniques"))
+    Ok(out.try_into().expect("exactly four built-in techniques"))
 }
 
 #[cfg(test)]

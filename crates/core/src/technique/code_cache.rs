@@ -10,6 +10,7 @@
 //! target. A lookup miss stops reconstruction and falls back to halting
 //! fetch.
 
+use ffsim_emu::FxBuildHasher;
 use ffsim_isa::{Addr, Instr};
 use std::collections::{HashMap, VecDeque};
 
@@ -24,12 +25,39 @@ pub struct CodeCacheStats {
     pub evictions: u64,
 }
 
+/// How a memoized straight-line run of remembered instructions ends.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum RunEnd {
+    /// The run's last instruction is a branch (always included, per the
+    /// reconstruction stopping rules).
+    Branch,
+    /// The pc after the run holds a remembered `halt`. A run of length
+    /// zero with this end marks an entry pc that is itself `halt`.
+    Halt,
+    /// Split at [`RUN_CAP`]; the walk continues at the pc after the run.
+    Cap,
+}
+
+/// Maximum instructions per memoized run, mirroring the emulator-side
+/// block cache's length cap: long branch-free stretches are chunked so a
+/// single run never holds a pathological amount of straight-line code.
+pub(crate) const RUN_CAP: usize = 64;
+
 /// Decode-information cache indexed by instruction address.
 ///
 /// By default the cache is unbounded — program text is finite, which
 /// mirrors the paper's implementation. A capacity bound (with FIFO
 /// replacement in insertion order, so runs are bit-reproducible) is
 /// available for the code-cache-size ablation study.
+///
+/// Unbounded caches additionally memoize *straight-line runs* keyed by
+/// entry pc (the timing-side analogue of the emulator's basic-block
+/// cache, see DESIGN.md §"Batched handoff and the block cache"): repeated
+/// wrong-path reconstruction of the same region then iterates a decoded
+/// slice instead of probing the map once per instruction. Runs are only
+/// memoized when their end can never move — a terminating branch, a
+/// remembered `halt`, or the length cap — so later inserts cannot stale
+/// them; bounded (ablation) caches evict, so they never memoize.
 ///
 /// # Examples
 ///
@@ -43,10 +71,14 @@ pub struct CodeCacheStats {
 /// ```
 #[derive(Clone, Debug)]
 pub struct CodeCache {
-    entries: HashMap<Addr, Instr>,
+    /// Keyed with the cheap address-mixing hasher: lookups sit on the
+    /// wrong-path reconstruction hot loop, where SipHash dominates.
+    entries: HashMap<Addr, Instr, FxBuildHasher>,
     /// Insertion order of live keys (bounded caches only): the FIFO
     /// eviction queue. The front is always the oldest live key.
     order: VecDeque<Addr>,
+    /// Memoized straight-line runs by entry pc (unbounded caches only).
+    runs: HashMap<Addr, (Box<[Instr]>, RunEnd), FxBuildHasher>,
     capacity: Option<usize>,
     stats: CodeCacheStats,
 }
@@ -56,8 +88,9 @@ impl CodeCache {
     #[must_use]
     pub fn unbounded() -> CodeCache {
         CodeCache {
-            entries: HashMap::new(),
+            entries: HashMap::default(),
             order: VecDeque::new(),
+            runs: HashMap::default(),
             capacity: None,
             stats: CodeCacheStats::default(),
         }
@@ -73,8 +106,9 @@ impl CodeCache {
     pub fn with_capacity(capacity: usize) -> CodeCache {
         assert!(capacity > 0, "code cache capacity must be positive");
         CodeCache {
-            entries: HashMap::with_capacity(capacity),
+            entries: HashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
             order: VecDeque::with_capacity(capacity),
+            runs: HashMap::default(),
             capacity: Some(capacity),
             stats: CodeCacheStats::default(),
         }
@@ -107,6 +141,12 @@ impl CodeCache {
     /// instruction.
     pub fn insert(&mut self, pc: Addr, instr: Instr) {
         if let Some(slot) = self.entries.get_mut(&pc) {
+            if *slot != instr {
+                // A remembered pc changed meaning (never happens for real
+                // programs — text is immutable — but the API permits it):
+                // every memoized run is suspect, drop them all.
+                self.runs.clear();
+            }
             *slot = instr;
             return;
         }
@@ -144,6 +184,28 @@ impl CodeCache {
     #[must_use]
     pub fn contains(&self, pc: Addr) -> bool {
         self.entries.contains_key(&pc)
+    }
+
+    /// The memoized straight-line run entered at `pc`, if one was recorded
+    /// by an earlier reconstruction walk. Statistics are untouched — the
+    /// caller counts one hit per instruction it actually consumes, which
+    /// keeps the counters identical to a per-instruction walk.
+    pub(crate) fn run_at(&self, pc: Addr) -> Option<(&[Instr], RunEnd)> {
+        self.runs.get(&pc).map(|(run, end)| (&run[..], *end))
+    }
+
+    /// Memoizes the straight-line run entered at `pc`. No-op for bounded
+    /// caches: eviction could remove a member instruction, and the run
+    /// memo has no per-member back-pointers to notice.
+    pub(crate) fn memoize_run(&mut self, pc: Addr, run: Vec<Instr>, end: RunEnd) {
+        if self.capacity.is_none() {
+            self.runs.insert(pc, (run.into_boxed_slice(), end));
+        }
+    }
+
+    /// Counts `n` successful lookups served from a memoized run.
+    pub(crate) fn add_run_hits(&mut self, n: u64) {
+        self.stats.hits += n;
     }
 }
 

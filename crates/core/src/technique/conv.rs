@@ -5,7 +5,8 @@ use crate::sim::SimConfig;
 use crate::technique::code_cache::CodeCache;
 use crate::technique::mode::WrongPathMode;
 use crate::technique::wrongpath::{
-    reconstruct, recover_addresses, ConvergenceConfig, ConvergenceStats, WpInst,
+    reconstruct_into, recover_addresses_from, ConvergenceConfig, ConvergenceStats, FutureSource,
+    WpInst,
 };
 use crate::technique::{
     inject_wrong_path, passive_frontend, MispredictContext, TechniqueStats, WrongPathTechnique,
@@ -53,6 +54,34 @@ impl ConvergenceTechnique {
     }
 }
 
+/// Serves the future correct-path window on demand from the mispredict
+/// context's peek window, materializing entries into the technique's
+/// reusable buffer only as deep as the convergence scan actually looks.
+/// Maintains [`FutureSource`]'s contiguous-prefix contract: the buffer is
+/// a prefix of the peek window, and once a peek returns `None` every
+/// deeper index is `None` too.
+struct LazyFuture<'a, 'b> {
+    buf: &'a mut Vec<DynInst>,
+    cx: &'a mut MispredictContext<'b>,
+    limit: usize,
+    exhausted: bool,
+}
+
+impl FutureSource for LazyFuture<'_, '_> {
+    fn at(&mut self, i: usize) -> Option<&DynInst> {
+        if i >= self.limit {
+            return None;
+        }
+        while self.buf.len() <= i && !self.exhausted {
+            match self.cx.peek_ahead(self.buf.len()) {
+                Some(e) => self.buf.push(e.inst),
+                None => self.exhausted = true,
+            }
+        }
+        self.buf.get(i)
+    }
+}
+
 impl WrongPathTechnique for ConvergenceTechnique {
     fn mode(&self) -> WrongPathMode {
         WrongPathMode::ConvergenceExploitation
@@ -70,22 +99,36 @@ impl WrongPathTechnique for ConvergenceTechnique {
         let Some(start) = cx.wrong_path_start else {
             return;
         };
-        self.wp_buf = reconstruct(&mut self.code_cache, cx.predictor, start, self.budget);
-        // Peek the future correct path out of the runahead queue (§III-C:
-        // "take a peek in the future correct-path instructions").
-        self.future_buf.clear();
-        for i in 0..self.rob {
-            match cx.frontend.peek(i) {
-                Some(e) => self.future_buf.push(e.inst),
-                None => break,
-            }
-        }
-        let convergence_distance = recover_addresses(
-            &mut self.wp_buf,
-            &self.future_buf,
-            &self.convergence,
-            &mut self.stats,
+        let mut wp_buf = std::mem::take(&mut self.wp_buf);
+        reconstruct_into(
+            &mut self.code_cache,
+            cx.predictor,
+            start,
+            self.budget,
+            &mut wp_buf,
         );
+        self.wp_buf = wp_buf;
+        // Peek the future correct path out of the runahead queue (§III-C:
+        // "take a peek in the future correct-path instructions"). The
+        // batched handoff serves the peek window from the batch tail first,
+        // then the frontend's runahead buffer — lazily, so a scan that
+        // converges after a handful of instructions never copies the full
+        // ROB-sized window.
+        self.future_buf.clear();
+        let convergence_distance = {
+            let mut future = LazyFuture {
+                buf: &mut self.future_buf,
+                cx: &mut *cx,
+                limit: self.rob,
+                exhausted: false,
+            };
+            recover_addresses_from(
+                &mut self.wp_buf,
+                &mut future,
+                &self.convergence,
+                &mut self.stats,
+            )
+        };
         if cx.trace.is_enabled() {
             if let Some(distance) = convergence_distance {
                 self.dist_hist.record(distance as u64);

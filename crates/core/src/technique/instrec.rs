@@ -3,8 +3,9 @@
 use crate::sim::SimConfig;
 use crate::technique::code_cache::CodeCache;
 use crate::technique::mode::WrongPathMode;
-use crate::technique::wrongpath::reconstruct;
-use crate::technique::{passive_frontend, MispredictContext, TechniqueStats, WrongPathTechnique};
+use crate::technique::{
+    passive_frontend, reconstruct_inject, MispredictContext, TechniqueStats, WrongPathTechnique,
+};
 use ffsim_emu::{DynInst, Emulator, FetchSource};
 
 /// Wrong-path instructions are rebuilt from a [`CodeCache`] of previously
@@ -47,9 +48,17 @@ impl WrongPathTechnique for ReconstructionTechnique {
 
     fn on_mispredict(&mut self, cx: &mut MispredictContext<'_>) {
         if let Some(start) = cx.wrong_path_start {
-            let wp = reconstruct(&mut self.code_cache, cx.predictor, start, self.budget);
-            let budget = self.budget;
-            self.inject_wrong_path(cx.pipeline, &wp, cx.resolve, budget);
+            // Fused reconstruct + inject: the walk stops the moment the
+            // pipeline stops consuming (branch resolution), skipping the
+            // budget-sized tail a buffered reconstruction would discard.
+            reconstruct_inject(
+                &mut self.code_cache,
+                cx.predictor,
+                cx.pipeline,
+                start,
+                cx.resolve,
+                self.budget,
+            );
         }
     }
 

@@ -41,11 +41,11 @@ pub use wpemul::EmulationTechnique;
 
 use crate::pipeline::{LoadTiming, Pipeline};
 use crate::sim::SimConfig;
-use crate::technique::code_cache::CodeCacheStats;
+use crate::technique::code_cache::{CodeCache, CodeCacheStats};
 use crate::technique::mode::WrongPathMode;
 use crate::technique::wrongpath::{ConvergenceStats, WpInst};
 use ffsim_emu::{DynInst, Emulator, FetchSource, InstrQueue, NoFrontendWrongPath, StreamEntry};
-use ffsim_isa::{Addr, INSTR_BYTES};
+use ffsim_isa::{Addr, Instr, INSTR_BYTES};
 use ffsim_obs::{EventRing, Log2Hist};
 use ffsim_uarch::BranchPredictor;
 use std::fmt;
@@ -62,6 +62,15 @@ pub struct MispredictContext<'a> {
     pub resolve: u64,
     /// First wrong-path pc, when the predictor could name one.
     pub wrong_path_start: Option<Addr>,
+    /// The unconsumed tail of the current handoff batch: future
+    /// correct-path entries already delivered by the frontend, directly
+    /// addressable without a virtual call. [`MispredictContext::peek_ahead`]
+    /// reads these first and falls through to [`FetchSource::peek`].
+    pub lookahead: &'a [StreamEntry],
+    /// Total lookahead bound (batch tail + frontend peeks), matching the
+    /// frontend's own queue depth so batched and per-instruction delivery
+    /// expose the exact same peek window.
+    pub peek_cap: usize,
     /// The timing model's branch predictor (read-only: speculative
     /// predictions steer reconstruction without perturbing training).
     pub predictor: &'a BranchPredictor,
@@ -71,6 +80,28 @@ pub struct MispredictContext<'a> {
     pub frontend: &'a mut dyn FetchSource,
     /// The timing-model event ring.
     pub trace: &'a mut EventRing,
+}
+
+impl MispredictContext<'_> {
+    /// Peeks `index` future correct-path entries past the mispredicted
+    /// branch (0 = the architecturally next instruction), bounded by
+    /// [`peek_cap`](MispredictContext::peek_cap). Entries still in the
+    /// current batch are served from the [`lookahead`] slice; the rest
+    /// come from the frontend's runahead buffer. After any number of
+    /// per-instruction pops the frontend keeps `queue_depth` entries
+    /// buffered, so this window is identical to what per-instruction
+    /// delivery would expose through [`FetchSource::peek`] alone.
+    ///
+    /// [`lookahead`]: MispredictContext::lookahead
+    pub fn peek_ahead(&mut self, index: usize) -> Option<&StreamEntry> {
+        if index >= self.peek_cap {
+            return None;
+        }
+        if index < self.lookahead.len() {
+            return Some(&self.lookahead[index]);
+        }
+        self.frontend.peek(index - self.lookahead.len())
+    }
 }
 
 /// Technique-owned statistics folded into [`SimResult`](crate::SimResult).
@@ -163,6 +194,52 @@ pub fn passive_frontend(emu: Emulator, cfg: &SimConfig) -> Box<dyn FetchSource> 
     )
 }
 
+/// A wrong-path instruction as the injection loop sees it — implemented by
+/// both [`WpInst`] (reconstructed) and [`DynInst`] (functionally emulated)
+/// so [`inject_wrong_path`] can run straight off a
+/// [`WrongPathBundle`](ffsim_emu::WrongPathBundle) without first copying
+/// it element-by-element into a `Vec<WpInst>`.
+pub trait WpFeed {
+    /// Instruction address.
+    fn wp_pc(&self) -> Addr;
+    /// The decoded instruction.
+    fn wp_instr(&self) -> &ffsim_isa::Instr;
+    /// Data memory access, if known.
+    fn wp_mem(&self) -> Option<ffsim_emu::MemAccess>;
+    /// The next wrong-path fetch pc actually followed.
+    fn wp_next_pc(&self) -> Addr;
+}
+
+impl WpFeed for WpInst {
+    fn wp_pc(&self) -> Addr {
+        self.pc
+    }
+    fn wp_instr(&self) -> &ffsim_isa::Instr {
+        &self.instr
+    }
+    fn wp_mem(&self) -> Option<ffsim_emu::MemAccess> {
+        self.mem
+    }
+    fn wp_next_pc(&self) -> Addr {
+        self.next_pc
+    }
+}
+
+impl WpFeed for DynInst {
+    fn wp_pc(&self) -> Addr {
+        self.pc
+    }
+    fn wp_instr(&self) -> &ffsim_isa::Instr {
+        &self.instr
+    }
+    fn wp_mem(&self) -> Option<ffsim_emu::MemAccess> {
+        self.mem
+    }
+    fn wp_next_pc(&self) -> Addr {
+        self.next_pc
+    }
+}
+
 /// Injects a wrong-path instruction sequence into the pipeline.
 ///
 /// Fetch of wrong-path instructions continues until the mispredicted
@@ -173,9 +250,9 @@ pub fn passive_frontend(emu: Emulator, cfg: &SimConfig) -> Box<dyn FetchSource> 
 ///
 /// `conv_stats`, when present, receives the Table III accounting of
 /// wrong-path memory operations that actually entered the pipeline.
-pub fn inject_wrong_path(
+pub fn inject_wrong_path<W: WpFeed>(
     pipeline: &mut Pipeline,
-    wp: &[WpInst],
+    wp: &[W],
     resolve: u64,
     budget: usize,
     mut conv_stats: Option<&mut ConvergenceStats>,
@@ -186,26 +263,100 @@ pub fn inject_wrong_path(
         if pipeline.next_fetch_cycle() >= resolve {
             break;
         }
-        let timing = if w.instr.is_load() && w.mem.is_some() {
+        let instr = w.wp_instr();
+        let mem = w.wp_mem();
+        let timing = if instr.is_load() && mem.is_some() {
             LoadTiming::Real
         } else {
             LoadTiming::AssumeL1Hit
         };
-        let _ = pipeline.feed_wrong(&mut window, w.pc, &w.instr, w.mem, timing, resolve);
+        let _ = pipeline.feed_wrong(&mut window, w.wp_pc(), instr, mem, timing, resolve);
         // Table III accounting: only wrong-path memory operations that
         // actually enter the pipeline count.
         if let Some(stats) = conv_stats.as_deref_mut() {
-            if w.instr.is_mem() {
+            if instr.is_mem() {
                 stats.wp_mem_ops += 1;
-                if w.mem.is_some() {
+                if mem.is_some() {
                     stats.wp_mem_recovered += 1;
                 }
             }
         }
-        if w.instr.is_branch() && w.next_pc != w.pc + INSTR_BYTES {
+        if instr.is_branch() && w.wp_next_pc() != w.wp_pc() + INSTR_BYTES {
             pipeline.break_fetch_group();
         }
     }
+    pipeline.end_wrong_path(window);
+    pipeline.restore_regs(snapshot);
+}
+
+/// [`reconstruct_into`](wrongpath::reconstruct_into) fused with
+/// [`inject_wrong_path`]: reconstructs the wrong path from the code cache
+/// and streams it straight into the pipeline, with no intermediate buffer.
+///
+/// Injection stops when the mispredicted branch resolves — usually long
+/// before the reconstruction budget (ROB + frontend depth) is reached — so
+/// the fused walk reconstructs exactly the prefix the pipeline consumes
+/// and skips the tail a buffered walk would have produced and thrown away.
+/// The injected stream, pipeline state, and timing are bit-identical to
+/// the `reconstruct_into` + `inject_wrong_path` pair; the only observable
+/// difference is that the code-cache hit/miss counters reflect the probed
+/// prefix rather than the full budget. Used by the reconstruction
+/// technique, whose memory timings are always
+/// [`LoadTiming::AssumeL1Hit`] (`mem` is never known); convergence
+/// exploitation needs the materialized window for address recovery and
+/// keeps the unfused pair.
+pub fn reconstruct_inject(
+    code_cache: &mut CodeCache,
+    predictor: &BranchPredictor,
+    pipeline: &mut Pipeline,
+    start: Addr,
+    resolve: u64,
+    budget: usize,
+) {
+    let snapshot = pipeline.snapshot_regs();
+    let mut window = pipeline.begin_wrong_path();
+    let mut spec = predictor.speculative_state();
+    let mut pc = start;
+    let mut injected = 0usize;
+    while injected < budget && pipeline.next_fetch_cycle() < resolve {
+        let Some(instr) = code_cache.lookup(pc) else {
+            break;
+        };
+        if matches!(instr, Instr::Halt) {
+            break;
+        }
+        let mut stop = false;
+        let next_pc = if instr.is_branch() {
+            match predictor.predict_speculative(pc, &instr, &mut spec).next_pc {
+                Some(t) => t,
+                None => {
+                    // The branch itself was fetched; reconstruction cannot
+                    // continue past it.
+                    stop = true;
+                    pc + INSTR_BYTES
+                }
+            }
+        } else {
+            pc + INSTR_BYTES
+        };
+        let _ = pipeline.feed_wrong(
+            &mut window,
+            pc,
+            &instr,
+            None,
+            LoadTiming::AssumeL1Hit,
+            resolve,
+        );
+        injected += 1;
+        if instr.is_branch() && next_pc != pc + INSTR_BYTES {
+            pipeline.break_fetch_group();
+        }
+        if stop {
+            break;
+        }
+        pc = next_pc;
+    }
+    pipeline.end_wrong_path(window);
     pipeline.restore_regs(snapshot);
 }
 

@@ -4,8 +4,7 @@
 use crate::sim::SimConfig;
 use crate::technique::mode::WrongPathMode;
 use crate::technique::replica::ReplicaPolicy;
-use crate::technique::wrongpath::WpInst;
-use crate::technique::{MispredictContext, WrongPathTechnique};
+use crate::technique::{inject_wrong_path, MispredictContext, WrongPathTechnique};
 use ffsim_emu::{Emulator, FetchSource, InstrQueue};
 
 /// The functional frontend checkpoints, redirects, and fully emulates the
@@ -15,8 +14,6 @@ use ffsim_emu::{Emulator, FetchSource, InstrQueue};
 #[derive(Debug)]
 pub struct EmulationTechnique {
     budget: usize,
-    /// Reusable buffer for the emulated wrong path.
-    wp_buf: Vec<WpInst>,
 }
 
 impl EmulationTechnique {
@@ -26,7 +23,6 @@ impl EmulationTechnique {
     pub fn new(cfg: &SimConfig) -> EmulationTechnique {
         EmulationTechnique {
             budget: cfg.core.wrong_path_budget(),
-            wp_buf: Vec::new(),
         }
     }
 }
@@ -65,13 +61,10 @@ impl WrongPathTechnique for EmulationTechnique {
             cx.entry.inst.pc
         );
         if let Some(bundle) = &cx.entry.wrong_path {
-            self.wp_buf.clear();
-            self.wp_buf
-                .extend(bundle.insts.iter().map(WpInst::from_dyn));
-            let wp = std::mem::take(&mut self.wp_buf);
-            let budget = self.budget;
-            self.inject_wrong_path(cx.pipeline, &wp, cx.resolve, budget);
-            self.wp_buf = wp;
+            // Inject straight from the emulated bundle: `DynInst` feeds
+            // the pipeline through `WpFeed`, so nothing is copied into an
+            // intermediate `Vec<WpInst>` first.
+            inject_wrong_path(cx.pipeline, &bundle.insts, cx.resolve, self.budget, None);
         }
     }
 }

@@ -14,7 +14,7 @@
 //! operations that are register-dependence-free of the non-converged code
 //! ("dirty registers"), to avoid the optimism pitfall of §III-C.
 
-use crate::technique::code_cache::CodeCache;
+use crate::technique::code_cache::{CodeCache, RunEnd, RUN_CAP};
 use ffsim_emu::{DynInst, MemAccess};
 use ffsim_isa::{Addr, Instr, RegSet, INSTR_BYTES};
 use ffsim_uarch::BranchPredictor;
@@ -62,42 +62,155 @@ pub fn reconstruct(
     budget: usize,
 ) -> Vec<WpInst> {
     let mut out = Vec::new();
+    reconstruct_into(code_cache, predictor, start, budget, &mut out);
+    out
+}
+
+/// [`reconstruct`] into a caller-owned buffer, so techniques can reuse one
+/// allocation across mispredictions. The buffer is cleared first.
+///
+/// Straight-line stretches between branches are served from the code
+/// cache's memoized runs when available (see [`CodeCache`]); stretches
+/// walked per-instruction are memoized for the next episode. The produced
+/// stream and the hit/miss statistics are identical either way: a run hit
+/// counts one cache hit per instruction consumed, exactly as the
+/// per-instruction walk would have.
+pub fn reconstruct_into(
+    code_cache: &mut CodeCache,
+    predictor: &BranchPredictor,
+    start: Addr,
+    budget: usize,
+    out: &mut Vec<WpInst>,
+) {
+    out.clear();
     let mut spec = predictor.speculative_state();
     let mut pc = start;
-    while out.len() < budget {
-        let Some(instr) = code_cache.lookup(pc) else {
-            break;
-        };
-        if matches!(instr, Instr::Halt) {
-            break;
+    'outer: while out.len() < budget {
+        let remaining = budget - out.len();
+        // Fast path: replay a memoized run entered at `pc`.
+        if let Some((run, end)) = code_cache.run_at(pc) {
+            let m = run.len().min(remaining);
+            let full = m == run.len();
+            // A fully consumed branch-terminated run needs its last
+            // instruction steered through the predictor; everything before
+            // it (and every truncated prefix) falls through sequentially.
+            let last_is_branch = full && end == RunEnd::Branch;
+            let straight = if last_is_branch { m - 1 } else { m };
+            for (i, &instr) in run[..straight].iter().enumerate() {
+                let ipc = pc + i as Addr * INSTR_BYTES;
+                out.push(WpInst {
+                    pc: ipc,
+                    instr,
+                    mem: None,
+                    next_pc: ipc + INSTR_BYTES,
+                });
+            }
+            // One hit per consumed instruction; the per-instruction walk
+            // additionally probes the terminating `halt` — but only when
+            // still under budget.
+            let mut hits = m as u64;
+            let mut next = pc + straight as Addr * INSTR_BYTES;
+            let mut stop = !full;
+            if last_is_branch {
+                let bpc = pc + (m - 1) as Addr * INSTR_BYTES;
+                let instr = run[m - 1];
+                match predictor
+                    .predict_speculative(bpc, &instr, &mut spec)
+                    .next_pc
+                {
+                    Some(t) => {
+                        out.push(WpInst {
+                            pc: bpc,
+                            instr,
+                            mem: None,
+                            next_pc: t,
+                        });
+                        next = t;
+                    }
+                    None => {
+                        // The branch itself was fetched; reconstruction
+                        // cannot continue past it.
+                        out.push(WpInst {
+                            pc: bpc,
+                            instr,
+                            mem: None,
+                            next_pc: bpc + INSTR_BYTES,
+                        });
+                        stop = true;
+                    }
+                }
+            } else if full && end == RunEnd::Halt {
+                if m < remaining {
+                    hits += 1;
+                }
+                stop = true;
+            }
+            code_cache.add_run_hits(hits);
+            if stop {
+                return;
+            }
+            pc = next;
+            continue;
         }
-        let next_pc = if instr.is_branch() {
-            match predictor.predict_speculative(pc, &instr, &mut spec).next_pc {
-                Some(t) => t,
-                None => {
-                    // The branch itself was fetched; reconstruction cannot
-                    // continue past it.
-                    out.push(WpInst {
-                        pc,
-                        instr,
-                        mem: None,
-                        next_pc: pc + INSTR_BYTES,
-                    });
-                    break;
+        // Slow path: probe per instruction, exactly like the original walk,
+        // recording the stretch so the next episode through this entry pc
+        // replays it. Only complete runs (branch / remembered halt / cap)
+        // are memoized — a budget- or unknown-pc-ended prefix could grow
+        // longer in a later episode.
+        let run_start = pc;
+        let mut recorded: Vec<Instr> = Vec::new();
+        loop {
+            if out.len() >= budget {
+                return;
+            }
+            let Some(instr) = code_cache.lookup(pc) else {
+                return;
+            };
+            if matches!(instr, Instr::Halt) {
+                code_cache.memoize_run(run_start, recorded, RunEnd::Halt);
+                return;
+            }
+            recorded.push(instr);
+            if instr.is_branch() {
+                match predictor.predict_speculative(pc, &instr, &mut spec).next_pc {
+                    Some(t) => {
+                        out.push(WpInst {
+                            pc,
+                            instr,
+                            mem: None,
+                            next_pc: t,
+                        });
+                        code_cache.memoize_run(run_start, recorded, RunEnd::Branch);
+                        pc = t;
+                        continue 'outer;
+                    }
+                    None => {
+                        // The branch itself was fetched; reconstruction
+                        // cannot continue past it.
+                        out.push(WpInst {
+                            pc,
+                            instr,
+                            mem: None,
+                            next_pc: pc + INSTR_BYTES,
+                        });
+                        code_cache.memoize_run(run_start, recorded, RunEnd::Branch);
+                        return;
+                    }
                 }
             }
-        } else {
-            pc + INSTR_BYTES
-        };
-        out.push(WpInst {
-            pc,
-            instr,
-            mem: None,
-            next_pc,
-        });
-        pc = next_pc;
+            out.push(WpInst {
+                pc,
+                instr,
+                mem: None,
+                next_pc: pc + INSTR_BYTES,
+            });
+            pc += INSTR_BYTES;
+            if recorded.len() >= RUN_CAP {
+                code_cache.memoize_run(run_start, recorded, RunEnd::Cap);
+                continue 'outer;
+            }
+        }
     }
-    out
 }
 
 /// Tunables of the convergence-exploitation technique (paper §III-C plus
@@ -201,36 +314,88 @@ fn written_regs<'a>(instrs: impl Iterator<Item = &'a Instr>) -> RegSet {
     dirty
 }
 
-/// Finds the next convergence point between `wp[wi..]` and `future[fi..]`
-/// under the configured detection rule. Returns window-relative offsets.
-fn detect_convergence(
+/// Indexed access to the future correct-path window used by convergence
+/// detection and address recovery.
+///
+/// The window is always a contiguous prefix: once `at(i)` returns `None`,
+/// every larger index is `None` too. Abstracting the access lets the
+/// convergence technique serve the window lazily out of the frontend's
+/// runahead buffer — materializing only the entries the scans actually
+/// visit — while tests and the equivalence oracle keep passing plain
+/// slices. The recovery logic is identical either way.
+pub trait FutureSource {
+    /// The `i`th future correct-path instruction, if the window reaches
+    /// that deep.
+    fn at(&mut self, i: usize) -> Option<&DynInst>;
+}
+
+impl FutureSource for &[DynInst] {
+    fn at(&mut self, i: usize) -> Option<&DynInst> {
+        self.get(i)
+    }
+}
+
+/// Finds the next convergence point between `wp[wi..]` and the future
+/// window past `fi` under the configured detection rule. Returns
+/// window-relative offsets.
+fn detect_convergence<F: FutureSource + ?Sized>(
     wp: &[WpInst],
-    future: &[DynInst],
+    future: &mut F,
     wi: usize,
     fi: usize,
     cfg: &ConvergenceConfig,
 ) -> Option<(usize, usize)> {
     let wp_rest = &wp[wi..];
-    let fut_rest = &future[fi..];
-    if wp_rest.is_empty() || fut_rest.is_empty() {
+    if wp_rest.is_empty() {
         return None;
     }
+    let fut_head = future.at(fi)?.pc;
     // One-sided detection (§III-C.1): the convergence point is the first
-    // instruction of one of the two paths.
-    let case_a = fut_rest.iter().position(|d| d.pc == wp_rest[0].pc);
-    let case_b = wp_rest.iter().position(|w| w.pc == fut_rest[0].pc);
-    match (case_a, case_b) {
-        (Some(k), Some(j)) => Some(if k <= j { (0, k) } else { (j, 0) }),
-        (Some(k), None) => Some((0, k)),
-        (None, Some(j)) => Some((j, 0)),
-        (None, None) => {
+    // instruction of one of the two paths. The two scans are interleaved
+    // by depth so the search stops at the shallowest match instead of
+    // walking both full windows; on convergent code (the common case —
+    // Table III distances are tens of instructions against ROB-sized
+    // windows) this exits after a handful of comparisons. Checking the
+    // future side first at each depth preserves the original tie-break:
+    // equal depths resolve to case A, i.e. `k <= j` picks `(0, k)`.
+    let wp_head = wp_rest[0].pc;
+    let mut one_sided = None;
+    let mut fut_ended = false;
+    let mut i = 0;
+    loop {
+        if !fut_ended {
+            match future.at(fi + i) {
+                Some(d) if d.pc == wp_head => {
+                    one_sided = Some((0, i));
+                    break;
+                }
+                Some(_) => {}
+                None => fut_ended = true,
+            }
+        }
+        if let Some(w) = wp_rest.get(i) {
+            if w.pc == fut_head {
+                one_sided = Some((i, 0));
+                break;
+            }
+        }
+        i += 1;
+        if fut_ended && i >= wp_rest.len() {
+            break;
+        }
+    }
+    match one_sided {
+        Some(found) => Some(found),
+        None => {
             if cfg.one_sided_only {
                 return None;
             }
             // Two-sided ablation: earliest matching pair by summed depth.
             let mut first_at = std::collections::HashMap::new();
-            for (k, d) in fut_rest.iter().enumerate() {
+            let mut k = 0;
+            while let Some(d) = future.at(fi + k) {
                 first_at.entry(d.pc).or_insert(k);
+                k += 1;
             }
             let mut best: Option<(usize, usize)> = None;
             for (j, w) in wp_rest.iter().enumerate() {
@@ -264,6 +429,19 @@ pub fn recover_addresses(
     cfg: &ConvergenceConfig,
     stats: &mut ConvergenceStats,
 ) -> Option<usize> {
+    recover_addresses_from(wp, &mut { future }, cfg, stats)
+}
+
+/// [`recover_addresses`] against an abstract [`FutureSource`], so the
+/// convergence technique can serve the window lazily from the frontend's
+/// runahead buffer. Behavior — matching, dirty-register tracking, and
+/// every statistic — is identical to the slice version.
+pub fn recover_addresses_from<F: FutureSource + ?Sized>(
+    wp: &mut [WpInst],
+    future: &mut F,
+    cfg: &ConvergenceConfig,
+    stats: &mut ConvergenceStats,
+) -> Option<usize> {
     stats.branch_misses_checked += 1;
 
     let (wj, fk) = detect_convergence(wp, future, 0, 0, cfg)?;
@@ -279,21 +457,30 @@ pub fn recover_addresses(
     loop {
         // Instructions skipped on either side before this convergence
         // point hold values the other path did not compute: their
-        // destinations become dirty (§III-C.2).
+        // destinations become dirty (§III-C.2). Every index below
+        // `next_fi` exists: detection just matched an entry there.
         if cfg.track_dirty_regs {
-            dirty = dirty
-                .union(written_regs(wp[wi..next_wi].iter().map(|w| &w.instr)))
-                .union(written_regs(future[fi..next_fi].iter().map(|d| &d.instr)));
+            dirty = dirty.union(written_regs(wp[wi..next_wi].iter().map(|w| &w.instr)));
+            for i in fi..next_fi {
+                if let Some(d) = future.at(i) {
+                    if let Some(dst) = d.instr.operands().dst {
+                        dirty.insert(dst);
+                    }
+                }
+            }
         }
         wi = next_wi;
         fi = next_fi;
 
         // Lock-step matching.
         let mut diverged = false;
-        while wi < wp.len() && fi < future.len() {
-            let f = &future[fi];
+        while wi < wp.len() {
+            let Some(f) = future.at(fi) else {
+                break; // future window exhausted
+            };
+            let (f_pc, f_mem, f_next_pc) = (f.pc, f.mem, f.next_pc);
             let w = &mut wp[wi];
-            if w.pc != f.pc {
+            if w.pc != f_pc {
                 stats.scan_stop_pc_mismatch += 1;
                 diverged = true;
                 break;
@@ -304,7 +491,7 @@ pub fn recover_addresses(
             if w.instr.is_mem() {
                 if src_dirty {
                     stats.skipped_dirty += 1;
-                } else if let Some(m) = f.mem {
+                } else if let Some(m) = f_mem {
                     w.mem = Some(m);
                 }
             }
@@ -317,7 +504,7 @@ pub fn recover_addresses(
                     dirty.remove(dst);
                 }
             }
-            let control_diverges = w.next_pc != f.next_pc;
+            let control_diverges = w.next_pc != f_next_pc;
             wi += 1;
             fi += 1;
             if control_diverges {

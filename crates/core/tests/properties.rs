@@ -240,6 +240,56 @@ proptest! {
         }
     }
 
+    /// The handoff batch size is a pure host-speed knob (see DESIGN.md
+    /// §"Batched handoff and the block cache"): per-instruction delivery
+    /// (`handoff_batch = 1`) and every batched size must produce
+    /// bit-identical simulations across all four techniques — same
+    /// cycles, retired counts, wrong-path injections, CPI stacks,
+    /// technique counters, and final architectural digest.
+    #[test]
+    fn handoff_batch_size_never_changes_the_simulation(
+        body in proptest::collection::vec(arb_instr(), 1..40),
+        trip in 1i64..40,
+        batch in prop_oneof![Just(3usize), Just(16), Just(64), Just(256)],
+    ) {
+        let base = 0x1000u64;
+        let mut instrs = vec![
+            Instr::LoadImm { rd: Reg::new(31), imm: trip },
+            Instr::LoadImm { rd: Reg::new(30), imm: 0x10_0000 },
+        ];
+        let loop_start = base + instrs.len() as u64 * INSTR_BYTES;
+        instrs.extend(body.iter().copied());
+        instrs.push(Instr::AluImm { op: AluOp::Add, rd: Reg::new(31), rs1: Reg::new(31), imm: -1 });
+        instrs.push(Instr::Branch {
+            cond: ffsim_isa::BranchCond::Ne,
+            rs1: Reg::new(31),
+            rs2: Reg::ZERO,
+            target: loop_start,
+        });
+        instrs.push(Instr::Halt);
+        let program = Program::new(base, instrs);
+
+        for mode in WrongPathMode::ALL {
+            let mut cfg = SimConfig::with_core(CoreConfig::tiny_for_tests(), mode);
+            cfg.handoff_batch = 1;
+            let per_instr = Simulator::new(program.clone(), Memory::new(), cfg.clone())
+                .unwrap().run().unwrap();
+            cfg.handoff_batch = batch;
+            let batched = Simulator::new(program.clone(), Memory::new(), cfg)
+                .unwrap().run().unwrap();
+            prop_assert_eq!(per_instr.cycles, batched.cycles,
+                "{}: batch {} changed cycles", mode, batch);
+            prop_assert_eq!(per_instr.instructions, batched.instructions);
+            prop_assert_eq!(per_instr.wrong_path_instructions, batched.wrong_path_instructions,
+                "{}: batch {} changed wrong-path injection", mode, batch);
+            prop_assert_eq!(per_instr.branch.mispredicts(), batched.branch.mispredicts());
+            prop_assert_eq!(per_instr.convergence, batched.convergence);
+            prop_assert_eq!(per_instr.code_cache, batched.code_cache);
+            prop_assert_eq!(per_instr.state_digest, batched.state_digest);
+            prop_assert_eq!(per_instr.cpi.total(), batched.cpi.total());
+        }
+    }
+
     /// Observer-effect invariant: enabling CPI/event tracing never changes
     /// the simulated outcome. Same workload, obs on vs. off, across all
     /// four modes — identical cycles, instructions, and state digest.

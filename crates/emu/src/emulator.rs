@@ -12,12 +12,14 @@
 //! * **wrong-path emulation** ([`Emulator::emulate_wrong_path`]) with
 //!   suppressed stores and suppressed faults.
 
+use crate::block::{BlockCache, BlockCacheStats, BlockFetchRef, DEFAULT_BLOCK_CACHE_BLOCKS};
 use crate::cancel::{CancelCause, CancelToken};
 use crate::dyninst::{BranchOutcome, DynInst, WrongPathBundle, WrongPathStop};
 use crate::exec::{execute, Fault, FaultModel, RegWrite};
 use crate::mem::Memory;
 use crate::state::ArchState;
 use ffsim_isa::{Addr, Instr, Program};
+use ffsim_obs::ProfHandle;
 use std::error::Error;
 use std::fmt;
 
@@ -129,6 +131,8 @@ pub struct Emulator {
     cancel: Option<CancelToken>,
     seq: u64,
     halted: bool,
+    block_cache: Option<BlockCache>,
+    prof: ProfHandle,
 }
 
 impl Emulator {
@@ -164,7 +168,38 @@ impl Emulator {
             cancel: None,
             seq: 0,
             halted: false,
+            block_cache: Some(BlockCache::new(DEFAULT_BLOCK_CACHE_BLOCKS)),
+            prof: ProfHandle::disabled(),
         })
+    }
+
+    /// Sizes (or, with `None`, disables) the pre-decoded basic-block cache
+    /// used by wrong-path emulation. On by default with
+    /// [`DEFAULT_BLOCK_CACHE_BLOCKS`] entries; disabling it falls back to
+    /// per-instruction decode. Either setting produces the identical
+    /// instruction stream — the cache is a pure host-speed device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is `Some(0)`.
+    pub fn set_block_cache(&mut self, capacity: Option<usize>) {
+        self.block_cache = capacity.map(BlockCache::new);
+    }
+
+    /// Block-cache hit/miss/eviction counters (zeros when disabled).
+    #[must_use]
+    pub fn block_cache_stats(&self) -> BlockCacheStats {
+        self.block_cache
+            .as_ref()
+            .map(BlockCache::stats)
+            .unwrap_or_default()
+    }
+
+    /// Installs a shared phase profiler: block decodes inside wrong-path
+    /// emulation are attributed as [`ffsim_obs::Phase::BlockDecode`],
+    /// nested under whatever scope the caller holds open.
+    pub fn set_profiler(&mut self, prof: ProfHandle) {
+        self.prof = prof;
     }
 
     /// Attaches a [`CancelToken`]: every subsequent [`Emulator::step`] and
@@ -341,11 +376,11 @@ impl Emulator {
     /// along the wrong path — wrong-path loads read the architectural
     /// memory at the branch, as in the paper.
     #[must_use]
-    pub fn emulate_wrong_path(
+    pub fn emulate_wrong_path<O: BranchOracle + ?Sized>(
         &mut self,
         start: Addr,
         max_insts: usize,
-        oracle: &mut dyn BranchOracle,
+        oracle: &mut O,
     ) -> WrongPathBundle {
         self.emulate_wrong_path_bounded(start, max_insts, None, oracle)
     }
@@ -358,85 +393,149 @@ impl Emulator {
     /// models ROB plus frontend capacity); the squash-and-restore contract
     /// is identical either way.
     #[must_use]
-    pub fn emulate_wrong_path_bounded(
+    pub fn emulate_wrong_path_bounded<O: BranchOracle + ?Sized>(
         &mut self,
         start: Addr,
         max_insts: usize,
         watchdog: Option<u64>,
-        oracle: &mut dyn BranchOracle,
+        oracle: &mut O,
     ) -> WrongPathBundle {
         let checkpoint = self.checkpoint();
         self.state.pc = start;
-        let mut insts = Vec::new();
-        let stop = loop {
-            if let Some(cause) = self.cancel_cause() {
-                break WrongPathStop::Cancelled(cause);
-            }
-            if let Some(limit) = watchdog {
-                if insts.len() as u64 >= limit {
-                    break WrongPathStop::WatchdogExceeded {
-                        pc: self.state.pc,
-                        limit,
-                    };
-                }
-            }
-            if insts.len() >= max_insts {
-                break WrongPathStop::BudgetExhausted;
-            }
-            let pc = self.state.pc;
-            let Some(&instr) = self.program.instr_at(pc) else {
-                break WrongPathStop::IllegalPc(pc);
-            };
-            if matches!(instr, Instr::Halt) {
-                break WrongPathStop::Halt;
-            }
-            let out = match execute(&self.state, &self.mem, pc, &instr, &self.fault_model) {
-                Ok(out) => out,
-                Err(fault) => break WrongPathStop::Fault(fault),
-            };
-            // Register writes go to the scratch state (restored below);
-            // stores are suppressed entirely.
-            match out.reg_write {
-                Some(RegWrite::Int(r, v)) => self.state.set_reg(r, v),
-                Some(RegWrite::Fp(f, v)) => self.state.set_freg(f, v),
-                None => {}
-            }
-            let mut next_pc = out.next_pc;
-            let mut branch = out.branch;
-            if let Some(computed) = out.branch {
-                match oracle.next_fetch_pc(pc, &instr, computed) {
-                    Some(predicted) => {
-                        next_pc = predicted;
-                        branch = Some(BranchOutcome {
-                            taken: predicted != pc + ffsim_isa::INSTR_BYTES,
-                            next_pc: predicted,
-                        });
-                    }
-                    None => {
-                        insts.push(DynInst {
-                            seq: insts.len() as u64,
-                            pc,
-                            instr,
-                            mem: out.mem,
-                            branch,
-                            next_pc,
-                        });
-                        break WrongPathStop::OracleStop;
-                    }
-                }
-            }
-            insts.push(DynInst {
-                seq: insts.len() as u64,
-                pc,
-                instr,
-                mem: out.mem,
-                branch,
-                next_pc,
-            });
-            self.state.pc = next_pc;
-        };
+        // Size the bundle for the binding bound up front: the budget is a
+        // few hundred instructions (ROB plus frontend), and growth-doubling
+        // a fresh Vec would re-copy every record several times per episode.
+        let cap = watchdog
+            .and_then(|w| usize::try_from(w).ok())
+            .map_or(max_insts, |w| w.min(max_insts));
+        let mut insts = Vec::with_capacity(cap);
+        let stop = self.wp_run(max_insts, watchdog, oracle, &mut insts);
         self.restore(checkpoint);
         WrongPathBundle { insts, stop }
+    }
+
+    /// The wrong-path emulation loop proper, block-at-a-time. The
+    /// per-instruction stop checks and their priority order (cancel →
+    /// watchdog → budget → illegal pc → halt → fault → oracle stop) are
+    /// exactly those of per-instruction stepping: block members after the
+    /// first skip only the illegal-pc and halt probes, which block decode
+    /// already proved cannot fire (blocks contain neither `halt` nor
+    /// out-of-text pcs). The watchdog and budget bounds collapse into one
+    /// count limit; the stop reason is recovered at the stop point, with
+    /// the watchdog winning ties exactly as the check order dictates.
+    fn wp_run<O: BranchOracle + ?Sized>(
+        &mut self,
+        max_insts: usize,
+        watchdog: Option<u64>,
+        oracle: &mut O,
+        insts: &mut Vec<DynInst>,
+    ) -> WrongPathStop {
+        // Split borrows: the block cache lends decoded runs while the
+        // scratch state advances, so the loop never clones a block `Arc`.
+        let Emulator {
+            program,
+            mem,
+            state,
+            fault_model,
+            cancel,
+            block_cache,
+            prof,
+            ..
+        } = self;
+        let cancel = cancel.as_ref();
+        let limit = watchdog
+            .and_then(|w| usize::try_from(w).ok())
+            .map_or(max_insts, |w| w.min(max_insts));
+        let watchdog_binds = watchdog.is_some_and(|w| w <= max_insts as u64);
+        let limit_stop = |pc: Addr| {
+            if watchdog_binds {
+                WrongPathStop::WatchdogExceeded {
+                    pc,
+                    limit: watchdog.unwrap_or_default(),
+                }
+            } else {
+                WrongPathStop::BudgetExhausted
+            }
+        };
+        loop {
+            if let Some(cause) = cancel.and_then(CancelToken::cause) {
+                return WrongPathStop::Cancelled(cause);
+            }
+            if insts.len() >= limit {
+                return limit_stop(state.pc);
+            }
+            let single;
+            let block: &[Instr] = match block_cache {
+                Some(cache) => match cache.fetch(program, state.pc, prof) {
+                    BlockFetchRef::Block(block) => block,
+                    BlockFetchRef::Halt => return WrongPathStop::Halt,
+                    BlockFetchRef::Illegal => return WrongPathStop::IllegalPc(state.pc),
+                },
+                None => match program.instr_at(state.pc) {
+                    None => return WrongPathStop::IllegalPc(state.pc),
+                    Some(Instr::Halt) => return WrongPathStop::Halt,
+                    Some(&instr) => {
+                        single = [instr];
+                        &single
+                    }
+                },
+            };
+            for (k, &instr) in block.iter().enumerate() {
+                if k > 0 {
+                    if let Some(cause) = cancel.and_then(CancelToken::cause) {
+                        return WrongPathStop::Cancelled(cause);
+                    }
+                    if insts.len() >= limit {
+                        return limit_stop(state.pc);
+                    }
+                }
+                let pc = state.pc;
+                let out = match execute(state, mem, pc, &instr, fault_model) {
+                    Ok(out) => out,
+                    Err(fault) => return WrongPathStop::Fault(fault),
+                };
+                // Register writes go to the scratch state (restored by the
+                // caller); stores are suppressed entirely.
+                match out.reg_write {
+                    Some(RegWrite::Int(r, v)) => state.set_reg(r, v),
+                    Some(RegWrite::Fp(f, v)) => state.set_freg(f, v),
+                    None => {}
+                }
+                let mut next_pc = out.next_pc;
+                let mut branch = out.branch;
+                if let Some(computed) = out.branch {
+                    match oracle.next_fetch_pc(pc, &instr, computed) {
+                        Some(predicted) => {
+                            next_pc = predicted;
+                            branch = Some(BranchOutcome {
+                                taken: predicted != pc + ffsim_isa::INSTR_BYTES,
+                                next_pc: predicted,
+                            });
+                        }
+                        None => {
+                            insts.push(DynInst {
+                                seq: insts.len() as u64,
+                                pc,
+                                instr,
+                                mem: out.mem,
+                                branch,
+                                next_pc,
+                            });
+                            return WrongPathStop::OracleStop;
+                        }
+                    }
+                }
+                insts.push(DynInst {
+                    seq: insts.len() as u64,
+                    pc,
+                    instr,
+                    mem: out.mem,
+                    branch,
+                    next_pc,
+                });
+                state.pc = next_pc;
+            }
+        }
     }
 }
 

@@ -51,21 +51,25 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod block;
 mod cancel;
 mod dyninst;
 mod emulator;
 mod exec;
+mod hash;
 mod mem;
 mod queue;
 mod state;
 
+pub use block::{BlockCacheStats, BLOCK_LEN_CAP, DEFAULT_BLOCK_CACHE_BLOCKS};
 pub use cancel::{CancelCause, CancelToken};
 pub use dyninst::{BranchOutcome, DynInst, MemAccess, WrongPathBundle, WrongPathStop};
 pub use emulator::{BranchOracle, EmuError, Emulator, FollowComputed, StepError};
 pub use exec::{Fault, FaultModel};
+pub use hash::{FxBuildHasher, FxHasher};
 pub use mem::{Memory, MemoryLimitError, PAGE_BYTES};
 pub use queue::{
-    FaultPolicy, FetchSource, FrontendPolicy, InstrQueue, NoFrontendWrongPath, StreamEntry,
-    WrongPathFaultStats, WrongPathRequest,
+    FaultPolicy, FetchSource, FrontendPolicy, InstrQueue, NoFrontendWrongPath, StreamBuf,
+    StreamEntry, WrongPathFaultStats, WrongPathRequest,
 };
 pub use state::ArchState;

@@ -7,6 +7,7 @@
 //! read zeros) instead of faulting — matching the paper's requirement that
 //! wrong-path emulation never perturbs functional state.
 
+use crate::hash::FxBuildHasher;
 use ffsim_isa::Addr;
 use std::collections::HashMap;
 use std::error::Error;
@@ -53,7 +54,9 @@ impl Error for MemoryLimitError {}
 /// ```
 #[derive(Clone, Default, Debug)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    // Fx-hashed: every emulated load probes this map, and `digest()` sorts
+    // page indices, so the hasher never shows in results.
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>, FxBuildHasher>,
     page_limit: Option<usize>,
 }
 
@@ -69,7 +72,7 @@ impl Memory {
     #[must_use]
     pub fn with_page_limit(limit: usize) -> Memory {
         Memory {
-            pages: HashMap::new(),
+            pages: HashMap::default(),
             page_limit: Some(limit),
         }
     }

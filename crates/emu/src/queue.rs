@@ -115,6 +115,59 @@ pub struct StreamEntry {
     pub wrong_path: Option<WrongPathBundle>,
 }
 
+/// A reusable, caller-owned batch of [`StreamEntry`]s filled by
+/// [`FetchSource::fill`]. The consumer clears and refills the same buffer
+/// every batch, so the per-instruction handoff cost (a virtual `pop` call
+/// plus `VecDeque` bookkeeping) is paid once per *run* of instructions.
+#[derive(Clone, Default, Debug)]
+pub struct StreamBuf {
+    entries: Vec<StreamEntry>,
+}
+
+impl StreamBuf {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> StreamBuf {
+        StreamBuf::default()
+    }
+
+    /// An empty buffer with room for `capacity` entries.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> StreamBuf {
+        StreamBuf {
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Drops all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Appends one entry (used by the default [`FetchSource::fill`]).
+    pub fn push(&mut self, entry: StreamEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The buffered entries, in program order.
+    #[must_use]
+    pub fn entries(&self) -> &[StreamEntry] {
+        &self.entries
+    }
+
+    /// Number of buffered entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// The functional frontend as the performance simulator consumes it: a
 /// program-order stream of [`StreamEntry`]s with lookahead peeking, plus
 /// the end-of-stream diagnostics (fault, cancellation, trace) the
@@ -128,6 +181,25 @@ pub struct StreamEntry {
 pub trait FetchSource: Send + std::fmt::Debug {
     /// Pops the next correct-path entry, or `None` at end of stream.
     fn pop(&mut self) -> Option<StreamEntry>;
+    /// Batched pop: appends up to `max` entries to `buf` and returns how
+    /// many were delivered. Exactly equivalent to `max` consecutive
+    /// [`FetchSource::pop`] calls (same entries, same order, same
+    /// emulator-side runahead), delivered in one virtual call so the hot
+    /// loop touches the seam once per batch. Fewer than `max` entries
+    /// (possibly zero) means the stream ended mid-batch.
+    fn fill(&mut self, buf: &mut StreamBuf, max: usize) -> usize {
+        let mut delivered = 0;
+        while delivered < max {
+            match self.pop() {
+                Some(entry) => {
+                    buf.push(entry);
+                    delivered += 1;
+                }
+                None => break,
+            }
+        }
+        delivered
+    }
     /// Peeks `index` entries ahead (0 = next to pop) without consuming.
     fn peek(&mut self, index: usize) -> Option<&StreamEntry>;
     /// The fault that ended the stream, if any.
@@ -156,6 +228,10 @@ pub trait FetchSource: Send + std::fmt::Debug {
 impl<P: FrontendPolicy + Send + std::fmt::Debug> FetchSource for InstrQueue<P> {
     fn pop(&mut self) -> Option<StreamEntry> {
         InstrQueue::pop(self)
+    }
+
+    fn fill(&mut self, buf: &mut StreamBuf, max: usize) -> usize {
+        InstrQueue::fill(self, buf, max)
     }
 
     fn peek(&mut self, index: usize) -> Option<&StreamEntry> {
@@ -286,8 +362,11 @@ impl<P: FrontendPolicy> InstrQueue<P> {
     /// raw emulator stepping (correct and wrong path) as
     /// [`Phase::EmuExec`], the surrounding refill/handoff bookkeeping as
     /// [`Phase::EmuHandoff`]. A disabled handle (the default) costs one
-    /// branch per refill.
+    /// branch per refill. The handle is shared with the emulator so block
+    /// decodes show up as [`Phase::BlockDecode`](ffsim_obs::Phase) nested
+    /// under the emu scopes.
     pub fn set_profiler(&mut self, prof: ProfHandle) {
+        self.emu.set_profiler(prof.clone());
         self.prof = prof;
     }
 
@@ -425,6 +504,21 @@ impl<P: FrontendPolicy> InstrQueue<P> {
         // Keep the runahead window full so peeks after pops see far ahead.
         self.refill_to(self.depth);
         entry
+    }
+
+    /// Batched pop (see [`FetchSource::fill`]): delivers up to `max`
+    /// entries into `out` in one refill. Equivalent to `max` consecutive
+    /// [`InstrQueue::pop`]s — each pop refills to `depth` after draining
+    /// one entry, so after `max` pops the emulator has produced
+    /// `delivered + depth` entries total; this method reaches the same
+    /// point with a single `refill_to(max + depth)`, preserving the exact
+    /// production order (and thus replica-predictor state, wrong-path
+    /// checkpoints and trace events).
+    pub fn fill(&mut self, out: &mut StreamBuf, max: usize) -> usize {
+        self.refill_to(max.saturating_add(self.depth));
+        let take = max.min(self.buf.len());
+        out.entries.extend(self.buf.drain(..take));
+        take
     }
 
     /// Peeks `index` entries ahead (0 = next to pop), extending the
@@ -623,6 +717,55 @@ mod tests {
         // x1 = 0 decremented to negative values, bnez stays taken until the
         // 16-instruction budget runs out.
         assert_eq!(bundle_len, 16);
+    }
+
+    #[test]
+    fn fill_matches_pop_sequence() {
+        // Use the wrong-path-requesting policy so bundles and runahead
+        // production both participate in the equivalence.
+        let stream = |batch: Option<usize>| {
+            let mut q =
+                InstrQueue::new(Emulator::new(counted_program(20)).unwrap(), AlwaysWrong, 8);
+            let mut entries = Vec::new();
+            match batch {
+                None => {
+                    while let Some(e) = q.pop() {
+                        entries.push(e);
+                    }
+                }
+                Some(max) => {
+                    let mut buf = StreamBuf::with_capacity(max);
+                    loop {
+                        buf.clear();
+                        if q.fill(&mut buf, max) == 0 {
+                            break;
+                        }
+                        entries.extend_from_slice(buf.entries());
+                    }
+                }
+            }
+            (entries, q.emulator().digest())
+        };
+        let baseline = stream(None);
+        for batch in [1, 3, 16, 256] {
+            assert_eq!(stream(Some(batch)), baseline, "batch size {batch}");
+        }
+    }
+
+    #[test]
+    fn fill_delivers_partial_batch_at_end_of_stream() {
+        let mut q = InstrQueue::new(
+            Emulator::new(counted_program(1)).unwrap(),
+            NoFrontendWrongPath,
+            4,
+        );
+        let mut buf = StreamBuf::new();
+        // Program is li, addi, bnez (not taken), halt = 4 instructions.
+        assert_eq!(q.fill(&mut buf, 64), 4);
+        assert_eq!(buf.len(), 4);
+        assert!(!buf.is_empty());
+        assert_eq!(q.fill(&mut buf, 64), 0, "stream ended");
+        assert!(q.is_exhausted());
     }
 
     #[test]

@@ -43,15 +43,20 @@ pub enum Variant {
     PcCorruption,
     /// A tight wrong-path watchdog: episodes are cut short early.
     TightWatchdog,
+    /// Per-instruction frontend→timing handoff (`handoff_batch = 1`):
+    /// batching is a pure host-speed knob, so unit batches must leave
+    /// every architectural observable untouched.
+    UnitBatch,
 }
 
 impl Variant {
     /// All variants, in checking order.
-    pub const ALL: [Variant; 4] = [
+    pub const ALL: [Variant; 5] = [
         Variant::Baseline,
         Variant::TrapFaults,
         Variant::PcCorruption,
         Variant::TightWatchdog,
+        Variant::UnitBatch,
     ];
 
     /// Stable label used in reports and artifacts.
@@ -62,6 +67,7 @@ impl Variant {
             Variant::TrapFaults => "trap-faults",
             Variant::PcCorruption => "pc-corruption",
             Variant::TightWatchdog => "tight-watchdog",
+            Variant::UnitBatch => "unit-batch",
         }
     }
 
@@ -81,6 +87,9 @@ impl Variant {
             }
             Variant::TightWatchdog => {
                 cfg.wrong_path_watchdog = Some(24);
+            }
+            Variant::UnitBatch => {
+                cfg.handoff_batch = 1;
             }
         }
     }
@@ -357,7 +366,7 @@ mod tests {
             let report = oracle
                 .check(&p)
                 .unwrap_or_else(|d| panic!("seed {seed}: {d}"));
-            assert_eq!(report.runs, 16, "4 techniques x 4 variants");
+            assert_eq!(report.runs, 20, "4 techniques x 5 variants");
         }
     }
 
@@ -378,7 +387,13 @@ mod tests {
         let labels: Vec<&str> = Variant::ALL.iter().map(|v| v.label()).collect();
         assert_eq!(
             labels,
-            vec!["baseline", "trap-faults", "pc-corruption", "tight-watchdog"]
+            vec![
+                "baseline",
+                "trap-faults",
+                "pc-corruption",
+                "tight-watchdog",
+                "unit-batch",
+            ]
         );
     }
 }
