@@ -336,7 +336,7 @@ fn main() -> ExitCode {
             outcome.cache_hits, outcome.cache_misses
         );
     }
-    let waits = report::render_queue_waits(&outcome.waits);
+    let waits = report::render_queue_waits(&outcome.waits, &std::collections::BTreeMap::new());
     if !waits.is_empty() {
         eprint!("{waits}");
     }

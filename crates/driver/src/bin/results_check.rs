@@ -113,6 +113,14 @@ const TARGETS: &[Target] = &[
         file: "results_queue_smoke.txt",
         volatile: false,
     },
+    // Built by `-p ffsim-serve`: the campaign-service demo — a wire
+    // client submits two campaigns to an in-process server over
+    // loopback and the drained report lands on stdout.
+    Target {
+        bin: "serve_smoke",
+        file: "results_serve_smoke.txt",
+        volatile: false,
+    },
 ];
 
 /// Loop trips of the base-CPI budget workload: enough to drown out warmup

@@ -82,7 +82,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -106,6 +106,8 @@ pub enum QueueError {
     /// enqueue again after some drain. This is backpressure, not
     /// corruption.
     Saturated {
+        /// Live (pending + leased) jobs at the moment of rejection.
+        depth: usize,
         /// The configured capacity that was hit.
         capacity: usize,
     },
@@ -124,8 +126,11 @@ pub enum QueueError {
 impl fmt::Display for QueueError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            QueueError::Saturated { capacity } => {
-                write!(f, "queue saturated at capacity {capacity}")
+            QueueError::Saturated { depth, capacity } => {
+                write!(
+                    f,
+                    "queue saturated: {depth} live jobs at capacity {capacity}"
+                )
             }
             QueueError::UnknownCampaign(id) => write!(f, "unknown campaign `{id}`"),
             QueueError::DuplicateJob(id) => write!(f, "job `{id}` is already queued"),
@@ -528,6 +533,9 @@ struct Inner {
     idle_workers: usize,
     stats: Stats,
     waits: BTreeMap<String, Log2Hist>,
+    /// Per-campaign lease-to-commit run times (milliseconds), the basis
+    /// for the suggested lease deadline services clamp against.
+    runs: BTreeMap<String, Log2Hist>,
     persist_error: Option<ManifestError>,
 }
 
@@ -536,6 +544,10 @@ pub struct JobQueue {
     cfg: QueueConfig,
     journal_path: PathBuf,
     snapshot_path: PathBuf,
+    /// The live lease deadline in milliseconds. Starts at
+    /// [`QueueConfig::lease`]; services may raise it at runtime from the
+    /// observed run-time distribution ([`JobQueue::set_lease`]).
+    lease_ms: AtomicU64,
     inner: Mutex<Inner>,
     work: Condvar,
     cancel: CancelToken,
@@ -693,12 +705,15 @@ impl JobQueue {
                 ..Stats::default()
             },
             waits: BTreeMap::new(),
+            runs: BTreeMap::new(),
             persist_error: None,
         };
+        let lease_ms = u64::try_from(cfg.lease.as_millis()).unwrap_or(u64::MAX);
         Ok(JobQueue {
             cfg,
             journal_path,
             snapshot_path,
+            lease_ms: AtomicU64::new(lease_ms),
             inner: Mutex::new(inner),
             work: Condvar::new(),
             cancel: CancelToken::new(),
@@ -826,6 +841,7 @@ impl JobQueue {
 
         if inner.live >= self.cfg.capacity {
             return Err(QueueError::Saturated {
+                depth: inner.live,
                 capacity: self.cfg.capacity,
             });
         }
@@ -868,10 +884,81 @@ impl JobQueue {
     /// deadline is cancelled through its token and will be re-enqueued
     /// (unless it commits first — commit wins). Returns how many leases
     /// were marked. Called automatically by drain workers; exposed for
-    /// services driving the queue directly.
+    /// services driving the queue directly (the campaign server wires it
+    /// into a periodic tick). The cumulative reaped-lease count is
+    /// published as the `queue_reaped_leases` gauge.
     pub fn reap_expired(&self) -> usize {
         let mut inner = self.lock();
-        self.reap_locked(&mut inner, Instant::now())
+        let reaped = self.reap_locked(&mut inner, Instant::now());
+        hostobs::set_gauge(
+            "queue_reaped_leases",
+            i64::try_from(inner.stats.lease_expiries).unwrap_or(i64::MAX),
+        );
+        reaped
+    }
+
+    /// The live lease deadline (initially [`QueueConfig::lease`]).
+    #[must_use]
+    pub fn lease(&self) -> Duration {
+        Duration::from_millis(self.lease_ms.load(Ordering::Relaxed))
+    }
+
+    /// Replaces the lease deadline for *future* leases; in-flight leases
+    /// keep the deadline they were taken with. Services raise this when
+    /// the observed run-time distribution says the configured deadline
+    /// would reap healthy jobs.
+    pub fn set_lease(&self, lease: Duration) {
+        let ms = u64::try_from(lease.as_millis()).unwrap_or(u64::MAX);
+        self.lease_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Per-campaign enqueue-to-lease wait distributions (milliseconds),
+    /// the data behind [`report::render_queue_waits`](crate::report).
+    #[must_use]
+    pub fn wait_hists(&self) -> BTreeMap<String, Log2Hist> {
+        self.lock().waits.clone()
+    }
+
+    /// Per-campaign lease-to-commit run-time distributions (milliseconds).
+    #[must_use]
+    pub fn run_hists(&self) -> BTreeMap<String, Log2Hist> {
+        self.lock().runs.clone()
+    }
+
+    /// A lease deadline suggestion derived from the run-time `Log2Hist`
+    /// p99: four times the slowest campaign's p99 commit time, so retries
+    /// and the degradation ladder fit inside one lease. `None` until at
+    /// least one job has committed (no history to derive from).
+    #[must_use]
+    pub fn suggested_lease(&self) -> Option<Duration> {
+        let inner = self.lock();
+        let p99 = inner.runs.values().filter_map(Log2Hist::p99).max()?;
+        Some(Duration::from_millis(p99.saturating_mul(4).max(1)))
+    }
+
+    /// Live (pending-with-payload + leased) jobs of one campaign, for
+    /// per-campaign admission quotas layered over the global
+    /// [`QueueConfig::capacity`].
+    #[must_use]
+    pub fn campaign_live(&self, campaign: &str) -> usize {
+        let inner = self.lock();
+        inner
+            .jobs
+            .values()
+            .filter(|e| {
+                e.campaign == campaign
+                    && ((e.state == State::Pending && e.payload.is_some())
+                        || e.state == State::Leased)
+            })
+            .count()
+    }
+
+    /// The merged durable result records (id-sorted), without draining:
+    /// what [`report::render`](crate::report::render) turns into the
+    /// deterministic campaign report.
+    #[must_use]
+    pub fn merged_records(&self) -> BTreeMap<String, JobRecord> {
+        self.store.merged()
     }
 
     /// Aggregate queue state.
@@ -1163,7 +1250,7 @@ impl JobQueue {
             self.cancel.cancel();
             return None;
         }
-        let lease = self.cfg.lease;
+        let lease = self.lease();
         let entry = inner.jobs.get_mut(id).expect("leasing a known job");
         entry.state = State::Leased;
         let job = entry.payload.clone().expect("leasing requires a payload");
@@ -1248,6 +1335,15 @@ impl JobQueue {
                 // is not counted as an expiry.
                 inner.stats.lease_expiries -= 1;
             }
+            // Lease-to-commit run time: the distribution a service derives
+            // its suggested lease deadline from.
+            let run_ms = u64::try_from(running.leased_at.elapsed().as_millis()).unwrap_or(u64::MAX);
+            inner
+                .runs
+                .entry(running.campaign.clone())
+                .or_default()
+                .record(run_ms);
+            hostobs::observe("queue_job_run_ms", run_ms);
         }
         if let Err(e) = committed {
             inner.persist_error.get_or_insert(e);

@@ -69,14 +69,20 @@ pub fn render_poison(poison: &[PoisonJob]) -> String {
 }
 
 /// Renders the per-campaign queue-wait appendix: one row per campaign
-/// with the distribution of enqueue-to-lease waits in milliseconds.
-/// Returns the empty string when no job was leased.
+/// with the distribution of enqueue-to-lease waits in milliseconds,
+/// followed by a distinct admission-quota section listing every campaign
+/// whose submits were rejected by a per-campaign quota (so backpressure
+/// from quotas is never conflated with global saturation). Returns the
+/// empty string when no job was leased and nothing was rejected.
 ///
 /// Wall-clock waits vary run to run, so like [`render_timing`] this
 /// table is for stderr and interactive use only — never for the
 /// deterministic report artifact.
 #[must_use]
-pub fn render_queue_waits(waits: &BTreeMap<String, Log2Hist>) -> String {
+pub fn render_queue_waits(
+    waits: &BTreeMap<String, Log2Hist>,
+    quota_rejections: &BTreeMap<String, u64>,
+) -> String {
     let pct = |p: Option<u64>| -> String { p.map_or_else(|| "-".into(), |v| v.to_string()) };
     let rows: Vec<Vec<String>> = waits
         .iter()
@@ -94,16 +100,26 @@ pub fn render_queue_waits(waits: &BTreeMap<String, Log2Hist>) -> String {
             ]
         })
         .collect();
-    if rows.is_empty() {
+    let rejected: Vec<(&String, &u64)> = quota_rejections.iter().filter(|(_, &n)| n > 0).collect();
+    if rows.is_empty() && rejected.is_empty() {
         return String::new();
     }
-    let mut out = String::from("queue waits per campaign (host wall clock, ms)\n\n");
-    out.push_str(&table(
-        &[
-            "campaign", "leases", "min", "mean", "p50", "p90", "p99", "max",
-        ],
-        &rows,
-    ));
+    let mut out = String::new();
+    if !rows.is_empty() {
+        out.push_str("queue waits per campaign (host wall clock, ms)\n\n");
+        out.push_str(&table(
+            &[
+                "campaign", "leases", "min", "mean", "p50", "p90", "p99", "max",
+            ],
+            &rows,
+        ));
+    }
+    if !rejected.is_empty() {
+        out.push_str("\nadmission-quota rejections (per-campaign, not global saturation)\n\n");
+        for (campaign, n) in rejected {
+            let _ = writeln!(out, "  {campaign}: {n} submit(s) rejected by quota");
+        }
+    }
     out
 }
 
@@ -506,7 +522,10 @@ mod tests {
 
     #[test]
     fn queue_wait_appendix_is_empty_without_leases() {
-        assert_eq!(render_queue_waits(&BTreeMap::new()), "");
+        assert_eq!(render_queue_waits(&BTreeMap::new(), &BTreeMap::new()), "");
+        // Zero-count rejections do not resurrect the appendix either.
+        let silent = BTreeMap::from([("alpha".to_string(), 0u64)]);
+        assert_eq!(render_queue_waits(&BTreeMap::new(), &silent), "");
     }
 
     #[test]
@@ -516,7 +535,7 @@ mod tests {
         hist.record(10);
         let mut waits = BTreeMap::new();
         waits.insert("alpha".to_string(), hist);
-        let text = render_queue_waits(&waits);
+        let text = render_queue_waits(&waits, &BTreeMap::new());
         assert!(text.contains("queue waits per campaign"));
         assert!(text.contains("alpha"));
         assert!(text.contains('2'), "count and min columns");
@@ -524,6 +543,20 @@ mod tests {
         // The percentile columns reuse the Log2Hist helpers verbatim.
         assert!(text.contains(&hist.p50().unwrap().to_string()));
         assert!(text.contains(&hist.p99().unwrap().to_string()));
+        assert!(!text.contains("admission-quota"), "no rejections recorded");
+    }
+
+    #[test]
+    fn queue_wait_appendix_surfaces_quota_rejections_distinctly() {
+        let rejections = BTreeMap::from([("alpha".to_string(), 3u64), ("beta".to_string(), 0u64)]);
+        let text = render_queue_waits(&BTreeMap::new(), &rejections);
+        assert!(text.contains("admission-quota rejections"));
+        assert!(text.contains("alpha: 3 submit(s) rejected by quota"));
+        assert!(!text.contains("beta"), "zero-count campaigns stay silent");
+        assert!(
+            !text.contains("queue waits per campaign"),
+            "no wait table without leases"
+        );
     }
 
     #[test]

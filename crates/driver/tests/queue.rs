@@ -134,7 +134,10 @@ fn saturation_is_backpressure_not_corruption() {
     queue.enqueue("a", job("a/2", 10)).expect("fits");
     assert_eq!(
         queue.enqueue("a", job("a/3", 10)),
-        Err(QueueError::Saturated { capacity: 2 })
+        Err(QueueError::Saturated {
+            depth: 2,
+            capacity: 2
+        })
     );
     // Draining frees capacity.
     queue.drain().expect("drain");

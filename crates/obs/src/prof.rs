@@ -54,10 +54,13 @@ pub enum Phase {
     ManifestIo,
     /// Driver queue journal appends, lease bookkeeping and compaction.
     QueueJournal,
+    /// Campaign-server request handling: frame decode, queue mapping,
+    /// and response encode for one wire request.
+    ServeRequest,
 }
 
 /// Number of phases in the taxonomy.
-pub const PHASE_COUNT: usize = 9;
+pub const PHASE_COUNT: usize = 10;
 
 impl Phase {
     /// Every phase, in rendering order.
@@ -71,6 +74,7 @@ impl Phase {
         Phase::CacheIo,
         Phase::ManifestIo,
         Phase::QueueJournal,
+        Phase::ServeRequest,
     ];
 
     /// Stable snake_case name (the `technique_hook` base name; see
@@ -87,6 +91,7 @@ impl Phase {
             Phase::CacheIo => "cache_io",
             Phase::ManifestIo => "manifest_io",
             Phase::QueueJournal => "queue_journal",
+            Phase::ServeRequest => "serve_request",
         }
     }
 

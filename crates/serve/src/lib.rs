@@ -1,0 +1,53 @@
+//! # ffsim-serve — the network half of the durable campaign queue
+//!
+//! [`ffsim-driver`](../ffsim_driver/index.html)'s `JobQueue` made the
+//! *storage* side of campaign ingest crash-consistent: journaled
+//! enqueues, lease-based ownership, kill-9-proof resume. This crate adds
+//! the matching *transport* side, with the same discipline: in long
+//! remote campaigns it is the wire, not the engine, that fails —
+//! half-written requests, dead clients holding work, overload cascades.
+//!
+//! - [`proto`]: a dependency-free, length-prefixed, FNV-checksummed
+//!   frame format over any byte stream, plus the typed
+//!   request/response vocabulary (hand-rolled JSON payloads, like every
+//!   durable artifact in the workspace). A torn or corrupted frame is a
+//!   *typed* error, never a panic and never a half-applied request.
+//! - [`transport`]: the [`FaultyTransport`] injection seam mirroring the
+//!   driver's `FaultyIo` — short writes, disconnects before the ACK,
+//!   delayed ACKs — so every fault point is a unit test, not an outage.
+//! - [`server`]: [`CampaignServer`] maps `submit` / `status` / `cancel`
+//!   / `poison-list` / `drain-report` onto the queue's `register` /
+//!   `enqueue` / `stats` / `cancel_token` / `poison_jobs`. Robustness
+//!   features: per-connection read/write deadlines, idempotent submits
+//!   deduplicated by content digest (a client retry after a torn frame
+//!   never double-enqueues), bounded connections with typed
+//!   `Overloaded` / `Saturated` responses, per-campaign admission
+//!   quotas over the global capacity, a periodic expired-lease reap
+//!   tick, and graceful drain (stop accepting, finish leased jobs,
+//!   emit the final report).
+//! - [`client`]: [`ServeClient`] with deterministic FNV-jittered
+//!   exponential backoff (the driver's [`RetryPolicy`] verbatim); every
+//!   retry carries the same content-derived request id, so the
+//!   server-side dedup makes the submit path exactly-once end to end.
+//!
+//! The headline invariant matches the queue's own: for an identical
+//! submit sequence, the merged campaign report is byte-identical
+//! whatever transport faults, server kills, and client retries happened
+//! along the way.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod transport;
+
+pub use client::{ClientError, Conn, Connector, ServeClient};
+pub use ffsim_driver::RetryPolicy;
+pub use proto::{
+    read_frame, write_frame, FrameError, JobSpec, PoisonEntry, Request, Response, StatusReply,
+    SubmitOutcome, MAX_FRAME, PROTO_VERSION,
+};
+pub use server::{CampaignServer, JobFactory, ServeConfig, ServeOutcome};
+pub use transport::FaultyTransport;

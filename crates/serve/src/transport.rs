@@ -1,0 +1,198 @@
+//! Fault injection for the wire: the transport twin of the driver's
+//! `FaultyIo`.
+//!
+//! [`FaultyTransport`] wraps any `Read + Write` stream and injects the
+//! failure modes a real network produces — short writes that tear a
+//! frame, disconnects before the reply, delayed ACKs that trip read
+//! deadlines — at deterministic byte offsets. Tests pick a fault point,
+//! run the client's submit path against it, and assert the exactly-once
+//! invariant, the same way the queue's crash matrix walks `KillAtNth`
+//! over journal appends.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// A `Read + Write` wrapper that injects transport faults at
+/// deterministic byte offsets.
+///
+/// All counters are byte-granular and monotonic over the life of the
+/// wrapper, so a fault point is reproducible from the test's parameters
+/// alone — no timing races, no randomness.
+#[derive(Debug)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    /// After this many written bytes, every write reports a broken
+    /// pipe. A mid-frame cutoff tears the frame on the peer's side.
+    pub write_cutoff: Option<u64>,
+    /// After this many read bytes, every read reports a connection
+    /// reset: the disconnect-before-ACK fault (the request arrived; the
+    /// reply never did).
+    pub read_cutoff: Option<u64>,
+    /// Sleep this long before the first read: a delayed ACK, for
+    /// exercising read deadlines.
+    pub read_delay: Option<Duration>,
+    /// Cap each individual `write` call to this many bytes: chops one
+    /// `write_all` into many small writes, exercising partial-write
+    /// handling without tearing anything.
+    pub write_chunk: Option<usize>,
+    written: u64,
+    read: u64,
+    delayed: bool,
+}
+
+impl<T> FaultyTransport<T> {
+    /// Wraps a stream with no faults armed; arm them via the public
+    /// fields or the builder helpers.
+    pub fn new(inner: T) -> FaultyTransport<T> {
+        FaultyTransport {
+            inner,
+            write_cutoff: None,
+            read_cutoff: None,
+            read_delay: None,
+            write_chunk: None,
+            written: 0,
+            read: 0,
+            delayed: false,
+        }
+    }
+
+    /// Breaks the pipe after `bytes` written bytes (short write / torn
+    /// frame).
+    #[must_use]
+    pub fn cut_write_after(mut self, bytes: u64) -> FaultyTransport<T> {
+        self.write_cutoff = Some(bytes);
+        self
+    }
+
+    /// Resets the connection after `bytes` read bytes
+    /// (disconnect-before-ACK when `bytes` is 0).
+    #[must_use]
+    pub fn cut_read_after(mut self, bytes: u64) -> FaultyTransport<T> {
+        self.read_cutoff = Some(bytes);
+        self
+    }
+
+    /// Delays the first read by `delay` (a delayed ACK).
+    #[must_use]
+    pub fn delay_reads(mut self, delay: Duration) -> FaultyTransport<T> {
+        self.read_delay = Some(delay);
+        self
+    }
+
+    /// Caps each write call to `bytes` bytes.
+    #[must_use]
+    pub fn chunk_writes(mut self, bytes: usize) -> FaultyTransport<T> {
+        self.write_chunk = Some(bytes.max(1));
+        self
+    }
+
+    /// Bytes successfully written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Consumes the wrapper, returning the inner stream.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+}
+
+impl<T: Read> Read for FaultyTransport<T> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if let Some(delay) = self.read_delay {
+            if !self.delayed {
+                self.delayed = true;
+                std::thread::sleep(delay);
+            }
+        }
+        if let Some(cutoff) = self.read_cutoff {
+            if self.read >= cutoff {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected: connection reset before reply",
+                ));
+            }
+            let room = usize::try_from(cutoff - self.read).unwrap_or(usize::MAX);
+            let len = buf.len().min(room);
+            let n = self.inner.read(&mut buf[..len])?;
+            self.read += n as u64;
+            return Ok(n);
+        }
+        let n = self.inner.read(buf)?;
+        self.read += n as u64;
+        Ok(n)
+    }
+}
+
+impl<T: Write> Write for FaultyTransport<T> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let mut len = buf.len();
+        if let Some(cutoff) = self.write_cutoff {
+            if self.written >= cutoff {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "injected: broken pipe mid-frame",
+                ));
+            }
+            len = len.min(usize::try_from(cutoff - self.written).unwrap_or(usize::MAX));
+        }
+        if let Some(chunk) = self.write_chunk {
+            len = len.min(chunk);
+        }
+        let n = self.inner.write(&buf[..len])?;
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{read_frame, write_frame, FrameError};
+    use std::io::Cursor;
+
+    #[test]
+    fn write_cutoff_tears_the_frame_on_the_peer_side() {
+        // Cut 5 bytes into the frame: the writer sees BrokenPipe, and
+        // whatever made it across reads back as a torn frame.
+        let mut t = FaultyTransport::new(Vec::new()).cut_write_after(5);
+        let err = write_frame(&mut t, b"payload").expect_err("cut");
+        assert!(matches!(err, FrameError::Io(_)), "got {err:?}");
+        let wire = t.into_inner();
+        assert_eq!(wire.len(), 5, "exactly the cutoff crossed");
+        assert_eq!(read_frame(&mut Cursor::new(wire)), Err(FrameError::Torn));
+    }
+
+    #[test]
+    fn chunked_writes_still_deliver_whole_frames() {
+        let mut t = FaultyTransport::new(Vec::new()).chunk_writes(3);
+        write_frame(&mut t, b"chunked but intact").expect("write_all loops");
+        let wire = t.into_inner();
+        assert_eq!(
+            read_frame(&mut Cursor::new(wire)).expect("intact"),
+            b"chunked but intact"
+        );
+    }
+
+    #[test]
+    fn read_cutoff_is_a_reset_not_an_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"reply").expect("write");
+        // Reset after 3 delivered bytes: mid-header.
+        let mut t = FaultyTransport::new(Cursor::new(wire)).cut_read_after(3);
+        let err = read_frame(&mut t).expect_err("reset");
+        assert!(matches!(err, FrameError::Io(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn zero_byte_read_cutoff_models_disconnect_before_ack() {
+        let mut t = FaultyTransport::new(Cursor::new(Vec::new())).cut_read_after(0);
+        let mut buf = [0u8; 4];
+        let err = t.read(&mut buf).expect_err("reset");
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+    }
+}
